@@ -1,0 +1,122 @@
+//! Criterion microbenches for the cryptographic substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emerge_crypto::aead;
+use emerge_crypto::chacha20::ChaCha20;
+use emerge_crypto::keys::SymmetricKey;
+use emerge_crypto::onion::{build_onion, peel, Peeled};
+use emerge_crypto::sha256::Sha256;
+use emerge_crypto::shamir;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha256::digest(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chacha20(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chacha20");
+    let key = [7u8; 32];
+    let nonce = [9u8; 12];
+    for size in [64usize, 4096] {
+        let mut buf = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                ChaCha20::new(&key, &nonce, 0).apply_keystream(black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aead");
+    let key = SymmetricKey::from_bytes([1u8; 32]);
+    let nonce = [2u8; 12];
+    for size in [256usize, 4096] {
+        let plaintext = vec![0x55u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &plaintext, |b, pt| {
+            b.iter(|| aead::seal(&key, &nonce, black_box(pt), b"aad"));
+        });
+        let sealed = aead::seal(&key, &nonce, &plaintext, b"aad");
+        group.bench_with_input(BenchmarkId::new("open", size), &sealed, |b, ct| {
+            b.iter(|| aead::open(&key, &nonce, black_box(ct), b"aad").unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_shamir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shamir");
+    let secret = [0xC3u8; 32];
+    for (m, n) in [(2usize, 3usize), (5, 9), (13, 25), (64, 127)] {
+        group.bench_with_input(
+            BenchmarkId::new("split", format!("{m}-of-{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| shamir::split(black_box(&secret), m, n, &mut rng).unwrap());
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let shares = shamir::split(&secret, m, n, &mut rng).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("combine", format!("{m}-of-{n}")),
+            &shares,
+            |b, shares| {
+                b.iter(|| shamir::combine(black_box(shares), m).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_onion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("onion");
+    for depth in [3usize, 8, 16] {
+        let keys: Vec<SymmetricKey> =
+            (0..depth).map(|i| SymmetricKey::from_bytes([i as u8 + 1; 32])).collect();
+        let payload = vec![0u8; 128];
+        let layers: Vec<(&SymmetricKey, &[u8])> =
+            keys.iter().map(|k| (k, payload.as_slice())).collect();
+        group.bench_with_input(BenchmarkId::new("build", depth), &layers, |b, layers| {
+            b.iter(|| build_onion(black_box(layers), b"core secret"));
+        });
+        let onion = build_onion(&layers, b"core secret");
+        group.bench_with_input(BenchmarkId::new("peel_all", depth), &onion, |b, onion| {
+            b.iter(|| {
+                let mut current = onion.clone();
+                for key in &keys {
+                    match peel(key, &current).unwrap() {
+                        Peeled::Intermediate { inner, .. } => current = inner,
+                        Peeled::Core { payload } => {
+                            black_box(payload);
+                            break;
+                        }
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_chacha20,
+    bench_aead,
+    bench_shamir,
+    bench_onion
+);
+criterion_main!(benches);

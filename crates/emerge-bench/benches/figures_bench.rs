@@ -1,0 +1,38 @@
+//! Criterion wrappers around the figure regenerators (small-scale cells),
+//! so `cargo bench` exercises exactly the code paths behind every figure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use emerge_bench::figures::{fig6_attack_and_cost, fig7_churn_resilience, fig8_share_cost};
+
+fn bench_fig6_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_cell");
+    group.sample_size(10);
+    group.bench_function("p02_n10000_50trials", |b| {
+        b.iter(|| fig6_attack_and_cost(10_000, black_box(&[0.2]), 50, 1));
+    });
+    group.bench_function("p02_n100_50trials", |b| {
+        b.iter(|| fig6_attack_and_cost(100, black_box(&[0.2]), 50, 1));
+    });
+    group.finish();
+}
+
+fn bench_fig7_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_cell");
+    group.sample_size(10);
+    group.bench_function("alpha3_p02_50trials", |b| {
+        b.iter(|| fig7_churn_resilience(10_000, 3.0, black_box(&[0.2]), 50, 2));
+    });
+    group.finish();
+}
+
+fn bench_fig8_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_cell");
+    group.sample_size(10);
+    group.bench_function("budgets_p02_50trials", |b| {
+        b.iter(|| fig8_share_cost(10_000, &[100, 1_000], 3.0, black_box(&[0.2]), 50, 3));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_cell, bench_fig7_cell, bench_fig8_cell);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Criterion benches for the key-routing schemes: path construction,
+//! package generation, full protocol runs, and Monte-Carlo throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use emerge_core::config::SchemeParams;
+use emerge_core::montecarlo::{run_trials, TrialSpec};
+use emerge_core::package::{build_keyed_packages, build_share_packages, KeySchedule};
+use emerge_core::path::construct_paths;
+use emerge_core::protocol::{execute_keyed, execute_share, AttackMode, RunConfig};
+use emerge_crypto::keys::SymmetricKey;
+use emerge_dht::overlay::{Overlay, OverlayConfig};
+use emerge_sim::time::{SimDuration, SimTime};
+
+fn overlay(n: usize) -> Overlay {
+    Overlay::build(
+        OverlayConfig {
+            n_nodes: n,
+            ..OverlayConfig::default()
+        },
+        11,
+    )
+}
+
+fn bench_path_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_construction");
+    let ov = overlay(2_000);
+    let seed = SymmetricKey::from_bytes([3; 32]);
+    for (k, l) in [(2usize, 3usize), (5, 10), (10, 20)] {
+        let params = SchemeParams::Joint { k, l };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{k}x{l}")),
+            &params,
+            |b, params| {
+                b.iter(|| construct_paths(&ov, black_box(params), &seed).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_package_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("package_generation");
+    let ov = overlay(2_000);
+    let seed = SymmetricKey::from_bytes([4; 32]);
+    let schedule = KeySchedule::new(seed.clone());
+
+    let keyed = SchemeParams::Joint { k: 5, l: 10 };
+    let plan = construct_paths(&ov, &keyed, &seed).unwrap();
+    group.bench_function("keyed_5x10", |b| {
+        b.iter(|| build_keyed_packages(&plan, &keyed, &schedule, black_box(b"secret")).unwrap());
+    });
+
+    let share = SchemeParams::Share {
+        k: 3,
+        l: 5,
+        n: 15,
+        m: vec![8, 8, 8, 9],
+    };
+    let plan = construct_paths(&ov, &share, &seed).unwrap();
+    group.bench_function("share_15x5", |b| {
+        b.iter(|| build_share_packages(&plan, &share, &schedule, black_box(b"secret")).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_protocol_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_run");
+    group.sample_size(20);
+    let config = RunConfig {
+        ts: SimTime::ZERO,
+        emerging_period: SimDuration::from_ticks(10_000),
+        attack: AttackMode::Passive,
+    };
+    let seed = SymmetricKey::from_bytes([5; 32]);
+    let schedule = KeySchedule::new(seed.clone());
+
+    let keyed = SchemeParams::Joint { k: 5, l: 10 };
+    {
+        let ov = overlay(2_000);
+        let plan = construct_paths(&ov, &keyed, &seed).unwrap();
+        let pkgs = build_keyed_packages(&plan, &keyed, &schedule, b"secret").unwrap();
+        group.bench_function("joint_5x10", |b| {
+            b.iter_batched(
+                || overlay(2_000),
+                |mut ov| {
+                    execute_keyed(&mut ov, &plan, &keyed, &pkgs, black_box(&config)).unwrap()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+
+    let share = SchemeParams::Share {
+        k: 3,
+        l: 5,
+        n: 15,
+        m: vec![8, 8, 8, 9],
+    };
+    {
+        let ov = overlay(2_000);
+        let plan = construct_paths(&ov, &share, &seed).unwrap();
+        let pkgs = build_share_packages(&plan, &share, &schedule, b"secret").unwrap();
+        group.bench_function("share_15x5", |b| {
+            b.iter_batched(
+                || overlay(2_000),
+                |mut ov| {
+                    execute_share(&mut ov, &plan, &share, &pkgs, black_box(&config)).unwrap()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("montecarlo_100_trials");
+    group.sample_size(10);
+    for (label, params, alpha) in [
+        ("joint_no_churn", SchemeParams::Joint { k: 5, l: 12 }, None),
+        ("joint_churn_a3", SchemeParams::Joint { k: 5, l: 12 }, Some(3.0)),
+        (
+            "share_churn_a3",
+            SchemeParams::Share {
+                k: 5,
+                l: 12,
+                n: 833,
+                m: vec![350; 11],
+            },
+            Some(3.0),
+        ),
+    ] {
+        let spec = TrialSpec {
+            params,
+            population: 10_000,
+            p: 0.2,
+            alpha,
+            unavailability: 0.0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            b.iter(|| run_trials(black_box(spec), 100, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_path_construction,
+    bench_package_generation,
+    bench_protocol_run,
+    bench_montecarlo
+);
+criterion_main!(benches);

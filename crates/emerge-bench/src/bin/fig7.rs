@@ -1,0 +1,29 @@
+//! Regenerates Figure 7: churn resilience evaluation.
+//!
+//! Four panels, `α ∈ {1, 2, 3, 5}` where the emerging period is `α` mean
+//! node lifetimes. All four schemes; 10000-node DHT.
+//!
+//! ```sh
+//! cargo run -p emerge-bench --bin fig7 --release
+//! EMERGE_TRIALS=200 EMERGE_P_STEP=0.05 cargo run -p emerge-bench --bin fig7 --release
+//! ```
+
+use emerge_bench::figures::{fig7_churn_resilience, render_and_save};
+use emerge_bench::{p_step_from_env, p_sweep, trials_from_env};
+
+fn main() {
+    let trials = trials_from_env();
+    let ps = p_sweep(p_step_from_env());
+    let population = 10_000;
+    println!("# Figure 7 — churn resilience evaluation ({population} nodes)");
+    println!("# trials per cell: {trials}; p sweep: {} points", ps.len());
+
+    for (panel, alpha) in [("a", 1.0f64), ("b", 2.0), ("c", 3.0), ("d", 5.0)] {
+        let started = std::time::Instant::now();
+        let table = fig7_churn_resilience(population, alpha, &ps, trials, 0x70 + alpha as u64);
+        println!();
+        println!("## Figure 7({panel}): α = {alpha}");
+        println!("{}", render_and_save(&table, &format!("fig7{panel}")));
+        eprintln!("# α = {alpha} sweep took {:.1?}", started.elapsed());
+    }
+}

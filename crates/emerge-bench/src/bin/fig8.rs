@@ -1,0 +1,31 @@
+//! Regenerates Figure 8: key-share routing scheme cost evaluation.
+//!
+//! The number of nodes available for path construction shrinks from 10000
+//! to 5000, 1000 and 100 while the DHT population stays at 10000 and
+//! `α = 3`; the figure shows how much resilience survives the budget cut.
+//!
+//! ```sh
+//! cargo run -p emerge-bench --bin fig8 --release
+//! EMERGE_TRIALS=200 EMERGE_P_STEP=0.05 cargo run -p emerge-bench --bin fig8 --release
+//! ```
+
+use emerge_bench::figures::{fig8_share_cost, render_and_save};
+use emerge_bench::{p_step_from_env, p_sweep, trials_from_env};
+
+fn main() {
+    let trials = trials_from_env();
+    let ps = p_sweep(p_step_from_env());
+    let population = 10_000;
+    let budgets = [100usize, 1_000, 5_000, 10_000];
+    let alpha = 3.0;
+
+    println!("# Figure 8 — key-share routing cost evaluation");
+    println!("# population {population}, α = {alpha}, budgets {budgets:?}");
+    println!("# trials per cell: {trials}; p sweep: {} points", ps.len());
+
+    let started = std::time::Instant::now();
+    let table = fig8_share_cost(population, &budgets, alpha, &ps, trials, 0x80);
+    println!();
+    println!("{}", render_and_save(&table, "fig8"));
+    eprintln!("# sweep took {:.1?}", started.elapsed());
+}

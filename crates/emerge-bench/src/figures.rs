@@ -1,0 +1,229 @@
+//! The paper's figures as reusable experiment functions.
+//!
+//! Every function mirrors one evaluation figure: it performs the same
+//! parameter selection the paper's sender would (Section III solvers),
+//! measures resilience by Monte-Carlo over the same population/trial
+//! scale, and returns a [`SeriesTable`] whose columns match the figure's
+//! plotted series.
+
+use crate::parallel::parallel_map;
+use emerge_core::analysis;
+use emerge_core::config::SchemeParams;
+use emerge_core::montecarlo::{run_trials, TrialSpec};
+use emerge_sim::metrics::SeriesTable;
+
+/// Target resilience the sender aims for when sizing structures; the
+/// paper's joint scheme "keeps R > 0.99 before p = 0.34" at 10000 nodes,
+/// which is this target hitting the node budget.
+pub const TARGET_R: f64 = 0.99;
+
+/// Outcome of one Figure-6 style cell.
+#[derive(Debug, Clone, Copy)]
+struct AttackCell {
+    r_central: f64,
+    r_disjoint: f64,
+    r_joint: f64,
+    c_central: f64,
+    c_disjoint: f64,
+    c_joint: f64,
+}
+
+/// Figure 6(a)/(c): measured attack resilience `R` vs `p` for the
+/// centralized, node-disjoint and node-joint schemes, and Figure 6(b)/(d):
+/// the required node counts `C` of the solved structures.
+///
+/// Returns `(resilience_table, cost_table)` with columns
+/// `p, central, disjoint, joint`.
+pub fn fig6_attack_and_cost(
+    population: usize,
+    ps: &[f64],
+    trials: usize,
+    seed: u64,
+) -> (SeriesTable, SeriesTable) {
+    let cells: Vec<(f64, AttackCell)> = parallel_map(ps, |&p| {
+        let cell = attack_cell(population, p, trials, seed);
+        (p, cell)
+    });
+
+    let mut r_table = SeriesTable::new("p", &["central", "disjoint", "joint"]);
+    let mut c_table = SeriesTable::new("p", &["central", "disjoint", "joint"]);
+    for (p, cell) in cells {
+        r_table.push_row(p, &[cell.r_central, cell.r_disjoint, cell.r_joint]);
+        c_table.push_row(p, &[cell.c_central, cell.c_disjoint, cell.c_joint]);
+    }
+    (r_table, c_table)
+}
+
+fn attack_cell(population: usize, p: f64, trials: usize, seed: u64) -> AttackCell {
+    let run = |params: SchemeParams, salt: u64| -> f64 {
+        let spec = TrialSpec {
+            params,
+            population,
+            p,
+            alpha: None,
+            unavailability: 0.0,
+        };
+        run_trials(&spec, trials, seed ^ salt).r_min()
+    };
+
+    let central = run(SchemeParams::Central, 0x01);
+    let disjoint_sol = analysis::solve_disjoint(p, TARGET_R, population);
+    let joint_sol = analysis::solve_joint(p, TARGET_R, population);
+    let c_disjoint = disjoint_sol.params.node_cost() as f64;
+    let c_joint = joint_sol.params.node_cost() as f64;
+    let disjoint = run(disjoint_sol.params, 0x02);
+    let joint = run(joint_sol.params, 0x03);
+
+    AttackCell {
+        r_central: central,
+        r_disjoint: disjoint,
+        r_joint: joint,
+        c_central: 1.0,
+        c_disjoint,
+        c_joint,
+    }
+}
+
+/// Figure 7: churn resilience for a given `α = T / tlife`, all four
+/// schemes. Columns: `p, central, disjoint, joint, share`.
+pub fn fig7_churn_resilience(
+    population: usize,
+    alpha: f64,
+    ps: &[f64],
+    trials: usize,
+    seed: u64,
+) -> SeriesTable {
+    let rows: Vec<(f64, [f64; 4])> = parallel_map(ps, |&p| {
+        let run = |params: SchemeParams, salt: u64| -> f64 {
+            let spec = TrialSpec {
+                params,
+                population,
+                p,
+                alpha: Some(alpha),
+                unavailability: 0.0,
+            };
+            run_trials(&spec, trials, seed ^ salt).r_min()
+        };
+        let central = run(SchemeParams::Central, 0x11);
+        let disjoint = run(analysis::solve_disjoint(p, TARGET_R, population).params, 0x12);
+        let joint = run(analysis::solve_joint(p, TARGET_R, population).params, 0x13);
+        let share = run(
+            analysis::solve_share(p, TARGET_R, population, alpha).params,
+            0x14,
+        );
+        (p, [central, disjoint, joint, share])
+    });
+
+    let mut table = SeriesTable::new("p", &["central", "disjoint", "joint", "share"]);
+    for (p, r) in rows {
+        table.push_row(p, &r);
+    }
+    table
+}
+
+/// Figure 8: the share scheme's cost/benefit — resilience vs `p` when the
+/// number of nodes available for path construction shrinks. `α = 3` as in
+/// the paper. Columns: `p` plus one series per budget.
+pub fn fig8_share_cost(
+    population: usize,
+    budgets: &[usize],
+    alpha: f64,
+    ps: &[f64],
+    trials: usize,
+    seed: u64,
+) -> SeriesTable {
+    let rows: Vec<(f64, Vec<f64>)> = parallel_map(ps, |&p| {
+        let mut values = Vec::with_capacity(budgets.len());
+        for (i, &budget) in budgets.iter().enumerate() {
+            let sol = analysis::solve_share(p, TARGET_R, budget, alpha);
+            let spec = TrialSpec {
+                params: sol.params,
+                population,
+                p,
+                alpha: Some(alpha),
+                unavailability: 0.0,
+            };
+            values.push(run_trials(&spec, trials, seed ^ (0x20 + i as u64)).r_min());
+        }
+        (p, values)
+    });
+
+    let labels: Vec<String> = budgets.iter().map(|b| b.to_string()).collect();
+    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    let mut table = SeriesTable::new("p", &label_refs);
+    for (p, values) in rows {
+        table.push_row(p, &values);
+    }
+    table
+}
+
+/// Writes a table to `results/<name>.dat` (best effort) and returns the
+/// rendered text.
+pub fn render_and_save(table: &SeriesTable, name: &str) -> String {
+    let text = table.to_string();
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write(format!("results/{name}.dat"), format!("{text}\n"));
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Small-scale smoke tests; the real scale runs in the binaries.
+
+    #[test]
+    fn fig6_tables_have_expected_shape() {
+        let ps = [0.0, 0.2, 0.4];
+        let (r, c) = fig6_attack_and_cost(500, &ps, 60, 1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(c.len(), 3);
+        // p = 0: everything is perfectly resilient and cheap.
+        let row0 = r.row_at(0.0).unwrap();
+        assert_eq!(&row0[1..], &[1.0, 1.0, 1.0]);
+        let cost0 = c.row_at(0.0).unwrap();
+        assert_eq!(cost0[1], 1.0);
+        // Central matches 1 - p at p = 0.4.
+        let row = r.row_at(0.4).unwrap();
+        assert!((row[1] - 0.6).abs() < 0.15);
+        // Joint must dominate central everywhere.
+        for row in r.iter() {
+            assert!(row[3] >= row[1] - 0.05, "joint under central at p={}", row[0]);
+        }
+    }
+
+    #[test]
+    fn fig6_costs_grow_with_p() {
+        let ps = [0.1, 0.3];
+        let (_, c) = fig6_attack_and_cost(2000, &ps, 10, 2);
+        let c1 = c.row_at(0.1).unwrap()[3];
+        let c3 = c.row_at(0.3).unwrap()[3];
+        assert!(c3 > c1, "joint cost must grow with p: {c1} -> {c3}");
+    }
+
+    #[test]
+    fn fig7_share_beats_keyed_under_heavy_churn() {
+        let ps = [0.2];
+        let table = fig7_churn_resilience(2000, 3.0, &ps, 80, 3);
+        let row = table.row_at(0.2).unwrap();
+        let (joint, share) = (row[3], row[4]);
+        assert!(
+            share > joint + 0.05,
+            "share must beat joint at α=3, p=0.2: share={share} joint={joint}"
+        );
+        assert!(share > 0.9, "share should stay high: {share}");
+    }
+
+    #[test]
+    fn fig8_budget_ordering() {
+        let ps = [0.2];
+        let table = fig8_share_cost(2000, &[100, 2000], 3.0, &ps, 80, 4);
+        let row = table.row_at(0.2).unwrap();
+        assert!(
+            row[2] >= row[1] - 0.05,
+            "bigger budgets must not hurt: {} vs {}",
+            row[1],
+            row[2]
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # emerge-bench
+//!
+//! The experiment harness that regenerates every figure of the paper's
+//! evaluation section (Section IV), plus criterion microbenches for the
+//! substrates.
+//!
+//! Binaries:
+//!
+//! * `fig6` — attack resilience and required nodes vs `p` (Figure 6 a–d)
+//! * `fig7` — churn resilience for α ∈ {1, 2, 3, 5} (Figure 7 a–d)
+//! * `fig8` — share-scheme cost sweep (Figure 8)
+//! * `all_figures` — runs everything and writes `results/*.dat`
+//!
+//! Each binary prints gnuplot-ready columns in the same shape as the
+//! paper's plots. Environment variables `EMERGE_TRIALS` (default 1000)
+//! and `EMERGE_P_STEP` (default 0.02) trade accuracy for speed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod parallel;
+
+/// Number of Monte-Carlo trials per experiment cell (the paper runs 1000).
+pub fn trials_from_env() -> usize {
+    std::env::var("EMERGE_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+/// Sweep step for the malicious rate `p`.
+pub fn p_step_from_env() -> f64 {
+    std::env::var("EMERGE_P_STEP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02)
+}
+
+/// The `p` sweep of the paper's figures: `0.0..=0.5`.
+pub fn p_sweep(step: f64) -> Vec<f64> {
+    assert!(step > 0.0 && step <= 0.5, "p step must be in (0, 0.5]");
+    let mut ps = Vec::new();
+    let mut p = 0.0f64;
+    while p <= 0.5 + 1e-9 {
+        ps.push((p * 1e6).round() / 1e6);
+        p += step;
+    }
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_sweep_covers_the_range() {
+        let ps = p_sweep(0.1);
+        assert_eq!(ps.len(), 6);
+        assert_eq!(ps[0], 0.0);
+        assert_eq!(*ps.last().unwrap(), 0.5);
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Not set in the test environment.
+        assert_eq!(trials_from_env(), 1000);
+        assert!((p_step_from_env() - 0.02).abs() < 1e-12);
+    }
+}

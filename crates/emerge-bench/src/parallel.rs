@@ -1,0 +1,91 @@
+//! A tiny work-stealing `parallel_map` over OS threads.
+//!
+//! The figure sweeps are embarrassingly parallel across `p` values; this
+//! helper spreads them over the available cores with nothing beyond the
+//! standard library (scoped threads + an atomic work index).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, in parallel, preserving input order in the
+/// output. `f` must be `Sync` (it is shared across workers).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(|t| f(t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = parallel_map(&[] as &[u64], |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(&[7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still all complete.
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, |x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (*x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+}

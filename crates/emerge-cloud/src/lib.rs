@@ -1,0 +1,284 @@
+//! # emerge-cloud
+//!
+//! The cloud substrate of the self-emerging data system (Section II-A of
+//! the paper): an always-available store that holds the *encrypted* message
+//! during the emerging period `T`. The cloud never sees plaintext or the
+//! secret key — those live in the DHT — so a curious cloud learns nothing
+//! and a receiver can fetch the ciphertext at any time after `ts`.
+//!
+//! Access control is token-based: the sender authorizes a receiver by
+//! registering the hash of a bearer token; fetches must present the token.
+//!
+//! ```
+//! use emerge_cloud::{BlobStore, AccessToken};
+//!
+//! let mut cloud = BlobStore::new();
+//! let token = AccessToken::from_bytes(b"receiver-credential".to_vec());
+//! let id = cloud.put(b"ciphertext...".to_vec(), &[token.fingerprint()]);
+//!
+//! let blob = cloud.fetch(&id, &token).expect("authorized fetch");
+//! assert_eq!(blob, b"ciphertext...");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use emerge_crypto::sha256::Sha256;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Content identifier of a stored blob (SHA-256 of the content).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlobId([u8; 32]);
+
+impl BlobId {
+    /// Computes the ID of a blob's content.
+    pub fn of(content: &[u8]) -> Self {
+        BlobId(Sha256::digest(content))
+    }
+
+    /// Raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl fmt::Display for BlobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+/// A bearer credential presented by receivers.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AccessToken(Vec<u8>);
+
+impl AccessToken {
+    /// Wraps raw token bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        AccessToken(bytes)
+    }
+
+    /// The token's fingerprint (what the cloud stores — never the token
+    /// itself).
+    pub fn fingerprint(&self) -> TokenFingerprint {
+        TokenFingerprint(Sha256::digest(&self.0))
+    }
+}
+
+impl fmt::Debug for AccessToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AccessToken(<redacted>)")
+    }
+}
+
+/// Hash of an access token, safe to store server-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TokenFingerprint([u8; 32]);
+
+/// Errors returned by cloud operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CloudError {
+    /// No blob with the given ID exists.
+    NotFound,
+    /// The presented token is not authorized for this blob.
+    Unauthorized,
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::NotFound => write!(f, "blob not found"),
+            CloudError::Unauthorized => write!(f, "token not authorized for blob"),
+        }
+    }
+}
+
+impl Error for CloudError {}
+
+#[derive(Debug, Clone)]
+struct BlobRecord {
+    content: Vec<u8>,
+    authorized: Vec<TokenFingerprint>,
+    fetches: u64,
+}
+
+/// The cloud blob store.
+///
+/// Contents are immutable once stored (content-addressed); authorization is
+/// a set of token fingerprints fixed by the sender at upload time, with the
+/// option to add more grants later.
+#[derive(Debug, Clone, Default)]
+pub struct BlobStore {
+    blobs: HashMap<BlobId, BlobRecord>,
+}
+
+impl BlobStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        BlobStore::default()
+    }
+
+    /// Stores `content`, granting access to the given token fingerprints.
+    /// Returns the content ID. Re-uploading identical content merges the
+    /// grant lists.
+    pub fn put(&mut self, content: Vec<u8>, grants: &[TokenFingerprint]) -> BlobId {
+        let id = BlobId::of(&content);
+        let record = self.blobs.entry(id).or_insert_with(|| BlobRecord {
+            content,
+            authorized: Vec::new(),
+            fetches: 0,
+        });
+        for g in grants {
+            if !record.authorized.contains(g) {
+                record.authorized.push(*g);
+            }
+        }
+        id
+    }
+
+    /// Grants an additional token access to an existing blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::NotFound`] for unknown blobs.
+    pub fn grant(&mut self, id: &BlobId, token: TokenFingerprint) -> Result<(), CloudError> {
+        let record = self.blobs.get_mut(id).ok_or(CloudError::NotFound)?;
+        if !record.authorized.contains(&token) {
+            record.authorized.push(token);
+        }
+        Ok(())
+    }
+
+    /// Fetches a blob with an access token.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NotFound`] if the blob does not exist,
+    /// [`CloudError::Unauthorized`] if the token is not on the grant list.
+    pub fn fetch(&mut self, id: &BlobId, token: &AccessToken) -> Result<Vec<u8>, CloudError> {
+        let record = self.blobs.get_mut(id).ok_or(CloudError::NotFound)?;
+        if !record.authorized.contains(&token.fingerprint()) {
+            return Err(CloudError::Unauthorized);
+        }
+        record.fetches += 1;
+        Ok(record.content.clone())
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// How many successful fetches a blob has served.
+    pub fn fetch_count(&self, id: &BlobId) -> Option<u64> {
+        self.blobs.get(id).map(|r| r.fetches)
+    }
+
+    /// Total bytes stored.
+    pub fn stored_bytes(&self) -> usize {
+        self.blobs.values().map(|r| r.content.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token(s: &str) -> AccessToken {
+        AccessToken::from_bytes(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn put_fetch_roundtrip() {
+        let mut cloud = BlobStore::new();
+        let t = token("bob");
+        let id = cloud.put(b"encrypted exam".to_vec(), &[t.fingerprint()]);
+        assert_eq!(cloud.fetch(&id, &t).unwrap(), b"encrypted exam");
+        assert_eq!(cloud.fetch_count(&id), Some(1));
+    }
+
+    #[test]
+    fn unauthorized_token_rejected() {
+        let mut cloud = BlobStore::new();
+        let id = cloud.put(b"secret".to_vec(), &[token("bob").fingerprint()]);
+        assert_eq!(
+            cloud.fetch(&id, &token("mallory")),
+            Err(CloudError::Unauthorized)
+        );
+    }
+
+    #[test]
+    fn missing_blob_not_found() {
+        let mut cloud = BlobStore::new();
+        let id = BlobId::of(b"never stored");
+        assert_eq!(cloud.fetch(&id, &token("bob")), Err(CloudError::NotFound));
+    }
+
+    #[test]
+    fn grant_extends_access() {
+        let mut cloud = BlobStore::new();
+        let id = cloud.put(b"data".to_vec(), &[]);
+        let t = token("late-receiver");
+        assert_eq!(cloud.fetch(&id, &t), Err(CloudError::Unauthorized));
+        cloud.grant(&id, t.fingerprint()).unwrap();
+        assert_eq!(cloud.fetch(&id, &t).unwrap(), b"data");
+    }
+
+    #[test]
+    fn grant_unknown_blob_errors() {
+        let mut cloud = BlobStore::new();
+        assert_eq!(
+            cloud.grant(&BlobId::of(b"x"), token("t").fingerprint()),
+            Err(CloudError::NotFound)
+        );
+    }
+
+    #[test]
+    fn content_addressing_dedupes() {
+        let mut cloud = BlobStore::new();
+        let t1 = token("a");
+        let t2 = token("b");
+        let id1 = cloud.put(b"same".to_vec(), &[t1.fingerprint()]);
+        let id2 = cloud.put(b"same".to_vec(), &[t2.fingerprint()]);
+        assert_eq!(id1, id2);
+        assert_eq!(cloud.len(), 1);
+        // Both grants survive the merge.
+        assert!(cloud.fetch(&id1, &t1).is_ok());
+        assert!(cloud.fetch(&id1, &t2).is_ok());
+    }
+
+    #[test]
+    fn token_debug_is_redacted() {
+        let t = token("super-secret-token");
+        assert!(!format!("{t:?}").contains("super"));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut cloud = BlobStore::new();
+        assert!(cloud.is_empty());
+        cloud.put(vec![0u8; 100], &[]);
+        cloud.put(vec![1u8; 50], &[]);
+        assert_eq!(cloud.len(), 2);
+        assert_eq!(cloud.stored_bytes(), 150);
+    }
+
+    #[test]
+    fn blob_id_display() {
+        let id = BlobId::of(b"x");
+        let s = id.to_string();
+        // 8 hex bytes (16 chars) + a 3-byte UTF-8 ellipsis.
+        assert_eq!(s.chars().count(), 17);
+    }
+}

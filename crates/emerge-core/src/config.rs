@@ -1,0 +1,308 @@
+//! Scheme selection and parameters.
+//!
+//! The four self-emerging key routing schemes of Section III, with their
+//! structural parameters:
+//!
+//! * `k` — the replication factor: number of parallel onion paths
+//!   (disjoint/joint) or onion-carrying rows (share),
+//! * `l` — the path length in hops ("columns"); the holding period is
+//!   `th = T / l`,
+//! * `n` — share-scheme row count (`⌊N / l⌋` per Algorithm 1 line 1),
+//! * `m[j]` — share-scheme reconstruction thresholds per column.
+
+use crate::error::EmergeError;
+use std::fmt;
+
+/// Which routing scheme to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Single holder stores the key for the whole emerging period.
+    Central,
+    /// `k` node-disjoint replicated onion paths of length `l`
+    /// (Section III-B).
+    Disjoint,
+    /// Column-complete multipath topology (Section III-C).
+    Joint,
+    /// Key-share routing: onion keys delivered just-in-time as Shamir
+    /// shares (Section III-D, Algorithm 1).
+    Share,
+}
+
+impl SchemeKind {
+    /// All four schemes, in the paper's order.
+    pub const ALL: [SchemeKind; 4] = [
+        SchemeKind::Central,
+        SchemeKind::Disjoint,
+        SchemeKind::Joint,
+        SchemeKind::Share,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeKind::Central => "central",
+            SchemeKind::Disjoint => "disjoint",
+            SchemeKind::Joint => "joint",
+            SchemeKind::Share => "share",
+        }
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fully resolved structural parameters for one scheme instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeParams {
+    /// Centralized storage on one node.
+    Central,
+    /// Node-disjoint multipath: `k` paths × `l` holders.
+    Disjoint {
+        /// Number of replicated paths.
+        k: usize,
+        /// Holders per path.
+        l: usize,
+    },
+    /// Node-joint multipath: the same `k × l` grid with column-complete
+    /// forwarding.
+    Joint {
+        /// Number of onion rows.
+        k: usize,
+        /// Columns (hops).
+        l: usize,
+    },
+    /// Key-share routing over an `n × l` grid; rows `1..=k` carry the
+    /// secret-bearing onion.
+    Share {
+        /// Onion-carrying rows.
+        k: usize,
+        /// Columns (hops).
+        l: usize,
+        /// Total rows (shares per column key).
+        n: usize,
+        /// Reconstruction threshold for the keys of columns `2..=l`
+        /// (`m[j-2]` is the threshold for column `j`). Column 1 keys are
+        /// delivered directly by the sender.
+        m: Vec<usize>,
+    },
+}
+
+impl SchemeParams {
+    /// The scheme this parameter set instantiates.
+    pub fn kind(&self) -> SchemeKind {
+        match self {
+            SchemeParams::Central => SchemeKind::Central,
+            SchemeParams::Disjoint { .. } => SchemeKind::Disjoint,
+            SchemeParams::Joint { .. } => SchemeKind::Joint,
+            SchemeParams::Share { .. } => SchemeKind::Share,
+        }
+    }
+
+    /// Number of distinct DHT holders the structure consumes — the cost
+    /// metric `C` of Figure 6(b)/(d).
+    pub fn node_cost(&self) -> usize {
+        match self {
+            SchemeParams::Central => 1,
+            SchemeParams::Disjoint { k, l } | SchemeParams::Joint { k, l } => k * l,
+            SchemeParams::Share { l, n, .. } => n * l,
+        }
+    }
+
+    /// Path length `l` (1 for the centralized scheme). The holding period
+    /// is `th = T / l`.
+    pub fn path_length(&self) -> usize {
+        match self {
+            SchemeParams::Central => 1,
+            SchemeParams::Disjoint { l, .. }
+            | SchemeParams::Joint { l, .. }
+            | SchemeParams::Share { l, .. } => *l,
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmergeError::InvalidParameters`] if any dimension is zero,
+    /// `k > n` for the share scheme, a threshold is out of `1..=n`, or the
+    /// threshold vector length is not `l - 1`.
+    pub fn validate(&self) -> Result<(), EmergeError> {
+        let fail = |msg: String| Err(EmergeError::InvalidParameters(msg));
+        match self {
+            SchemeParams::Central => Ok(()),
+            SchemeParams::Disjoint { k, l } | SchemeParams::Joint { k, l } => {
+                if *k == 0 || *l == 0 {
+                    return fail(format!("k and l must be positive (k={k}, l={l})"));
+                }
+                Ok(())
+            }
+            SchemeParams::Share { k, l, n, m } => {
+                if *k == 0 || *l == 0 || *n == 0 {
+                    return fail(format!("k, l, n must be positive (k={k}, l={l}, n={n})"));
+                }
+                if k > n {
+                    return fail(format!("onion rows k={k} cannot exceed total rows n={n}"));
+                }
+                // NOTE: `n` is deliberately NOT capped at 255 here. The
+                // analysis and Monte-Carlo engines evaluate the paper-scale
+                // grids (n up to N/l = 1250 at 10000 nodes); only the
+                // wire-level package builder is bound by GF(256) sharing
+                // and enforces n <= 255 itself.
+                if m.len() != l - 1 {
+                    return fail(format!(
+                        "threshold vector has {} entries, expected l-1 = {}",
+                        m.len(),
+                        l - 1
+                    ));
+                }
+                for (i, &mi) in m.iter().enumerate() {
+                    if mi == 0 || mi > *n {
+                        return fail(format!(
+                            "threshold m[{i}] = {mi} out of range 1..={n}"
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Convenience accessor: `(k, l)` for the multipath schemes.
+    pub fn grid(&self) -> Option<(usize, usize)> {
+        match self {
+            SchemeParams::Central => None,
+            SchemeParams::Disjoint { k, l } | SchemeParams::Joint { k, l } => Some((*k, *l)),
+            SchemeParams::Share { k, l, .. } => Some((*k, *l)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(SchemeKind::Central.to_string(), "central");
+        assert_eq!(SchemeKind::Disjoint.to_string(), "disjoint");
+        assert_eq!(SchemeKind::Joint.to_string(), "joint");
+        assert_eq!(SchemeKind::Share.to_string(), "share");
+    }
+
+    #[test]
+    fn node_cost_matches_structure() {
+        assert_eq!(SchemeParams::Central.node_cost(), 1);
+        assert_eq!(SchemeParams::Disjoint { k: 2, l: 3 }.node_cost(), 6);
+        assert_eq!(SchemeParams::Joint { k: 4, l: 5 }.node_cost(), 20);
+        assert_eq!(
+            SchemeParams::Share {
+                k: 2,
+                l: 3,
+                n: 7,
+                m: vec![3, 3]
+            }
+            .node_cost(),
+            21
+        );
+    }
+
+    #[test]
+    fn validation_accepts_good_params() {
+        assert!(SchemeParams::Central.validate().is_ok());
+        assert!(SchemeParams::Disjoint { k: 2, l: 3 }.validate().is_ok());
+        assert!(SchemeParams::Joint { k: 1, l: 1 }.validate().is_ok());
+        assert!(SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 5,
+            m: vec![2, 3]
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_dims() {
+        assert!(SchemeParams::Disjoint { k: 0, l: 3 }.validate().is_err());
+        assert!(SchemeParams::Joint { k: 2, l: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_share_params() {
+        // k > n
+        assert!(SchemeParams::Share {
+            k: 6,
+            l: 2,
+            n: 5,
+            m: vec![2]
+        }
+        .validate()
+        .is_err());
+        // wrong threshold vector length
+        assert!(SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 5,
+            m: vec![2]
+        }
+        .validate()
+        .is_err());
+        // threshold out of range
+        assert!(SchemeParams::Share {
+            k: 2,
+            l: 2,
+            n: 5,
+            m: vec![6]
+        }
+        .validate()
+        .is_err());
+        // n beyond GF(256) is fine for analysis/Monte-Carlo (wire-level
+        // packaging enforces its own limit).
+        assert!(SchemeParams::Share {
+            k: 2,
+            l: 2,
+            n: 300,
+            m: vec![100]
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn grid_and_path_length() {
+        assert_eq!(SchemeParams::Central.grid(), None);
+        assert_eq!(SchemeParams::Central.path_length(), 1);
+        assert_eq!(SchemeParams::Joint { k: 3, l: 7 }.grid(), Some((3, 7)));
+        assert_eq!(
+            SchemeParams::Share {
+                k: 2,
+                l: 4,
+                n: 9,
+                m: vec![4, 4, 5]
+            }
+            .path_length(),
+            4
+        );
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        for kind in SchemeKind::ALL {
+            let params = match kind {
+                SchemeKind::Central => SchemeParams::Central,
+                SchemeKind::Disjoint => SchemeParams::Disjoint { k: 1, l: 1 },
+                SchemeKind::Joint => SchemeParams::Joint { k: 1, l: 1 },
+                SchemeKind::Share => SchemeParams::Share {
+                    k: 1,
+                    l: 1,
+                    n: 1,
+                    m: vec![],
+                },
+            };
+            assert_eq!(params.kind(), kind);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for the self-emerging data core.
+
+use emerge_crypto::CryptoError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by scheme construction, protocol execution, or the
+/// high-level sender/receiver API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EmergeError {
+    /// Scheme parameters were invalid (zero paths, threshold out of range,
+    /// budget exceeded, ...).
+    InvalidParameters(String),
+    /// The DHT population is too small for the requested path structure.
+    InsufficientNodes {
+        /// Nodes required by the path structure.
+        required: usize,
+        /// Nodes available in the overlay.
+        available: usize,
+    },
+    /// A cryptographic operation failed.
+    Crypto(CryptoError),
+    /// The secret key did not emerge (drop attack or churn loss).
+    KeyLost {
+        /// Human-readable reason recorded by the protocol run.
+        reason: String,
+    },
+    /// The receiver asked for the message before the release time.
+    NotYetReleased {
+        /// Ticks remaining until the release time.
+        remaining_ticks: u64,
+    },
+    /// The cloud rejected the fetch.
+    Cloud(String),
+}
+
+impl fmt::Display for EmergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmergeError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            EmergeError::InsufficientNodes {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient DHT nodes: path structure needs {required}, overlay has {available}"
+            ),
+            EmergeError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+            EmergeError::KeyLost { reason } => write!(f, "secret key lost: {reason}"),
+            EmergeError::NotYetReleased { remaining_ticks } => write!(
+                f,
+                "message not yet released: {remaining_ticks} ticks remain"
+            ),
+            EmergeError::Cloud(msg) => write!(f, "cloud error: {msg}"),
+        }
+    }
+}
+
+impl Error for EmergeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EmergeError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for EmergeError {
+    fn from(e: CryptoError) -> Self {
+        EmergeError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let variants: Vec<EmergeError> = vec![
+            EmergeError::InvalidParameters("k = 0".into()),
+            EmergeError::InsufficientNodes {
+                required: 100,
+                available: 10,
+            },
+            EmergeError::Crypto(CryptoError::AuthenticationFailed),
+            EmergeError::KeyLost {
+                reason: "drop attack at column 3".into(),
+            },
+            EmergeError::NotYetReleased {
+                remaining_ticks: 42,
+            },
+            EmergeError::Cloud("unauthorized".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn crypto_error_converts_and_sources() {
+        let e: EmergeError = CryptoError::AuthenticationFailed.into();
+        assert!(matches!(e, EmergeError::Crypto(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmergeError>();
+    }
+}

@@ -1,0 +1,228 @@
+//! Numerical helpers: log-gamma, binomial tails, and safe probability
+//! arithmetic used by the resilience analysis.
+//!
+//! Algorithm 1 of the paper needs binomial tail probabilities
+//! `P(Bin(n, p) ≥ m)` for `n` as large as the DHT population, so the
+//! implementation works in log space (Lanczos log-gamma) with an upward
+//! pmf recurrence — exact enough for all sweeps and free of overflow.
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+///
+/// Accurate to ~1e-13 over the range used here.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // g = 7, n = 9 Lanczos coefficients.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)` via log-gamma.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose requires k <= n");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Binomial pmf `P(Bin(n, p) = k)`.
+pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln_pmf = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    ln_pmf.exp()
+}
+
+/// Upper binomial tail `P(Bin(n, p) ≥ m)`.
+///
+/// Uses the complement for small `m` and direct summation from `m` upward
+/// otherwise (with an incremental pmf recurrence to avoid re-evaluating
+/// log-gamma per term).
+pub fn binomial_tail_ge(n: u64, p: f64, m: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    if m == 0 {
+        return 1.0;
+    }
+    if m > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return 0.0; // m >= 1 cannot be reached with p = 0
+    }
+    if p == 1.0 {
+        return 1.0; // X = n >= m always
+    }
+
+    // Sum the smaller side for accuracy.
+    let mean = n as f64 * p;
+    if (m as f64) <= mean {
+        // P(X >= m) = 1 - P(X <= m-1): sum 0..m-1 upward.
+        1.0 - binomial_sum_range(n, p, 0, m - 1)
+    } else {
+        binomial_sum_range(n, p, m, n)
+    }
+}
+
+/// Sums `P(Bin(n,p) = k)` for `k` in `[lo, hi]` with a stable recurrence.
+///
+/// The recurrence is anchored at the pmf's mode (clamped into the range):
+/// starting at `lo` would underflow for large `n` (e.g. `pmf(10000, 0.3, 0)
+/// ≈ e^-3567`), silently zeroing the whole sum.
+fn binomial_sum_range(n: u64, p: f64, lo: u64, hi: u64) -> f64 {
+    debug_assert!(lo <= hi && hi <= n);
+    let q = 1.0 - p;
+    let up_ratio = p / q;
+    let mode = (((n + 1) as f64) * p).floor() as u64;
+    let anchor = mode.clamp(lo, hi);
+
+    let anchor_term = binomial_pmf(n, p, anchor);
+    let mut sum = anchor_term;
+
+    // Upward from the anchor: pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/q.
+    let mut term = anchor_term;
+    for k in anchor..hi {
+        term *= (n - k) as f64 / (k + 1) as f64 * up_ratio;
+        sum += term;
+        if term < sum * 1e-18 {
+            break; // remaining terms cannot affect the sum
+        }
+    }
+    // Downward from the anchor: pmf(k-1) = pmf(k) * k/(n-k+1) * q/p.
+    term = anchor_term;
+    let mut k = anchor;
+    while k > lo {
+        term *= k as f64 / (n - k + 1) as f64 / up_ratio;
+        sum += term;
+        k -= 1;
+        if term < sum * 1e-18 {
+            break;
+        }
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+/// Clamps a computed probability into `[0, 1]`, absorbing tiny negative
+/// rounding artifacts.
+pub fn clamp_prob(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(10, 5) - 252f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (50, 0.5), (200, 0.05), (1000, 0.9)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p}: sum={total}");
+        }
+    }
+
+    #[test]
+    fn tail_matches_bruteforce() {
+        for &(n, p) in &[(10u64, 0.3), (25, 0.7), (100, 0.12)] {
+            for m in 0..=n {
+                let brute: f64 = (m..=n).map(|k| binomial_pmf(n, p, k)).sum();
+                let fast = binomial_tail_ge(n, p, m);
+                assert!(
+                    (brute - fast).abs() < 1e-9,
+                    "n={n} p={p} m={m}: brute={brute} fast={fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_edge_cases() {
+        assert_eq!(binomial_tail_ge(10, 0.5, 0), 1.0);
+        assert_eq!(binomial_tail_ge(10, 0.5, 11), 0.0);
+        assert_eq!(binomial_tail_ge(10, 0.0, 1), 0.0);
+        assert_eq!(binomial_tail_ge(10, 1.0, 10), 1.0);
+        assert_eq!(binomial_tail_ge(0, 0.3, 0), 1.0);
+    }
+
+    #[test]
+    fn tail_large_n_is_finite_and_sane() {
+        // Around the mean the tail should be ~0.5; far above, ~0.
+        let t_mean = binomial_tail_ge(10_000, 0.3, 3_000);
+        assert!((0.4..=0.6).contains(&t_mean), "tail at mean: {t_mean}");
+        let t_far = binomial_tail_ge(10_000, 0.3, 4_000);
+        assert!(t_far < 1e-80, "far tail should vanish: {t_far}");
+        // (1e-80 below 1.0 is not representable in f64, so compare >=.)
+        let t_low = binomial_tail_ge(10_000, 0.3, 2_000);
+        assert!(t_low >= 1.0 - 1e-12, "low tail should be ~1: {t_low}");
+    }
+
+    proptest! {
+        #[test]
+        fn tail_is_monotone_in_m(n in 1u64..300, p in 0.01f64..0.99) {
+            let mut prev = 1.0f64;
+            for m in 0..=n {
+                let t = binomial_tail_ge(n, p, m);
+                prop_assert!(t <= prev + 1e-12, "m={m}: {t} > {prev}");
+                prop_assert!((0.0..=1.0).contains(&t));
+                prev = t;
+            }
+        }
+
+        #[test]
+        fn tail_is_monotone_in_p(n in 1u64..200, m_frac in 0.0f64..1.0) {
+            let m = ((n as f64) * m_frac).floor() as u64;
+            let mut prev = 0.0f64;
+            for i in 0..20 {
+                let p = i as f64 / 19.0 * 0.98 + 0.01;
+                let t = binomial_tail_ge(n, p, m);
+                prop_assert!(t + 1e-9 >= prev, "p={p}: {t} < {prev}");
+                prev = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Figure-scale Monte-Carlo evaluation.
+//!
+//! Reproduces the paper's experimental setup: "We invoke 10000 DHT node
+//! instances and run each experiment 1000 times to take the average. We
+//! randomly select 10000·p non-repeated nodes and mark them as malicious.
+//! The probability density function of node death follows the exponential
+//! distribution."
+//!
+//! Each trial samples the scheme's holder grid from a population with
+//! exactly `⌊p·N⌋` malicious members (drawing distinct population indices,
+//! i.e. hypergeometric — this matters at `N = 100` where a structure can
+//! consume the whole network), overlays exponential churn timelines, and
+//! evaluates the attack predicates from [`crate::adversary`].
+//!
+//! Time is measured in units of the mean node lifetime `tlife`, so the
+//! emerging period is `T = α` and the holding period `th = α / l`
+//! (Figure 7 sweeps `α ∈ {1, 2, 3, 5}`).
+
+use crate::adversary::{CentralTrial, HolderTimeline, KeyedTrial, ShareTrial};
+use crate::config::SchemeParams;
+use emerge_sim::metrics::Rate;
+use emerge_sim::rng::SeedSource;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Specification of one Monte-Carlo experiment cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialSpec {
+    /// Scheme parameters (typically from the [`crate::analysis`] solver).
+    pub params: SchemeParams,
+    /// DHT population size `N`.
+    pub population: usize,
+    /// Node malicious rate `p` (marked exactly as `⌊p·N⌋` nodes).
+    pub p: f64,
+    /// Churn intensity: `Some(α)` sets the emerging period to `α` mean
+    /// node lifetimes; `None` disables churn entirely.
+    pub alpha: Option<f64>,
+    /// Steady-state probability that a holder is transiently offline at
+    /// its forwarding deadline (Section II-C's node unavailability;
+    /// `0.0` disables the model).
+    pub unavailability: f64,
+}
+
+impl TrialSpec {
+    /// A spec with no churn and no transient unavailability.
+    pub fn new(params: SchemeParams, population: usize, p: f64) -> Self {
+        TrialSpec {
+            params,
+            population,
+            p,
+            alpha: None,
+            unavailability: 0.0,
+        }
+    }
+}
+
+/// Measured resilience estimates from a batch of trials.
+#[derive(Debug, Clone, Default)]
+pub struct McResults {
+    /// `Rr` — fraction of trials where the release-ahead attack failed
+    /// (paper metric: the full-chain / Algorithm-1 event).
+    pub release_resilience: Rate,
+    /// `Rd` — fraction of trials where the drop attack failed.
+    pub drop_resilience: Rate,
+    /// Fraction of trials where **neither** attack succeeded.
+    pub combined_resilience: Rate,
+    /// Stricter extension metric: release strictly before `tr` via any
+    /// suffix chain (keyed schemes) or the wire-enforced quorum chain
+    /// (share scheme).
+    pub strict_release_resilience: Rate,
+}
+
+impl McResults {
+    /// The effective resilience `R = min(Rr, Rd)` as plotted in the
+    /// paper's figures.
+    pub fn r_min(&self) -> f64 {
+        self.release_resilience.value().min(self.drop_resilience.value())
+    }
+}
+
+/// Runs `trials` independent trials of `spec`, deterministically from
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if the scheme structure needs more holders than the population
+/// provides, or parameters fail validation.
+pub fn run_trials(spec: &TrialSpec, trials: usize, seed: u64) -> McResults {
+    spec.params.validate().expect("invalid scheme parameters");
+    assert!(
+        spec.params.node_cost() <= spec.population,
+        "structure needs {} holders, population has {}",
+        spec.params.node_cost(),
+        spec.population
+    );
+    assert!(
+        (0.0..=1.0).contains(&spec.p),
+        "malicious rate must be in [0,1]"
+    );
+    if let Some(a) = spec.alpha {
+        assert!(a > 0.0 && a.is_finite(), "alpha must be positive");
+    }
+    assert!(
+        (0.0..1.0).contains(&spec.unavailability),
+        "unavailability must be in [0, 1)"
+    );
+
+    let seeds = SeedSource::new(seed);
+    let mut results = McResults::default();
+    for trial_idx in 0..trials {
+        let mut rng = seeds.stream_n("mc-trial", trial_idx as u64);
+        let outcome = run_one_trial(spec, &mut rng);
+        results.release_resilience.record(!outcome.release);
+        results.drop_resilience.record(!outcome.drop);
+        results
+            .combined_resilience
+            .record(!outcome.release && !outcome.drop);
+        results.strict_release_resilience.record(!outcome.strict_release);
+    }
+    results
+}
+
+/// Attack outcomes of a single trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TrialOutcome {
+    release: bool,
+    drop: bool,
+    strict_release: bool,
+}
+
+fn run_one_trial(spec: &TrialSpec, rng: &mut StdRng) -> TrialOutcome {
+    let malicious_count = (spec.p * spec.population as f64).floor() as usize;
+    let cost = spec.params.node_cost();
+    // Distinct population indices; an index below the malicious count is a
+    // malicious node (the population marking is uniform, so this is an
+    // exact hypergeometric draw).
+    let indices = rand::seq::index::sample(rng, spec.population, cost);
+    let mut initial_flags = indices.iter().map(|idx| idx < malicious_count);
+
+    // Emerging period in lifetime units; irrelevant without churn.
+    let l = spec.params.path_length();
+    let t_total = spec.alpha.unwrap_or(1.0);
+    let th = t_total / l as f64;
+
+    let mut sampler = TimelineSampler {
+        rng,
+        p: spec.p,
+        churn: spec.alpha.is_some(),
+        unavailability: spec.unavailability,
+    };
+
+    match &spec.params {
+        SchemeParams::Central => {
+            let holder = sampler.sample(initial_flags.next().expect("one holder"), t_total);
+            let trial = CentralTrial { holder, t_total };
+            TrialOutcome {
+                release: trial.release_succeeds(),
+                drop: trial.drop_succeeds(),
+                strict_release: trial.release_succeeds(),
+            }
+        }
+        SchemeParams::Disjoint { k, l } | SchemeParams::Joint { k, l } => {
+            let joint = matches!(spec.params, SchemeParams::Joint { .. });
+            let mut holders = Vec::with_capacity(k * l);
+            for _row in 0..*k {
+                for col in 0..*l {
+                    // A column-`col` holder is relevant until the onion
+                    // leaves it at t_{col+1}.
+                    let window = (col as f64 + 1.0) * th;
+                    holders.push(
+                        sampler.sample(initial_flags.next().expect("enough flags"), window),
+                    );
+                }
+            }
+            let trial = KeyedTrial {
+                holders,
+                k: *k,
+                l: *l,
+                th,
+            };
+            TrialOutcome {
+                release: trial.release_succeeds(),
+                drop: if joint {
+                    trial.drop_joint_succeeds()
+                } else {
+                    trial.drop_disjoint_succeeds()
+                },
+                strict_release: trial.release_before_tr_succeeds(),
+            }
+        }
+        SchemeParams::Share { k, l, n, m } => {
+            let mut holders = Vec::with_capacity(n * l);
+            for _row in 0..*n {
+                for col in 0..*l {
+                    let window = (col as f64 + 1.0) * th;
+                    holders.push(
+                        sampler.sample(initial_flags.next().expect("enough flags"), window),
+                    );
+                }
+            }
+            let trial = ShareTrial {
+                holders,
+                k: *k,
+                n: *n,
+                l: *l,
+                th,
+                m: m.clone(),
+            };
+            TrialOutcome {
+                release: trial.release_succeeds(),
+                drop: trial.drop_succeeds(),
+                strict_release: trial.release_strict_succeeds(),
+            }
+        }
+    }
+}
+
+/// Samples holder timelines: exponential tenant lifetimes (mean 1.0 in
+/// lifetime units), replacements malicious at rate `p`, optional transient
+/// unavailability at the forwarding deadline.
+struct TimelineSampler<'a> {
+    rng: &'a mut StdRng,
+    p: f64,
+    churn: bool,
+    unavailability: f64,
+}
+
+impl TimelineSampler<'_> {
+    fn sample(&mut self, initial_malicious: bool, window: f64) -> HolderTimeline {
+        let timeline = if !self.churn {
+            HolderTimeline::stable(initial_malicious)
+        } else {
+            let mut renewals = Vec::new();
+            let mut statuses = vec![initial_malicious];
+            let mut t = 0.0f64;
+            loop {
+                // Exponential(mean 1) via inverse CDF.
+                let u: f64 = self.rng.gen();
+                t += -(1.0 - u).ln();
+                if t >= window {
+                    break;
+                }
+                renewals.push(t);
+                statuses.push(self.rng.gen::<f64>() < self.p);
+            }
+            HolderTimeline::with_renewals(renewals, statuses)
+        };
+        if self.unavailability > 0.0 {
+            let offline = self.rng.gen::<f64>() < self.unavailability;
+            timeline.with_offline_at_forward(offline)
+        } else {
+            timeline
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    fn spec(params: SchemeParams, population: usize, p: f64, alpha: Option<f64>) -> TrialSpec {
+        TrialSpec {
+            params,
+            population,
+            p,
+            alpha,
+            unavailability: 0.0,
+        }
+    }
+
+    #[test]
+    fn central_matches_one_minus_p() {
+        let s = spec(SchemeParams::Central, 10_000, 0.3, None);
+        let r = run_trials(&s, 4000, 1);
+        let rr = r.release_resilience.value();
+        assert!((rr - 0.7).abs() < 0.02, "measured {rr}, analytic 0.7");
+        assert_eq!(
+            r.release_resilience.value(),
+            r.drop_resilience.value(),
+            "central release and drop coincide"
+        );
+    }
+
+    #[test]
+    fn disjoint_matches_equations_1_and_2() {
+        let (k, l, p) = (3usize, 4usize, 0.2f64);
+        let s = spec(SchemeParams::Disjoint { k, l }, 10_000, p, None);
+        let r = run_trials(&s, 6000, 2);
+        let analytic = analysis::disjoint(p, k, l);
+        assert!(
+            (r.release_resilience.value() - analytic.release).abs() < 0.02,
+            "Rr measured {} vs analytic {}",
+            r.release_resilience.value(),
+            analytic.release
+        );
+        assert!(
+            (r.drop_resilience.value() - analytic.drop).abs() < 0.02,
+            "Rd measured {} vs analytic {}",
+            r.drop_resilience.value(),
+            analytic.drop
+        );
+    }
+
+    #[test]
+    fn joint_matches_equations_1_and_3() {
+        let (k, l, p) = (3usize, 4usize, 0.25f64);
+        let s = spec(SchemeParams::Joint { k, l }, 10_000, p, None);
+        let r = run_trials(&s, 6000, 3);
+        let analytic = analysis::joint(p, k, l);
+        assert!(
+            (r.release_resilience.value() - analytic.release).abs() < 0.02,
+            "Rr measured {} vs analytic {}",
+            r.release_resilience.value(),
+            analytic.release
+        );
+        assert!(
+            (r.drop_resilience.value() - analytic.drop).abs() < 0.02,
+            "Rd measured {} vs analytic {}",
+            r.drop_resilience.value(),
+            analytic.drop
+        );
+    }
+
+    #[test]
+    fn small_population_hypergeometric_effect() {
+        // With N = 20 and cost 20 (k=4, l=5), the structure uses the whole
+        // population: exactly ⌊0.25·20⌋ = 5 malicious holders always.
+        // Release needs >= 1 per column across 4 rows; with exactly 5
+        // malicious spread over 20 cells, outcomes are hypergeometric, not
+        // Bernoulli — the test just checks we run and stay in bounds.
+        let s = spec(SchemeParams::Joint { k: 4, l: 5 }, 20, 0.25, None);
+        let r = run_trials(&s, 2000, 4);
+        let rr = r.release_resilience.value();
+        assert!((0.0..=1.0).contains(&rr));
+        // Bernoulli analytic would be eq(1) with p=0.25; hypergeometric
+        // marking shifts it, but not wildly.
+        let analytic = analysis::release_multipath(0.25, 4, 5);
+        assert!((rr - analytic).abs() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = spec(SchemeParams::Joint { k: 2, l: 3 }, 1000, 0.3, Some(2.0));
+        let a = run_trials(&s, 500, 42);
+        let b = run_trials(&s, 500, 42);
+        assert_eq!(
+            a.release_resilience.successes(),
+            b.release_resilience.successes()
+        );
+        assert_eq!(a.drop_resilience.successes(), b.drop_resilience.successes());
+        let c = run_trials(&s, 500, 43);
+        // Overwhelmingly likely to differ.
+        assert_ne!(
+            (a.release_resilience.successes(), a.drop_resilience.successes()),
+            (c.release_resilience.successes(), c.drop_resilience.successes())
+        );
+    }
+
+    #[test]
+    fn churn_degrades_keyed_schemes() {
+        let params = SchemeParams::Joint { k: 4, l: 8 };
+        let p = 0.2;
+        let no_churn = run_trials(&spec(params.clone(), 10_000, p, None), 2000, 5);
+        let churned = run_trials(&spec(params, 10_000, p, Some(3.0)), 2000, 5);
+        assert!(
+            churned.release_resilience.value() < no_churn.release_resilience.value() - 0.05,
+            "churn must hurt release resilience: {} vs {}",
+            churned.release_resilience.value(),
+            no_churn.release_resilience.value()
+        );
+    }
+
+    #[test]
+    fn share_scheme_survives_churn() {
+        // Same conditions as churn_degrades_keyed_schemes, but the share
+        // scheme's just-in-time key delivery resists.
+        let p = 0.2;
+        let a = analysis::algorithm1(4, 8, 10_000, 3.0, p);
+        let params = SchemeParams::Share {
+            k: 4,
+            l: 8,
+            n: a.n,
+            m: a.m.clone(),
+        };
+        let r = run_trials(&spec(params, 10_000, p, Some(3.0)), 300, 6);
+        assert!(
+            r.release_resilience.value() > 0.95,
+            "share Rr under churn: {}",
+            r.release_resilience.value()
+        );
+        assert!(
+            r.drop_resilience.value() > 0.95,
+            "share Rd under churn: {}",
+            r.drop_resilience.value()
+        );
+    }
+
+    #[test]
+    fn strict_release_is_no_easier_to_resist() {
+        // The strict metric counts strictly more adversary wins for keyed
+        // schemes, so its resilience is <= the paper metric's.
+        let s = spec(SchemeParams::Joint { k: 3, l: 5 }, 5000, 0.3, None);
+        let r = run_trials(&s, 2000, 7);
+        assert!(
+            r.strict_release_resilience.value() <= r.release_resilience.value() + 1e-9
+        );
+    }
+
+    #[test]
+    fn combined_is_at_most_min() {
+        let s = spec(SchemeParams::Disjoint { k: 2, l: 4 }, 5000, 0.35, None);
+        let r = run_trials(&s, 2000, 8);
+        assert!(r.combined_resilience.value() <= r.r_min() + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "structure needs")]
+    fn oversized_structure_panics() {
+        let s = spec(SchemeParams::Joint { k: 50, l: 50 }, 100, 0.1, None);
+        let _ = run_trials(&s, 1, 9);
+    }
+
+    #[test]
+    fn unavailability_degrades_drop_resilience_only() {
+        let params = SchemeParams::Disjoint { k: 2, l: 5 };
+        let base = spec(params.clone(), 5000, 0.1, None);
+        let mut flaky = base.clone();
+        flaky.unavailability = 0.2;
+        let r0 = run_trials(&base, 3000, 10);
+        let r1 = run_trials(&flaky, 3000, 10);
+        assert!(
+            r1.drop_resilience.value() < r0.drop_resilience.value() - 0.05,
+            "20% offline probability must hurt disjoint delivery: {} vs {}",
+            r1.drop_resilience.value(),
+            r0.drop_resilience.value()
+        );
+        assert!(
+            (r1.release_resilience.value() - r0.release_resilience.value()).abs() < 0.03,
+            "unavailability must not affect confidentiality"
+        );
+    }
+
+    #[test]
+    fn joint_tolerates_unavailability_better_than_disjoint() {
+        let (k, l, p, u) = (3usize, 5usize, 0.05, 0.2);
+        let mut joint = spec(SchemeParams::Joint { k, l }, 5000, p, None);
+        joint.unavailability = u;
+        let mut disjoint = spec(SchemeParams::Disjoint { k, l }, 5000, p, None);
+        disjoint.unavailability = u;
+        let rj = run_trials(&joint, 3000, 11).drop_resilience.value();
+        let rd = run_trials(&disjoint, 3000, 11).drop_resilience.value();
+        assert!(
+            rj > rd + 0.1,
+            "column-complete forwarding must mask offline holders: joint={rj} disjoint={rd}"
+        );
+    }
+
+    #[test]
+    fn share_headroom_absorbs_unavailability() {
+        let a = crate::analysis::algorithm1(4, 6, 5000, 0.0, 0.1);
+        let params = SchemeParams::Share {
+            k: 4,
+            l: 6,
+            n: a.n,
+            m: a.m,
+        };
+        let mut s = spec(params, 5000, 0.1, None);
+        s.unavailability = 0.15;
+        let r = run_trials(&s, 500, 12);
+        assert!(
+            r.drop_resilience.value() > 0.95,
+            "thresholds sized with slack must absorb 15% offline: {}",
+            r.drop_resilience.value()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unavailability")]
+    fn unavailability_out_of_range_panics() {
+        let mut s = spec(SchemeParams::Central, 100, 0.1, None);
+        s.unavailability = 1.0;
+        let _ = run_trials(&s, 1, 13);
+    }
+}

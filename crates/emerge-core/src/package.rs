@@ -1,0 +1,792 @@
+//! Package generation (Section III's "package generation scheme").
+//!
+//! Builds the actual byte-level packages the sender hands to the first
+//! column of holders at `ts`:
+//!
+//! * **Keyed schemes** (disjoint/joint): one onion per row whose layer `j`
+//!   is sealed with the column key `K_j`; the keys themselves are
+//!   pre-assigned to the column holders at `ts` (that is the scheme's
+//!   defining weakness under churn). Layer payloads carry the next-hop
+//!   addresses.
+//! * **Share scheme**: nested *column bundles* — per-row headers sealed
+//!   with row keys `K_{r,j}` (delivered just-in-time as Shamir shares)
+//!   around an inner bundle sealed with a bundle key, plus a separate
+//!   core onion sealed with per-column core keys and processed by the
+//!   first `k` rows. Header payloads embed the shares each holder must
+//!   forward to the next column. See DESIGN.md §4.2 for the rationale
+//!   (linear size, n-wide transit redundancy).
+//!
+//! All keys derive from the sender's seed via HKDF labels, so package
+//! generation is deterministic given the seed.
+
+use crate::config::SchemeParams;
+use crate::error::EmergeError;
+use crate::path::PathPlan;
+use emerge_crypto::keys::{KeyShare, SymmetricKey};
+use emerge_crypto::onion::build_onion;
+use emerge_crypto::shamir;
+use emerge_crypto::wire::{Reader, Writer};
+use emerge_crypto::CryptoError;
+use emerge_dht::id::{NodeId, ID_LEN};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic key derivation for a send operation.
+#[derive(Debug, Clone)]
+pub struct KeySchedule {
+    seed: SymmetricKey,
+}
+
+impl KeySchedule {
+    /// Creates a schedule from the sender's seed.
+    pub fn new(seed: SymmetricKey) -> Self {
+        KeySchedule { seed }
+    }
+
+    /// Column key `K_j` (keyed schemes) — shared by all rows of column
+    /// `col`.
+    pub fn column_key(&self, col: usize) -> SymmetricKey {
+        self.seed.derive(format!("column-key/{col}").as_bytes())
+    }
+
+    /// Core-onion key for column `col` (share scheme).
+    pub fn core_key(&self, col: usize) -> SymmetricKey {
+        self.seed.derive(format!("core-key/{col}").as_bytes())
+    }
+
+    /// Row-onion key `K_{r,j}` (share scheme).
+    pub fn row_key(&self, row: usize, col: usize) -> SymmetricKey {
+        self.seed
+            .derive(format!("row-key/{row}/{col}").as_bytes())
+    }
+
+    /// Bundle key `C_j` protecting the inner bundle of column `col`
+    /// (share scheme). Revealed inside every column-`col` header so any
+    /// one honest holder can unwrap and relay the next bundle.
+    pub fn bundle_key(&self, col: usize) -> SymmetricKey {
+        self.seed.derive(format!("bundle-key/{col}").as_bytes())
+    }
+
+    /// Deterministic RNG for the Shamir polynomials.
+    fn shamir_rng(&self) -> StdRng {
+        StdRng::from_seed(self.seed.derive(b"shamir-polynomials").into_bytes())
+    }
+}
+
+/// Per-hop payload of a keyed-scheme onion layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedLayerPayload {
+    /// Addresses of the holders to forward the remaining onion to
+    /// (empty at the terminal column: next stop is the receiver).
+    pub next_hops: Vec<NodeId>,
+}
+
+impl KeyedLayerPayload {
+    /// Serializes the payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u16(self.next_hops.len() as u16);
+        for id in &self.next_hops {
+            w.put_raw(id.as_bytes());
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let mut r = Reader::new(bytes);
+        let count = r.get_u16()? as usize;
+        let mut next_hops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let raw = r.get_raw(ID_LEN)?;
+            let mut id = [0u8; ID_LEN];
+            id.copy_from_slice(raw);
+            next_hops.push(NodeId::from_bytes(id));
+        }
+        r.expect_end()?;
+        Ok(KeyedLayerPayload { next_hops })
+    }
+}
+
+/// Packages for the disjoint/joint schemes.
+#[derive(Debug, Clone)]
+pub struct KeyedPackages {
+    /// One onion per row (`rows` entries).
+    pub onions: Vec<Vec<u8>>,
+    /// `K_j` per column, pre-assigned to every holder of that column at
+    /// `ts`.
+    pub column_keys: Vec<SymmetricKey>,
+}
+
+/// Builds the keyed-scheme packages.
+///
+/// For the disjoint scheme each row's onion routes along its own row; for
+/// the joint scheme every layer lists the entire next column, producing
+/// the column-complete forwarding pattern of Figure 4.
+///
+/// # Errors
+///
+/// Returns [`EmergeError::InvalidParameters`] for non-keyed `params`.
+pub fn build_keyed_packages(
+    plan: &PathPlan,
+    params: &SchemeParams,
+    schedule: &KeySchedule,
+    secret: &[u8],
+) -> Result<KeyedPackages, EmergeError> {
+    let joint = match params {
+        SchemeParams::Disjoint { .. } => false,
+        SchemeParams::Joint { .. } => true,
+        _ => {
+            return Err(EmergeError::InvalidParameters(
+                "keyed packages require the disjoint or joint scheme".into(),
+            ))
+        }
+    };
+    let (rows, cols) = (plan.rows, plan.cols);
+    let column_keys: Vec<SymmetricKey> = (0..cols).map(|c| schedule.column_key(c)).collect();
+
+    let mut onions = Vec::with_capacity(rows);
+    for row in 0..rows {
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(cols);
+        for col in 0..cols {
+            let next_hops = if col + 1 == cols {
+                Vec::new()
+            } else if joint {
+                (0..rows)
+                    .map(|r| plan.targets[r * cols + col + 1])
+                    .collect()
+            } else {
+                vec![plan.targets[row * cols + col + 1]]
+            };
+            payloads.push(KeyedLayerPayload { next_hops }.to_bytes());
+        }
+        let layers: Vec<(&SymmetricKey, &[u8])> = column_keys
+            .iter()
+            .zip(payloads.iter())
+            .map(|(k, p)| (k, p.as_slice()))
+            .collect();
+        onions.push(build_onion(&layers, secret));
+    }
+
+    Ok(KeyedPackages {
+        onions,
+        column_keys,
+    })
+}
+
+/// Per-holder payload inside a column bundle header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareLayerPayload {
+    /// Next-column holder addresses (all `n` rows; empty at the last
+    /// column).
+    pub next_hops: Vec<NodeId>,
+    /// Shares (all with this row's index) of each next-column row key,
+    /// ordered by target row. Empty at the last column.
+    pub row_key_shares: Vec<KeyShare>,
+    /// This row's share of the next column's core key.
+    pub core_key_share: Option<KeyShare>,
+    /// The bundle key `C_j` unlocking this column's inner bundle (absent
+    /// at the last column).
+    pub bundle_key: Option<SymmetricKey>,
+}
+
+impl ShareLayerPayload {
+    /// Serializes the payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u16(self.next_hops.len() as u16);
+        for id in &self.next_hops {
+            w.put_raw(id.as_bytes());
+        }
+        w.put_u16(self.row_key_shares.len() as u16);
+        for s in &self.row_key_shares {
+            w.put_u8(s.index);
+            w.put_bytes(&s.data);
+        }
+        match &self.core_key_share {
+            Some(s) => {
+                w.put_u8(1).put_u8(s.index);
+                w.put_bytes(&s.data);
+            }
+            None => {
+                w.put_u8(0);
+            }
+        }
+        match &self.bundle_key {
+            Some(k) => {
+                w.put_u8(1).put_raw(k.as_bytes());
+            }
+            None => {
+                w.put_u8(0);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let mut r = Reader::new(bytes);
+        let hop_count = r.get_u16()? as usize;
+        let mut next_hops = Vec::with_capacity(hop_count);
+        for _ in 0..hop_count {
+            let raw = r.get_raw(ID_LEN)?;
+            let mut id = [0u8; ID_LEN];
+            id.copy_from_slice(raw);
+            next_hops.push(NodeId::from_bytes(id));
+        }
+        let share_count = r.get_u16()? as usize;
+        let mut row_key_shares = Vec::with_capacity(share_count);
+        for _ in 0..share_count {
+            let index = r.get_u8()?;
+            let data = r.get_bytes()?.to_vec();
+            row_key_shares.push(KeyShare::new(index, data));
+        }
+        let core_key_share = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let index = r.get_u8()?;
+                let data = r.get_bytes()?.to_vec();
+                Some(KeyShare::new(index, data))
+            }
+            _ => return Err(CryptoError::Malformed("bad core-share flag")),
+        };
+        let bundle_key = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let raw = r.get_raw(32)?;
+                let mut kb = [0u8; 32];
+                kb.copy_from_slice(raw);
+                Some(SymmetricKey::from_bytes(kb))
+            }
+            _ => return Err(CryptoError::Malformed("bad bundle-key flag")),
+        };
+        r.expect_end()?;
+        Ok(ShareLayerPayload {
+            next_hops,
+            row_key_shares,
+            core_key_share,
+            bundle_key,
+        })
+    }
+}
+
+/// One column's bundle: per-row header ciphertexts (sealed under the row
+/// keys `K_{r,j}`) plus the sealed inner bundle of the next column.
+///
+/// Every holder of a column carries the same bundle blob; any one honest
+/// holder suffices to relay it onward, which gives the share scheme its
+/// `n`-wide transit redundancy (the paper's "three remaining onions"
+/// replication in Figure 5, in linear instead of exponential size).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBundle {
+    /// `headers[r]` opens with `K_{r,col}` and parses to a
+    /// [`ShareLayerPayload`].
+    pub headers: Vec<Vec<u8>>,
+    /// The sealed next-column bundle (absent at the last column).
+    pub inner: Option<Vec<u8>>,
+}
+
+impl ColumnBundle {
+    /// Serializes the bundle.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u16(self.headers.len() as u16);
+        for h in &self.headers {
+            w.put_bytes(h);
+        }
+        match &self.inner {
+            Some(e) => {
+                w.put_u8(1).put_bytes(e);
+            }
+            None => {
+                w.put_u8(0);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let mut r = Reader::new(bytes);
+        let count = r.get_u16()? as usize;
+        let mut headers = Vec::with_capacity(count);
+        for _ in 0..count {
+            headers.push(r.get_bytes()?.to_vec());
+        }
+        let inner = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_bytes()?.to_vec()),
+            _ => return Err(CryptoError::Malformed("bad inner-bundle flag")),
+        };
+        r.expect_end()?;
+        Ok(ColumnBundle { headers, inner })
+    }
+}
+
+/// Packages for the key-share routing scheme.
+#[derive(Debug, Clone)]
+pub struct SharePackages {
+    /// The outermost column bundle, delivered to every first-column
+    /// holder at `ts`.
+    pub bundle: Vec<u8>,
+    /// The core onion (processed by rows `0..k`).
+    pub core_onion: Vec<u8>,
+    /// Column-0 row keys, handed to each first-column holder directly at
+    /// `ts` (no storage period, so no sharing needed — Figure 5's `K_1`,
+    /// `K_{3,1}`).
+    pub col0_row_keys: Vec<SymmetricKey>,
+    /// Column-0 core key for the onion rows.
+    pub col0_core_key: SymmetricKey,
+}
+
+/// Domain-separation label for bundle header seals.
+const HEADER_AAD: &[u8] = b"emerge-share-header-v1";
+/// Domain-separation label for inner-bundle seals.
+const BUNDLE_AAD: &[u8] = b"emerge-share-bundle-v1";
+
+/// Seals one header under a row key.
+fn seal_header(key: &SymmetricKey, payload: &[u8]) -> Vec<u8> {
+    let nonce = key.derive_nonce(b"share-header");
+    emerge_crypto::aead::seal(key, &nonce, payload, HEADER_AAD)
+}
+
+/// Opens a header. Public so the protocol executor and tests share one
+/// code path.
+///
+/// # Errors
+///
+/// Returns a [`CryptoError`] for a wrong key or tampered header.
+pub fn open_header(key: &SymmetricKey, header: &[u8]) -> Result<ShareLayerPayload, CryptoError> {
+    let nonce = key.derive_nonce(b"share-header");
+    let plain = emerge_crypto::aead::open(key, &nonce, header, HEADER_AAD)?;
+    ShareLayerPayload::from_bytes(&plain)
+}
+
+/// Seals the serialized next bundle under the bundle key.
+fn seal_inner(key: &SymmetricKey, bundle: &[u8]) -> Vec<u8> {
+    let nonce = key.derive_nonce(b"share-bundle");
+    emerge_crypto::aead::seal(key, &nonce, bundle, BUNDLE_AAD)
+}
+
+/// Opens a sealed inner bundle.
+///
+/// # Errors
+///
+/// Returns a [`CryptoError`] for a wrong key or tampered bundle.
+pub fn open_inner(key: &SymmetricKey, sealed: &[u8]) -> Result<ColumnBundle, CryptoError> {
+    let nonce = key.derive_nonce(b"share-bundle");
+    let plain = emerge_crypto::aead::open(key, &nonce, sealed, BUNDLE_AAD)?;
+    ColumnBundle::from_bytes(&plain)
+}
+
+/// Builds the share-scheme packages per Section III-D.
+///
+/// The secret travels in a core onion sealed with per-column core keys;
+/// routing metadata and the just-in-time key shares travel in nested
+/// column bundles whose headers are sealed with per-row keys. Both the
+/// core keys and the row keys of column `j ≥ 1` are `(m_j, n)`-shared and
+/// delivered one hop ahead of use.
+///
+/// # Errors
+///
+/// Returns [`EmergeError::InvalidParameters`] for non-share `params` or
+/// `n` beyond GF(256) sharing, and propagates [`EmergeError::Crypto`]
+/// from the Shamir layer.
+pub fn build_share_packages(
+    plan: &PathPlan,
+    params: &SchemeParams,
+    schedule: &KeySchedule,
+    secret: &[u8],
+) -> Result<SharePackages, EmergeError> {
+    let (_k, l, n, m) = match params {
+        SchemeParams::Share { k, l, n, m } => (*k, *l, *n, m),
+        _ => {
+            return Err(EmergeError::InvalidParameters(
+                "share packages require the share scheme".into(),
+            ))
+        }
+    };
+    if n > shamir::MAX_SHARES {
+        return Err(EmergeError::InvalidParameters(format!(
+            "wire-level GF(256) sharing supports at most {} rows, got {n} \
+             (the analysis/Monte-Carlo engines have no such limit)",
+            shamir::MAX_SHARES
+        )));
+    }
+    debug_assert_eq!(plan.rows, n);
+    debug_assert_eq!(plan.cols, l);
+
+    let mut rng = schedule.shamir_rng();
+
+    // Shares of every column's keys (columns 1..l): row_key_shares[col-1]
+    // holds, for each target row r', the n shares of K_{r',col}; and
+    // core_key_shares[col-1] the n shares of the core key of `col`.
+    let mut row_key_shares: Vec<Vec<Vec<KeyShare>>> = Vec::with_capacity(l - 1);
+    let mut core_key_shares: Vec<Vec<KeyShare>> = Vec::with_capacity(l - 1);
+    for col in 1..l {
+        let threshold = m[col - 1];
+        let mut per_target = Vec::with_capacity(n);
+        for target_row in 0..n {
+            let key = schedule.row_key(target_row, col);
+            let shares = shamir::split(key.as_bytes(), threshold, n, &mut rng)?;
+            per_target.push(shares);
+        }
+        row_key_shares.push(per_target);
+        let core = schedule.core_key(col);
+        core_key_shares.push(shamir::split(core.as_bytes(), threshold, n, &mut rng)?);
+    }
+
+    // Build bundles innermost-first.
+    let mut inner_sealed: Option<Vec<u8>> = None;
+    let mut outermost: Option<ColumnBundle> = None;
+    for col in (0..l).rev() {
+        let last = col + 1 == l;
+        let bundle_key = schedule.bundle_key(col);
+        let mut headers = Vec::with_capacity(n);
+        for row in 0..n {
+            let payload = if last {
+                ShareLayerPayload {
+                    next_hops: Vec::new(),
+                    row_key_shares: Vec::new(),
+                    core_key_share: None,
+                    bundle_key: None,
+                }
+            } else {
+                ShareLayerPayload {
+                    next_hops: (0..n).map(|r| plan.targets[r * l + col + 1]).collect(),
+                    row_key_shares: (0..n)
+                        .map(|target_row| row_key_shares[col][target_row][row].clone())
+                        .collect(),
+                    core_key_share: Some(core_key_shares[col][row].clone()),
+                    bundle_key: Some(bundle_key.clone()),
+                }
+            };
+            headers.push(seal_header(&schedule.row_key(row, col), &payload.to_bytes()));
+        }
+        let bundle = ColumnBundle {
+            headers,
+            inner: inner_sealed.take(),
+        };
+        if col == 0 {
+            outermost = Some(bundle);
+        } else {
+            // Seal this bundle for transport inside the previous column.
+            let parent_key = schedule.bundle_key(col - 1);
+            inner_sealed = Some(seal_inner(&parent_key, &bundle.to_bytes()));
+        }
+    }
+    let bundle = outermost.expect("loop always produces the outermost bundle");
+
+    // Core onion: sealed with the per-column core keys; payloads empty.
+    let core_keys: Vec<SymmetricKey> = (0..l).map(|c| schedule.core_key(c)).collect();
+    let empty: Vec<Vec<u8>> = vec![Vec::new(); l];
+    let core_layers: Vec<(&SymmetricKey, &[u8])> = core_keys
+        .iter()
+        .zip(empty.iter())
+        .map(|(k, p)| (k, p.as_slice()))
+        .collect();
+    let core_onion = build_onion(&core_layers, secret);
+
+    Ok(SharePackages {
+        bundle: bundle.to_bytes(),
+        core_onion,
+        col0_row_keys: (0..n).map(|r| schedule.row_key(r, 0)).collect(),
+        col0_core_key: schedule.core_key(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::construct_paths;
+    use emerge_crypto::onion::{peel, peel_core, Peeled};
+    use emerge_dht::overlay::{Overlay, OverlayConfig};
+
+    fn overlay(n: usize) -> Overlay {
+        Overlay::build(
+            OverlayConfig {
+                n_nodes: n,
+                ..OverlayConfig::default()
+            },
+            7,
+        )
+    }
+
+    fn schedule() -> KeySchedule {
+        KeySchedule::new(SymmetricKey::from_bytes([0x42; 32]))
+    }
+
+    #[test]
+    fn key_schedule_labels_are_separated() {
+        let s = schedule();
+        assert_ne!(s.column_key(0).into_bytes(), s.column_key(1).into_bytes());
+        assert_ne!(s.column_key(0).into_bytes(), s.core_key(0).into_bytes());
+        assert_ne!(
+            s.row_key(0, 1).into_bytes(),
+            s.row_key(1, 0).into_bytes(),
+            "row/col must not be confusable"
+        );
+    }
+
+    #[test]
+    fn keyed_payload_roundtrip() {
+        let p = KeyedLayerPayload {
+            next_hops: vec![NodeId::from_name(b"a"), NodeId::from_name(b"b")],
+        };
+        assert_eq!(KeyedLayerPayload::from_bytes(&p.to_bytes()).unwrap(), p);
+        let empty = KeyedLayerPayload { next_hops: vec![] };
+        assert_eq!(
+            KeyedLayerPayload::from_bytes(&empty.to_bytes()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn share_payload_roundtrip() {
+        let p = ShareLayerPayload {
+            next_hops: vec![NodeId::from_name(b"x")],
+            row_key_shares: vec![KeyShare::new(3, vec![1; 32]), KeyShare::new(3, vec![2; 32])],
+            core_key_share: Some(KeyShare::new(3, vec![9; 32])),
+            bundle_key: Some(SymmetricKey::from_bytes([7; 32])),
+        };
+        assert_eq!(ShareLayerPayload::from_bytes(&p.to_bytes()).unwrap(), p);
+        let bare = ShareLayerPayload {
+            next_hops: vec![],
+            row_key_shares: vec![],
+            core_key_share: None,
+            bundle_key: None,
+        };
+        assert_eq!(ShareLayerPayload::from_bytes(&bare.to_bytes()).unwrap(), bare);
+    }
+
+    #[test]
+    fn column_bundle_roundtrip() {
+        let b = ColumnBundle {
+            headers: vec![vec![1, 2, 3], vec![], vec![9; 40]],
+            inner: Some(vec![5; 100]),
+        };
+        assert_eq!(ColumnBundle::from_bytes(&b.to_bytes()).unwrap(), b);
+        let last = ColumnBundle {
+            headers: vec![vec![0; 8]],
+            inner: None,
+        };
+        assert_eq!(ColumnBundle::from_bytes(&last.to_bytes()).unwrap(), last);
+    }
+
+    #[test]
+    fn joint_onion_peels_hop_by_hop() {
+        let ov = overlay(100);
+        let params = SchemeParams::Joint { k: 2, l: 3 };
+        let plan = construct_paths(&ov, &params, &SymmetricKey::from_bytes([9; 32])).unwrap();
+        let sched = schedule();
+        let pkgs = build_keyed_packages(&plan, &params, &sched, b"THE-SECRET").unwrap();
+        assert_eq!(pkgs.onions.len(), 2);
+        assert_eq!(pkgs.column_keys.len(), 3);
+
+        let mut onion = pkgs.onions[0].clone();
+        for col in 0..2 {
+            let Peeled::Intermediate { payload, inner } =
+                peel(&pkgs.column_keys[col], &onion).unwrap()
+            else {
+                panic!("expected intermediate at column {col}");
+            };
+            let parsed = KeyedLayerPayload::from_bytes(&payload).unwrap();
+            // Joint: the payload lists the whole next column.
+            assert_eq!(parsed.next_hops.len(), 2);
+            assert_eq!(parsed.next_hops[0], plan.targets[col + 1]); // row 0
+            assert_eq!(parsed.next_hops[1], plan.targets[3 + col + 1]); // row 1
+            onion = inner;
+        }
+        let (last_payload, secret) = peel_core(&pkgs.column_keys[2], &onion).unwrap();
+        let parsed = KeyedLayerPayload::from_bytes(&last_payload).unwrap();
+        assert!(parsed.next_hops.is_empty());
+        assert_eq!(secret, b"THE-SECRET");
+    }
+
+    #[test]
+    fn disjoint_onion_routes_along_its_own_row() {
+        let ov = overlay(100);
+        let params = SchemeParams::Disjoint { k: 2, l: 3 };
+        let plan = construct_paths(&ov, &params, &SymmetricKey::from_bytes([9; 32])).unwrap();
+        let sched = schedule();
+        let pkgs = build_keyed_packages(&plan, &params, &sched, b"s").unwrap();
+
+        let Peeled::Intermediate { payload, .. } =
+            peel(&pkgs.column_keys[0], &pkgs.onions[1]).unwrap()
+        else {
+            panic!("expected intermediate");
+        };
+        let parsed = KeyedLayerPayload::from_bytes(&payload).unwrap();
+        assert_eq!(parsed.next_hops, vec![plan.targets[3 + 1]]); // row 1, col 1
+    }
+
+    #[test]
+    fn wrong_scheme_rejected() {
+        let ov = overlay(50);
+        let params = SchemeParams::Joint { k: 2, l: 2 };
+        let plan = construct_paths(&ov, &params, &SymmetricKey::from_bytes([1; 32])).unwrap();
+        let err = build_keyed_packages(&plan, &SchemeParams::Central, &schedule(), b"s")
+            .unwrap_err();
+        assert!(matches!(err, EmergeError::InvalidParameters(_)));
+    }
+
+    #[test]
+    fn share_packages_reconstruct_with_threshold_shares() {
+        let ov = overlay(100);
+        let params = SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 5,
+            m: vec![3, 3],
+        };
+        let plan = construct_paths(&ov, &params, &SymmetricKey::from_bytes([5; 32])).unwrap();
+        let sched = schedule();
+        let pkgs = build_share_packages(&plan, &params, &sched, b"CORE-SECRET").unwrap();
+        assert_eq!(pkgs.col0_row_keys.len(), 5);
+
+        // Open each column-0 header with the directly delivered row key
+        // and collect the shares for column 1.
+        let bundle0 = ColumnBundle::from_bytes(&pkgs.bundle).unwrap();
+        assert_eq!(bundle0.headers.len(), 5);
+        let mut payloads = Vec::new();
+        for row in 0..5 {
+            payloads.push(open_header(&pkgs.col0_row_keys[row], &bundle0.headers[row]).unwrap());
+        }
+
+        // Any 3 of the 5 shares reconstruct row 2's column-1 key.
+        let target_row = 2usize;
+        let shares: Vec<KeyShare> = payloads
+            .iter()
+            .take(3)
+            .map(|p| p.row_key_shares[target_row].clone())
+            .collect();
+        let recovered = shamir::combine(&shares, 3).unwrap();
+        assert_eq!(recovered, sched.row_key(target_row, 1).as_bytes());
+
+        // Two shares are not enough.
+        assert!(shamir::combine(&shares[..2], 3).is_err());
+
+        // Core key reconstructs the same way and peels the core onion.
+        let core_shares: Vec<KeyShare> = payloads
+            .iter()
+            .skip(1)
+            .take(3)
+            .map(|p| p.core_key_share.clone().unwrap())
+            .collect();
+        let core_key_bytes = shamir::combine(&core_shares, 3).unwrap();
+        let mut kb = [0u8; 32];
+        kb.copy_from_slice(&core_key_bytes);
+        let core_key_1 = SymmetricKey::from_bytes(kb);
+
+        let Peeled::Intermediate { inner, .. } =
+            peel(&pkgs.col0_core_key, &pkgs.core_onion).unwrap()
+        else {
+            panic!("core onion must have 3 layers");
+        };
+        let Peeled::Intermediate { inner, .. } = peel(&core_key_1, &inner).unwrap() else {
+            panic!("layer 1 must peel with the reconstructed key");
+        };
+        let (_, secret) = peel_core(&sched.core_key(2), &inner).unwrap();
+        assert_eq!(secret, b"CORE-SECRET");
+    }
+
+    #[test]
+    fn share_bundles_unwrap_column_by_column() {
+        let ov = overlay(100);
+        let params = SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 4,
+            m: vec![2, 2],
+        };
+        let sender = SymmetricKey::from_bytes([8; 32]);
+        let plan = construct_paths(&ov, &params, &sender).unwrap();
+        let sched = schedule();
+        let pkgs = build_share_packages(&plan, &params, &sched, b"s").unwrap();
+
+        let bundle0 = ColumnBundle::from_bytes(&pkgs.bundle).unwrap();
+        let payload0 = open_header(&pkgs.col0_row_keys[0], &bundle0.headers[0]).unwrap();
+        let bk0 = payload0.bundle_key.expect("column 0 carries a bundle key");
+        let bundle1 = open_inner(&bk0, bundle0.inner.as_ref().unwrap()).unwrap();
+        assert_eq!(bundle1.headers.len(), 4);
+
+        // Column 1 headers open with the (derivable) row keys.
+        let payload1 = open_header(&sched.row_key(1, 1), &bundle1.headers[1]).unwrap();
+        let bk1 = payload1.bundle_key.expect("column 1 carries a bundle key");
+        let bundle2 = open_inner(&bk1, bundle1.inner.as_ref().unwrap()).unwrap();
+        assert!(bundle2.inner.is_none(), "last column has no inner bundle");
+
+        // Terminal headers carry an empty payload.
+        let payload2 = open_header(&sched.row_key(3, 2), &bundle2.headers[3]).unwrap();
+        assert!(payload2.next_hops.is_empty());
+        assert!(payload2.row_key_shares.is_empty());
+        assert!(payload2.bundle_key.is_none());
+    }
+
+    #[test]
+    fn share_share_indices_match_sender_row() {
+        let ov = overlay(60);
+        let params = SchemeParams::Share {
+            k: 1,
+            l: 2,
+            n: 4,
+            m: vec![2],
+        };
+        let plan = construct_paths(&ov, &params, &SymmetricKey::from_bytes([6; 32])).unwrap();
+        let pkgs = build_share_packages(&plan, &params, &schedule(), b"x").unwrap();
+        let bundle0 = ColumnBundle::from_bytes(&pkgs.bundle).unwrap();
+        for row in 0..4 {
+            let parsed = open_header(&pkgs.col0_row_keys[row], &bundle0.headers[row]).unwrap();
+            for s in &parsed.row_key_shares {
+                assert_eq!(s.index as usize, row + 1, "share index must be the row");
+            }
+            assert_eq!(parsed.next_hops.len(), 4);
+        }
+    }
+
+    #[test]
+    fn oversized_share_grid_rejected_at_wire_level() {
+        let ov = overlay(60);
+        let params = SchemeParams::Share {
+            k: 2,
+            l: 2,
+            n: 300,
+            m: vec![100],
+        };
+        // construct_paths would also fail (not enough nodes); validate the
+        // package-level guard directly with a fabricated plan.
+        let plan = crate::path::PathPlan {
+            rows: 300,
+            cols: 2,
+            slots: (0..600).collect(),
+            targets: vec![NodeId::ZERO; 600],
+        };
+        let _ = ov;
+        let err = build_share_packages(&plan, &params, &schedule(), b"s").unwrap_err();
+        assert!(matches!(err, EmergeError::InvalidParameters(_)));
+    }
+
+    #[test]
+    fn packages_are_deterministic() {
+        let ov = overlay(80);
+        let params = SchemeParams::Joint { k: 2, l: 2 };
+        let seed = SymmetricKey::from_bytes([3; 32]);
+        let plan = construct_paths(&ov, &params, &seed).unwrap();
+        let sched = KeySchedule::new(seed);
+        let a = build_keyed_packages(&plan, &params, &sched, b"s").unwrap();
+        let b = build_keyed_packages(&plan, &params, &sched, b"s").unwrap();
+        assert_eq!(a.onions, b.onions);
+    }
+}

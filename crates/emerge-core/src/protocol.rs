@@ -1,0 +1,985 @@
+//! The package transmission protocol (Section III): hop-by-hop execution
+//! of a send operation on the simulated DHT, with real onions, real
+//! shares, churn, and optional attacks.
+//!
+//! The run is driven by hop-deadline events on the discrete-event engine:
+//! packages arrive at column `c` at `t_c = ts + c·th`, rest for one
+//! holding period, and move at `t_{c+1}`. Holders peel with keys they were
+//! pre-assigned (keyed schemes) or just reconstructed from shares (share
+//! scheme). Malicious holders behave according to the [`AttackMode`]:
+//! under [`AttackMode::Drop`] they withhold everything; under
+//! [`AttackMode::ReleaseAhead`] they cooperate outwardly while copying all
+//! material into the adversary's ledger, which then attempts a *real*
+//! cryptographic reconstruction of the secret.
+
+use crate::config::SchemeParams;
+use crate::error::EmergeError;
+use crate::package::{open_header, open_inner, ColumnBundle, KeyedPackages, SharePackages};
+use crate::path::PathPlan;
+use emerge_crypto::keys::{KeyShare, SymmetricKey};
+use emerge_crypto::onion::{peel, peel_core, Peeled};
+use emerge_crypto::shamir;
+use emerge_sim::engine::Engine;
+use emerge_sim::time::{SimDuration, SimTime};
+use emerge_dht::overlay::Overlay;
+
+/// Adversarial posture of the malicious nodes during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackMode {
+    /// Malicious nodes behave exactly like honest ones.
+    Passive,
+    /// Malicious nodes copy everything they see to the adversary, who
+    /// tries to reconstruct the secret key before `tr`.
+    ReleaseAhead,
+    /// Malicious nodes silently discard all packages.
+    Drop,
+}
+
+/// Run parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Start time `ts`.
+    pub ts: SimTime,
+    /// Emerging period `T = tr − ts`.
+    pub emerging_period: SimDuration,
+    /// Malicious node behaviour.
+    pub attack: AttackMode,
+}
+
+/// The outcome of one protocol run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The secret and instant of legitimate release, if it happened.
+    pub released: Option<(SimTime, Vec<u8>)>,
+    /// Why the key failed to emerge (drop attack, churn starvation, ...).
+    pub failure: Option<String>,
+    /// The instant the adversary reconstructed the secret, with the
+    /// reconstructed bytes, if the release-ahead attack succeeded.
+    pub adversary_reconstruction: Option<(SimTime, Vec<u8>)>,
+    /// Messages the run pushed through the simulated network.
+    pub messages_sent: u64,
+}
+
+impl RunReport {
+    /// Whether the key emerged exactly as intended: released at `tr` and
+    /// never reconstructed early.
+    pub fn clean_emergence(&self, tr: SimTime) -> bool {
+        matches!(&self.released, Some((at, _)) if *at == tr)
+            && self.adversary_reconstruction.is_none()
+    }
+}
+
+/// Events driving a protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Packages arrive at column `col` and are processed.
+    Arrive { col: usize },
+    /// Terminal holders release the secret to the receiver.
+    Release,
+}
+
+/// Executes a keyed-scheme (disjoint/joint) run.
+///
+/// # Errors
+///
+/// Returns [`EmergeError::InvalidParameters`] for mismatched parameters.
+pub fn execute_keyed(
+    overlay: &mut Overlay,
+    plan: &PathPlan,
+    params: &SchemeParams,
+    packages: &KeyedPackages,
+    config: &RunConfig,
+) -> Result<RunReport, EmergeError> {
+    let joint = match params {
+        SchemeParams::Disjoint { .. } => false,
+        SchemeParams::Joint { .. } => true,
+        _ => {
+            return Err(EmergeError::InvalidParameters(
+                "execute_keyed requires disjoint or joint parameters".into(),
+            ))
+        }
+    };
+    let (rows, cols) = (plan.rows, plan.cols);
+    let th = config.emerging_period / cols as u64;
+    let ts = config.ts;
+    let tr = ts + config.emerging_period;
+
+    // Onion in flight per grid position.
+    let mut onions: Vec<Option<Vec<u8>>> = vec![None; rows * cols];
+    for row in 0..rows {
+        onions[row * cols] = Some(packages.onions[row].clone());
+    }
+
+    let mut messages = rows as u64; // initial deliveries from the sender
+    let mut released: Option<(SimTime, Vec<u8>)> = None;
+    let mut failure: Option<String> = None;
+    let mut terminal_secrets: Vec<Vec<u8>> = Vec::new();
+
+    // Adversary ledger: earliest acquisition time of each column key, and
+    // of an onion copy (with its bytes and the column it was taken at).
+    let mut adv_key_time: Vec<Option<SimTime>> = vec![None; cols];
+    let mut adv_onions: Vec<(SimTime, usize, Vec<u8>)> = Vec::new();
+
+    if config.attack == AttackMode::ReleaseAhead {
+        // Pre-assigned keys leak from any malicious tenant during the
+        // storage window [ts, arrival(col)].
+        for col in 0..cols {
+            let arrival = ts + th * col as u64;
+            for row in 0..rows {
+                let slot = plan.slot(row, col);
+                if let Some(t) = first_malicious_exposure(overlay, slot, ts, arrival) {
+                    adv_key_time[col] = Some(match adv_key_time[col] {
+                        Some(prev) if prev <= t => prev,
+                        _ => t,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut engine: Engine<Ev> = Engine::new();
+    engine.schedule_at(ts, Ev::Arrive { col: 0 });
+
+    while let Some((now, ev)) = engine.pop() {
+        match ev {
+            Ev::Arrive { col } => {
+                let depart = now + th;
+                let mut next: Vec<Option<Vec<u8>>> = vec![None; rows];
+                for row in 0..rows {
+                    let Some(onion) = onions[row * cols + col].take() else {
+                        continue;
+                    };
+                    let slot = plan.slot(row, col);
+                    // Release-ahead adversary copies the (pre-peel) onion
+                    // on any malicious contact during the stay.
+                    if config.attack == AttackMode::ReleaseAhead {
+                        if let Some(t) = first_malicious_exposure(overlay, slot, now, depart) {
+                            adv_onions.push((t, col, onion.clone()));
+                        }
+                    }
+                    // Drop attack: any malicious tenant during the stay
+                    // destroys the copy (replication cannot resurrect what
+                    // a malicious node refuses to hand over).
+                    if config.attack == AttackMode::Drop
+                        && overlay.any_malicious_exposure(slot, now, depart)
+                    {
+                        continue;
+                    }
+                    // Peel this layer with the pre-assigned column key.
+                    match peel(&packages.column_keys[col], &onion) {
+                        Ok(Peeled::Intermediate { inner, .. }) => {
+                            if joint {
+                                // Forward to the whole next column; a single
+                                // survivor feeds every next holder.
+                                for slot_next in next.iter_mut() {
+                                    if slot_next.is_none() {
+                                        *slot_next = Some(inner.clone());
+                                    }
+                                }
+                                messages += rows as u64;
+                            } else {
+                                next[row] = Some(inner.clone());
+                                messages += 1;
+                            }
+                        }
+                        Ok(Peeled::Core { .. }) => {
+                            // Terminal layer: recover via peel_core below.
+                            let (_, secret) =
+                                peel_core(&packages.column_keys[col], &onion)?;
+                            terminal_secrets.push(secret);
+                        }
+                        Err(e) => return Err(EmergeError::Crypto(e)),
+                    }
+                }
+                if col + 1 < cols {
+                    for (row, n) in next.into_iter().enumerate() {
+                        if let Some(bytes) = n {
+                            onions[row * cols + col + 1] = Some(bytes);
+                        }
+                    }
+                    engine.schedule_at(depart, Ev::Arrive { col: col + 1 });
+                } else {
+                    engine.schedule_at(tr, Ev::Release);
+                }
+            }
+            Ev::Release => {
+                if let Some(secret) = terminal_secrets.first() {
+                    released = Some((now, secret.clone()));
+                    messages += terminal_secrets.len() as u64;
+                } else {
+                    failure = Some("no terminal holder delivered the secret".into());
+                }
+            }
+        }
+    }
+    if released.is_none() && failure.is_none() {
+        failure = Some("onion lost in transit before the terminal column".into());
+    }
+
+    // Adversary reconstruction: take the best onion copy and peel it with
+    // the leaked column keys. Every key for columns >= the copy's column
+    // must be available; the reconstruction time is the max acquisition
+    // instant. Reconstruction uses the real ciphertexts.
+    let mut adversary_reconstruction: Option<(SimTime, Vec<u8>)> = None;
+    if config.attack == AttackMode::ReleaseAhead {
+        for (t_onion, col0, bytes) in &adv_onions {
+            let mut when = *t_onion;
+            let keys: Option<Vec<&SymmetricKey>> = (*col0..cols)
+                .map(|c| {
+                    adv_key_time[c].map(|t| {
+                        when = when.max(t);
+                        &packages.column_keys[c]
+                    })
+                })
+                .collect();
+            let Some(keys) = keys else { continue };
+            if when >= tr {
+                continue; // no gain over waiting for the legitimate release
+            }
+            // Really peel it.
+            let mut onion = bytes.clone();
+            let mut secret = None;
+            for (i, key) in keys.iter().enumerate() {
+                if *col0 + i + 1 == cols {
+                    let (_, s) = peel_core(key, &onion)?;
+                    secret = Some(s);
+                } else {
+                    match peel(key, &onion)? {
+                        Peeled::Intermediate { inner, .. } => onion = inner,
+                        Peeled::Core { payload } => {
+                            secret = Some(payload);
+                            break;
+                        }
+                    }
+                }
+            }
+            let secret = secret.expect("keyed onion must peel to a core");
+            let better = match &adversary_reconstruction {
+                None => true,
+                Some((prev, _)) => when < *prev,
+            };
+            if better {
+                adversary_reconstruction = Some((when, secret));
+            }
+        }
+    }
+
+    Ok(RunReport {
+        released,
+        failure,
+        adversary_reconstruction,
+        messages_sent: messages,
+    })
+}
+
+/// Executes a key-share routing run.
+///
+/// # Errors
+///
+/// Returns [`EmergeError::InvalidParameters`] for mismatched parameters.
+pub fn execute_share(
+    overlay: &mut Overlay,
+    plan: &PathPlan,
+    params: &SchemeParams,
+    packages: &SharePackages,
+    config: &RunConfig,
+) -> Result<RunReport, EmergeError> {
+    let (k, l, n, m) = match params {
+        SchemeParams::Share { k, l, n, m } => (*k, *l, *n, m.clone()),
+        _ => {
+            return Err(EmergeError::InvalidParameters(
+                "execute_share requires share parameters".into(),
+            ))
+        }
+    };
+    let th = config.emerging_period / l as u64;
+    let ts = config.ts;
+    let tr = ts + config.emerging_period;
+
+    /// In-flight state of one holder position.
+    #[derive(Default, Clone)]
+    struct Inbox {
+        /// The column bundle (same blob from every forwarder; one kept).
+        bundle: Option<Vec<u8>>,
+        core_onion: Option<Vec<u8>>,
+        key_shares: Vec<KeyShare>,
+        core_shares: Vec<KeyShare>,
+        direct_row_key: Option<SymmetricKey>,
+        direct_core_key: Option<SymmetricKey>,
+    }
+
+    let mut inboxes: Vec<Inbox> = vec![Inbox::default(); n * l];
+    for row in 0..n {
+        let inbox = &mut inboxes[row * l];
+        inbox.bundle = Some(packages.bundle.clone());
+        inbox.direct_row_key = Some(packages.col0_row_keys[row].clone());
+        if row < k {
+            inbox.core_onion = Some(packages.core_onion.clone());
+            inbox.direct_core_key = Some(packages.col0_core_key.clone());
+        }
+    }
+
+    let mut messages = n as u64;
+    let mut released: Option<(SimTime, Vec<u8>)> = None;
+    let mut failure: Option<String> = None;
+    let mut terminal_secrets: Vec<Vec<u8>> = Vec::new();
+
+    // Adversary ledger: per column, the count of malicious receivers and
+    // the share material they leaked; plus leaked onion/core copies.
+    let mut adv_key_shares: Vec<Vec<KeyShare>> = vec![Vec::new(); l]; // for col c key (row 0's key as witness)
+    let mut adv_core_shares: Vec<Vec<KeyShare>> = vec![Vec::new(); l];
+    let mut adv_core_onion_col0: Option<Vec<u8>> = None;
+    let mut adv_direct_core_key: Option<SymmetricKey> = None;
+
+    let mut engine: Engine<Ev> = Engine::new();
+    engine.schedule_at(ts, Ev::Arrive { col: 0 });
+
+    while let Some((now, ev)) = engine.pop() {
+        match ev {
+            Ev::Arrive { col } => {
+                let depart = now + th;
+                // Plan of what each next-column holder will receive.
+                let mut next: Vec<Inbox> = vec![Inbox::default(); n];
+                for row in 0..n {
+                    let inbox = std::mem::take(&mut inboxes[row * l + col]);
+                    let slot = plan.slot(row, col);
+                    let tenant = *overlay.generation_at(slot, now);
+
+                    // Reconstruct this holder's row key.
+                    let row_key = if col == 0 {
+                        inbox.direct_row_key.clone()
+                    } else if inbox.key_shares.len() >= m[col - 1] {
+                        combine_key(&inbox.key_shares, m[col - 1])?
+                    } else {
+                        None
+                    };
+                    let Some(row_key) = row_key else {
+                        continue; // starved: cannot act this hop
+                    };
+                    let Some(bundle_bytes) = inbox.bundle.clone() else {
+                        continue; // no honest forwarder upstream delivered
+                    };
+                    let bundle = ColumnBundle::from_bytes(&bundle_bytes)?;
+                    let Some(header) = bundle.headers.get(row) else {
+                        return Err(EmergeError::InvalidParameters(
+                            "bundle is missing this row's header".into(),
+                        ));
+                    };
+
+                    // Malicious receiver leaks its direct material.
+                    if config.attack == AttackMode::ReleaseAhead && tenant.malicious && col == 0
+                    {
+                        if let Some(core) = &inbox.core_onion {
+                            adv_core_onion_col0 = Some(core.clone());
+                        }
+                        if inbox.direct_core_key.is_some() {
+                            adv_direct_core_key = inbox.direct_core_key.clone();
+                        }
+                    }
+
+                    // Drop attack: malicious tenants withhold everything.
+                    if config.attack == AttackMode::Drop && tenant.malicious {
+                        continue;
+                    }
+                    // Churn: a tenant dying mid-hold takes its *shares*
+                    // with it (key material is never re-homed), but the
+                    // opaque bundle/onion blobs are re-homed to the slot
+                    // replacement by DHT replication and still move.
+                    let survivor = overlay.generation_at(slot, depart).spawn == tenant.spawn;
+
+                    // Open this row's header.
+                    let payload = open_header(&row_key, header)?;
+
+                    // Adversary copies the payload's onward shares.
+                    if config.attack == AttackMode::ReleaseAhead
+                        && tenant.malicious
+                        && col + 1 < l
+                    {
+                        // Witness: row 0's next-column key-shares; the core
+                        // shares matter for the actual reconstruction.
+                        if let Some(s) = payload.row_key_shares.first() {
+                            adv_key_shares[col + 1].push(s.clone());
+                        }
+                        if let Some(s) = &payload.core_key_share {
+                            adv_core_shares[col + 1].push(s.clone());
+                        }
+                    }
+
+                    // Unwrap the next column's bundle for relay.
+                    let next_bundle: Option<Vec<u8>> = match (&payload.bundle_key, &bundle.inner)
+                    {
+                        (Some(bk), Some(sealed)) => {
+                            Some(open_inner(bk, sealed)?.to_bytes())
+                        }
+                        _ => None,
+                    };
+
+                    // Onion rows also process the core onion.
+                    let mut inner_core: Option<Vec<u8>> = None;
+                    let mut core_secret: Option<Vec<u8>> = None;
+                    if row < k {
+                        let core_key = if col == 0 {
+                            inbox.direct_core_key.clone()
+                        } else if inbox.core_shares.len() >= m[col - 1] {
+                            combine_key(&inbox.core_shares, m[col - 1])?
+                        } else {
+                            None
+                        };
+                        if let (Some(core_key), Some(core_onion)) =
+                            (core_key, inbox.core_onion.clone())
+                        {
+                            match peel(&core_key, &core_onion)? {
+                                Peeled::Intermediate { inner, .. } => {
+                                    inner_core = Some(inner);
+                                }
+                                Peeled::Core { payload } => {
+                                    core_secret = Some(payload);
+                                }
+                            }
+                        }
+                    }
+
+                    if col + 1 == l {
+                        if let Some(secret) = core_secret {
+                            terminal_secrets.push(secret);
+                        }
+                        continue;
+                    }
+
+                    // Forward. Shares travel only if the tenant survived
+                    // the hold; bundle/onion blobs always move (re-homed
+                    // on death).
+                    if survivor {
+                        for (target_row, next_inbox) in next.iter_mut().enumerate() {
+                            if let Some(s) = payload.row_key_shares.get(target_row) {
+                                next_inbox.key_shares.push(s.clone());
+                                messages += 1;
+                            }
+                            if target_row < k {
+                                if let Some(s) = &payload.core_key_share {
+                                    next_inbox.core_shares.push(s.clone());
+                                }
+                            }
+                        }
+                    }
+                    if let Some(nb) = next_bundle {
+                        for next_inbox in next.iter_mut() {
+                            if next_inbox.bundle.is_none() {
+                                next_inbox.bundle = Some(nb.clone());
+                                messages += 1;
+                            }
+                        }
+                    }
+                    if row < k {
+                        if let Some(inner) = inner_core {
+                            for next_inbox in next.iter_mut().take(k) {
+                                if next_inbox.core_onion.is_none() {
+                                    next_inbox.core_onion = Some(inner.clone());
+                                    messages += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                if col + 1 < l {
+                    for (row, nb) in next.into_iter().enumerate() {
+                        inboxes[row * l + col + 1] = nb;
+                    }
+                    engine.schedule_at(depart, Ev::Arrive { col: col + 1 });
+                } else {
+                    engine.schedule_at(tr, Ev::Release);
+                }
+            }
+            Ev::Release => {
+                if let Some(secret) = terminal_secrets.first() {
+                    released = Some((now, secret.clone()));
+                    messages += terminal_secrets.len() as u64;
+                } else {
+                    failure = Some(
+                        "no terminal onion row reconstructed the secret".into(),
+                    );
+                }
+            }
+        }
+    }
+    if released.is_none() && failure.is_none() {
+        failure = Some("share flow starved before the terminal column".into());
+    }
+
+    // Adversary reconstruction (strict quorum chain, real crypto): needs
+    // the core onion from column 0 plus enough core-key shares at every
+    // later column boundary.
+    let mut adversary_reconstruction: Option<(SimTime, Vec<u8>)> = None;
+    if config.attack == AttackMode::ReleaseAhead {
+        if let (Some(core_onion), Some(core_key0)) =
+            (adv_core_onion_col0, adv_direct_core_key)
+        {
+            let mut onion = core_onion;
+            let mut ok = true;
+            let mut when = ts;
+            for col in 0..l {
+                let key = if col == 0 {
+                    Some(core_key0.clone())
+                } else if adv_core_shares[col].len() >= m[col - 1] {
+                    when = when.max(ts + (config.emerging_period / l as u64) * (col as u64 - 1));
+                    combine_key(&adv_core_shares[col], m[col - 1])?
+                } else {
+                    None
+                };
+                let Some(key) = key else {
+                    ok = false;
+                    break;
+                };
+                if col + 1 == l {
+                    let (_, secret) = peel_core(&key, &onion)?;
+                    if when < tr {
+                        adversary_reconstruction = Some((when, secret));
+                    }
+                } else {
+                    match peel(&key, &onion)? {
+                        Peeled::Intermediate { inner, .. } => onion = inner,
+                        Peeled::Core { payload } => {
+                            if when < tr {
+                                adversary_reconstruction = Some((when, payload));
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = ok;
+        }
+    }
+
+    Ok(RunReport {
+        released,
+        failure,
+        adversary_reconstruction,
+        messages_sent: messages,
+    })
+}
+
+/// Executes the centralized scheme: one holder stores the secret for the
+/// whole period.
+pub fn execute_central(
+    overlay: &mut Overlay,
+    plan: &PathPlan,
+    secret: &[u8],
+    config: &RunConfig,
+) -> Result<RunReport, EmergeError> {
+    let slot = plan.slot(0, 0);
+    let ts = config.ts;
+    let tr = ts + config.emerging_period;
+
+    let exposed = overlay.any_malicious_exposure(slot, ts, tr);
+    let mut report = RunReport {
+        released: None,
+        failure: None,
+        adversary_reconstruction: None,
+        messages_sent: 2,
+    };
+    match config.attack {
+        AttackMode::Drop if exposed => {
+            report.failure = Some("central holder destroyed the key".into());
+        }
+        AttackMode::ReleaseAhead if exposed => {
+            let t = first_malicious_exposure(overlay, slot, ts, tr)
+                .expect("exposure implies a first exposure");
+            report.adversary_reconstruction = Some((t, secret.to_vec()));
+            report.released = Some((tr, secret.to_vec()));
+        }
+        _ => {
+            report.released = Some((tr, secret.to_vec()));
+        }
+    }
+    Ok(report)
+}
+
+/// The earliest instant in `[from, to]` at which a malicious tenant
+/// occupies `slot`, if any.
+fn first_malicious_exposure(
+    overlay: &Overlay,
+    slot: usize,
+    from: SimTime,
+    to: SimTime,
+) -> Option<SimTime> {
+    overlay
+        .generations(slot)
+        .iter()
+        .filter(|g| g.malicious && g.spawn <= to && from < g.death)
+        .map(|g| g.spawn.max(from))
+        .min()
+}
+
+/// Combines key shares into a 32-byte symmetric key.
+fn combine_key(shares: &[KeyShare], m: usize) -> Result<Option<SymmetricKey>, EmergeError> {
+    match shamir::combine(shares, m) {
+        Ok(bytes) if bytes.len() == 32 => {
+            let mut kb = [0u8; 32];
+            kb.copy_from_slice(&bytes);
+            Ok(Some(SymmetricKey::from_bytes(kb)))
+        }
+        Ok(_) => Err(EmergeError::InvalidParameters(
+            "reconstructed key has wrong length".into(),
+        )),
+        Err(emerge_crypto::CryptoError::NotEnoughShares { .. }) => Ok(None),
+        Err(e) => Err(EmergeError::Crypto(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::{build_keyed_packages, build_share_packages, KeySchedule};
+    use crate::path::construct_paths;
+    use emerge_dht::overlay::{Overlay, OverlayConfig};
+
+    const SECRET: &[u8] = b"THE SELF-EMERGING SECRET KEY 32B";
+
+    fn overlay_with(n: usize, p: f64, seed: u64) -> Overlay {
+        Overlay::build(
+            OverlayConfig {
+                n_nodes: n,
+                malicious_fraction: p,
+                ..OverlayConfig::default()
+            },
+            seed,
+        )
+    }
+
+    fn run_config(attack: AttackMode) -> RunConfig {
+        RunConfig {
+            ts: SimTime::from_ticks(0),
+            emerging_period: SimDuration::from_ticks(3000),
+            attack,
+        }
+    }
+
+    fn keyed_setup(
+        params: &SchemeParams,
+        p: f64,
+        seed: u64,
+    ) -> (Overlay, PathPlan, KeyedPackages) {
+        let overlay = overlay_with(100, p, seed);
+        let sender_seed = SymmetricKey::from_bytes([seed as u8; 32]);
+        let plan = construct_paths(&overlay, params, &sender_seed).unwrap();
+        let schedule = KeySchedule::new(sender_seed);
+        let pkgs = build_keyed_packages(&plan, params, &schedule, SECRET).unwrap();
+        (overlay, plan, pkgs)
+    }
+
+    #[test]
+    fn clean_joint_run_releases_at_tr() {
+        let params = SchemeParams::Joint { k: 2, l: 3 };
+        let (mut overlay, plan, pkgs) = keyed_setup(&params, 0.0, 1);
+        let report = execute_keyed(
+            &mut overlay,
+            &plan,
+            &params,
+            &pkgs,
+            &run_config(AttackMode::Passive),
+        )
+        .unwrap();
+        let (at, secret) = report.released.clone().expect("must release");
+        assert_eq!(at, SimTime::from_ticks(3000));
+        assert_eq!(secret, SECRET);
+        assert!(report.adversary_reconstruction.is_none());
+        assert!(report.clean_emergence(SimTime::from_ticks(3000)));
+    }
+
+    #[test]
+    fn clean_disjoint_run_releases_at_tr() {
+        let params = SchemeParams::Disjoint { k: 2, l: 3 };
+        let (mut overlay, plan, pkgs) = keyed_setup(&params, 0.0, 2);
+        let report = execute_keyed(
+            &mut overlay,
+            &plan,
+            &params,
+            &pkgs,
+            &run_config(AttackMode::Passive),
+        )
+        .unwrap();
+        assert_eq!(report.released.unwrap().1, SECRET);
+    }
+
+    #[test]
+    fn fully_malicious_population_releases_at_ts() {
+        let params = SchemeParams::Joint { k: 2, l: 3 };
+        let (mut overlay, plan, pkgs) = keyed_setup(&params, 1.0, 3);
+        let report = execute_keyed(
+            &mut overlay,
+            &plan,
+            &params,
+            &pkgs,
+            &run_config(AttackMode::ReleaseAhead),
+        )
+        .unwrap();
+        let (at, secret) = report
+            .adversary_reconstruction
+            .expect("all-malicious must reconstruct");
+        assert_eq!(at, SimTime::from_ticks(0), "reconstruction at ts");
+        assert_eq!(secret, SECRET);
+    }
+
+    #[test]
+    fn fully_malicious_population_drops_everything() {
+        let params = SchemeParams::Joint { k: 2, l: 3 };
+        let (mut overlay, plan, pkgs) = keyed_setup(&params, 1.0, 4);
+        let report = execute_keyed(
+            &mut overlay,
+            &plan,
+            &params,
+            &pkgs,
+            &run_config(AttackMode::Drop),
+        )
+        .unwrap();
+        assert!(report.released.is_none());
+        assert!(report.failure.is_some());
+    }
+
+    #[test]
+    fn passive_malicious_nodes_do_not_disrupt() {
+        let params = SchemeParams::Joint { k: 2, l: 3 };
+        let (mut overlay, plan, pkgs) = keyed_setup(&params, 0.5, 5);
+        let report = execute_keyed(
+            &mut overlay,
+            &plan,
+            &params,
+            &pkgs,
+            &run_config(AttackMode::Passive),
+        )
+        .unwrap();
+        assert_eq!(report.released.unwrap().1, SECRET);
+        assert!(report.adversary_reconstruction.is_none());
+    }
+
+    #[test]
+    fn share_clean_run_releases_at_tr() {
+        let params = SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 5,
+            m: vec![3, 3],
+        };
+        let mut overlay = overlay_with(100, 0.0, 6);
+        let sender_seed = SymmetricKey::from_bytes([6; 32]);
+        let plan = construct_paths(&overlay, &params, &sender_seed).unwrap();
+        let schedule = KeySchedule::new(sender_seed);
+        let pkgs = build_share_packages(&plan, &params, &schedule, SECRET).unwrap();
+        let report = execute_share(
+            &mut overlay,
+            &plan,
+            &params,
+            &pkgs,
+            &run_config(AttackMode::Passive),
+        )
+        .unwrap();
+        let (at, secret) = report.released.expect("share flow must deliver");
+        assert_eq!(at, SimTime::from_ticks(3000));
+        assert_eq!(secret, SECRET);
+    }
+
+    #[test]
+    fn share_all_malicious_reconstructs_and_drops() {
+        let params = SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 5,
+            m: vec![3, 3],
+        };
+        let mut overlay = overlay_with(100, 1.0, 7);
+        let sender_seed = SymmetricKey::from_bytes([7; 32]);
+        let plan = construct_paths(&overlay, &params, &sender_seed).unwrap();
+        let schedule = KeySchedule::new(sender_seed);
+        let pkgs = build_share_packages(&plan, &params, &schedule, SECRET).unwrap();
+
+        let release = execute_share(
+            &mut overlay,
+            &plan,
+            &params,
+            &pkgs,
+            &run_config(AttackMode::ReleaseAhead),
+        )
+        .unwrap();
+        let (_, secret) = release
+            .adversary_reconstruction
+            .expect("full quorum must reconstruct");
+        assert_eq!(secret, SECRET);
+
+        let drop = execute_share(
+            &mut overlay,
+            &plan,
+            &params,
+            &pkgs,
+            &run_config(AttackMode::Drop),
+        )
+        .unwrap();
+        assert!(drop.released.is_none());
+    }
+
+    #[test]
+    fn central_behaviour_matches_malicious_rate_extremes() {
+        for (p, seed) in [(0.0f64, 8u64), (1.0, 9)] {
+            let mut overlay = overlay_with(50, p, seed);
+            let sender_seed = SymmetricKey::from_bytes([seed as u8; 32]);
+            let plan = construct_paths(&overlay, &SchemeParams::Central, &sender_seed).unwrap();
+            let report = execute_central(
+                &mut overlay,
+                &plan,
+                SECRET,
+                &run_config(AttackMode::ReleaseAhead),
+            )
+            .unwrap();
+            if p == 0.0 {
+                assert!(report.adversary_reconstruction.is_none());
+                assert!(report.released.is_some());
+            } else {
+                assert!(report.adversary_reconstruction.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn churned_share_run_still_delivers_with_headroom() {
+        // Thresholds far below n tolerate the deaths over a short run.
+        let params = SchemeParams::Share {
+            k: 3,
+            l: 3,
+            n: 9,
+            m: vec![3, 3],
+        };
+        let mut overlay = Overlay::build(
+            OverlayConfig {
+                n_nodes: 100,
+                malicious_fraction: 0.0,
+                mean_lifetime: Some(30_000), // 10x the emerging period
+                horizon: 100_000,
+                ..OverlayConfig::default()
+            },
+            10,
+        );
+        let sender_seed = SymmetricKey::from_bytes([10; 32]);
+        let plan = construct_paths(&overlay, &params, &sender_seed).unwrap();
+        let schedule = KeySchedule::new(sender_seed);
+        let pkgs = build_share_packages(&plan, &params, &schedule, SECRET).unwrap();
+        let report = execute_share(
+            &mut overlay,
+            &plan,
+            &params,
+            &pkgs,
+            &run_config(AttackMode::Passive),
+        )
+        .unwrap();
+        assert_eq!(
+            report.released.map(|(_, s)| s),
+            Some(SECRET.to_vec()),
+            "failure: {:?}",
+            report.failure
+        );
+    }
+
+    #[test]
+    fn keyed_report_counts_messages() {
+        let params = SchemeParams::Joint { k: 2, l: 3 };
+        let (mut overlay, plan, pkgs) = keyed_setup(&params, 0.0, 11);
+        let report = execute_keyed(
+            &mut overlay,
+            &plan,
+            &params,
+            &pkgs,
+            &run_config(AttackMode::Passive),
+        )
+        .unwrap();
+        assert!(report.messages_sent > 2, "hops must generate traffic");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// Liveness: in a clean network every keyed configuration
+            /// delivers the exact secret at exactly tr.
+            #[test]
+            fn clean_keyed_runs_always_deliver(
+                k in 1usize..5,
+                l in 1usize..5,
+                joint: bool,
+                seed in 0u64..1000,
+            ) {
+                let params = if joint {
+                    SchemeParams::Joint { k, l }
+                } else {
+                    SchemeParams::Disjoint { k, l }
+                };
+                let (mut overlay, plan, pkgs) = keyed_setup(&params, 0.0, seed);
+                let report = execute_keyed(
+                    &mut overlay,
+                    &plan,
+                    &params,
+                    &pkgs,
+                    &run_config(AttackMode::Passive),
+                )
+                .unwrap();
+                let (at, secret) = report.released.clone().expect("clean run delivers");
+                prop_assert_eq!(at, SimTime::from_ticks(3000));
+                prop_assert_eq!(&secret[..], SECRET);
+                prop_assert!(report.adversary_reconstruction.is_none());
+            }
+
+            /// Liveness for the share scheme across valid (k, n, m, l).
+            #[test]
+            fn clean_share_runs_always_deliver(
+                k in 1usize..4,
+                extra_rows in 0usize..4,
+                l in 2usize..5,
+                seed in 0u64..1000,
+            ) {
+                let n = k + extra_rows;
+                let m: Vec<usize> = (1..l).map(|_| (n / 2).max(1)).collect();
+                let params = SchemeParams::Share { k, l, n, m };
+                let mut overlay = overlay_with(100, 0.0, seed);
+                let sender_seed = SymmetricKey::from_bytes([seed as u8; 32]);
+                let plan = construct_paths(&overlay, &params, &sender_seed).unwrap();
+                let schedule = KeySchedule::new(sender_seed);
+                let pkgs =
+                    build_share_packages(&plan, &params, &schedule, SECRET).unwrap();
+                let report = execute_share(
+                    &mut overlay,
+                    &plan,
+                    &params,
+                    &pkgs,
+                    &run_config(AttackMode::Passive),
+                )
+                .unwrap();
+                let (at, secret) = report.released.clone().expect("clean share run delivers");
+                prop_assert_eq!(at, SimTime::from_ticks(3000));
+                prop_assert_eq!(&secret[..], SECRET);
+            }
+
+            /// Safety: with every node malicious and dropping, nothing is
+            /// ever released.
+            #[test]
+            fn total_drop_never_releases(
+                k in 1usize..4,
+                l in 1usize..4,
+                seed in 0u64..1000,
+            ) {
+                let params = SchemeParams::Joint { k, l };
+                let (mut overlay, plan, pkgs) = keyed_setup(&params, 1.0, seed);
+                let report = execute_keyed(
+                    &mut overlay,
+                    &plan,
+                    &params,
+                    &pkgs,
+                    &run_config(AttackMode::Drop),
+                )
+                .unwrap();
+                prop_assert!(report.released.is_none());
+            }
+        }
+    }
+}

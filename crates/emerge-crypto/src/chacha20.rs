@@ -1,0 +1,236 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! Provides the block function and a streaming XOR cipher. Verified against
+//! the RFC 8439 section 2.3.2 / 2.4.2 test vectors.
+//!
+//! ```
+//! use emerge_crypto::chacha20::ChaCha20;
+//! let key = [1u8; 32];
+//! let nonce = [2u8; 12];
+//! let mut buf = *b"hello onion routing";
+//! ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+//! // Applying the same keystream twice restores the plaintext.
+//! ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+//! assert_eq!(&buf, b"hello onion routing");
+//! ```
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce length in bytes (IETF variant).
+pub const NONCE_LEN: usize = 12;
+/// ChaCha20 block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// Streaming ChaCha20 cipher state.
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+    keystream: [u8; BLOCK_LEN],
+    /// Offset of the next unused keystream byte; `BLOCK_LEN` means empty.
+    offset: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 block for the given key, nonce and counter.
+pub fn chacha20_block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; BLOCK_LEN] {
+    let mut state = initial_state(key, nonce, counter);
+    let initial = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+fn initial_state(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k"
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[4 * i],
+            key[4 * i + 1],
+            key[4 * i + 2],
+            key[4 * i + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+    state
+}
+
+impl ChaCha20 {
+    /// Creates a cipher positioned at block `counter` of the keystream.
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> Self {
+        ChaCha20 {
+            state: initial_state(key, nonce, counter),
+            keystream: [0u8; BLOCK_LEN],
+            offset: BLOCK_LEN,
+        }
+    }
+
+    /// XORs the keystream into `data` in place, advancing the stream.
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for byte in data.iter_mut() {
+            if self.offset == BLOCK_LEN {
+                self.refill();
+            }
+            *byte ^= self.keystream[self.offset];
+            self.offset += 1;
+        }
+    }
+
+    fn refill(&mut self) {
+        let initial = self.state;
+        let mut working = self.state;
+        for _ in 0..10 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            let word = working[i].wrapping_add(initial[i]);
+            self.keystream[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        // Increment the block counter (word 12) for the next refill.
+        self.state[12] = self.state[12].wrapping_add(1);
+        self.offset = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 section 2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = chacha20_block(&key, &nonce, 1);
+        assert_eq!(
+            hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 8439 section 2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let mut buf = plaintext.to_vec();
+        ChaCha20::new(&key, &nonce, 1).apply_keystream(&mut buf);
+        let expected = unhex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn roundtrip_restores_plaintext() {
+        let key = [42u8; 32];
+        let nonce = [7u8; 12];
+        let original: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+        let mut buf = original.clone();
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+        assert_ne!(buf, original);
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+        assert_eq!(buf, original);
+    }
+
+    #[test]
+    fn split_application_matches_oneshot() {
+        let key = [3u8; 32];
+        let nonce = [5u8; 12];
+        let mut oneshot = vec![0u8; 200];
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut oneshot);
+
+        let mut split = vec![0u8; 200];
+        let mut cipher = ChaCha20::new(&key, &nonce, 0);
+        // Apply across irregular chunk boundaries (1, 63, 64, 72 bytes).
+        let mut pos = 0;
+        for chunk in [1usize, 63, 64, 72] {
+            cipher.apply_keystream(&mut split[pos..pos + chunk]);
+            pos += chunk;
+        }
+        assert_eq!(split, oneshot);
+    }
+
+    #[test]
+    fn counter_offsets_keystream_by_blocks() {
+        let key = [9u8; 32];
+        let nonce = [1u8; 12];
+        let mut from_zero = vec![0u8; 128];
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut from_zero);
+        let mut from_one = vec![0u8; 64];
+        ChaCha20::new(&key, &nonce, 1).apply_keystream(&mut from_one);
+        assert_eq!(&from_zero[64..], &from_one[..]);
+    }
+
+    #[test]
+    fn different_nonce_different_keystream() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        ChaCha20::new(&key, &[0u8; 12], 0).apply_keystream(&mut a);
+        ChaCha20::new(&key, &[1u8; 12], 0).apply_keystream(&mut b);
+        assert_ne!(a, b);
+    }
+}

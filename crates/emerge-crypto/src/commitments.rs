@@ -1,0 +1,245 @@
+//! Share commitments: pollution-resistant Shamir reconstruction.
+//!
+//! The paper's key-share routing implicitly assumes malicious holders
+//! either forward a share faithfully or withhold it. A cheaper attack is
+//! **pollution**: forward a corrupted share so reconstruction silently
+//! yields a wrong key and the package decryption fails downstream — a
+//! drop attack that spends no quorum. The fix is classical: the sender
+//! commits to every share with a hash, the commitment vector travels
+//! inside the (authenticated) package headers, and receivers discard any
+//! share that does not match its commitment before combining.
+//!
+//! ```
+//! use emerge_crypto::commitments::ShareCommitments;
+//! use emerge_crypto::shamir;
+//! use rand::SeedableRng;
+//! use rand::rngs::StdRng;
+//!
+//! # fn main() -> Result<(), emerge_crypto::CryptoError> {
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut shares = shamir::split(b"the key", 2, 3, &mut rng)?;
+//! let commitments = ShareCommitments::commit(&shares);
+//!
+//! shares[1].data[0] ^= 0xFF; // a malicious holder pollutes its share
+//! let clean = commitments.filter_valid(&shares);
+//! assert_eq!(clean.len(), 2);
+//! assert_eq!(shamir::combine(&clean, 2)?, b"the key");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::CryptoError;
+use crate::keys::KeyShare;
+use crate::sha256::{Sha256, DIGEST_LEN};
+use crate::wire::{Reader, Writer};
+
+/// Domain separator for share commitments.
+const COMMIT_DOMAIN: &[u8] = b"emerge-share-commitment-v1";
+
+/// A commitment vector: one hash per share index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareCommitments {
+    /// `digests[i]` commits to the share with index `i + 1`.
+    digests: Vec<[u8; DIGEST_LEN]>,
+}
+
+impl ShareCommitments {
+    /// Commits to a full share set (indices must be `1..=n` in order,
+    /// as produced by [`crate::shamir::split`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shares are not consecutively indexed from 1.
+    pub fn commit(shares: &[KeyShare]) -> Self {
+        let digests = shares
+            .iter()
+            .enumerate()
+            .map(|(i, share)| {
+                assert_eq!(
+                    share.index as usize,
+                    i + 1,
+                    "commitment vectors require shares ordered by index"
+                );
+                digest_share(share)
+            })
+            .collect();
+        ShareCommitments { digests }
+    }
+
+    /// Number of committed shares (`n`).
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+
+    /// Verifies one share against its commitment.
+    pub fn verify(&self, share: &KeyShare) -> bool {
+        let idx = share.index as usize;
+        if idx == 0 || idx > self.digests.len() {
+            return false;
+        }
+        self.digests[idx - 1] == digest_share(share)
+    }
+
+    /// Returns the subset of `shares` that match their commitments,
+    /// dropping polluted or foreign shares.
+    pub fn filter_valid(&self, shares: &[KeyShare]) -> Vec<KeyShare> {
+        shares
+            .iter()
+            .filter(|s| self.verify(s))
+            .cloned()
+            .collect()
+    }
+
+    /// Serializes the vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u16(self.digests.len() as u16);
+        for d in &self.digests {
+            w.put_raw(d);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] on truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let mut r = Reader::new(bytes);
+        let count = r.get_u16()? as usize;
+        let mut digests = Vec::with_capacity(count);
+        for _ in 0..count {
+            let raw = r.get_raw(DIGEST_LEN)?;
+            let mut d = [0u8; DIGEST_LEN];
+            d.copy_from_slice(raw);
+            digests.push(d);
+        }
+        r.expect_end()?;
+        Ok(ShareCommitments { digests })
+    }
+}
+
+fn digest_share(share: &KeyShare) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(COMMIT_DOMAIN);
+    h.update(&[share.index]);
+    h.update(&(share.data.len() as u64).to_le_bytes());
+    h.update(&share.data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shamir;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shares(m: usize, n: usize, seed: u64) -> Vec<KeyShare> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        shamir::split(b"a secret key", m, n, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn honest_shares_all_verify() {
+        let s = shares(3, 5, 1);
+        let c = ShareCommitments::commit(&s);
+        assert_eq!(c.len(), 5);
+        for share in &s {
+            assert!(c.verify(share));
+        }
+        assert_eq!(c.filter_valid(&s).len(), 5);
+    }
+
+    #[test]
+    fn polluted_share_is_rejected() {
+        let mut s = shares(3, 5, 2);
+        let c = ShareCommitments::commit(&s);
+        s[2].data[0] ^= 1;
+        assert!(!c.verify(&s[2]));
+        let clean = c.filter_valid(&s);
+        assert_eq!(clean.len(), 4);
+        assert_eq!(shamir::combine(&clean, 3).unwrap(), b"a secret key");
+    }
+
+    #[test]
+    fn foreign_and_out_of_range_shares_rejected() {
+        let s = shares(2, 3, 3);
+        let c = ShareCommitments::commit(&s);
+        let foreign = shares(2, 3, 4);
+        assert!(!c.verify(&foreign[0]));
+        let out_of_range = KeyShare::new(200, vec![0; 12]);
+        assert!(!c.verify(&out_of_range));
+        let zero = KeyShare::new(0, vec![0; 12]);
+        assert!(!c.verify(&zero));
+    }
+
+    #[test]
+    fn pollution_below_surviving_threshold_still_fails_loudly() {
+        // If the adversary pollutes so many shares that fewer than m
+        // remain, combine errors instead of returning a wrong key.
+        let mut s = shares(4, 5, 5);
+        let c = ShareCommitments::commit(&s);
+        for share in s.iter_mut().take(2) {
+            share.data[0] ^= 0xAA;
+        }
+        let clean = c.filter_valid(&s);
+        assert_eq!(clean.len(), 3);
+        assert!(shamir::combine(&clean, 4).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let s = shares(2, 4, 6);
+        let c = ShareCommitments::commit(&s);
+        let parsed = ShareCommitments::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(parsed, c);
+        for share in &s {
+            assert!(parsed.verify(share));
+        }
+    }
+
+    #[test]
+    fn truncated_serialization_rejected() {
+        let c = ShareCommitments::commit(&shares(2, 3, 7));
+        let bytes = c.to_bytes();
+        assert!(ShareCommitments::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered by index")]
+    fn misordered_shares_panic() {
+        let mut s = shares(2, 3, 8);
+        s.swap(0, 2);
+        let _ = ShareCommitments::commit(&s);
+    }
+
+    proptest! {
+        #[test]
+        fn any_single_bit_flip_is_caught(
+            seed: u64,
+            victim in 0usize..5,
+            byte in 0usize..12,
+            bit in 0u8..8,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = shamir::split(&[0xAB; 12], 3, 5, &mut rng).unwrap();
+            let c = ShareCommitments::commit(&s);
+            s[victim].data[byte] ^= 1 << bit;
+            prop_assert!(!c.verify(&s[victim]));
+            // Everyone else still verifies.
+            for (i, share) in s.iter().enumerate() {
+                if i != victim {
+                    prop_assert!(c.verify(share));
+                }
+            }
+        }
+    }
+}

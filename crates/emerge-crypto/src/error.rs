@@ -1,0 +1,107 @@
+//! Error type shared by all cryptographic operations in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by fallible cryptographic operations.
+///
+/// Every public fallible function in `emerge-crypto` returns
+/// `Result<_, CryptoError>`; the variants are deliberately coarse so that
+/// callers cannot use error details as a decryption oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// Authenticated decryption failed: the ciphertext or the associated
+    /// data was tampered with, or the wrong key/nonce was used.
+    AuthenticationFailed,
+    /// An input had an invalid length (e.g. a truncated ciphertext or an
+    /// onion layer shorter than its header).
+    InvalidLength {
+        /// What was being parsed when the length check failed.
+        context: &'static str,
+        /// The number of bytes that were expected (a minimum).
+        expected: usize,
+        /// The number of bytes that were actually present.
+        actual: usize,
+    },
+    /// Shamir reconstruction was attempted with fewer shares than the
+    /// threshold `m`, or with duplicated share indices.
+    NotEnoughShares {
+        /// The threshold `m` required for reconstruction.
+        threshold: usize,
+        /// The number of usable (distinct-index) shares supplied.
+        supplied: usize,
+    },
+    /// A Shamir share had index 0 or the share set mixed different lengths.
+    MalformedShare(&'static str),
+    /// A serialized structure failed to parse.
+    Malformed(&'static str),
+    /// Parameters were out of the supported range (e.g. `m > n` or
+    /// `n > 255` for GF(256) sharing).
+    InvalidParameters(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => {
+                write!(f, "authentication failed during decryption")
+            }
+            CryptoError::InvalidLength {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "invalid length while parsing {context}: expected at least {expected} bytes, got {actual}"
+            ),
+            CryptoError::NotEnoughShares {
+                threshold,
+                supplied,
+            } => write!(
+                f,
+                "not enough shares to reconstruct: threshold {threshold}, supplied {supplied}"
+            ),
+            CryptoError::MalformedShare(msg) => write!(f, "malformed share: {msg}"),
+            CryptoError::Malformed(msg) => write!(f, "malformed input: {msg}"),
+            CryptoError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            CryptoError::AuthenticationFailed,
+            CryptoError::InvalidLength {
+                context: "onion layer",
+                expected: 16,
+                actual: 3,
+            },
+            CryptoError::NotEnoughShares {
+                threshold: 3,
+                supplied: 1,
+            },
+            CryptoError::MalformedShare("index zero"),
+            CryptoError::Malformed("bad tag"),
+            CryptoError::InvalidParameters("m > n"),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

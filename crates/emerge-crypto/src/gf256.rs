@@ -1,0 +1,223 @@
+//! Arithmetic in GF(2^8) with the AES reduction polynomial
+//! `x^8 + x^4 + x^3 + x + 1` (0x11b).
+//!
+//! This field underlies the Shamir secret sharing in [`crate::shamir`].
+//! Multiplication uses log/antilog tables over the generator 3, built once
+//! at first use.
+
+use std::sync::OnceLock;
+
+/// Multiplication lookup tables: `exp[i] = g^i`, `log[x] = i` with `g = 3`.
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            // Multiply x by the generator 3 = x + 1: x*3 = x*2 ^ x.
+            let x2 = x << 1;
+            let x2 = if x2 & 0x100 != 0 { x2 ^ 0x11b } else { x2 };
+            x = (x2 ^ x) & 0xff;
+        }
+        // Duplicate so that exp[a + b] needs no modular reduction for
+        // a, b <= 254.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Adds two field elements (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Subtracts two field elements (identical to addition in GF(2^8)).
+#[inline]
+pub fn sub(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Computes the multiplicative inverse of `a`.
+///
+/// # Panics
+///
+/// Panics if `a == 0`; zero has no inverse.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no multiplicative inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let diff = 255 + t.log[a as usize] as usize - t.log[b as usize] as usize;
+    t.exp[diff]
+}
+
+/// Evaluates the polynomial with coefficients `coeffs` (constant term first)
+/// at point `x`, via Horner's rule.
+pub fn poly_eval(coeffs: &[u8], x: u8) -> u8 {
+    let mut acc = 0u8;
+    for &c in coeffs.iter().rev() {
+        acc = add(mul(acc, x), c);
+    }
+    acc
+}
+
+/// Lagrange interpolation at x = 0 given distinct points `(x_i, y_i)`.
+///
+/// Returns the constant term of the unique degree < points.len() polynomial
+/// through the points — i.e. the Shamir secret byte.
+///
+/// # Panics
+///
+/// Panics if any `x_i` is repeated (division by zero) or any `x_i == 0` is
+/// combined with another point at the same x.
+pub fn interpolate_at_zero(points: &[(u8, u8)]) -> u8 {
+    let mut acc = 0u8;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // Lagrange basis L_i(0) = prod_{j != i} x_j / (x_j - x_i).
+        let mut num = 1u8;
+        let mut den = 1u8;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = mul(num, xj);
+            den = mul(den, sub(xj, xi));
+        }
+        acc = add(acc, mul(yi, div(num, den)));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mul_known_values() {
+        // Classic AES examples.
+        assert_eq!(mul(0x57, 0x83), 0xc1);
+        assert_eq!(mul(0x57, 0x13), 0xfe);
+        assert_eq!(mul(2, 0x80), 0x1b);
+        assert_eq!(mul(1, 0xff), 0xff);
+        assert_eq!(mul(0, 0xff), 0);
+    }
+
+    #[test]
+    fn inv_round_trips() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no multiplicative inverse")]
+    fn inv_zero_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = div(3, 0);
+    }
+
+    #[test]
+    fn poly_eval_constant_and_linear() {
+        assert_eq!(poly_eval(&[0x42], 0x99), 0x42);
+        // p(x) = 5 + 3x at x=2: 5 ^ mul(3,2) = 5 ^ 6 = 3.
+        assert_eq!(poly_eval(&[5, 3], 2), 3);
+        // At x = 0 only the constant term remains.
+        assert_eq!(poly_eval(&[7, 11, 13], 0), 7);
+    }
+
+    #[test]
+    fn interpolation_recovers_constant_term() {
+        // p(x) = 0x2a + 0x0fx + 0x80x^2
+        let coeffs = [0x2a, 0x0f, 0x80];
+        let points: Vec<(u8, u8)> = [1u8, 2, 3].iter().map(|&x| (x, poly_eval(&coeffs, x))).collect();
+        assert_eq!(interpolate_at_zero(&points), 0x2a);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutative(a: u8, b: u8) {
+            prop_assert_eq!(mul(a, b), mul(b, a));
+        }
+
+        #[test]
+        fn mul_associative(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        }
+
+        #[test]
+        fn distributive(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        }
+
+        #[test]
+        fn one_is_identity(a: u8) {
+            prop_assert_eq!(mul(a, 1), a);
+        }
+
+        #[test]
+        fn add_self_is_zero(a: u8) {
+            prop_assert_eq!(add(a, a), 0);
+        }
+
+        #[test]
+        fn div_inverts_mul(a: u8, b in 1u8..) {
+            prop_assert_eq!(div(mul(a, b), b), a);
+        }
+
+        #[test]
+        fn interpolation_from_any_three_of_five(seed in any::<[u8; 3]>()) {
+            let coeffs = [seed[0], seed[1], seed[2]];
+            let all: Vec<(u8, u8)> = (1u8..=5).map(|x| (x, poly_eval(&coeffs, x))).collect();
+            // Every 3-subset of 5 points recovers the same constant term.
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    for k in (j + 1)..5 {
+                        let pts = [all[i], all[j], all[k]];
+                        prop_assert_eq!(interpolate_at_zero(&pts), seed[0]);
+                    }
+                }
+            }
+        }
+    }
+}

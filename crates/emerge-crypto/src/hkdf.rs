@@ -1,0 +1,154 @@
+//! HKDF key derivation (RFC 5869) built on HMAC-SHA256.
+//!
+//! The key-routing schemes derive all per-column onion keys, bundle keys and
+//! nonces from a single sender seed through HKDF, which keeps package
+//! generation deterministic given the seed (useful both for tests and for
+//! reproducible simulations).
+//!
+//! ```
+//! use emerge_crypto::hkdf::Hkdf;
+//! let hk = Hkdf::extract(Some(b"salt"), b"input key material");
+//! let okm = hk.expand(b"column-3-key", 32);
+//! assert_eq!(okm.len(), 32);
+//! ```
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::sha256::DIGEST_LEN;
+
+/// An HKDF pseudo-random key, ready for `expand` calls.
+#[derive(Debug, Clone)]
+pub struct Hkdf {
+    prk: [u8; DIGEST_LEN],
+}
+
+impl Hkdf {
+    /// HKDF-Extract: derives a pseudo-random key from input keying material.
+    ///
+    /// A missing salt is treated as a string of zeros per RFC 5869.
+    pub fn extract(salt: Option<&[u8]>, ikm: &[u8]) -> Self {
+        let zeros = [0u8; DIGEST_LEN];
+        let salt = salt.unwrap_or(&zeros);
+        Hkdf {
+            prk: hmac_sha256(salt, ikm),
+        }
+    }
+
+    /// Builds an `Hkdf` from an existing pseudo-random key (HKDF-Expand-only
+    /// mode, for callers that already hold a uniformly random key).
+    pub fn from_prk(prk: [u8; DIGEST_LEN]) -> Self {
+        Hkdf { prk }
+    }
+
+    /// HKDF-Expand: derives `len` bytes of output keying material bound to
+    /// `info`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 255 * 32` (the RFC 5869 limit).
+    pub fn expand(&self, info: &[u8], len: usize) -> Vec<u8> {
+        assert!(
+            len <= 255 * DIGEST_LEN,
+            "HKDF-Expand output length {len} exceeds RFC 5869 limit"
+        );
+        let mut okm = Vec::with_capacity(len);
+        let mut previous: Option<[u8; DIGEST_LEN]> = None;
+        let mut counter = 1u8;
+        while okm.len() < len {
+            let mut mac = HmacSha256::new(&self.prk);
+            if let Some(prev) = previous {
+                mac.update(&prev);
+            }
+            mac.update(info);
+            mac.update(&[counter]);
+            let block = mac.finalize();
+            let take = (len - okm.len()).min(DIGEST_LEN);
+            okm.extend_from_slice(&block[..take]);
+            previous = Some(block);
+            counter = counter.wrapping_add(1);
+        }
+        okm
+    }
+
+    /// Convenience: expand exactly 32 bytes into a fixed array.
+    pub fn expand_key(&self, info: &[u8]) -> [u8; DIGEST_LEN] {
+        let okm = self.expand(info, DIGEST_LEN);
+        let mut out = [0u8; DIGEST_LEN];
+        out.copy_from_slice(&okm);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let hk = Hkdf::extract(Some(&salt), &ikm);
+        assert_eq!(
+            hex(&hk.prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hk.expand(&info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let hk = Hkdf::extract(Some(b""), &ikm);
+        let okm = hk.expand(b"", 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn none_salt_equals_zero_salt() {
+        let zeros = [0u8; DIGEST_LEN];
+        let a = Hkdf::extract(None, b"ikm").expand(b"i", 16);
+        let b = Hkdf::extract(Some(&zeros), b"ikm").expand(b"i", 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_info_different_output() {
+        let hk = Hkdf::extract(Some(b"s"), b"ikm");
+        assert_ne!(hk.expand(b"a", 32), hk.expand(b"b", 32));
+    }
+
+    #[test]
+    fn long_output_is_prefix_consistent() {
+        let hk = Hkdf::extract(Some(b"s"), b"ikm");
+        let long = hk.expand(b"info", 100);
+        let short = hk.expand(b"info", 32);
+        assert_eq!(&long[..32], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds RFC 5869 limit")]
+    fn expand_over_limit_panics() {
+        let hk = Hkdf::extract(None, b"ikm");
+        let _ = hk.expand(b"", 255 * DIGEST_LEN + 1);
+    }
+}

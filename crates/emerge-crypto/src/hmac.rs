@@ -1,0 +1,159 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by [`crate::hkdf`] for key derivation and available directly for
+//! message authentication. Verified against RFC 4231 test vectors.
+//!
+//! ```
+//! use emerge_crypto::hmac::hmac_sha256;
+//! let tag = hmac_sha256(b"key", b"message");
+//! assert_eq!(tag.len(), 32);
+//! ```
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Incremental HMAC-SHA256 context.
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC context keyed with `key`.
+    ///
+    /// Keys longer than the SHA-256 block size (64 bytes) are hashed first,
+    /// per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut padded = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = Sha256::digest(key);
+            padded[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= padded[i];
+            opad[i] ^= padded[i];
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacSha256 { inner, outer }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the 32-byte authentication tag.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA256 of `message` under `key`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Constant-time equality check for MAC tags.
+///
+/// Both inputs must have the same length for the comparison to succeed;
+/// differing lengths return `false` immediately (length is public here).
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(actual.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"incremental-key";
+        let mut mac = HmacSha256::new(key);
+        mac.update(b"hello ");
+        mac.update(b"world");
+        assert_eq!(mac.finalize(), hmac_sha256(key, b"hello world"));
+    }
+
+    #[test]
+    fn verify_tag_accepts_equal_rejects_unequal() {
+        let t1 = hmac_sha256(b"k", b"m");
+        let mut t2 = t1;
+        assert!(verify_tag(&t1, &t2));
+        t2[0] ^= 1;
+        assert!(!verify_tag(&t1, &t2));
+        assert!(!verify_tag(&t1, &t1[..31]));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Layered ("onion") packaging for self-emerging key routing.
+//!
+//! Following Reed/Syverson/Goldschlag onion routing as used by the paper,
+//! the sender wraps the secret in `l` encryption layers. The holder at hop
+//! `j` peels exactly one layer with its column key `K_j`, revealing:
+//!
+//! * a per-hop **payload** (next-hop IDs, Shamir shares to forward, hold
+//!   durations — whatever the scheme puts there), and
+//! * the **inner onion** to forward to the next hop.
+//!
+//! The innermost layer carries the core payload (the protected secret key of
+//! the self-emerging message). Layers are sealed with ChaCha20-Poly1305, so
+//! a holder cannot see *or undetectably modify* anything beneath its own
+//! layer.
+//!
+//! ```
+//! use emerge_crypto::keys::SymmetricKey;
+//! use emerge_crypto::onion::{build_onion, peel, Peeled};
+//!
+//! # fn main() -> Result<(), emerge_crypto::CryptoError> {
+//! let k1 = SymmetricKey::from_bytes([1u8; 32]);
+//! let k2 = SymmetricKey::from_bytes([2u8; 32]);
+//! let onion = build_onion(&[(&k1, b"hop-1 data"), (&k2, b"hop-2 data")], b"the secret");
+//!
+//! let Peeled::Intermediate { payload, inner } = peel(&k1, &onion)? else { panic!() };
+//! assert_eq!(payload, b"hop-1 data");
+//! let Peeled::Core { payload } = peel(&k2, &inner)? else { panic!() };
+//! assert_eq!(payload, b"the secret");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::aead;
+use crate::error::CryptoError;
+use crate::keys::SymmetricKey;
+use crate::wire::{Reader, Writer};
+
+/// Domain separation string authenticated with every onion layer.
+const ONION_AAD: &[u8] = b"emerge-onion-v1";
+/// Marks a layer that contains a further onion beneath it.
+const TAG_INTERMEDIATE: u8 = 1;
+/// Marks the innermost layer.
+const TAG_CORE: u8 = 0;
+
+/// The result of peeling one onion layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Peeled {
+    /// An intermediate layer: per-hop payload plus the onion to forward.
+    Intermediate {
+        /// Data addressed to this hop's holder.
+        payload: Vec<u8>,
+        /// The remaining onion, to forward to the next hop.
+        inner: Vec<u8>,
+    },
+    /// The innermost layer: the protected core payload.
+    Core {
+        /// The core data (the self-emerging secret key).
+        payload: Vec<u8>,
+    },
+}
+
+/// Builds an onion with the given layers (outermost first) around `core`.
+///
+/// Layer `j` is decryptable with `layers[j].0`; peeling it yields
+/// `layers[j].1` as the per-hop payload. Peeling the final layer yields
+/// `core`.
+///
+/// An empty `layers` slice produces a single-layer onion — but that layer
+/// still needs a key, so the degenerate "no hops at all" case is expressed
+/// as `build_onion(&[(&key, b"")], core)` with one hop. This function
+/// panics on a truly empty layer list because the result would be
+/// unencrypted.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty.
+pub fn build_onion(layers: &[(&SymmetricKey, &[u8])], core: &[u8]) -> Vec<u8> {
+    assert!(
+        !layers.is_empty(),
+        "an onion needs at least one layer key; refusing to emit plaintext"
+    );
+
+    // Innermost layer: the last key wraps the core together with the last
+    // hop's payload.
+    let (last_key, last_payload) = layers[layers.len() - 1];
+    let mut w = Writer::new();
+    w.put_u8(TAG_CORE).put_bytes(last_payload).put_bytes(core);
+    let mut onion = seal_layer(last_key, &w.into_bytes());
+
+    // Wrap outward.
+    for &(key, payload) in layers[..layers.len() - 1].iter().rev() {
+        let mut w = Writer::new();
+        w.put_u8(TAG_INTERMEDIATE)
+            .put_bytes(payload)
+            .put_bytes(&onion);
+        onion = seal_layer(key, &w.into_bytes());
+    }
+    onion
+}
+
+/// Peels one layer of `onion` with `key`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::AuthenticationFailed`] for a wrong key or a
+/// tampered layer, and [`CryptoError::Malformed`] /
+/// [`CryptoError::InvalidLength`] for structurally invalid plaintext.
+pub fn peel(key: &SymmetricKey, onion: &[u8]) -> Result<Peeled, CryptoError> {
+    let nonce = key.derive_nonce(b"onion-layer");
+    let plain = aead::open(key, &nonce, onion, ONION_AAD)?;
+    let mut r = Reader::new(&plain);
+    let tag = r.get_u8()?;
+    match tag {
+        TAG_CORE => {
+            // Core layers also carry a final-hop payload; the caller that
+            // wants just the core reads `payload` of Peeled::Core after the
+            // hop payload. Layout: tag, hop payload, core payload.
+            let _hop_payload = r.get_bytes()?.to_vec();
+            let core = r.get_bytes()?.to_vec();
+            r.expect_end()?;
+            Ok(Peeled::Core { payload: core })
+        }
+        TAG_INTERMEDIATE => {
+            let payload = r.get_bytes()?.to_vec();
+            let inner = r.get_bytes()?.to_vec();
+            r.expect_end()?;
+            Ok(Peeled::Intermediate { payload, inner })
+        }
+        _ => Err(CryptoError::Malformed("unknown onion layer tag")),
+    }
+}
+
+/// Peels the innermost layer, returning both the final hop payload and the
+/// core. Use this when the terminal holder needs its hop payload too.
+pub fn peel_core(key: &SymmetricKey, onion: &[u8]) -> Result<(Vec<u8>, Vec<u8>), CryptoError> {
+    let nonce = key.derive_nonce(b"onion-layer");
+    let plain = aead::open(key, &nonce, onion, ONION_AAD)?;
+    let mut r = Reader::new(&plain);
+    let tag = r.get_u8()?;
+    if tag != TAG_CORE {
+        return Err(CryptoError::Malformed(
+            "expected core onion layer, found intermediate",
+        ));
+    }
+    let hop_payload = r.get_bytes()?.to_vec();
+    let core = r.get_bytes()?.to_vec();
+    r.expect_end()?;
+    Ok((hop_payload, core))
+}
+
+fn seal_layer(key: &SymmetricKey, plaintext: &[u8]) -> Vec<u8> {
+    let nonce = key.derive_nonce(b"onion-layer");
+    aead::seal(key, &nonce, plaintext, ONION_AAD)
+}
+
+/// Computes the serialized size of an onion with the given per-layer
+/// payload sizes (outermost first) and core size, without building it.
+///
+/// Useful for capacity planning in the schemes and asserted against real
+/// onions in tests.
+pub fn onion_size(payload_sizes: &[usize], core_size: usize) -> usize {
+    assert!(!payload_sizes.is_empty());
+    // Innermost: tag(1) + len(4) + payload + len(4) + core, plus AEAD tag.
+    let last = payload_sizes[payload_sizes.len() - 1];
+    let mut size = 1 + 4 + last + 4 + core_size + aead::OVERHEAD;
+    for &p in payload_sizes[..payload_sizes.len() - 1].iter().rev() {
+        size = 1 + 4 + p + 4 + size + aead::OVERHEAD;
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(b: u8) -> SymmetricKey {
+        SymmetricKey::from_bytes([b; 32])
+    }
+
+    #[test]
+    fn three_layer_roundtrip() {
+        let keys = [key(1), key(2), key(3)];
+        let onion = build_onion(
+            &[
+                (&keys[0], b"to hop 1"),
+                (&keys[1], b"to hop 2"),
+                (&keys[2], b"to hop 3"),
+            ],
+            b"core secret",
+        );
+
+        let Peeled::Intermediate { payload, inner } = peel(&keys[0], &onion).unwrap() else {
+            panic!("expected intermediate");
+        };
+        assert_eq!(payload, b"to hop 1");
+
+        let Peeled::Intermediate { payload, inner } = peel(&keys[1], &inner).unwrap() else {
+            panic!("expected intermediate");
+        };
+        assert_eq!(payload, b"to hop 2");
+
+        let (hop_payload, core) = peel_core(&keys[2], &inner).unwrap();
+        assert_eq!(hop_payload, b"to hop 3");
+        assert_eq!(core, b"core secret");
+    }
+
+    #[test]
+    fn single_layer_onion() {
+        let k = key(9);
+        let onion = build_onion(&[(&k, b"only hop")], b"secret");
+        match peel(&k, &onion).unwrap() {
+            Peeled::Core { payload } => assert_eq!(payload, b"secret"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_key_cannot_peel() {
+        let onion = build_onion(&[(&key(1), b""), (&key(2), b"")], b"secret");
+        assert_eq!(
+            peel(&key(2), &onion),
+            Err(CryptoError::AuthenticationFailed),
+            "inner key must not open the outer layer"
+        );
+        assert_eq!(peel(&key(7), &onion), Err(CryptoError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn skipping_a_layer_fails() {
+        // An adversary holding K2 and K3 but not K1 cannot shortcut: the
+        // outer layer hides the inner ciphertext entirely.
+        let keys = [key(1), key(2), key(3)];
+        let onion = build_onion(
+            &[(&keys[0], b""), (&keys[1], b""), (&keys[2], b"")],
+            b"secret",
+        );
+        assert!(peel(&keys[1], &onion).is_err());
+        assert!(peel(&keys[2], &onion).is_err());
+    }
+
+    #[test]
+    fn tampered_layer_rejected() {
+        let k = key(4);
+        let mut onion = build_onion(&[(&k, b"p")], b"secret");
+        let mid = onion.len() / 2;
+        onion[mid] ^= 0xFF;
+        assert_eq!(peel(&k, &onion), Err(CryptoError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn peel_core_rejects_intermediate_layer() {
+        let keys = [key(1), key(2)];
+        let onion = build_onion(&[(&keys[0], b""), (&keys[1], b"")], b"secret");
+        assert!(matches!(
+            peel_core(&keys[0], &onion),
+            Err(CryptoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer key")]
+    fn empty_layers_panics() {
+        let _ = build_onion(&[], b"secret");
+    }
+
+    #[test]
+    fn onion_size_matches_reality() {
+        let keys = [key(1), key(2), key(3)];
+        let payloads: [&[u8]; 3] = [b"aa", b"bbbb", b"cccccc"];
+        let onion = build_onion(
+            &[
+                (&keys[0], payloads[0]),
+                (&keys[1], payloads[1]),
+                (&keys[2], payloads[2]),
+            ],
+            b"0123456789",
+        );
+        assert_eq!(onion.len(), onion_size(&[2, 4, 6], 10));
+    }
+
+    #[test]
+    fn replicated_onions_are_identical() {
+        // The disjoint scheme sends the same onion down k paths; building it
+        // twice must give byte-identical packages (deterministic nonces).
+        let keys = [key(1), key(2)];
+        let a = build_onion(&[(&keys[0], b"x"), (&keys[1], b"y")], b"core");
+        let b = build_onion(&[(&keys[0], b"x"), (&keys[1], b"y")], b"core");
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_payload_roundtrip(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..40), 1..5),
+            core in proptest::collection::vec(any::<u8>(), 0..60),
+        ) {
+            let keys: Vec<SymmetricKey> =
+                (0..payloads.len()).map(|i| key(i as u8 + 1)).collect();
+            let layer_refs: Vec<(&SymmetricKey, &[u8])> = keys
+                .iter()
+                .zip(payloads.iter())
+                .map(|(k, p)| (k, p.as_slice()))
+                .collect();
+            let mut onion = build_onion(&layer_refs, &core);
+
+            for (i, k) in keys.iter().enumerate() {
+                if i + 1 == keys.len() {
+                    let (hp, c) = peel_core(k, &onion).unwrap();
+                    prop_assert_eq!(&hp, &payloads[i]);
+                    prop_assert_eq!(&c, &core);
+                } else {
+                    match peel(k, &onion).unwrap() {
+                        Peeled::Intermediate { payload, inner } => {
+                            prop_assert_eq!(&payload, &payloads[i]);
+                            onion = inner;
+                        }
+                        Peeled::Core { .. } => prop_assert!(false, "core too early"),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Poly1305 one-time authenticator (RFC 8439).
+//!
+//! Implemented with 26-bit limbs and 64-bit intermediate products, the
+//! classic portable strategy. Verified against the RFC 8439 section 2.5.2
+//! test vector.
+
+/// Poly1305 key length (r || s) in bytes.
+pub const KEY_LEN: usize = 32;
+/// Poly1305 tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 MAC state.
+///
+/// The key must never be reused across messages; in this crate each AEAD
+/// invocation derives a fresh one-time key from ChaCha20 block 0.
+#[derive(Debug, Clone)]
+pub struct Poly1305 {
+    /// r, clamped, in five 26-bit limbs.
+    r: [u32; 5],
+    /// Accumulator in five 26-bit limbs.
+    h: [u32; 5],
+    /// s (the final addend), as four little-endian 32-bit words.
+    s: [u32; 4],
+    buffer: [u8; 16],
+    buffered: usize,
+}
+
+impl Poly1305 {
+    /// Creates a MAC from a 32-byte one-time key `(r || s)`.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // Clamp r per RFC 8439.
+        let t0 = u32::from_le_bytes([key[0], key[1], key[2], key[3]]);
+        let t1 = u32::from_le_bytes([key[4], key[5], key[6], key[7]]);
+        let t2 = u32::from_le_bytes([key[8], key[9], key[10], key[11]]);
+        let t3 = u32::from_le_bytes([key[12], key[13], key[14], key[15]]);
+
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
+            (t3 >> 8) & 0x000f_ffff,
+        ];
+
+        let s = [
+            u32::from_le_bytes([key[16], key[17], key[18], key[19]]),
+            u32::from_le_bytes([key[20], key[21], key[22], key[23]]),
+            u32::from_le_bytes([key[24], key[25], key[26], key[27]]),
+            u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
+        ];
+
+        Poly1305 {
+            r,
+            h: [0; 5],
+            s,
+            buffer: [0u8; 16],
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buffered > 0 {
+            let want = 16 - self.buffered;
+            let take = want.min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 16 {
+                let block = self.buffer;
+                self.process_block(&block, 1 << 24);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let (block, rest) = data.split_at(16);
+            let mut tmp = [0u8; 16];
+            tmp.copy_from_slice(block);
+            self.process_block(&tmp, 1 << 24);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Finishes the MAC and returns the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buffered > 0 {
+            // Final partial block: append 0x01 then zero-pad, with no high bit.
+            let mut block = [0u8; 16];
+            block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);
+            block[self.buffered] = 1;
+            self.process_block(&block, 0);
+        }
+
+        // Full carry propagation of h. Afterwards all limbs are < 2^26
+        // except h[1], which may be exactly 2^26 (handled below).
+        let mut h = self.h;
+        let mut carry;
+        carry = h[1] >> 26;
+        h[1] &= 0x03ff_ffff;
+        h[2] += carry;
+        carry = h[2] >> 26;
+        h[2] &= 0x03ff_ffff;
+        h[3] += carry;
+        carry = h[3] >> 26;
+        h[3] &= 0x03ff_ffff;
+        h[4] += carry;
+        carry = h[4] >> 26;
+        h[4] &= 0x03ff_ffff;
+        h[0] += carry * 5;
+        carry = h[0] >> 26;
+        h[0] &= 0x03ff_ffff;
+        h[1] += carry;
+
+        // Compute g = h + 5 - 2^130. The top bit of g4 (as a signed value)
+        // tells us whether h < p; select constant-time with full-width masks
+        // (poly1305-donna's strategy).
+        let mut g = [0u32; 5];
+        let mut c = 5u32;
+        for i in 0..4 {
+            let t = h[i] + c;
+            g[i] = t & 0x03ff_ffff;
+            c = t >> 26;
+        }
+        g[4] = (h[4] + c).wrapping_sub(1 << 26);
+        // mask = all-ones if h >= p (select g), zero otherwise (select h).
+        let mask = ((g[4] >> 31).wrapping_sub(1)) as u32;
+        let select = |hv: u32, gv: u32| (hv & !mask) | (gv & mask);
+        let f0 = select(h[0], g[0]);
+        let f1 = select(h[1], g[1]);
+        let f2 = select(h[2], g[2]);
+        let f3 = select(h[3], g[3]);
+        let f4 = select(h[4], g[4]);
+
+        // Convert back to 4x u32 little-endian words (mod 2^128). If f1 is
+        // exactly 2^26 its low 6 bits are zero, so the `f1 << 26` overflow
+        // discards nothing.
+        let mut words = [
+            f0 | (f1 << 26),
+            (f1 >> 6) | (f2 << 20),
+            (f2 >> 12) | (f3 << 14),
+            (f3 >> 18) | (f4 << 8),
+        ];
+
+        // Add s modulo 2^128.
+        let mut carry64 = 0u64;
+        for i in 0..4 {
+            let t = words[i] as u64 + self.s[i] as u64 + carry64;
+            words[i] = t as u32;
+            carry64 = t >> 32;
+        }
+
+        let mut tag = [0u8; TAG_LEN];
+        for i in 0..4 {
+            tag[4 * i..4 * i + 4].copy_from_slice(&words[i].to_le_bytes());
+        }
+        tag
+    }
+
+    /// One-shot MAC computation.
+    pub fn mac(key: &[u8; KEY_LEN], message: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Poly1305::new(key);
+        p.update(message);
+        p.finalize()
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], hibit: u32) {
+        let t0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]);
+        let t1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+        let t2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        let t3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]);
+
+        // h += message block (with the high bit per RFC 8439).
+        self.h[0] += t0 & 0x03ff_ffff;
+        self.h[1] += ((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff;
+        self.h[2] += ((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff;
+        self.h[3] += ((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff;
+        self.h[4] += (t3 >> 8) | hibit;
+
+        // h *= r (mod 2^130 - 5), schoolbook with 64-bit accumulators.
+        let [r0, r1, r2, r3, r4] = self.r.map(|x| x as u64);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+        let [h0, h1, h2, h3, h4] = self.h.map(|x| x as u64);
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Partial carry reduction.
+        let mut c;
+        let mut d0 = d0;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+        c = d0 >> 26;
+        d0 &= 0x03ff_ffff;
+        d1 += c;
+        c = d1 >> 26;
+        d1 &= 0x03ff_ffff;
+        d2 += c;
+        c = d2 >> 26;
+        d2 &= 0x03ff_ffff;
+        d3 += c;
+        c = d3 >> 26;
+        d3 &= 0x03ff_ffff;
+        d4 += c;
+        c = d4 >> 26;
+        d4 &= 0x03ff_ffff;
+        d0 += c * 5;
+        c = d0 >> 26;
+        d0 &= 0x03ff_ffff;
+        d1 += c;
+
+        self.h = [d0 as u32, d1 as u32, d2 as u32, d3 as u32, d4 as u32];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 section 2.5.2.
+    #[test]
+    fn rfc8439_vector() {
+        let key_bytes = unhex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        );
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&key_bytes);
+        let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    // RFC 8439 appendix A.3 test vector #1: all-zero key and message.
+    #[test]
+    fn zero_key_zero_message() {
+        let key = [0u8; 32];
+        let msg = [0u8; 64];
+        let tag = Poly1305::mac(&key, &msg);
+        assert_eq!(hex(&tag), "00000000000000000000000000000000");
+    }
+
+    // RFC 8439 appendix A.3 test vector #2: r = 0, s = text-dependent.
+    #[test]
+    fn appendix_a3_vector2() {
+        let mut key = [0u8; 32];
+        let s = unhex("36e5f6b5c5e06070f0efca96227a863e");
+        key[16..].copy_from_slice(&s);
+        let msg = b"Any submission to the IETF intended by the Contributor for publi\
+cation as all or part of an IETF Internet-Draft or RFC and any statement made wit\
+hin the context of an IETF activity is considered an \"IETF Contribution\". Such s\
+tatements include oral statements in IETF sessions, as well as written and electr\
+onic communications made at any time or place, which are addressed to";
+        let tag = Poly1305::mac(&key, msg.as_slice());
+        assert_eq!(hex(&tag), "36e5f6b5c5e06070f0efca96227a863e");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key: [u8; 32] = core::array::from_fn(|i| (i * 7 + 1) as u8);
+        let msg: Vec<u8> = (0..129).map(|i| (i * 3) as u8).collect();
+        let oneshot = Poly1305::mac(&key, &msg);
+        for split in [1usize, 15, 16, 17, 64, 128] {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finalize(), oneshot, "split {split}");
+        }
+    }
+
+    #[test]
+    fn tag_depends_on_message() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8 + 1);
+        assert_ne!(Poly1305::mac(&key, b"a"), Poly1305::mac(&key, b"b"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Minimal length-prefixed wire format helpers.
+//!
+//! Onion layers, DHT RPC payloads and cloud records all serialize through
+//! these little-endian, length-prefixed primitives. Using one tiny hand-
+//! rolled format keeps the whole system dependency-free and the parsing
+//! failure modes explicit.
+
+use crate::error::CryptoError;
+
+/// Append-only byte writer.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Creates a writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Appends bytes with a u32 length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.put_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Finishes and returns the accumulated buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length of the buffer.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor-based byte reader matching [`Writer`].
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CryptoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CryptoError::InvalidLength {
+                context,
+                expected: n,
+                actual: self.buf.len() - self.pos,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CryptoError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16, CryptoError> {
+        let s = self.take(2, "u16")?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, CryptoError> {
+        let s = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, CryptoError> {
+        let s = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CryptoError> {
+        self.take(n, "raw bytes")
+    }
+
+    /// Reads a u32-length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CryptoError> {
+        let len = self.get_u32()? as usize;
+        self.take(len, "length-prefixed bytes")
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns an error if any input remains unconsumed.
+    ///
+    /// Strict parsers call this to reject trailing garbage.
+    pub fn expect_end(&self) -> Result<(), CryptoError> {
+        if self.remaining() != 0 {
+            return Err(CryptoError::Malformed("trailing bytes after structure"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = Writer::new();
+        w.put_u8(7)
+            .put_u16(0x1234)
+            .put_u32(0xDEAD_BEEF)
+            .put_u64(0x0102_0304_0506_0708)
+            .put_bytes(b"hello")
+            .put_raw(b"xyz");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_raw(3).unwrap(), b"xyz");
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn short_reads_error_cleanly() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.get_u32().is_err());
+        // Failed read consumes nothing.
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.get_u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn bytes_with_oversized_length_prefix_error() {
+        let mut w = Writer::new();
+        w.put_u32(1000); // claims 1000 bytes follow
+        w.put_raw(b"short");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_bytes().is_err());
+    }
+
+    #[test]
+    fn expect_end_rejects_trailing() {
+        let r = Reader::new(&[1]);
+        assert!(matches!(r.expect_end(), Err(CryptoError::Malformed(_))));
+    }
+
+    #[test]
+    fn empty_writer_properties() {
+        let w = Writer::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let mut w = Writer::new();
+            w.put_bytes(&data);
+            let buf = w.into_bytes();
+            let mut r = Reader::new(&buf);
+            prop_assert_eq!(r.get_bytes().unwrap(), &data[..]);
+            prop_assert!(r.expect_end().is_ok());
+        }
+
+        #[test]
+        fn interleaved_roundtrip(
+            a: u64,
+            b in proptest::collection::vec(any::<u8>(), 0..50),
+            c: u16,
+        ) {
+            let mut w = Writer::new();
+            w.put_u64(a).put_bytes(&b).put_u16(c);
+            let buf = w.into_bytes();
+            let mut r = Reader::new(&buf);
+            prop_assert_eq!(r.get_u64().unwrap(), a);
+            prop_assert_eq!(r.get_bytes().unwrap(), &b[..]);
+            prop_assert_eq!(r.get_u16().unwrap(), c);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Kademlia k-buckets with least-recently-seen eviction.
+//!
+//! A bucket holds up to `k` contacts that share a given distance prefix
+//! with the owning node. Contacts are kept ordered from least- to most-
+//! recently seen; refreshing a contact moves it to the tail. When a full
+//! bucket sees a new contact, the standard Kademlia policy applies: the
+//! least-recently-seen contact is evicted only if it is no longer alive
+//! (here: flagged stale by the caller), otherwise the newcomer is dropped.
+
+use crate::id::NodeId;
+use emerge_sim::time::SimTime;
+
+/// Default bucket capacity (Kademlia's k).
+pub const DEFAULT_K: usize = 20;
+
+/// One routing-table contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contact {
+    /// The contact's identifier.
+    pub id: NodeId,
+    /// When the contact was last seen (message received).
+    pub last_seen: SimTime,
+}
+
+/// Outcome of offering a contact to a bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The contact was added to the bucket.
+    Added,
+    /// The contact already existed; its recency was refreshed.
+    Refreshed,
+    /// The bucket was full and the oldest contact was evicted in favour of
+    /// the newcomer (the evicted ID is returned).
+    Replaced(NodeId),
+    /// The bucket was full of live contacts; the newcomer was dropped.
+    Full,
+}
+
+/// A k-bucket: bounded list of contacts, least-recently-seen first.
+#[derive(Debug, Clone)]
+pub struct KBucket {
+    capacity: usize,
+    contacts: Vec<Contact>,
+}
+
+impl KBucket {
+    /// Creates an empty bucket with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "bucket capacity must be positive");
+        KBucket {
+            capacity,
+            contacts: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of contacts currently stored.
+    pub fn len(&self) -> usize {
+        self.contacts.len()
+    }
+
+    /// Whether the bucket holds no contacts.
+    pub fn is_empty(&self) -> bool {
+        self.contacts.is_empty()
+    }
+
+    /// Whether the bucket is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.contacts.len() >= self.capacity
+    }
+
+    /// Iterates contacts from least- to most-recently seen.
+    pub fn iter(&self) -> impl Iterator<Item = &Contact> {
+        self.contacts.iter()
+    }
+
+    /// Looks up a contact by ID.
+    pub fn get(&self, id: &NodeId) -> Option<&Contact> {
+        self.contacts.iter().find(|c| c.id == *id)
+    }
+
+    /// Offers a contact to the bucket.
+    ///
+    /// `oldest_is_stale` tells the bucket whether its least-recently-seen
+    /// contact failed a liveness check; the caller typically pings the
+    /// oldest contact before offering when the bucket is full.
+    pub fn offer(&mut self, id: NodeId, now: SimTime, oldest_is_stale: bool) -> InsertOutcome {
+        if let Some(pos) = self.contacts.iter().position(|c| c.id == id) {
+            let mut c = self.contacts.remove(pos);
+            c.last_seen = now;
+            self.contacts.push(c);
+            return InsertOutcome::Refreshed;
+        }
+        if !self.is_full() {
+            self.contacts.push(Contact { id, last_seen: now });
+            return InsertOutcome::Added;
+        }
+        if oldest_is_stale {
+            let evicted = self.contacts.remove(0);
+            self.contacts.push(Contact { id, last_seen: now });
+            return InsertOutcome::Replaced(evicted.id);
+        }
+        InsertOutcome::Full
+    }
+
+    /// Removes a contact (e.g. confirmed dead), returning whether it was
+    /// present.
+    pub fn remove(&mut self, id: &NodeId) -> bool {
+        if let Some(pos) = self.contacts.iter().position(|c| c.id == *id) {
+            self.contacts.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The least-recently-seen contact, if any.
+    pub fn oldest(&self) -> Option<&Contact> {
+        self.contacts.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ID_LEN;
+
+    fn id(b: u8) -> NodeId {
+        NodeId::from_bytes([b; ID_LEN])
+    }
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    #[test]
+    fn add_until_full() {
+        let mut b = KBucket::new(3);
+        assert_eq!(b.offer(id(1), t(1), false), InsertOutcome::Added);
+        assert_eq!(b.offer(id(2), t(2), false), InsertOutcome::Added);
+        assert_eq!(b.offer(id(3), t(3), false), InsertOutcome::Added);
+        assert!(b.is_full());
+        assert_eq!(b.offer(id(4), t(4), false), InsertOutcome::Full);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn refresh_moves_to_tail() {
+        let mut b = KBucket::new(3);
+        b.offer(id(1), t(1), false);
+        b.offer(id(2), t(2), false);
+        assert_eq!(b.oldest().unwrap().id, id(1));
+        assert_eq!(b.offer(id(1), t(3), false), InsertOutcome::Refreshed);
+        assert_eq!(b.oldest().unwrap().id, id(2));
+        assert_eq!(b.get(&id(1)).unwrap().last_seen, t(3));
+    }
+
+    #[test]
+    fn stale_oldest_gets_replaced() {
+        let mut b = KBucket::new(2);
+        b.offer(id(1), t(1), false);
+        b.offer(id(2), t(2), false);
+        assert_eq!(b.offer(id(3), t(3), true), InsertOutcome::Replaced(id(1)));
+        assert!(b.get(&id(1)).is_none());
+        assert!(b.get(&id(3)).is_some());
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn live_oldest_survives() {
+        let mut b = KBucket::new(2);
+        b.offer(id(1), t(1), false);
+        b.offer(id(2), t(2), false);
+        assert_eq!(b.offer(id(3), t(3), false), InsertOutcome::Full);
+        assert!(b.get(&id(1)).is_some());
+        assert!(b.get(&id(3)).is_none());
+    }
+
+    #[test]
+    fn remove_contact() {
+        let mut b = KBucket::new(2);
+        b.offer(id(1), t(1), false);
+        assert!(b.remove(&id(1)));
+        assert!(!b.remove(&id(1)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn iteration_order_is_lru() {
+        let mut b = KBucket::new(4);
+        for i in 1..=4 {
+            b.offer(id(i), t(i as u64), false);
+        }
+        b.offer(id(2), t(9), false); // refresh 2
+        let order: Vec<NodeId> = b.iter().map(|c| c.id).collect();
+        assert_eq!(order, vec![id(1), id(3), id(4), id(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = KBucket::new(0);
+    }
+}

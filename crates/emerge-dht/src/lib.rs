@@ -1,0 +1,54 @@
+//! # emerge-dht
+//!
+//! A Kademlia-style distributed hash table running on the [`emerge_sim`]
+//! discrete-event engine. This crate replaces the paper's use of the
+//! Overlay Weaver DHT emulator: it provides the node population, uniform
+//! 160-bit ID space, XOR-metric routing, iterative lookups, storage with
+//! replication, churn (exponential node lifetimes with generational
+//! replacement) and adversarial node marking that the self-emerging
+//! key-routing schemes in `emerge-core` are built upon.
+//!
+//! ## Layout
+//!
+//! * [`id`] — 160-bit node/key identifiers and the XOR distance metric
+//! * [`bucket`] — k-buckets with least-recently-seen eviction
+//! * [`table`] — per-node routing tables
+//! * [`rpc`] — the four Kademlia RPCs and message envelopes
+//! * [`node`] — the server side: RPC handling with passive learning
+//! * [`lookup`] — iterative node/value lookup with α-way parallelism
+//! * [`storage`] — TTL'd local key-value store
+//! * [`network`] — latency and loss models, message accounting
+//! * [`overlay`] — the whole-network harness: population, churn
+//!   generations, malicious marking, store/get, holder sampling
+//!
+//! ## Example
+//!
+//! ```
+//! use emerge_dht::overlay::{Overlay, OverlayConfig};
+//!
+//! let config = OverlayConfig { n_nodes: 64, ..OverlayConfig::default() };
+//! let mut overlay = Overlay::build(config, 42);
+//! overlay.build_routing_tables();
+//!
+//! // Store a value and retrieve it through iterative lookup.
+//! let key = emerge_dht::id::NodeId::from_name(b"the-key");
+//! overlay.store(key, b"hello".to_vec());
+//! let found = overlay.find_value(0, key).expect("value should be found");
+//! assert_eq!(found.value, b"hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod id;
+pub mod lookup;
+pub mod network;
+pub mod node;
+pub mod overlay;
+pub mod rpc;
+pub mod storage;
+pub mod table;
+
+pub use id::NodeId;
+pub use overlay::{Overlay, OverlayConfig};

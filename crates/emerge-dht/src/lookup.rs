@@ -1,0 +1,270 @@
+//! Iterative Kademlia lookup with α-way parallelism.
+//!
+//! The algorithm is expressed against a [`NodeQuery`] trait so it can be
+//! unit-tested against synthetic topologies and reused by the overlay for
+//! both `FIND_NODE` and `FIND_VALUE` flows.
+
+use crate::id::{cmp_distance, NodeId};
+use std::collections::HashSet;
+
+/// Abstracts "ask node X for its closest contacts to T".
+///
+/// Implementations return `None` when the queried node is unreachable
+/// (dead, offline, or the message was lost) — the lookup routes around it.
+pub trait NodeQuery {
+    /// Returns up to `count` contacts of `node` closest to `target`, or
+    /// `None` if `node` does not respond.
+    fn closest_of(&mut self, node: NodeId, target: NodeId, count: usize) -> Option<Vec<NodeId>>;
+}
+
+/// Statistics and results of one iterative lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// The k closest live contacts found, sorted closest-first.
+    pub closest: Vec<NodeId>,
+    /// Number of nodes queried (responses + timeouts).
+    pub queried: usize,
+    /// Number of nodes that failed to respond.
+    pub timeouts: usize,
+    /// Number of query rounds performed.
+    pub rounds: usize,
+}
+
+/// Runs an iterative `FIND_NODE` toward `target`.
+///
+/// * `seeds` — initial candidates (typically from the caller's routing
+///   table).
+/// * `k` — result set size and per-query contact count.
+/// * `alpha` — query parallelism per round.
+///
+/// Termination follows Kademlia: the lookup stops when a round fails to
+/// improve the closest known contact and all of the current k closest have
+/// been queried (or failed).
+pub fn iterative_find_node(
+    seeds: &[NodeId],
+    target: NodeId,
+    k: usize,
+    alpha: usize,
+    query: &mut impl NodeQuery,
+) -> LookupOutcome {
+    assert!(k > 0, "lookup needs k >= 1");
+    assert!(alpha > 0, "lookup needs alpha >= 1");
+
+    let mut shortlist: Vec<NodeId> = seeds.to_vec();
+    shortlist.sort_by(|a, b| cmp_distance(a, b, &target));
+    shortlist.dedup();
+
+    let mut contacted: HashSet<NodeId> = HashSet::new();
+    let mut responded: HashSet<NodeId> = HashSet::new();
+    let mut queried = 0usize;
+    let mut timeouts = 0usize;
+    let mut rounds = 0usize;
+
+    loop {
+        // The frontier is the k closest candidates that are either already
+        // confirmed (responded) or not yet tried. Unresponsive nodes fall
+        // out; candidates beyond the frontier are never queried, which is
+        // what bounds the query count to O(k + α·log n).
+        let frontier: Vec<NodeId> = shortlist
+            .iter()
+            .filter(|id| responded.contains(*id) || !contacted.contains(*id))
+            .take(k)
+            .copied()
+            .collect();
+        let batch: Vec<NodeId> = frontier
+            .iter()
+            .filter(|id| !contacted.contains(*id))
+            .take(alpha)
+            .copied()
+            .collect();
+        if batch.is_empty() {
+            break;
+        }
+        rounds += 1;
+
+        for node in batch {
+            contacted.insert(node);
+            queried += 1;
+            match query.closest_of(node, target, k) {
+                Some(contacts) => {
+                    responded.insert(node);
+                    for c in contacts {
+                        if !shortlist.contains(&c) {
+                            shortlist.push(c);
+                        }
+                    }
+                }
+                None => {
+                    timeouts += 1;
+                    shortlist.retain(|id| *id != node);
+                }
+            }
+        }
+
+        shortlist.sort_by(|a, b| cmp_distance(a, b, &target));
+    }
+
+    let closest: Vec<NodeId> = shortlist
+        .into_iter()
+        .filter(|id| responded.contains(id))
+        .take(k)
+        .collect();
+
+    LookupOutcome {
+        closest,
+        queried,
+        timeouts,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::sort_by_distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// A fully known synthetic network where every node knows `fanout`
+    /// random peers plus its numeric neighbours.
+    struct TestNet {
+        tables: HashMap<NodeId, Vec<NodeId>>,
+        dead: HashSet<NodeId>,
+        queries: usize,
+    }
+
+    impl TestNet {
+        fn build(n: usize, fanout: usize, seed: u64) -> (Self, Vec<NodeId>) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ids: Vec<NodeId> = (0..n).map(|_| NodeId::random(&mut rng)).collect();
+            let mut tables = HashMap::new();
+            for (i, id) in ids.iter().enumerate() {
+                let mut known: Vec<NodeId> = Vec::new();
+                // A ring link guarantees connectivity...
+                known.push(ids[(i + 1) % n]);
+                // ...plus `fanout` random long-range contacts (Kademlia-ish).
+                for j in 0..fanout {
+                    known.push(ids[(i * 7 + j * 13 + 1) % n]);
+                }
+                // And everyone knows their true closest peers, emulating
+                // converged buckets near their own region.
+                let mut near = ids.clone();
+                sort_by_distance(&mut near, id);
+                known.extend(near.iter().skip(1).take(4));
+                known.dedup();
+                tables.insert(*id, known);
+            }
+            (
+                TestNet {
+                    tables,
+                    dead: HashSet::new(),
+                    queries: 0,
+                },
+                ids,
+            )
+        }
+    }
+
+    impl NodeQuery for TestNet {
+        fn closest_of(
+            &mut self,
+            node: NodeId,
+            target: NodeId,
+            count: usize,
+        ) -> Option<Vec<NodeId>> {
+            self.queries += 1;
+            if self.dead.contains(&node) {
+                return None;
+            }
+            // Tables deliberately keep stale (dead) contacts: real routing
+            // tables do not learn of deaths instantly, so lookups must route
+            // around unresponsive entries.
+            let mut known = self.tables.get(&node)?.clone();
+            sort_by_distance(&mut known, &target);
+            known.truncate(count);
+            Some(known)
+        }
+    }
+
+    #[test]
+    fn lookup_finds_the_globally_closest_node() {
+        let (mut net, ids) = TestNet::build(200, 6, 1);
+        let target = NodeId::from_name(b"needle");
+        let mut truth = ids.clone();
+        sort_by_distance(&mut truth, &target);
+
+        let outcome = iterative_find_node(&ids[..3], target, 8, 3, &mut net);
+        assert!(!outcome.closest.is_empty());
+        assert_eq!(
+            outcome.closest[0], truth[0],
+            "lookup must converge to the true closest node"
+        );
+    }
+
+    #[test]
+    fn lookup_copes_with_dead_nodes() {
+        let (mut net, ids) = TestNet::build(200, 6, 2);
+        let target = NodeId::from_name(b"needle-2");
+        let mut truth = ids.clone();
+        sort_by_distance(&mut truth, &target);
+        // Kill 25% of nodes, but not the true closest.
+        for id in ids.iter().step_by(4) {
+            if *id != truth[0] {
+                net.dead.insert(*id);
+            }
+        }
+        let seeds: Vec<NodeId> = ids
+            .iter()
+            .filter(|id| !net.dead.contains(*id))
+            .take(3)
+            .copied()
+            .collect();
+        let outcome = iterative_find_node(&seeds, target, 8, 3, &mut net);
+        assert_eq!(outcome.closest[0], truth[0]);
+        assert!(outcome.timeouts > 0, "should have hit dead nodes");
+        for id in &outcome.closest {
+            assert!(!net.dead.contains(id), "results must be live nodes");
+        }
+    }
+
+    #[test]
+    fn lookup_terminates_on_fully_dead_seeds() {
+        let (mut net, ids) = TestNet::build(50, 4, 3);
+        for id in &ids {
+            net.dead.insert(*id);
+        }
+        let outcome = iterative_find_node(&ids[..3], NodeId::ZERO, 8, 3, &mut net);
+        assert!(outcome.closest.is_empty());
+        assert_eq!(outcome.timeouts, outcome.queried);
+    }
+
+    #[test]
+    fn query_count_is_sublinear() {
+        let (mut net, ids) = TestNet::build(500, 8, 4);
+        let target = NodeId::from_name(b"scalable");
+        let outcome = iterative_find_node(&ids[..3], target, 8, 3, &mut net);
+        assert!(
+            outcome.queried < 120,
+            "iterative lookup should not flood the network: {} queries",
+            outcome.queried
+        );
+    }
+
+    #[test]
+    fn results_are_sorted_by_distance() {
+        let (mut net, ids) = TestNet::build(150, 6, 5);
+        let target = NodeId::from_name(b"sorted");
+        let outcome = iterative_find_node(&ids[..3], target, 10, 3, &mut net);
+        for w in outcome.closest.windows(2) {
+            assert!(w[0].distance(&target) <= w[1].distance(&target));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_panics() {
+        let (mut net, ids) = TestNet::build(10, 2, 6);
+        let _ = iterative_find_node(&ids[..1], NodeId::ZERO, 8, 0, &mut net);
+    }
+}

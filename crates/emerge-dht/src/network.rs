@@ -1,0 +1,195 @@
+//! Network model: per-message latency, loss and traffic accounting.
+//!
+//! The DHT runs over a simulated network whose only observable properties
+//! are message latency and loss. Latencies are drawn uniformly from a
+//! configurable band (Overlay Weaver's emulation mode similarly assigns
+//! synthetic link delays); losses are Bernoulli per message.
+
+use emerge_sim::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration for the network model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Minimum one-way message latency in ticks.
+    pub latency_min: u64,
+    /// Maximum one-way message latency in ticks (inclusive).
+    pub latency_max: u64,
+    /// Probability that any given message is silently dropped.
+    pub drop_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency_min: 10,
+            latency_max: 100,
+            drop_probability: 0.0,
+        }
+    }
+}
+
+/// Mutable network state: RNG plus counters.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    rng: StdRng,
+    messages_sent: u64,
+    messages_dropped: u64,
+    bytes_sent: u64,
+}
+
+impl Network {
+    /// Creates a network with its own RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency_min > latency_max` or the drop probability is
+    /// outside `[0, 1]`.
+    pub fn new(config: NetworkConfig, rng: StdRng) -> Self {
+        assert!(
+            config.latency_min <= config.latency_max,
+            "latency_min must not exceed latency_max"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.drop_probability),
+            "drop probability must be in [0, 1]"
+        );
+        Network {
+            config,
+            rng,
+            messages_sent: 0,
+            messages_dropped: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Accounts for one message of `size` bytes and returns its fate:
+    /// `Some(latency)` if delivered, `None` if dropped.
+    pub fn transmit(&mut self, size: usize) -> Option<SimDuration> {
+        self.messages_sent += 1;
+        self.bytes_sent += size as u64;
+        if self.config.drop_probability > 0.0
+            && self.rng.gen::<f64>() < self.config.drop_probability
+        {
+            self.messages_dropped += 1;
+            return None;
+        }
+        Some(self.sample_latency())
+    }
+
+    /// Samples a one-way latency without sending anything.
+    pub fn sample_latency(&mut self) -> SimDuration {
+        let l = self
+            .rng
+            .gen_range(self.config.latency_min..=self.config.latency_max);
+        SimDuration::from_ticks(l)
+    }
+
+    /// Total messages transmitted (including dropped).
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Messages lost to the drop model.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// Total payload bytes offered to the network.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Resets the traffic counters (not the RNG).
+    pub fn reset_counters(&mut self) {
+        self.messages_sent = 0;
+        self.messages_dropped = 0;
+        self.bytes_sent = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emerge_sim::rng::SeedSource;
+
+    fn net(config: NetworkConfig) -> Network {
+        Network::new(config, SeedSource::new(1).stream("net"))
+    }
+
+    #[test]
+    fn latency_within_band() {
+        let mut n = net(NetworkConfig {
+            latency_min: 10,
+            latency_max: 50,
+            drop_probability: 0.0,
+        });
+        for _ in 0..1000 {
+            let l = n.transmit(100).expect("no drops configured").ticks();
+            assert!((10..=50).contains(&l), "latency {l} out of band");
+        }
+        assert_eq!(n.messages_sent(), 1000);
+        assert_eq!(n.bytes_sent(), 100_000);
+        assert_eq!(n.messages_dropped(), 0);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_respected() {
+        let mut n = net(NetworkConfig {
+            latency_min: 1,
+            latency_max: 1,
+            drop_probability: 0.3,
+        });
+        let total = 10_000;
+        let dropped = (0..total).filter(|_| n.transmit(1).is_none()).count();
+        let rate = dropped as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.02, "drop rate {rate}");
+        assert_eq!(n.messages_dropped() as usize, dropped);
+    }
+
+    #[test]
+    fn zero_width_latency_band() {
+        let mut n = net(NetworkConfig {
+            latency_min: 42,
+            latency_max: 42,
+            drop_probability: 0.0,
+        });
+        assert_eq!(n.sample_latency().ticks(), 42);
+    }
+
+    #[test]
+    fn reset_counters_clears_traffic_only() {
+        let mut n = net(NetworkConfig::default());
+        n.transmit(10);
+        n.reset_counters();
+        assert_eq!(n.messages_sent(), 0);
+        assert_eq!(n.bytes_sent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency_min")]
+    fn inverted_band_panics() {
+        let _ = net(NetworkConfig {
+            latency_min: 100,
+            latency_max: 10,
+            drop_probability: 0.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn bad_drop_probability_panics() {
+        let _ = net(NetworkConfig {
+            latency_min: 1,
+            latency_max: 2,
+            drop_probability: 1.5,
+        });
+    }
+}

@@ -1,0 +1,199 @@
+//! Node-level RPC handling: the server side of the Kademlia protocol.
+//!
+//! [`NodeState`] owns one node's routing table and local store and
+//! processes the four Kademlia RPCs, including the passive-learning rule
+//! (every inbound message refreshes the sender's routing-table entry).
+//! The overlay uses it for join flows and protocol-level tests; the
+//! figure-scale experiments never need per-message processing.
+
+use crate::id::NodeId;
+use crate::rpc::{Request, Response};
+use crate::storage::Store;
+use crate::table::RoutingTable;
+use emerge_sim::time::{SimDuration, SimTime};
+
+/// One node's protocol state.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    table: RoutingTable,
+    store: Store,
+    /// Default TTL applied to stored values (None = permanent).
+    store_ttl: Option<SimDuration>,
+    requests_served: u64,
+}
+
+impl NodeState {
+    /// Creates a node with an empty table and store.
+    pub fn new(id: NodeId, bucket_k: usize) -> Self {
+        NodeState {
+            table: RoutingTable::new(id, bucket_k),
+            store: Store::new(),
+            store_ttl: None,
+            requests_served: 0,
+        }
+    }
+
+    /// Sets the TTL for subsequently stored values.
+    pub fn set_store_ttl(&mut self, ttl: Option<SimDuration>) {
+        self.store_ttl = ttl;
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.table.owner()
+    }
+
+    /// Read access to the routing table.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Mutable access to the routing table (used by bootstrap flows).
+    pub fn table_mut(&mut self) -> &mut RoutingTable {
+        &mut self.table
+    }
+
+    /// Read access to the local store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Number of requests this node has served.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Processes one inbound request, returning the response.
+    ///
+    /// Implements Kademlia's passive learning: the sender is offered to
+    /// the routing table before the request is answered, so traffic keeps
+    /// tables fresh without dedicated maintenance.
+    pub fn handle(&mut self, from: NodeId, request: &Request, now: SimTime) -> Response {
+        self.requests_served += 1;
+        self.table.insert(from, now, false);
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Store { key, value } => {
+                self.store.put(*key, value.clone(), now, self.store_ttl);
+                Response::StoreOk
+            }
+            Request::FindNode { target } => {
+                Response::Nodes(self.table.closest(target, self.table.k()))
+            }
+            Request::FindValue { key } => match self.store.get(key, now) {
+                Some(v) => Response::Value(v.value.clone()),
+                None => Response::Nodes(self.table.closest(key, self.table.k())),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    fn node(name: &[u8]) -> NodeState {
+        NodeState::new(NodeId::from_name(name), 8)
+    }
+
+    #[test]
+    fn ping_pong() {
+        let mut n = node(b"server");
+        let resp = n.handle(NodeId::from_name(b"client"), &Request::Ping, t(0));
+        assert_eq!(resp, Response::Pong);
+        assert_eq!(n.requests_served(), 1);
+    }
+
+    #[test]
+    fn passive_learning_fills_the_table() {
+        let mut n = node(b"server");
+        assert!(n.table().is_empty());
+        for i in 0..5u8 {
+            n.handle(NodeId::from_name(&[i]), &Request::Ping, t(i as u64));
+        }
+        assert_eq!(n.table().len(), 5);
+    }
+
+    #[test]
+    fn store_and_find_value() {
+        let mut n = node(b"server");
+        let key = NodeId::from_name(b"key");
+        let resp = n.handle(
+            NodeId::from_name(b"writer"),
+            &Request::Store {
+                key,
+                value: b"v".to_vec(),
+            },
+            t(1),
+        );
+        assert_eq!(resp, Response::StoreOk);
+        let resp = n.handle(NodeId::from_name(b"reader"), &Request::FindValue { key }, t(2));
+        assert_eq!(resp, Response::Value(b"v".to_vec()));
+    }
+
+    #[test]
+    fn find_value_miss_returns_contacts() {
+        let mut n = node(b"server");
+        n.handle(NodeId::from_name(b"peer"), &Request::Ping, t(0));
+        let resp = n.handle(
+            NodeId::from_name(b"reader"),
+            &Request::FindValue {
+                key: NodeId::from_name(b"missing"),
+            },
+            t(1),
+        );
+        match resp {
+            Response::Nodes(contacts) => assert!(!contacts.is_empty()),
+            other => panic!("expected contacts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn find_node_returns_closest_known() {
+        let mut n = node(b"server");
+        let ids: Vec<NodeId> = (0..20u8).map(|i| NodeId::from_name(&[i, 1])).collect();
+        for id in &ids {
+            n.handle(*id, &Request::Ping, t(0));
+        }
+        let target = NodeId::from_name(b"target");
+        let resp = n.handle(
+            NodeId::from_name(b"asker"),
+            &Request::FindNode { target },
+            t(1),
+        );
+        let Response::Nodes(contacts) = resp else {
+            panic!("expected nodes");
+        };
+        assert!(contacts.len() <= 8);
+        for w in contacts.windows(2) {
+            assert!(w[0].distance(&target) <= w[1].distance(&target));
+        }
+    }
+
+    #[test]
+    fn stored_values_respect_ttl() {
+        let mut n = node(b"server");
+        n.set_store_ttl(Some(SimDuration::from_ticks(10)));
+        let key = NodeId::from_name(b"k");
+        n.handle(
+            NodeId::from_name(b"w"),
+            &Request::Store {
+                key,
+                value: vec![1],
+            },
+            t(0),
+        );
+        match n.handle(NodeId::from_name(b"r"), &Request::FindValue { key }, t(5)) {
+            Response::Value(_) => {}
+            other => panic!("expected hit before ttl, got {other:?}"),
+        }
+        match n.handle(NodeId::from_name(b"r"), &Request::FindValue { key }, t(11)) {
+            Response::Nodes(_) => {}
+            other => panic!("expected miss after ttl, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The four Kademlia RPCs and their wire encoding.
+//!
+//! The simulation mostly passes RPCs as in-memory values, but every message
+//! can be serialized with the same length-prefixed format used by the onion
+//! layers, which keeps message sizes honest in the network accounting and
+//! gives the protocol a real wire story.
+
+use crate::id::{NodeId, ID_LEN};
+use emerge_crypto::error::CryptoError;
+use emerge_crypto::wire::{Reader, Writer};
+
+/// A request from one node to another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Store a value under a key on the receiver.
+    Store {
+        /// The content key.
+        key: NodeId,
+        /// The value bytes.
+        value: Vec<u8>,
+    },
+    /// Ask for the receiver's k closest contacts to `target`.
+    FindNode {
+        /// The lookup target.
+        target: NodeId,
+    },
+    /// Ask for a value, falling back to closest contacts.
+    FindValue {
+        /// The content key.
+        key: NodeId,
+    },
+}
+
+/// A response to a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Acknowledges a store.
+    StoreOk,
+    /// Closest contacts known to the responder.
+    Nodes(Vec<NodeId>),
+    /// The requested value (reply to `FindValue` on a hit).
+    Value(Vec<u8>),
+}
+
+/// A full message envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sender ID.
+    pub from: NodeId,
+    /// Receiver ID.
+    pub to: NodeId,
+    /// Request or response body.
+    pub body: Body,
+}
+
+/// Either half of an RPC exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// A request with a caller-chosen correlation id.
+    Request(u64, Request),
+    /// A response carrying the correlated request id.
+    Response(u64, Response),
+}
+
+const TAG_PING: u8 = 0;
+const TAG_STORE: u8 = 1;
+const TAG_FIND_NODE: u8 = 2;
+const TAG_FIND_VALUE: u8 = 3;
+const TAG_PONG: u8 = 4;
+const TAG_STORE_OK: u8 = 5;
+const TAG_NODES: u8 = 6;
+const TAG_VALUE: u8 = 7;
+const TAG_REQ: u8 = 0;
+const TAG_RESP: u8 = 1;
+
+impl Message {
+    /// Serializes the message.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(self.from.as_bytes());
+        w.put_raw(self.to.as_bytes());
+        match &self.body {
+            Body::Request(id, req) => {
+                w.put_u8(TAG_REQ).put_u64(*id);
+                encode_request(&mut w, req);
+            }
+            Body::Response(id, resp) => {
+                w.put_u8(TAG_RESP).put_u64(*id);
+                encode_response(&mut w, resp);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let mut r = Reader::new(bytes);
+        let from = read_id(&mut r)?;
+        let to = read_id(&mut r)?;
+        let kind = r.get_u8()?;
+        let corr = r.get_u64()?;
+        let body = match kind {
+            TAG_REQ => Body::Request(corr, decode_request(&mut r)?),
+            TAG_RESP => Body::Response(corr, decode_response(&mut r)?),
+            _ => return Err(CryptoError::Malformed("unknown message kind")),
+        };
+        r.expect_end()?;
+        Ok(Message { from, to, body })
+    }
+
+    /// The serialized size in bytes (without building the buffer twice).
+    pub fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+fn read_id(r: &mut Reader<'_>) -> Result<NodeId, CryptoError> {
+    let raw = r.get_raw(ID_LEN)?;
+    let mut bytes = [0u8; ID_LEN];
+    bytes.copy_from_slice(raw);
+    Ok(NodeId::from_bytes(bytes))
+}
+
+fn encode_request(w: &mut Writer, req: &Request) {
+    match req {
+        Request::Ping => {
+            w.put_u8(TAG_PING);
+        }
+        Request::Store { key, value } => {
+            w.put_u8(TAG_STORE).put_raw(key.as_bytes()).put_bytes(value);
+        }
+        Request::FindNode { target } => {
+            w.put_u8(TAG_FIND_NODE).put_raw(target.as_bytes());
+        }
+        Request::FindValue { key } => {
+            w.put_u8(TAG_FIND_VALUE).put_raw(key.as_bytes());
+        }
+    }
+}
+
+fn decode_request(r: &mut Reader<'_>) -> Result<Request, CryptoError> {
+    match r.get_u8()? {
+        TAG_PING => Ok(Request::Ping),
+        TAG_STORE => Ok(Request::Store {
+            key: read_id(r)?,
+            value: r.get_bytes()?.to_vec(),
+        }),
+        TAG_FIND_NODE => Ok(Request::FindNode { target: read_id(r)? }),
+        TAG_FIND_VALUE => Ok(Request::FindValue { key: read_id(r)? }),
+        _ => Err(CryptoError::Malformed("unknown request tag")),
+    }
+}
+
+fn encode_response(w: &mut Writer, resp: &Response) {
+    match resp {
+        Response::Pong => {
+            w.put_u8(TAG_PONG);
+        }
+        Response::StoreOk => {
+            w.put_u8(TAG_STORE_OK);
+        }
+        Response::Nodes(ids) => {
+            w.put_u8(TAG_NODES).put_u32(ids.len() as u32);
+            for id in ids {
+                w.put_raw(id.as_bytes());
+            }
+        }
+        Response::Value(v) => {
+            w.put_u8(TAG_VALUE).put_bytes(v);
+        }
+    }
+}
+
+fn decode_response(r: &mut Reader<'_>) -> Result<Response, CryptoError> {
+    match r.get_u8()? {
+        TAG_PONG => Ok(Response::Pong),
+        TAG_STORE_OK => Ok(Response::StoreOk),
+        TAG_NODES => {
+            let count = r.get_u32()? as usize;
+            if count > 1024 {
+                return Err(CryptoError::Malformed("implausible contact count"));
+            }
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(read_id(r)?);
+            }
+            Ok(Response::Nodes(ids))
+        }
+        TAG_VALUE => Ok(Response::Value(r.get_bytes()?.to_vec())),
+        _ => Err(CryptoError::Malformed("unknown response tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(name: &[u8]) -> NodeId {
+        NodeId::from_name(name)
+    }
+
+    fn roundtrip(body: Body) {
+        let msg = Message {
+            from: id(b"alice"),
+            to: id(b"bob"),
+            body,
+        };
+        let bytes = msg.to_bytes();
+        let parsed = Message::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, msg);
+        assert_eq!(msg.encoded_len(), bytes.len());
+    }
+
+    #[test]
+    fn roundtrip_all_requests() {
+        roundtrip(Body::Request(1, Request::Ping));
+        roundtrip(Body::Request(
+            2,
+            Request::Store {
+                key: id(b"k"),
+                value: vec![1, 2, 3],
+            },
+        ));
+        roundtrip(Body::Request(3, Request::FindNode { target: id(b"t") }));
+        roundtrip(Body::Request(4, Request::FindValue { key: id(b"k") }));
+    }
+
+    #[test]
+    fn roundtrip_all_responses() {
+        roundtrip(Body::Response(1, Response::Pong));
+        roundtrip(Body::Response(2, Response::StoreOk));
+        roundtrip(Body::Response(
+            3,
+            Response::Nodes(vec![id(b"a"), id(b"b"), id(b"c")]),
+        ));
+        roundtrip(Body::Response(4, Response::Value(b"v".to_vec())));
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let msg = Message {
+            from: id(b"a"),
+            to: id(b"b"),
+            body: Body::Request(9, Request::Ping),
+        };
+        let bytes = msg.to_bytes();
+        for cut in [0, 10, 20, bytes.len() - 1] {
+            assert!(Message::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let msg = Message {
+            from: id(b"a"),
+            to: id(b"b"),
+            body: Body::Response(9, Response::Pong),
+        };
+        let mut bytes = msg.to_bytes();
+        bytes.push(0);
+        assert!(Message::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn implausible_node_count_rejected() {
+        let msg = Message {
+            from: id(b"a"),
+            to: id(b"b"),
+            body: Body::Response(9, Response::Nodes(vec![])),
+        };
+        let mut bytes = msg.to_bytes();
+        // Patch the count field (last 4 bytes of an empty Nodes response).
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Message::from_bytes(&bytes).is_err());
+    }
+}

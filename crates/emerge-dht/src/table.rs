@@ -1,0 +1,212 @@
+//! Per-node Kademlia routing tables: 160 k-buckets indexed by the position
+//! of the highest differing bit between the owner's ID and the contact's.
+
+use crate::bucket::{Contact, InsertOutcome, KBucket, DEFAULT_K};
+use crate::id::{cmp_distance, NodeId, ID_BITS};
+use emerge_sim::time::SimTime;
+
+/// A routing table owned by one node.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    owner: NodeId,
+    k: usize,
+    buckets: Vec<KBucket>,
+}
+
+impl RoutingTable {
+    /// Creates an empty routing table for `owner` with bucket size `k`.
+    pub fn new(owner: NodeId, k: usize) -> Self {
+        RoutingTable {
+            owner,
+            k,
+            buckets: (0..ID_BITS).map(|_| KBucket::new(k)).collect(),
+        }
+    }
+
+    /// Creates a table with the default bucket size of 20.
+    pub fn with_default_k(owner: NodeId) -> Self {
+        Self::new(owner, DEFAULT_K)
+    }
+
+    /// The owning node's ID.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Bucket size parameter k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of contacts across all buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    /// Whether the table contains no contacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Offers a contact (self-insertions are ignored).
+    pub fn insert(&mut self, id: NodeId, now: SimTime, oldest_is_stale: bool) -> InsertOutcome {
+        match self.owner.bucket_index(&id) {
+            Some(idx) => self.buckets[idx].offer(id, now, oldest_is_stale),
+            None => InsertOutcome::Full, // own ID: never stored
+        }
+    }
+
+    /// Removes a contact, returning whether it was present.
+    pub fn remove(&mut self, id: &NodeId) -> bool {
+        match self.owner.bucket_index(id) {
+            Some(idx) => self.buckets[idx].remove(id),
+            None => false,
+        }
+    }
+
+    /// Whether the table knows this contact.
+    pub fn contains(&self, id: &NodeId) -> bool {
+        self.owner
+            .bucket_index(id)
+            .map(|idx| self.buckets[idx].get(id).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Returns up to `count` known contacts closest to `target`, sorted by
+    /// XOR distance (closest first).
+    pub fn closest(&self, target: &NodeId, count: usize) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|c| c.id))
+            .collect();
+        all.sort_by(|a, b| cmp_distance(a, b, target));
+        all.truncate(count);
+        all
+    }
+
+    /// Iterates all contacts in bucket order.
+    pub fn contacts(&self) -> impl Iterator<Item = &Contact> {
+        self.buckets.iter().flat_map(|b| b.iter())
+    }
+
+    /// Number of non-empty buckets (a coarse health indicator).
+    pub fn populated_buckets(&self) -> usize {
+        self.buckets.iter().filter(|b| !b.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ID_LEN;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    fn random_ids(n: usize, seed: u64) -> Vec<NodeId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| NodeId::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn own_id_is_never_stored() {
+        let owner = NodeId::from_name(b"me");
+        let mut rt = RoutingTable::new(owner, 4);
+        rt.insert(owner, t(1), false);
+        assert!(rt.is_empty());
+        assert!(!rt.contains(&owner));
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let owner = NodeId::from_name(b"me");
+        let mut rt = RoutingTable::new(owner, 20);
+        let ids = random_ids(100, 1);
+        for (i, id) in ids.iter().enumerate() {
+            rt.insert(*id, t(i as u64), false);
+        }
+        // Random IDs concentrate in the far buckets (half land in bucket
+        // 159, a quarter in 158, ...), so the k-cap trims them: with k = 20
+        // roughly 60-80 of 100 random contacts fit.
+        assert!(
+            (50..=100).contains(&rt.len()),
+            "unexpected contact retention: {}",
+            rt.len()
+        );
+        for id in ids.iter().take(10) {
+            if rt.contains(id) {
+                let closest = rt.closest(id, 1);
+                assert_eq!(closest[0], *id, "known id should be its own closest");
+            }
+        }
+    }
+
+    #[test]
+    fn closest_returns_sorted_by_distance() {
+        let owner = NodeId::from_name(b"me");
+        let mut rt = RoutingTable::new(owner, 20);
+        for id in random_ids(200, 2) {
+            rt.insert(id, t(0), false);
+        }
+        let target = NodeId::from_name(b"target");
+        let closest = rt.closest(&target, 10);
+        assert_eq!(closest.len(), 10);
+        for w in closest.windows(2) {
+            assert!(w[0].distance(&target) <= w[1].distance(&target));
+        }
+    }
+
+    #[test]
+    fn closest_respects_count_and_population() {
+        let owner = NodeId::from_name(b"me");
+        let mut rt = RoutingTable::new(owner, 20);
+        for id in random_ids(5, 3) {
+            rt.insert(id, t(0), false);
+        }
+        assert_eq!(rt.closest(&NodeId::ZERO, 10).len(), 5);
+        assert_eq!(rt.closest(&NodeId::ZERO, 3).len(), 3);
+    }
+
+    #[test]
+    fn buckets_bound_contacts_per_prefix() {
+        // Fill with IDs that all share the same bucket relative to owner:
+        // flip bit 0 of owner and randomize the tail -> all land in bucket 159.
+        let owner = NodeId::ZERO;
+        let mut rt = RoutingTable::new(owner, 8);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let mut bytes = [0u8; ID_LEN];
+            rng.fill(&mut bytes);
+            bytes[0] |= 0x80; // ensure top bit set -> bucket 159 w.r.t. zero
+            rt.insert(NodeId::from_bytes(bytes), t(0), false);
+        }
+        assert_eq!(rt.len(), 8, "one bucket must cap at k contacts");
+    }
+
+    #[test]
+    fn remove_works() {
+        let owner = NodeId::from_name(b"me");
+        let mut rt = RoutingTable::new(owner, 20);
+        let id = NodeId::from_name(b"peer");
+        rt.insert(id, t(0), false);
+        assert!(rt.contains(&id));
+        assert!(rt.remove(&id));
+        assert!(!rt.contains(&id));
+        assert!(!rt.remove(&id));
+    }
+
+    #[test]
+    fn populated_buckets_grows_with_contacts() {
+        let owner = NodeId::from_name(b"me");
+        let mut rt = RoutingTable::new(owner, 20);
+        assert_eq!(rt.populated_buckets(), 0);
+        for id in random_ids(64, 5) {
+            rt.insert(id, t(0), false);
+        }
+        assert!(rt.populated_buckets() > 1);
+    }
+}

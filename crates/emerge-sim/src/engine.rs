@@ -1,0 +1,272 @@
+//! The discrete-event engine: a virtual clock plus a stable priority queue.
+//!
+//! The engine is deliberately minimal: it owns *when* things happen, while
+//! the caller owns *what* happens. The driving loop lives in caller code:
+//!
+//! ```
+//! use emerge_sim::engine::Engine;
+//! use emerge_sim::time::SimDuration;
+//!
+//! enum Ev { Tick(u64) }
+//! struct World { ticks_seen: u64 }
+//!
+//! let mut engine = Engine::new();
+//! let mut world = World { ticks_seen: 0 };
+//! engine.schedule_in(SimDuration::from_ticks(1), Ev::Tick(1));
+//!
+//! while let Some((now, ev)) = engine.pop() {
+//!     match ev {
+//!         Ev::Tick(n) => {
+//!             world.ticks_seen += 1;
+//!             if n < 3 {
+//!                 engine.schedule_in(SimDuration::from_ticks(1), Ev::Tick(n + 1));
+//!             }
+//!         }
+//!     }
+//!     let _ = now;
+//! }
+//! assert_eq!(world.ticks_seen, 3);
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queued for execution at a specific instant.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event,
+// breaking ties by insertion sequence so simulation runs are reproducible.
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+/// A deterministic discrete-event scheduler over events of type `E`.
+pub struct Engine<E> {
+    clock: SimTime,
+    queue: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated instant (the timestamp of the last popped
+    /// event, or zero before any event ran).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events executed (popped) so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — events cannot rewrite history.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.clock,
+            "cannot schedule event in the past: now={}, requested={}",
+            self.clock,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` after `delay` from the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.clock + delay, event);
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let scheduled = self.queue.pop()?;
+        debug_assert!(scheduled.at >= self.clock, "event queue went backwards");
+        self.clock = scheduled.at;
+        self.processed += 1;
+        Some((scheduled.at, scheduled.event))
+    }
+
+    /// Pops the earliest event only if it is at or before `horizon`.
+    ///
+    /// Lets callers run a simulation in bounded windows ("run until tr").
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.queue.peek().map(|s| s.at <= horizon) == Some(true) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.at)
+    }
+
+    /// Discards all pending events (used by tests and trial resets).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.clock)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_ticks(30), "c");
+        e.schedule_at(SimTime::from_ticks(10), "a");
+        e.schedule_at(SimTime::from_ticks(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| e.pop().map(|(_, ev)| ev)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e = Engine::new();
+        for i in 0..100 {
+            e.schedule_at(SimTime::from_ticks(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| e.pop().map(|(_, ev)| ev)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_ticks(7), ());
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_ticks(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_ticks(10), 1);
+        e.pop();
+        e.schedule_at(SimTime::from_ticks(5), 2);
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_ticks(5), "early");
+        e.schedule_at(SimTime::from_ticks(15), "late");
+        assert_eq!(e.pop_until(SimTime::from_ticks(10)).unwrap().1, "early");
+        assert!(e.pop_until(SimTime::from_ticks(10)).is_none());
+        // The late event is still there.
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn cascading_events() {
+        // Events scheduling further events, as the protocol does per hop.
+        enum Ev {
+            Hop(u32),
+        }
+        let mut e = Engine::new();
+        e.schedule_in(SimDuration::from_ticks(10), Ev::Hop(0));
+        let mut hops = Vec::new();
+        while let Some((t, Ev::Hop(n))) = e.pop() {
+            hops.push((t.ticks(), n));
+            if n < 2 {
+                e.schedule_in(SimDuration::from_ticks(10), Ev::Hop(n + 1));
+            }
+        }
+        assert_eq!(hops, [(10, 0), (20, 1), (30, 2)]);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_ticks(1), ());
+        e.schedule_at(SimTime::from_ticks(2), ());
+        assert_eq!(e.pending(), 2);
+        e.pop();
+        assert_eq!(e.events_processed(), 1);
+        e.clear();
+        assert_eq!(e.pending(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn pop_sequence_is_sorted(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut e = Engine::new();
+            for &t in &times {
+                e.schedule_at(SimTime::from_ticks(t), t);
+            }
+            let mut last = 0u64;
+            while let Some((t, _)) = e.pop() {
+                prop_assert!(t.ticks() >= last);
+                last = t.ticks();
+            }
+            prop_assert_eq!(e.events_processed(), times.len() as u64);
+        }
+    }
+}

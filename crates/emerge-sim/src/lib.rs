@@ -1,0 +1,47 @@
+//! # emerge-sim
+//!
+//! A small, deterministic discrete-event simulation engine. This is the
+//! substrate beneath the DHT and the self-emerging key-routing protocol:
+//! the paper evaluates on the Overlay Weaver DHT *emulator*; this crate (plus
+//! `emerge-dht`) plays that role here.
+//!
+//! Design goals:
+//!
+//! * **Determinism** — identical seeds produce identical runs. The event
+//!   queue breaks timestamp ties by insertion sequence; all randomness flows
+//!   from labelled [`rng`] streams forked off one root seed.
+//! * **No global state** — an [`engine::Engine`] is an ordinary value; tests
+//!   can run thousands of independent simulations in parallel.
+//! * **Separation of clock and logic** — the engine owns time and the event
+//!   queue; domain state lives outside and handles popped events, so there
+//!   are no borrow-checker acrobatics and no `Rc<RefCell>` webs.
+//!
+//! ```
+//! use emerge_sim::engine::Engine;
+//! use emerge_sim::time::{SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut engine: Engine<Ev> = Engine::new();
+//! engine.schedule_in(SimDuration::from_ticks(5), Ev::Ping(1));
+//! engine.schedule_at(SimTime::from_ticks(2), Ev::Ping(0));
+//!
+//! let (t, ev) = engine.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_ticks(2), Ev::Ping(0)));
+//! let (t, ev) = engine.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_ticks(5), Ev::Ping(1)));
+//! assert!(engine.pop().is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod engine;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use engine::Engine;
+pub use time::{SimDuration, SimTime};

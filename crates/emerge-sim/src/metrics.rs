@@ -1,0 +1,360 @@
+//! Lightweight metrics for simulation experiments: counters, summary
+//! statistics, and (x, series-of-y) tables that print in the same shape as
+//! the paper's figures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Running summary statistics (count, mean, variance via Welford, min/max).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (unbiased; 0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of a ~95% confidence interval for the mean (normal
+    /// approximation, z = 1.96).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.stderr()
+    }
+
+    /// Smallest observation (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A Bernoulli estimator: success counts over trials, as used for the
+/// resilience probabilities `Rr` and `Rd` (fraction of trials on which the
+/// adversary *failed*).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Rate {
+    successes: u64,
+    trials: u64,
+}
+
+impl Rate {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Rate::default()
+    }
+
+    /// Records one trial outcome.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Number of recorded trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Number of successes.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// The estimated probability (NaN with zero trials).
+    pub fn value(&self) -> f64 {
+        if self.trials == 0 {
+            f64::NAN
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// ~95% confidence half-width via the normal approximation.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.trials == 0 {
+            return f64::NAN;
+        }
+        let p = self.value();
+        1.96 * (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ({}/{})", self.value(), self.successes, self.trials)
+    }
+}
+
+/// A figure-shaped table: one x column, several named y series.
+///
+/// Printing produces gnuplot-style whitespace-separated columns, matching
+/// how the paper's figures are laid out (x = `p`, series = schemes).
+#[derive(Debug, Clone, Default)]
+pub struct SeriesTable {
+    /// Column names, in insertion order (x column first).
+    columns: Vec<String>,
+    /// Rows keyed by the x value scaled to an integer key for ordering.
+    rows: BTreeMap<i64, Vec<f64>>,
+    /// Scale used to convert x to the integer key.
+    x_scale: f64,
+}
+
+impl SeriesTable {
+    /// Creates a table with the given x-column name and series names.
+    pub fn new(x_name: &str, series: &[&str]) -> Self {
+        let mut columns = vec![x_name.to_string()];
+        columns.extend(series.iter().map(|s| s.to_string()));
+        SeriesTable {
+            columns,
+            rows: BTreeMap::new(),
+            x_scale: 1e9,
+        }
+    }
+
+    /// Inserts a full row: x plus one value per series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the number of series.
+    pub fn push_row(&mut self, x: f64, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.columns.len() - 1,
+            "row width {} does not match series count {}",
+            values.len(),
+            self.columns.len() - 1
+        );
+        let key = (x * self.x_scale).round() as i64;
+        let mut row = Vec::with_capacity(values.len() + 1);
+        row.push(x);
+        row.extend_from_slice(values);
+        self.rows.insert(key, row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates rows in x order. Each row starts with x.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<f64>> {
+        self.rows.values()
+    }
+
+    /// Looks up the row at `x` (exact within rounding scale).
+    pub fn row_at(&self, x: f64) -> Option<&Vec<f64>> {
+        self.rows.get(&((x * self.x_scale).round() as i64))
+    }
+
+    /// Column names (x first).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+}
+
+impl fmt::Display for SeriesTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "# {}", self.columns.join("\t"))?;
+        for row in self.rows.values() {
+            write!(f, "\n")?;
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+            write!(f, "{}", cells.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_and_variance() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_combined() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &data[..37] {
+            left.record(x);
+        }
+        for &x in &data[37..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn rate_estimates_probability() {
+        let mut r = Rate::new();
+        for i in 0..1000 {
+            r.record(i % 4 != 0); // 75% success
+        }
+        assert!((r.value() - 0.75).abs() < 1e-12);
+        assert!(r.ci95_half_width() < 0.03);
+        assert_eq!(r.trials(), 1000);
+        assert_eq!(r.successes(), 750);
+    }
+
+    #[test]
+    fn rate_display() {
+        let mut r = Rate::new();
+        r.record(true);
+        r.record(false);
+        assert_eq!(r.to_string(), "0.5000 (1/2)");
+    }
+
+    #[test]
+    fn series_table_round_trips_rows() {
+        let mut t = SeriesTable::new("p", &["central", "disjoint", "joint"]);
+        t.push_row(0.1, &[0.9, 0.99, 0.999]);
+        t.push_row(0.0, &[1.0, 1.0, 1.0]);
+        assert_eq!(t.len(), 2);
+        // Rows iterate in x order regardless of insertion order.
+        let xs: Vec<f64> = t.iter().map(|r| r[0]).collect();
+        assert_eq!(xs, [0.0, 0.1]);
+        assert_eq!(t.row_at(0.1).unwrap()[2], 0.99);
+        assert!(t.row_at(0.05).is_none());
+    }
+
+    #[test]
+    fn series_table_display_has_header_and_rows() {
+        let mut t = SeriesTable::new("p", &["R"]);
+        t.push_row(0.25, &[0.75]);
+        let out = t.to_string();
+        assert!(out.starts_with("# p\tR"));
+        assert!(out.contains("0.250000\t0.750000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_row_width_panics() {
+        let mut t = SeriesTable::new("p", &["a", "b"]);
+        t.push_row(0.0, &[1.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Virtual time for the simulation: instants and durations in abstract
+//! integer "ticks".
+//!
+//! The paper works with abstract times (`ts`, `tr`, holding period
+//! `th = T / l`, node mean lifetime `tlife`); the simulation does not need
+//! wall-clock units, only a totally ordered, overflow-checked clock. One
+//! tick can be interpreted as e.g. one second without loss of generality.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant in simulated time, measured in ticks since the start of the
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The beginning of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "SimTime::since: earlier ({}) is after self ({})",
+            earlier.0,
+            self.0
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimDuration(ticks)
+    }
+
+    /// Raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Divides the duration into `n` equal parts, rounding down.
+    ///
+    /// This is how the holding period `th = T / l` is computed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn div_exactly(self, n: u64) -> SimDuration {
+        assert!(n > 0, "cannot divide a duration into zero parts");
+        SimDuration(self.0 / n)
+    }
+
+    /// The ratio of two durations as an `f64` (used for churn math like
+    /// `th / tlife`).
+    pub fn ratio(self, other: SimDuration) -> f64 {
+        assert!(other.0 > 0, "ratio denominator must be positive");
+        self.0 as f64 / other.0 as f64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime overflow: schedule horizon exceeded u64 ticks"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime underflow: subtracted past time zero"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        self.div_exactly(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let t0 = SimTime::from_ticks(10);
+        let d = SimDuration::from_ticks(5);
+        assert_eq!(t0 + d, SimTime::from_ticks(15));
+        assert_eq!((t0 + d).since(t0), d);
+        assert_eq!(t0 - d, SimTime::from_ticks(5));
+        assert_eq!(d + d, SimDuration::from_ticks(10));
+        assert_eq!(d * 3, SimDuration::from_ticks(15));
+        assert_eq!(SimDuration::from_ticks(17) / 5, SimDuration::from_ticks(3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ticks(1) < SimTime::from_ticks(2));
+        assert!(SimTime::ZERO < SimTime::MAX);
+        assert!(SimDuration::ZERO < SimDuration::from_ticks(1));
+    }
+
+    #[test]
+    fn ratio_math() {
+        let th = SimDuration::from_ticks(250);
+        let tlife = SimDuration::from_ticks(1000);
+        let r = th.ratio(tlife);
+        assert!((r - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_underflow_panics() {
+        let _ = SimTime::from_ticks(1) - SimDuration::from_ticks(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn since_wrong_order_panics() {
+        let _ = SimTime::from_ticks(1).since(SimTime::from_ticks(2));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(
+            SimTime::from_ticks(3).saturating_sub(SimDuration::from_ticks(10)),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(SimTime::from_ticks(7).to_string(), "t=7");
+        assert_eq!(SimDuration::from_ticks(7).to_string(), "7 ticks");
+    }
+}

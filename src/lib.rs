@@ -1,0 +1,27 @@
+//! # self-emerging-data
+//!
+//! Umbrella crate for the reproduction of *"Timed-release of Self-emerging
+//! Data using Distributed Hash Tables"* (Li & Palanisamy, ICDCS 2017).
+//!
+//! This facade re-exports the workspace crates so applications can depend
+//! on a single package:
+//!
+//! * [`core`] — the four key-routing schemes, analysis, Monte-Carlo
+//!   evaluation and the high-level sender/receiver API
+//! * [`dht`] — the Kademlia-style DHT substrate
+//! * [`sim`] — the deterministic discrete-event engine
+//! * [`crypto`] — the from-scratch cryptographic substrate
+//! * [`cloud`] — the encrypted blob store
+//!
+//! See `examples/quickstart.rs` for a complete walk-through, and the
+//! `emerge-bench` crate for the binaries that regenerate every figure of
+//! the paper's evaluation section.
+
+pub use emerge_cloud as cloud;
+pub use emerge_core as core;
+pub use emerge_crypto as crypto;
+pub use emerge_dht as dht;
+pub use emerge_sim as sim;
+
+pub use emerge_core::emergence::{SelfEmergingSystem, SendRequest};
+pub use emerge_core::{EmergeError, SchemeKind, SchemeParams};

@@ -1,0 +1,171 @@
+//! Failure injection: lossy networks, mass departures, tampered packages.
+
+use self_emerging_data::core::config::SchemeParams;
+use self_emerging_data::core::package::{build_keyed_packages, KeySchedule};
+use self_emerging_data::core::path::construct_paths;
+use self_emerging_data::core::protocol::{execute_keyed, AttackMode, RunConfig};
+use self_emerging_data::crypto::keys::SymmetricKey;
+use self_emerging_data::crypto::onion;
+use self_emerging_data::dht::id::NodeId;
+use self_emerging_data::dht::network::NetworkConfig;
+use self_emerging_data::dht::overlay::{Overlay, OverlayConfig};
+use self_emerging_data::sim::time::{SimDuration, SimTime};
+
+#[test]
+fn lookups_survive_heavy_message_loss() {
+    let mut overlay = Overlay::build(
+        OverlayConfig {
+            n_nodes: 256,
+            network: NetworkConfig {
+                latency_min: 5,
+                latency_max: 50,
+                drop_probability: 0.25,
+            },
+            ..OverlayConfig::default()
+        },
+        1,
+    );
+    overlay.build_routing_tables();
+
+    let mut found_best = 0;
+    let total = 30;
+    for i in 0..total {
+        let target = NodeId::from_name(format!("lossy-{i}").as_bytes());
+        let truth = overlay.initial(overlay.resolve_holder(&target)).id;
+        let outcome = overlay.find_node(i % 200, target);
+        if outcome.closest.first() == Some(&truth) {
+            found_best += 1;
+        }
+        assert!(
+            !outcome.closest.is_empty(),
+            "even lossy lookups must return candidates"
+        );
+    }
+    // 25% loss per message: most lookups still converge to the true
+    // closest node thanks to retries through other contacts.
+    assert!(
+        found_best >= total * 2 / 3,
+        "only {found_best}/{total} lossy lookups converged"
+    );
+    assert!(
+        overlay.network().messages_dropped() > 0,
+        "the drop model must actually fire"
+    );
+}
+
+#[test]
+fn mass_departure_degrades_but_does_not_crash_lookup() {
+    let mut overlay = Overlay::build(
+        OverlayConfig {
+            n_nodes: 200,
+            ..OverlayConfig::default()
+        },
+        2,
+    );
+    overlay.build_routing_tables();
+    overlay.advance_to(SimTime::from_ticks(100));
+    // Half the network leaves.
+    for slot in (0..200).step_by(2) {
+        overlay.leave(slot);
+    }
+    overlay.advance_to(SimTime::from_ticks(101));
+    let outcome = overlay.find_node(1, NodeId::from_name(b"post-apocalypse"));
+    assert!(outcome.timeouts > 0, "dead nodes must be observed");
+    assert!(
+        !outcome.closest.is_empty(),
+        "survivors must still answer"
+    );
+    for id in &outcome.closest {
+        let slot = overlay.slot_of_id(id).unwrap();
+        assert!(
+            overlay.initial_alive_at(slot, overlay.now()),
+            "results must exclude departed nodes"
+        );
+    }
+}
+
+#[test]
+fn dead_terminal_column_loses_the_key_gracefully() {
+    // Kill every terminal holder mid-run: the report must say the key was
+    // lost rather than panic or release garbage.
+    let params = SchemeParams::Joint { k: 2, l: 3 };
+    let mut overlay = Overlay::build(
+        OverlayConfig {
+            n_nodes: 100,
+            ..OverlayConfig::default()
+        },
+        3,
+    );
+    let sender = SymmetricKey::from_bytes([3; 32]);
+    let plan = construct_paths(&overlay, &params, &sender).unwrap();
+    let pkgs = build_keyed_packages(&plan, &params, &KeySchedule::new(sender), b"s").unwrap();
+
+    // Leave happens before ts, so terminal holders never answer.
+    for row in 0..2 {
+        let slot = plan.slot(row, 2);
+        overlay.leave(slot);
+    }
+    // NOTE: keyed-scheme holders hand over onions via replication, so a
+    // pre-dead generation-0 node means its *replacement* would act. With
+    // immortal generations the slot model has no replacement after
+    // `leave`, so the onion truly dies with the terminal column in drop
+    // semantics — but the default semantics re-home stored packages. What
+    // must hold regardless: the run terminates and reports a coherent
+    // outcome.
+    let report = execute_keyed(
+        &mut overlay,
+        &plan,
+        &params,
+        &pkgs,
+        &RunConfig {
+            ts: SimTime::from_ticks(10),
+            emerging_period: SimDuration::from_ticks(3_000),
+            attack: AttackMode::Passive,
+        },
+    )
+    .unwrap();
+    assert!(
+        report.released.is_some() || report.failure.is_some(),
+        "run must end in exactly one coherent outcome"
+    );
+}
+
+#[test]
+fn tampered_onion_layers_are_rejected_not_misrouted() {
+    let k1 = SymmetricKey::from_bytes([1; 32]);
+    let k2 = SymmetricKey::from_bytes([2; 32]);
+    let onion_bytes = onion::build_onion(&[(&k1, b"hop1"), (&k2, b"hop2")], b"secret");
+
+    // Flip every byte position one at a time near the front and verify
+    // authentication always fails (no partial acceptance).
+    for pos in 0..24.min(onion_bytes.len()) {
+        let mut tampered = onion_bytes.clone();
+        tampered[pos] ^= 0x01;
+        assert!(
+            onion::peel(&k1, &tampered).is_err(),
+            "tampering at byte {pos} must be detected"
+        );
+    }
+}
+
+#[test]
+fn zero_capacity_network_blocks_everything() {
+    let mut overlay = Overlay::build(
+        OverlayConfig {
+            n_nodes: 64,
+            network: NetworkConfig {
+                latency_min: 1,
+                latency_max: 2,
+                drop_probability: 0.999,
+            },
+            ..OverlayConfig::default()
+        },
+        4,
+    );
+    overlay.build_routing_tables();
+    let outcome = overlay.find_node(0, NodeId::from_name(b"unreachable"));
+    // With 99.9% loss the lookup mostly times out; it must still
+    // terminate promptly.
+    assert!(outcome.queried > 0);
+    assert!(outcome.timeouts > 0);
+}
