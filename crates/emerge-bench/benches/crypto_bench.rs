@@ -84,8 +84,9 @@ fn bench_shamir(c: &mut Criterion) {
 fn bench_onion(c: &mut Criterion) {
     let mut group = c.benchmark_group("onion");
     for depth in [3usize, 8, 16] {
-        let keys: Vec<SymmetricKey> =
-            (0..depth).map(|i| SymmetricKey::from_bytes([i as u8 + 1; 32])).collect();
+        let keys: Vec<SymmetricKey> = (0..depth)
+            .map(|i| SymmetricKey::from_bytes([i as u8 + 1; 32]))
+            .collect();
         let payload = vec![0u8; 128];
         let layers: Vec<(&SymmetricKey, &[u8])> =
             keys.iter().map(|k| (k, payload.as_slice())).collect();

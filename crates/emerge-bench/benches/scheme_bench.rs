@@ -82,9 +82,7 @@ fn bench_protocol_run(c: &mut Criterion) {
         group.bench_function("joint_5x10", |b| {
             b.iter_batched(
                 || overlay(2_000),
-                |mut ov| {
-                    execute_keyed(&mut ov, &plan, &keyed, &pkgs, black_box(&config)).unwrap()
-                },
+                |mut ov| execute_keyed(&mut ov, &plan, &keyed, &pkgs, black_box(&config)).unwrap(),
                 criterion::BatchSize::SmallInput,
             );
         });
@@ -103,9 +101,7 @@ fn bench_protocol_run(c: &mut Criterion) {
         group.bench_function("share_15x5", |b| {
             b.iter_batched(
                 || overlay(2_000),
-                |mut ov| {
-                    execute_share(&mut ov, &plan, &share, &pkgs, black_box(&config)).unwrap()
-                },
+                |mut ov| execute_share(&mut ov, &plan, &share, &pkgs, black_box(&config)).unwrap(),
                 criterion::BatchSize::SmallInput,
             );
         });
@@ -118,7 +114,11 @@ fn bench_montecarlo(c: &mut Criterion) {
     group.sample_size(10);
     for (label, params, alpha) in [
         ("joint_no_churn", SchemeParams::Joint { k: 5, l: 12 }, None),
-        ("joint_churn_a3", SchemeParams::Joint { k: 5, l: 12 }, Some(3.0)),
+        (
+            "joint_churn_a3",
+            SchemeParams::Joint { k: 5, l: 12 },
+            Some(3.0),
+        ),
         (
             "share_churn_a3",
             SchemeParams::Share {

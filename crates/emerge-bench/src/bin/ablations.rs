@@ -161,7 +161,9 @@ fn ablation_unavailability(trials: usize) {
                 alpha: Some(1.0),
                 unavailability: u,
             };
-            run_trials(&spec, trials, 0xE1 ^ salt).drop_resilience.value()
+            run_trials(&spec, trials, 0xE1 ^ salt)
+                .drop_resilience
+                .value()
         };
         (u, [run(disjoint, 1), run(joint, 2), run(share, 3)])
     });

@@ -1,0 +1,204 @@
+//! Records the Monte-Carlo throughput baseline for both DHT substrates.
+//!
+//! Runs the wire-protocol Monte-Carlo (real path construction, packaging
+//! and hop-by-hop execution) at the paper's scale — 10 000-node worlds —
+//! on the routing-free `AnalyticSubstrate` and on the full `Overlay`, and
+//! writes trials/sec for each to `BENCH_montecarlo.json` (first CLI arg
+//! overrides the path). Later PRs diff against the committed numbers.
+//!
+//! The overlay is measured over fewer trials (it is orders of magnitude
+//! slower at this population; throughput is what matters), after a
+//! fingerprint cross-check on a small shared cell proves both substrates
+//! still produce identical outcomes.
+//!
+//! Environment: `EMERGE_BASELINE_TRIALS` (default 1000) and
+//! `EMERGE_BASELINE_OVERLAY_TRIALS` (default 20).
+
+use emerge_core::config::SchemeParams;
+use emerge_core::montecarlo::{run_protocol_trials, ProtocolMcResults, ProtocolTrialSpec};
+use emerge_core::protocol::AttackMode;
+use emerge_dht::analytic::AnalyticSubstrate;
+use emerge_dht::overlay::{Overlay, OverlayConfig};
+use emerge_sim::time::SimDuration;
+use std::time::Instant;
+
+const POPULATION: usize = 10_000;
+const SEED: u64 = 0xB45E;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn world_config(n: usize) -> OverlayConfig {
+    OverlayConfig {
+        n_nodes: n,
+        malicious_fraction: 0.2,
+        mean_lifetime: Some(40_000),
+        horizon: 200_000,
+        ..OverlayConfig::default()
+    }
+}
+
+fn cells() -> Vec<(&'static str, ProtocolTrialSpec)> {
+    vec![
+        (
+            "joint_4x8_release_ahead",
+            ProtocolTrialSpec {
+                params: SchemeParams::Joint { k: 4, l: 8 },
+                emerging_period: SimDuration::from_ticks(8_000),
+                attack: AttackMode::ReleaseAhead,
+            },
+        ),
+        (
+            "share_40x5_release_ahead",
+            ProtocolTrialSpec {
+                params: SchemeParams::Share {
+                    k: 3,
+                    l: 5,
+                    n: 40,
+                    m: vec![18, 18, 18, 20],
+                },
+                emerging_period: SimDuration::from_ticks(8_000),
+                attack: AttackMode::ReleaseAhead,
+            },
+        ),
+    ]
+}
+
+struct Measurement {
+    cell: &'static str,
+    substrate: &'static str,
+    trials: usize,
+    seconds: f64,
+    clean: f64,
+    released: f64,
+}
+
+impl Measurement {
+    fn trials_per_sec(&self) -> f64 {
+        self.trials as f64 / self.seconds
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"cell\": \"{}\", \"substrate\": \"{}\", \"trials\": {}, ",
+                "\"seconds\": {:.3}, \"trials_per_sec\": {:.3}, ",
+                "\"clean_rate\": {:.4}, \"released_rate\": {:.4}}}"
+            ),
+            self.cell,
+            self.substrate,
+            self.trials,
+            self.seconds,
+            self.trials_per_sec(),
+            self.clean,
+            self.released,
+        )
+    }
+}
+
+fn measure<F>(
+    cell: &'static str,
+    substrate: &'static str,
+    spec: &ProtocolTrialSpec,
+    trials: usize,
+    run: F,
+) -> Measurement
+where
+    F: FnOnce(&ProtocolTrialSpec, usize) -> ProtocolMcResults,
+{
+    eprintln!("measuring {cell} on {substrate} ({trials} trials at N={POPULATION})...");
+    let start = Instant::now();
+    let results = run(spec, trials);
+    let seconds = start.elapsed().as_secs_f64();
+    eprintln!(
+        "  {:.2} trials/sec (clean {:.3}, released {:.3})",
+        trials as f64 / seconds,
+        results.clean.value(),
+        results.released.value()
+    );
+    Measurement {
+        cell,
+        substrate,
+        trials,
+        seconds,
+        clean: results.clean.value(),
+        released: results.released.value(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_montecarlo.json".into());
+    let analytic_trials = env_usize("EMERGE_BASELINE_TRIALS", 1_000);
+    let overlay_trials = env_usize("EMERGE_BASELINE_OVERLAY_TRIALS", 20);
+
+    // Cross-check first: both substrates must agree trial for trial on a
+    // small shared cell, otherwise the throughput numbers compare
+    // different computations.
+    let check_spec = &cells()[0].1;
+    let check_cfg = world_config(500);
+    let full = run_protocol_trials(check_spec, 10, SEED, |s| Overlay::build(check_cfg, s))
+        .expect("overlay check trials");
+    let fast = run_protocol_trials(check_spec, 10, SEED, |s| {
+        AnalyticSubstrate::build(check_cfg, s)
+    })
+    .expect("analytic check trials");
+    assert_eq!(
+        full.fingerprint, fast.fingerprint,
+        "substrate parity violated; refusing to record a baseline"
+    );
+    eprintln!(
+        "parity check passed (fingerprint {:#018x})",
+        full.fingerprint
+    );
+
+    let config = world_config(POPULATION);
+    let mut measurements = Vec::new();
+    for (cell, spec) in cells() {
+        measurements.push(measure(cell, "analytic", &spec, analytic_trials, |s, t| {
+            run_protocol_trials(s, t, SEED, |ws| AnalyticSubstrate::build(config, ws))
+                .expect("analytic trials")
+        }));
+        measurements.push(measure(cell, "overlay", &spec, overlay_trials, |s, t| {
+            run_protocol_trials(s, t, SEED, |ws| Overlay::build(config, ws))
+                .expect("overlay trials")
+        }));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"population\": {POPULATION},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str("  \"measurements\": [\n");
+    let lines: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+
+    for (cell, _) in cells() {
+        let a = measurements
+            .iter()
+            .find(|m| m.cell == cell && m.substrate == "analytic")
+            .expect("analytic measurement");
+        let o = measurements
+            .iter()
+            .find(|m| m.cell == cell && m.substrate == "overlay")
+            .expect("overlay measurement");
+        println!(
+            "{cell}: analytic {:.2} trials/sec vs overlay {:.2} trials/sec ({:.1}x speedup)",
+            a.trials_per_sec(),
+            o.trials_per_sec(),
+            a.trials_per_sec() / o.trials_per_sec()
+        );
+    }
+}

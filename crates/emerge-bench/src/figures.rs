@@ -105,7 +105,10 @@ pub fn fig7_churn_resilience(
             run_trials(&spec, trials, seed ^ salt).r_min()
         };
         let central = run(SchemeParams::Central, 0x11);
-        let disjoint = run(analysis::solve_disjoint(p, TARGET_R, population).params, 0x12);
+        let disjoint = run(
+            analysis::solve_disjoint(p, TARGET_R, population).params,
+            0x12,
+        );
         let joint = run(analysis::solve_joint(p, TARGET_R, population).params, 0x13);
         let share = run(
             analysis::solve_share(p, TARGET_R, population, alpha).params,
@@ -188,7 +191,11 @@ mod tests {
         assert!((row[1] - 0.6).abs() < 0.15);
         // Joint must dominate central everywhere.
         for row in r.iter() {
-            assert!(row[3] >= row[1] - 0.05, "joint under central at p={}", row[0]);
+            assert!(
+                row[3] >= row[1] - 0.05,
+                "joint under central at p={}",
+                row[0]
+            );
         }
     }
 

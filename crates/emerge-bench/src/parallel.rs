@@ -24,7 +24,7 @@ where
         .unwrap_or(4)
         .min(n);
     if workers <= 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
 
     let next = AtomicUsize::new(0);

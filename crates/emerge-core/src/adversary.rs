@@ -67,7 +67,10 @@ impl HolderTimeline {
         );
         let mut prev = 0.0;
         for &r in &renewals {
-            assert!(r > prev, "renewals must be strictly increasing and positive");
+            assert!(
+                r > prev,
+                "renewals must be strictly increasing and positive"
+            );
             prev = r;
         }
         HolderTimeline {
@@ -278,7 +281,8 @@ impl ShareTrial {
     /// stores nothing replicable).
     pub fn survives_hold(&self, row: usize, col: usize) -> bool {
         let from = self.arrival(col);
-        self.holder(row, col).same_tenant_through(from, from + self.th)
+        self.holder(row, col)
+            .same_tenant_through(from, from + self.th)
     }
 
     /// Number of malicious receivers in a column (share leak sources).
@@ -307,8 +311,7 @@ impl ShareTrial {
     /// through a share quorum at the previous column.
     pub fn release_succeeds(&self) -> bool {
         (0..self.l).all(|col| {
-            let onion_row_leak =
-                (0..self.k).any(|row| self.receiver_malicious(row, col));
+            let onion_row_leak = (0..self.k).any(|row| self.receiver_malicious(row, col));
             let share_leak = col >= 1 && self.malicious_count(col - 1) >= self.m[col - 1];
             onion_row_leak || share_leak
         })
@@ -320,8 +323,7 @@ impl ShareTrial {
     /// is what the wire-level package format actually enforces.
     pub fn release_strict_succeeds(&self) -> bool {
         let onion_at_start = (0..self.k).any(|row| self.receiver_malicious(row, 0));
-        onion_at_start
-            && (1..self.l).all(|col| self.malicious_count(col - 1) >= self.m[col - 1])
+        onion_at_start && (1..self.l).all(|col| self.malicious_count(col - 1) >= self.m[col - 1])
     }
 
     /// Drop success: some column fails to deliver. Two channels exist:
@@ -384,10 +386,7 @@ mod tests {
         #[test]
         fn renewals_switch_tenants() {
             // honest until 1.0, malicious until 2.5, honest after.
-            let t = HolderTimeline::with_renewals(
-                vec![1.0, 2.5],
-                vec![false, true, false],
-            );
+            let t = HolderTimeline::with_renewals(vec![1.0, 2.5], vec![false, true, false]);
             assert!(!t.tenant_malicious_at(0.5));
             assert!(t.tenant_malicious_at(1.0)); // boundary: new tenant owns it
             assert!(t.tenant_malicious_at(2.0));
@@ -396,10 +395,7 @@ mod tests {
 
         #[test]
         fn exposure_sees_all_overlapping_tenants() {
-            let t = HolderTimeline::with_renewals(
-                vec![1.0, 2.0],
-                vec![false, true, false],
-            );
+            let t = HolderTimeline::with_renewals(vec![1.0, 2.0], vec![false, true, false]);
             assert!(!t.malicious_exposure_in(0.0, 0.9));
             assert!(t.malicious_exposure_in(0.0, 1.0)); // tenant 1 arrives at 1.0
             assert!(t.malicious_exposure_in(1.5, 1.7));
@@ -517,10 +513,7 @@ mod tests {
         #[test]
         fn replication_requires_one_leak_per_column() {
             // Two rows; column coverage split across rows still releases.
-            let t = trial(
-                &[&[true, false, true], &[false, true, false]],
-                1.0,
-            );
+            let t = trial(&[&[true, false, true], &[false, true, false]], 1.0);
             assert!(t.release_succeeds());
         }
 
@@ -609,11 +602,7 @@ mod tests {
 
         #[test]
         fn clean_grid_resists() {
-            let t = trial(
-                &[&[false; 3], &[false; 3], &[false; 3]],
-                2,
-                vec![2, 2],
-            );
+            let t = trial(&[&[false; 3], &[false; 3], &[false; 3]], 2, vec![2, 2]);
             assert!(!t.release_succeeds());
             assert!(!t.release_strict_succeeds());
             assert!(!t.drop_succeeds());

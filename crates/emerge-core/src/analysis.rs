@@ -249,13 +249,7 @@ pub fn select_threshold(n: usize, d: usize, p: f64) -> usize {
 /// solver uses this term in addition so that the parameters it picks hold
 /// up in the mechanistic Monte-Carlo. See EXPERIMENTS.md for the
 /// comparison.
-pub fn share_flow_survival(
-    n: usize,
-    m: &[usize],
-    p: f64,
-    t_over_lambda: f64,
-    l: usize,
-) -> f64 {
+pub fn share_flow_survival(n: usize, m: &[usize], p: f64, t_over_lambda: f64, l: usize) -> f64 {
     assert!(l >= 1);
     let survive = (-t_over_lambda / l as f64).exp();
     let q = (1.0 - p) * survive;
@@ -313,8 +307,8 @@ fn solve_multipath(p: f64, target: f64, budget: usize, joint_topology: bool) -> 
         }
     };
 
-    // Pass 1: cheapest feasible (k, l).
-    let mut best_feasible: Option<(usize, usize, usize, Resilience)> = None; // cost,k,l,res
+    // Pass 1: cheapest feasible (cost, k, l, res).
+    let mut best_feasible: Option<(usize, usize, usize, Resilience)> = None;
     // Pass 2 fallback: maximize min resilience under the budget.
     let mut best_any: (f64, usize, usize, Resilience) = (-1.0, 1, 1, eval(1, 1));
 
@@ -416,9 +410,7 @@ pub fn solve_share(p: f64, target: f64, budget: usize, t_over_lambda: f64) -> So
 
     // Direct search: coarse (k, l) grid, best predicted min-resilience.
     let mut best: Option<(f64, SchemeParams, Resilience)> = None;
-    let k_candidates: Vec<usize> = (1..=12)
-        .chain([16, 20, 24, 32, 48, 64])
-        .collect();
+    let k_candidates: Vec<usize> = (1..=12).chain([16, 20, 24, 32, 48, 64]).collect();
     for l in 1..=32usize {
         if budget / l == 0 {
             break;
@@ -650,7 +642,11 @@ mod tests {
         let qd = binomial_tail_ge(alive as u64, p, (alive - m + 1) as u64);
         // At the balanced threshold the two tails are within an order of
         // magnitude of each other (they cross between m and m±1).
-        let ratio = if qr > qd { qr / qd.max(1e-300) } else { qd / qr.max(1e-300) };
+        let ratio = if qr > qd {
+            qr / qd.max(1e-300)
+        } else {
+            qd / qr.max(1e-300)
+        };
         assert!(
             ratio < 1e3,
             "tails should roughly balance: qr={qr:.3e} qd={qd:.3e} m={m}"
@@ -663,7 +659,11 @@ mod tests {
         assert!(sol.target_met);
         assert!(sol.predicted.min() >= 0.99);
         // And the cost should be modest at p = 0.1.
-        assert!(sol.params.node_cost() < 200, "cost {}", sol.params.node_cost());
+        assert!(
+            sol.params.node_cost() < 200,
+            "cost {}",
+            sol.params.node_cost()
+        );
     }
 
     #[test]

@@ -160,9 +160,7 @@ impl SchemeParams {
                 }
                 for (i, &mi) in m.iter().enumerate() {
                     if mi == 0 || mi > *n {
-                        return fail(format!(
-                            "threshold m[{i}] = {mi} out of range 1..={n}"
-                        ));
+                        return fail(format!("threshold m[{i}] = {mi} out of range 1..={n}"));
                     }
                 }
                 Ok(())

@@ -10,7 +10,7 @@
 //! ```
 //! use emerge_core::emergence::{SelfEmergingSystem, SendRequest};
 //! use emerge_core::config::SchemeKind;
-//! use emerge_dht::overlay::OverlayConfig;
+//! use emerge_core::substrate::OverlayConfig;
 //! use emerge_sim::time::SimDuration;
 //!
 //! # fn main() -> Result<(), emerge_core::error::EmergeError> {
@@ -44,10 +44,10 @@ use crate::path::{construct_paths, PathPlan};
 use crate::protocol::{
     execute_central, execute_keyed, execute_share, AttackMode, RunConfig, RunReport,
 };
+use crate::substrate::{AnalyticSubstrate, HolderSubstrate, Overlay, OverlayConfig};
 use emerge_cloud::{AccessToken, BlobId, BlobStore};
 use emerge_crypto::aead;
 use emerge_crypto::keys::SymmetricKey;
-use emerge_dht::overlay::{Overlay, OverlayConfig};
 use emerge_sim::rng::SeedSource;
 use emerge_sim::time::{SimDuration, SimTime};
 use rand::RngCore;
@@ -88,21 +88,47 @@ pub struct SendHandle {
     attack: AttackMode,
 }
 
-/// The assembled system: DHT overlay + cloud.
+/// The assembled system: DHT substrate + cloud.
+///
+/// Generic over the [`HolderSubstrate`] carrying the key packages; the
+/// default is the fully simulated [`Overlay`]. Use
+/// [`SelfEmergingSystem::new_analytic`] (or [`with_substrate`] with any
+/// other backend) for the routing-free substrate, which produces identical
+/// emergence outcomes at a fraction of the cost.
+///
+/// [`with_substrate`]: SelfEmergingSystem::with_substrate
 #[derive(Debug)]
-pub struct SelfEmergingSystem {
-    overlay: Overlay,
+pub struct SelfEmergingSystem<S: HolderSubstrate = Overlay> {
+    substrate: S,
     cloud: BlobStore,
     seeds: SeedSource,
     sends: u64,
     attack: AttackMode,
 }
 
-impl SelfEmergingSystem {
-    /// Builds a system over a fresh overlay.
+impl SelfEmergingSystem<Overlay> {
+    /// Builds a system over a fresh fully simulated overlay.
     pub fn new(config: OverlayConfig, seed: u64) -> Self {
+        Self::with_substrate(Overlay::build(config, seed), seed)
+    }
+}
+
+impl SelfEmergingSystem<AnalyticSubstrate> {
+    /// Builds a system over the routing-free analytic substrate — the
+    /// same population and emergence outcomes as [`SelfEmergingSystem::new`]
+    /// for equal `(config, seed)`, without routing-table or network costs.
+    pub fn new_analytic(config: OverlayConfig, seed: u64) -> Self {
+        Self::with_substrate(AnalyticSubstrate::build(config, seed), seed)
+    }
+}
+
+impl<S: HolderSubstrate> SelfEmergingSystem<S> {
+    /// Assembles a system over an existing substrate. `seed` drives the
+    /// sender-side randomness (message keys, nonces, tokens) and should
+    /// match the substrate's build seed for full-run reproducibility.
+    pub fn with_substrate(substrate: S, seed: u64) -> Self {
         SelfEmergingSystem {
-            overlay: Overlay::build(config, seed),
+            substrate,
             cloud: BlobStore::new(),
             seeds: SeedSource::new(seed),
             sends: 0,
@@ -110,14 +136,14 @@ impl SelfEmergingSystem {
         }
     }
 
-    /// Sets the behaviour of malicious overlay nodes for subsequent runs.
+    /// Sets the behaviour of malicious substrate nodes for subsequent runs.
     pub fn set_attack_mode(&mut self, attack: AttackMode) {
         self.attack = attack;
     }
 
-    /// Read access to the overlay.
-    pub fn overlay(&self) -> &Overlay {
-        &self.overlay
+    /// Read access to the substrate.
+    pub fn substrate(&self) -> &S {
+        &self.substrate
     }
 
     /// Read access to the cloud.
@@ -144,15 +170,13 @@ impl SelfEmergingSystem {
                 "malicious rate estimate {p} out of [0,1]"
             )));
         }
-        let budget = self.overlay.n_nodes();
+        let budget = self.substrate.n_nodes();
         let params = match request.scheme {
             SchemeKind::Central => SchemeParams::Central,
             SchemeKind::Disjoint => {
                 analysis::solve_disjoint(p, request.target_resilience, budget).params
             }
-            SchemeKind::Joint => {
-                analysis::solve_joint(p, request.target_resilience, budget).params
-            }
+            SchemeKind::Joint => analysis::solve_joint(p, request.target_resilience, budget).params,
             SchemeKind::Share => {
                 // Without a better estimate, assume the emerging period
                 // spans one mean node lifetime for threshold selection.
@@ -194,11 +218,11 @@ impl SelfEmergingSystem {
         let blob = self.cloud.put(ciphertext, &[token.fingerprint()]);
 
         // Plan the routing paths.
-        let plan = construct_paths(&self.overlay, &params, &sender_seed)?;
+        let plan = construct_paths(&self.substrate, &params, &sender_seed)?;
 
         Ok(SendHandle {
             blob,
-            release_time: self.overlay.now() + request.emerging_period,
+            release_time: self.substrate.now() + request.emerging_period,
             params,
             plan,
             report: None,
@@ -212,7 +236,7 @@ impl SelfEmergingSystem {
     /// Drives the DHT protocol to the release time, populating
     /// `handle.report` and advancing the overlay clock to `tr`.
     pub fn run_to_release(&mut self, handle: &mut SendHandle) {
-        let ts = self.overlay.now();
+        let ts = self.substrate.now();
         let emerging_period = handle.release_time.since(ts);
         let config = RunConfig {
             ts,
@@ -223,24 +247,34 @@ impl SelfEmergingSystem {
         let secret = secret_for(handle);
         let report = match &handle.params {
             SchemeParams::Central => {
-                execute_central(&mut self.overlay, &handle.plan, &secret, &config)
+                execute_central(&mut self.substrate, &handle.plan, &secret, &config)
             }
             SchemeParams::Disjoint { .. } | SchemeParams::Joint { .. } => {
-                let pkgs =
-                    build_keyed_packages(&handle.plan, &handle.params, &schedule, &secret)
-                        .expect("planned parameters build packages");
-                execute_keyed(&mut self.overlay, &handle.plan, &handle.params, &pkgs, &config)
+                let pkgs = build_keyed_packages(&handle.plan, &handle.params, &schedule, &secret)
+                    .expect("planned parameters build packages");
+                execute_keyed(
+                    &mut self.substrate,
+                    &handle.plan,
+                    &handle.params,
+                    &pkgs,
+                    &config,
+                )
             }
             SchemeParams::Share { .. } => {
-                let pkgs =
-                    build_share_packages(&handle.plan, &handle.params, &schedule, &secret)
-                        .expect("planned parameters build packages");
-                execute_share(&mut self.overlay, &handle.plan, &handle.params, &pkgs, &config)
+                let pkgs = build_share_packages(&handle.plan, &handle.params, &schedule, &secret)
+                    .expect("planned parameters build packages");
+                execute_share(
+                    &mut self.substrate,
+                    &handle.plan,
+                    &handle.params,
+                    &pkgs,
+                    &config,
+                )
             }
         }
         .expect("protocol execution is infallible for valid packages");
         handle.report = Some(report);
-        self.overlay.advance_to(handle.release_time);
+        self.substrate.advance_to(handle.release_time);
     }
 
     /// Fetches and decrypts the message after release.
@@ -254,7 +288,7 @@ impl SelfEmergingSystem {
     /// * [`EmergeError::Cloud`] / [`EmergeError::Crypto`] on fetch or
     ///   decryption failures.
     pub fn receive(&mut self, handle: &SendHandle) -> Result<Vec<u8>, EmergeError> {
-        let now = self.overlay.now();
+        let now = self.substrate.now();
         let report = match &handle.report {
             Some(r) => r,
             None => {
@@ -263,14 +297,16 @@ impl SelfEmergingSystem {
                 })
             }
         };
-        let (released_at, key_bytes) = report.released.as_ref().ok_or_else(|| {
-            EmergeError::KeyLost {
-                reason: report
-                    .failure
-                    .clone()
-                    .unwrap_or_else(|| "unknown loss".into()),
-            }
-        })?;
+        let (released_at, key_bytes) =
+            report
+                .released
+                .as_ref()
+                .ok_or_else(|| EmergeError::KeyLost {
+                    reason: report
+                        .failure
+                        .clone()
+                        .unwrap_or_else(|| "unknown loss".into()),
+                })?;
         if now < *released_at {
             return Err(EmergeError::NotYetReleased {
                 remaining_ticks: released_at.since(now).ticks(),
@@ -330,9 +366,9 @@ mod tests {
             let mut sys = system(256, 0.0, 100 + i as u64);
             let mut handle = sys.send(request(scheme)).expect("send succeeds");
             sys.run_to_release(&mut handle);
-            let msg = sys.receive(&handle).unwrap_or_else(|e| {
-                panic!("{scheme}: receive failed: {e}")
-            });
+            let msg = sys
+                .receive(&handle)
+                .unwrap_or_else(|e| panic!("{scheme}: receive failed: {e}"));
             assert_eq!(msg, b"meet me at the usual place", "{scheme}");
         }
     }

@@ -21,13 +21,16 @@
 //! * [`config`] — scheme kinds and structural parameters
 //! * [`analysis`] — equations (1)–(3), Lemma 1, Algorithm 1, and the
 //!   `(k, l)` solver behind the paper's cost/resilience sweeps
+//! * [`substrate`] — the [`substrate::HolderSubstrate`] trait decoupling
+//!   the schemes from any concrete DHT, with the simulated overlay and
+//!   the fast analytic substrate as backends
 //! * [`path`] — pseudo-random holder selection on the DHT
 //! * [`package`] — onion and share package generation (real crypto)
 //! * [`protocol`] — hop-by-hop execution with churn and attacks
 //! * [`adversary`] — trial-level attack predicates (Monte-Carlo ground
 //!   truth)
 //! * [`montecarlo`] — the paper-scale experiment engine (10000 nodes ×
-//!   1000 trials)
+//!   1000 trials), timeline-based and substrate-backed
 //! * [`emergence`] — the high-level sender/receiver API
 //! * [`error`], [`math`] — support
 //!
@@ -36,7 +39,7 @@
 //! ```
 //! use emerge_core::emergence::{SelfEmergingSystem, SendRequest};
 //! use emerge_core::config::SchemeKind;
-//! use emerge_dht::overlay::OverlayConfig;
+//! use emerge_core::substrate::OverlayConfig;
 //! use emerge_sim::time::SimDuration;
 //!
 //! # fn main() -> Result<(), emerge_core::error::EmergeError> {
@@ -70,7 +73,9 @@ pub mod montecarlo;
 pub mod package;
 pub mod path;
 pub mod protocol;
+pub mod substrate;
 
 pub use config::{SchemeKind, SchemeParams};
 pub use emergence::{SelfEmergingSystem, SendRequest};
 pub use error::EmergeError;
+pub use substrate::HolderSubstrate;

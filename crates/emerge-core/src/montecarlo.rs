@@ -18,10 +18,19 @@
 
 use crate::adversary::{CentralTrial, HolderTimeline, KeyedTrial, ShareTrial};
 use crate::config::SchemeParams;
-use emerge_sim::metrics::Rate;
+use crate::error::EmergeError;
+use crate::package::{build_keyed_packages, build_share_packages, KeySchedule};
+use crate::path::construct_paths;
+use crate::protocol::{
+    execute_central, execute_keyed, execute_share, AttackMode, RunConfig, RunReport,
+};
+use crate::substrate::HolderSubstrate;
+use emerge_crypto::keys::SymmetricKey;
+use emerge_sim::metrics::{Rate, Summary};
 use emerge_sim::rng::SeedSource;
+use emerge_sim::time::SimDuration;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// Specification of one Monte-Carlo experiment cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,7 +83,9 @@ impl McResults {
     /// The effective resilience `R = min(Rr, Rd)` as plotted in the
     /// paper's figures.
     pub fn r_min(&self) -> f64 {
-        self.release_resilience.value().min(self.drop_resilience.value())
+        self.release_resilience
+            .value()
+            .min(self.drop_resilience.value())
     }
 }
 
@@ -115,7 +126,9 @@ pub fn run_trials(spec: &TrialSpec, trials: usize, seed: u64) -> McResults {
         results
             .combined_resilience
             .record(!outcome.release && !outcome.drop);
-        results.strict_release_resilience.record(!outcome.strict_release);
+        results
+            .strict_release_resilience
+            .record(!outcome.strict_release);
     }
     results
 }
@@ -167,9 +180,8 @@ fn run_one_trial(spec: &TrialSpec, rng: &mut StdRng) -> TrialOutcome {
                     // A column-`col` holder is relevant until the onion
                     // leaves it at t_{col+1}.
                     let window = (col as f64 + 1.0) * th;
-                    holders.push(
-                        sampler.sample(initial_flags.next().expect("enough flags"), window),
-                    );
+                    holders
+                        .push(sampler.sample(initial_flags.next().expect("enough flags"), window));
                 }
             }
             let trial = KeyedTrial {
@@ -193,9 +205,8 @@ fn run_one_trial(spec: &TrialSpec, rng: &mut StdRng) -> TrialOutcome {
             for _row in 0..*n {
                 for col in 0..*l {
                     let window = (col as f64 + 1.0) * th;
-                    holders.push(
-                        sampler.sample(initial_flags.next().expect("enough flags"), window),
-                    );
+                    holders
+                        .push(sampler.sample(initial_flags.next().expect("enough flags"), window));
                 }
             }
             let trial = ShareTrial {
@@ -213,6 +224,149 @@ fn run_one_trial(spec: &TrialSpec, rng: &mut StdRng) -> TrialOutcome {
             }
         }
     }
+}
+
+/// Specification of a substrate-backed (wire-protocol) Monte-Carlo cell.
+///
+/// Unlike [`TrialSpec`], which evaluates the combinatorial attack
+/// predicates on sampled holder timelines, a protocol cell runs the *real*
+/// protocol — path construction, onion/share packaging, hop-by-hop
+/// execution with genuine cryptography — on a fresh
+/// [`HolderSubstrate`] world per trial. Running the same spec on the full
+/// overlay and on the analytic substrate must produce identical results
+/// (see [`ProtocolMcResults::fingerprint`]); the analytic substrate just
+/// gets there dramatically faster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolTrialSpec {
+    /// Scheme parameters to instantiate each trial.
+    pub params: SchemeParams,
+    /// Emerging period `T` in ticks.
+    pub emerging_period: SimDuration,
+    /// Behaviour of malicious holders.
+    pub attack: AttackMode,
+}
+
+/// Aggregated outcomes of a batch of wire-protocol trials.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolMcResults {
+    /// Fraction of trials where the key was released at all.
+    pub released: Rate,
+    /// Fraction of trials with a clean emergence: released exactly at `tr`
+    /// and never reconstructed early.
+    pub clean: Rate,
+    /// Fraction of trials where the adversary reconstructed the secret
+    /// before `tr`.
+    pub reconstructed_early: Rate,
+    /// Messages pushed through the substrate per trial.
+    pub messages: Summary,
+    /// Order-sensitive digest of every trial's holder slots and report —
+    /// two runs (or two substrates) agree on this iff they agreed on every
+    /// single trial.
+    pub fingerprint: u64,
+}
+
+/// Runs `trials` wire-protocol trials of `spec`, deterministically from
+/// `seed`, building a fresh substrate world per trial via
+/// `substrate_factory` (which receives the trial's world seed).
+///
+/// # Errors
+///
+/// Propagates construction failures, e.g.
+/// [`EmergeError::InsufficientNodes`] when the structure does not fit the
+/// factory's worlds.
+pub fn run_protocol_trials<S, F>(
+    spec: &ProtocolTrialSpec,
+    trials: usize,
+    seed: u64,
+    mut substrate_factory: F,
+) -> Result<ProtocolMcResults, EmergeError>
+where
+    S: HolderSubstrate,
+    F: FnMut(u64) -> S,
+{
+    spec.params.validate()?;
+    let seeds = SeedSource::new(seed);
+    let mut results = ProtocolMcResults {
+        fingerprint: FNV_OFFSET,
+        ..ProtocolMcResults::default()
+    };
+    for trial_idx in 0..trials {
+        let mut trial_rng = seeds.stream_n("protocol-trial", trial_idx as u64);
+        let world_seed = trial_rng.next_u64();
+        let mut substrate = substrate_factory(world_seed);
+        let sender_seed = SymmetricKey::generate(&mut trial_rng);
+        let secret = sender_seed
+            .derive(b"message-secret-key")
+            .as_bytes()
+            .to_vec();
+
+        let plan = construct_paths(&substrate, &spec.params, &sender_seed)?;
+        let config = RunConfig {
+            ts: substrate.now(),
+            emerging_period: spec.emerging_period,
+            attack: spec.attack,
+        };
+        let schedule = KeySchedule::new(sender_seed);
+        let report = match &spec.params {
+            SchemeParams::Central => execute_central(&mut substrate, &plan, &secret, &config)?,
+            SchemeParams::Disjoint { .. } | SchemeParams::Joint { .. } => {
+                let pkgs = build_keyed_packages(&plan, &spec.params, &schedule, &secret)?;
+                execute_keyed(&mut substrate, &plan, &spec.params, &pkgs, &config)?
+            }
+            SchemeParams::Share { .. } => {
+                let pkgs = build_share_packages(&plan, &spec.params, &schedule, &secret)?;
+                execute_share(&mut substrate, &plan, &spec.params, &pkgs, &config)?
+            }
+        };
+
+        let tr = config.ts + config.emerging_period;
+        results.released.record(report.released.is_some());
+        results.clean.record(report.clean_emergence(tr));
+        results
+            .reconstructed_early
+            .record(report.adversary_reconstruction.is_some());
+        results.messages.record(report.messages_sent as f64);
+        results.fingerprint = fold_trial(results.fingerprint, &plan.slots, &report);
+    }
+    Ok(results)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds one trial's holder slots and report into the running FNV-1a
+/// digest.
+fn fold_trial(mut h: u64, slots: &[usize], report: &RunReport) -> u64 {
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for &slot in slots {
+        eat(&(slot as u64).to_le_bytes());
+    }
+    match &report.released {
+        Some((at, secret)) => {
+            eat(&[1]);
+            eat(&at.ticks().to_le_bytes());
+            eat(secret);
+        }
+        None => eat(&[0]),
+    }
+    match &report.adversary_reconstruction {
+        Some((at, secret)) => {
+            eat(&[1]);
+            eat(&at.ticks().to_le_bytes());
+            eat(secret);
+        }
+        None => eat(&[0]),
+    }
+    if let Some(reason) = &report.failure {
+        eat(reason.as_bytes());
+    }
+    eat(&report.messages_sent.to_le_bytes());
+    h
 }
 
 /// Samples holder timelines: exponential tenant lifetimes (mean 1.0 in
@@ -258,6 +412,92 @@ impl TimelineSampler<'_> {
 mod tests {
     use super::*;
     use crate::analysis;
+    use crate::substrate::{AnalyticSubstrate, Overlay, OverlayConfig};
+
+    fn protocol_spec(params: SchemeParams, attack: AttackMode) -> ProtocolTrialSpec {
+        ProtocolTrialSpec {
+            params,
+            emerging_period: SimDuration::from_ticks(3_000),
+            attack,
+        }
+    }
+
+    fn world_config(n: usize, p: f64) -> OverlayConfig {
+        OverlayConfig {
+            n_nodes: n,
+            malicious_fraction: p,
+            ..OverlayConfig::default()
+        }
+    }
+
+    #[test]
+    fn protocol_trials_clean_network_always_clean() {
+        let spec = protocol_spec(SchemeParams::Joint { k: 2, l: 3 }, AttackMode::Passive);
+        let r = run_protocol_trials(&spec, 25, 7, |s| {
+            AnalyticSubstrate::build(world_config(120, 0.0), s)
+        })
+        .unwrap();
+        assert_eq!(r.clean.value(), 1.0);
+        assert_eq!(r.released.value(), 1.0);
+        assert_eq!(r.reconstructed_early.value(), 0.0);
+        assert!(r.messages.mean() > 2.0);
+    }
+
+    #[test]
+    fn protocol_trials_are_deterministic() {
+        let spec = protocol_spec(SchemeParams::Disjoint { k: 2, l: 2 }, AttackMode::Drop);
+        let run = || {
+            run_protocol_trials(&spec, 20, 11, |s| {
+                AnalyticSubstrate::build(world_config(100, 0.3), s)
+            })
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.clean.successes(), b.clean.successes());
+    }
+
+    #[test]
+    fn protocol_trials_substrates_agree() {
+        for (params, attack) in [
+            (SchemeParams::Central, AttackMode::ReleaseAhead),
+            (SchemeParams::Joint { k: 2, l: 3 }, AttackMode::ReleaseAhead),
+            (SchemeParams::Disjoint { k: 2, l: 3 }, AttackMode::Drop),
+            (
+                SchemeParams::Share {
+                    k: 2,
+                    l: 3,
+                    n: 5,
+                    m: vec![3, 3],
+                },
+                AttackMode::ReleaseAhead,
+            ),
+        ] {
+            let spec = protocol_spec(params, attack);
+            let full =
+                run_protocol_trials(&spec, 8, 5, |s| Overlay::build(world_config(150, 0.4), s))
+                    .unwrap();
+            let fast = run_protocol_trials(&spec, 8, 5, |s| {
+                AnalyticSubstrate::build(world_config(150, 0.4), s)
+            })
+            .unwrap();
+            assert_eq!(
+                full.fingerprint, fast.fingerprint,
+                "substrates diverged for {:?}",
+                spec.params
+            );
+        }
+    }
+
+    #[test]
+    fn protocol_trials_reject_oversized_structures() {
+        let spec = protocol_spec(SchemeParams::Joint { k: 20, l: 20 }, AttackMode::Passive);
+        let err = run_protocol_trials(&spec, 1, 1, |s| {
+            AnalyticSubstrate::build(world_config(50, 0.0), s)
+        })
+        .unwrap_err();
+        assert!(matches!(err, EmergeError::InsufficientNodes { .. }));
+    }
 
     fn spec(params: SchemeParams, population: usize, p: f64, alpha: Option<f64>) -> TrialSpec {
         TrialSpec {
@@ -352,8 +592,14 @@ mod tests {
         let c = run_trials(&s, 500, 43);
         // Overwhelmingly likely to differ.
         assert_ne!(
-            (a.release_resilience.successes(), a.drop_resilience.successes()),
-            (c.release_resilience.successes(), c.drop_resilience.successes())
+            (
+                a.release_resilience.successes(),
+                a.drop_resilience.successes()
+            ),
+            (
+                c.release_resilience.successes(),
+                c.drop_resilience.successes()
+            )
         );
     }
 
@@ -402,9 +648,7 @@ mod tests {
         // schemes, so its resilience is <= the paper metric's.
         let s = spec(SchemeParams::Joint { k: 3, l: 5 }, 5000, 0.3, None);
         let r = run_trials(&s, 2000, 7);
-        assert!(
-            r.strict_release_resilience.value() <= r.release_resilience.value() + 1e-9
-        );
+        assert!(r.strict_release_resilience.value() <= r.release_resilience.value() + 1e-9);
     }
 
     #[test]

@@ -56,8 +56,7 @@ impl KeySchedule {
 
     /// Row-onion key `K_{r,j}` (share scheme).
     pub fn row_key(&self, row: usize, col: usize) -> SymmetricKey {
-        self.seed
-            .derive(format!("row-key/{row}/{col}").as_bytes())
+        self.seed.derive(format!("row-key/{row}/{col}").as_bytes())
     }
 
     /// Bundle key `C_j` protecting the inner bundle of column `col`
@@ -473,7 +472,10 @@ pub fn build_share_packages(
                     bundle_key: Some(bundle_key.clone()),
                 }
             };
-            headers.push(seal_header(&schedule.row_key(row, col), &payload.to_bytes()));
+            headers.push(seal_header(
+                &schedule.row_key(row, col),
+                &payload.to_bytes(),
+            ));
         }
         let bundle = ColumnBundle {
             headers,
@@ -568,7 +570,10 @@ mod tests {
             core_key_share: None,
             bundle_key: None,
         };
-        assert_eq!(ShareLayerPayload::from_bytes(&bare.to_bytes()).unwrap(), bare);
+        assert_eq!(
+            ShareLayerPayload::from_bytes(&bare.to_bytes()).unwrap(),
+            bare
+        );
     }
 
     #[test]
@@ -637,8 +642,8 @@ mod tests {
         let ov = overlay(50);
         let params = SchemeParams::Joint { k: 2, l: 2 };
         let plan = construct_paths(&ov, &params, &SymmetricKey::from_bytes([1; 32])).unwrap();
-        let err = build_keyed_packages(&plan, &SchemeParams::Central, &schedule(), b"s")
-            .unwrap_err();
+        let err =
+            build_keyed_packages(&plan, &SchemeParams::Central, &schedule(), b"s").unwrap_err();
         assert!(matches!(err, EmergeError::InvalidParameters(_)));
     }
 

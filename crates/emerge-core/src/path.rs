@@ -10,9 +10,9 @@
 
 use crate::config::SchemeParams;
 use crate::error::EmergeError;
+use crate::substrate::HolderSubstrate;
 use emerge_crypto::keys::SymmetricKey;
 use emerge_dht::id::NodeId;
-use emerge_dht::overlay::Overlay;
 use std::collections::HashSet;
 
 /// A fully resolved holder grid.
@@ -31,15 +31,16 @@ pub struct PathPlan {
 impl PathPlan {
     /// The slot of holder `(row, col)`.
     pub fn slot(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "holder index out of grid");
+        assert!(
+            row < self.rows && col < self.cols,
+            "holder index out of grid"
+        );
         self.slots[row * self.cols + col]
     }
 
     /// Iterates `(row, col, slot)` over the grid.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
-        (0..self.rows).flat_map(move |r| {
-            (0..self.cols).map(move |c| (r, c, self.slot(r, c)))
-        })
+        (0..self.rows).flat_map(move |r| (0..self.cols).map(move |c| (r, c, self.slot(r, c))))
     }
 
     /// All slots of one column.
@@ -58,15 +59,15 @@ pub fn holder_address(seed: &SymmetricKey, row: usize, col: usize, attempt: u32)
     NodeId::from_bytes(id)
 }
 
-/// Constructs the holder grid for `params` on `overlay`, deterministically
-/// from the sender's `seed`.
+/// Constructs the holder grid for `params` on any [`HolderSubstrate`],
+/// deterministically from the sender's `seed`.
 ///
 /// # Errors
 ///
 /// Returns [`EmergeError::InsufficientNodes`] when the structure needs more
-/// distinct holders than the overlay has nodes.
-pub fn construct_paths(
-    overlay: &Overlay,
+/// distinct holders than the substrate has nodes.
+pub fn construct_paths<S: HolderSubstrate + ?Sized>(
+    substrate: &S,
     params: &SchemeParams,
     seed: &SymmetricKey,
 ) -> Result<PathPlan, EmergeError> {
@@ -79,10 +80,10 @@ pub fn construct_paths(
         SchemeParams::Share { l, n, .. } => (*n, *l),
     };
     let needed = rows * cols;
-    if needed > overlay.n_nodes() {
+    if needed > substrate.n_nodes() {
         return Err(EmergeError::InsufficientNodes {
             required: needed,
-            available: overlay.n_nodes(),
+            available: substrate.n_nodes(),
         });
     }
 
@@ -94,7 +95,7 @@ pub fn construct_paths(
             let mut attempt = 0u32;
             let (slot, target) = loop {
                 let target = holder_address(seed, row, col, attempt);
-                let slot = overlay.resolve_holder(&target);
+                let slot = substrate.resolve_holder(&target);
                 if !used.contains(&slot) {
                     break (slot, target);
                 }
@@ -125,7 +126,7 @@ pub fn construct_paths(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emerge_dht::overlay::OverlayConfig;
+    use crate::substrate::{Overlay, OverlayConfig};
 
     fn overlay(n: usize) -> Overlay {
         Overlay::build(
@@ -166,8 +167,7 @@ mod tests {
     #[test]
     fn insufficient_nodes_rejected() {
         let ov = overlay(10);
-        let err =
-            construct_paths(&ov, &SchemeParams::Joint { k: 4, l: 6 }, &seed(1)).unwrap_err();
+        let err = construct_paths(&ov, &SchemeParams::Joint { k: 4, l: 6 }, &seed(1)).unwrap_err();
         assert!(matches!(err, EmergeError::InsufficientNodes { .. }));
     }
 

@@ -16,12 +16,12 @@ use crate::config::SchemeParams;
 use crate::error::EmergeError;
 use crate::package::{open_header, open_inner, ColumnBundle, KeyedPackages, SharePackages};
 use crate::path::PathPlan;
+use crate::substrate::HolderSubstrate;
 use emerge_crypto::keys::{KeyShare, SymmetricKey};
 use emerge_crypto::onion::{peel, peel_core, Peeled};
 use emerge_crypto::shamir;
 use emerge_sim::engine::Engine;
 use emerge_sim::time::{SimDuration, SimTime};
-use emerge_dht::overlay::Overlay;
 
 /// Adversarial posture of the malicious nodes during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +47,7 @@ pub struct RunConfig {
 }
 
 /// The outcome of one protocol run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
     /// The secret and instant of legitimate release, if it happened.
     pub released: Option<(SimTime, Vec<u8>)>,
@@ -83,8 +83,8 @@ enum Ev {
 /// # Errors
 ///
 /// Returns [`EmergeError::InvalidParameters`] for mismatched parameters.
-pub fn execute_keyed(
-    overlay: &mut Overlay,
+pub fn execute_keyed<S: HolderSubstrate + ?Sized>(
+    substrate: &mut S,
     plan: &PathPlan,
     params: &SchemeParams,
     packages: &KeyedPackages,
@@ -123,12 +123,12 @@ pub fn execute_keyed(
     if config.attack == AttackMode::ReleaseAhead {
         // Pre-assigned keys leak from any malicious tenant during the
         // storage window [ts, arrival(col)].
-        for col in 0..cols {
+        for (col, key_time) in adv_key_time.iter_mut().enumerate() {
             let arrival = ts + th * col as u64;
             for row in 0..rows {
                 let slot = plan.slot(row, col);
-                if let Some(t) = first_malicious_exposure(overlay, slot, ts, arrival) {
-                    adv_key_time[col] = Some(match adv_key_time[col] {
+                if let Some(t) = substrate.first_malicious_exposure(slot, ts, arrival) {
+                    *key_time = Some(match *key_time {
                         Some(prev) if prev <= t => prev,
                         _ => t,
                     });
@@ -153,7 +153,7 @@ pub fn execute_keyed(
                     // Release-ahead adversary copies the (pre-peel) onion
                     // on any malicious contact during the stay.
                     if config.attack == AttackMode::ReleaseAhead {
-                        if let Some(t) = first_malicious_exposure(overlay, slot, now, depart) {
+                        if let Some(t) = substrate.first_malicious_exposure(slot, now, depart) {
                             adv_onions.push((t, col, onion.clone()));
                         }
                     }
@@ -161,7 +161,7 @@ pub fn execute_keyed(
                     // destroys the copy (replication cannot resurrect what
                     // a malicious node refuses to hand over).
                     if config.attack == AttackMode::Drop
-                        && overlay.any_malicious_exposure(slot, now, depart)
+                        && substrate.any_malicious_exposure(slot, now, depart)
                     {
                         continue;
                     }
@@ -184,8 +184,7 @@ pub fn execute_keyed(
                         }
                         Ok(Peeled::Core { .. }) => {
                             // Terminal layer: recover via peel_core below.
-                            let (_, secret) =
-                                peel_core(&packages.column_keys[col], &onion)?;
+                            let (_, secret) = peel_core(&packages.column_keys[col], &onion)?;
                             terminal_secrets.push(secret);
                         }
                         Err(e) => return Err(EmergeError::Crypto(e)),
@@ -277,8 +276,8 @@ pub fn execute_keyed(
 /// # Errors
 ///
 /// Returns [`EmergeError::InvalidParameters`] for mismatched parameters.
-pub fn execute_share(
-    overlay: &mut Overlay,
+pub fn execute_share<S: HolderSubstrate + ?Sized>(
+    substrate: &mut S,
     plan: &PathPlan,
     params: &SchemeParams,
     packages: &SharePackages,
@@ -343,7 +342,7 @@ pub fn execute_share(
                 for row in 0..n {
                     let inbox = std::mem::take(&mut inboxes[row * l + col]);
                     let slot = plan.slot(row, col);
-                    let tenant = *overlay.generation_at(slot, now);
+                    let tenant = *substrate.generation_at(slot, now);
 
                     // Reconstruct this holder's row key.
                     let row_key = if col == 0 {
@@ -367,8 +366,7 @@ pub fn execute_share(
                     };
 
                     // Malicious receiver leaks its direct material.
-                    if config.attack == AttackMode::ReleaseAhead && tenant.malicious && col == 0
-                    {
+                    if config.attack == AttackMode::ReleaseAhead && tenant.malicious && col == 0 {
                         if let Some(core) = &inbox.core_onion {
                             adv_core_onion_col0 = Some(core.clone());
                         }
@@ -385,15 +383,13 @@ pub fn execute_share(
                     // with it (key material is never re-homed), but the
                     // opaque bundle/onion blobs are re-homed to the slot
                     // replacement by DHT replication and still move.
-                    let survivor = overlay.generation_at(slot, depart).spawn == tenant.spawn;
+                    let survivor = substrate.generation_at(slot, depart).spawn == tenant.spawn;
 
                     // Open this row's header.
                     let payload = open_header(&row_key, header)?;
 
                     // Adversary copies the payload's onward shares.
-                    if config.attack == AttackMode::ReleaseAhead
-                        && tenant.malicious
-                        && col + 1 < l
+                    if config.attack == AttackMode::ReleaseAhead && tenant.malicious && col + 1 < l
                     {
                         // Witness: row 0's next-column key-shares; the core
                         // shares matter for the actual reconstruction.
@@ -406,11 +402,8 @@ pub fn execute_share(
                     }
 
                     // Unwrap the next column's bundle for relay.
-                    let next_bundle: Option<Vec<u8>> = match (&payload.bundle_key, &bundle.inner)
-                    {
-                        (Some(bk), Some(sealed)) => {
-                            Some(open_inner(bk, sealed)?.to_bytes())
-                        }
+                    let next_bundle: Option<Vec<u8>> = match (&payload.bundle_key, &bundle.inner) {
+                        (Some(bk), Some(sealed)) => Some(open_inner(bk, sealed)?.to_bytes()),
                         _ => None,
                     };
 
@@ -496,9 +489,7 @@ pub fn execute_share(
                     released = Some((now, secret.clone()));
                     messages += terminal_secrets.len() as u64;
                 } else {
-                    failure = Some(
-                        "no terminal onion row reconstructed the secret".into(),
-                    );
+                    failure = Some("no terminal onion row reconstructed the secret".into());
                 }
             }
         }
@@ -512,9 +503,7 @@ pub fn execute_share(
     // later column boundary.
     let mut adversary_reconstruction: Option<(SimTime, Vec<u8>)> = None;
     if config.attack == AttackMode::ReleaseAhead {
-        if let (Some(core_onion), Some(core_key0)) =
-            (adv_core_onion_col0, adv_direct_core_key)
-        {
+        if let (Some(core_onion), Some(core_key0)) = (adv_core_onion_col0, adv_direct_core_key) {
             let mut onion = core_onion;
             let mut ok = true;
             let mut when = ts;
@@ -562,8 +551,8 @@ pub fn execute_share(
 
 /// Executes the centralized scheme: one holder stores the secret for the
 /// whole period.
-pub fn execute_central(
-    overlay: &mut Overlay,
+pub fn execute_central<S: HolderSubstrate + ?Sized>(
+    substrate: &mut S,
     plan: &PathPlan,
     secret: &[u8],
     config: &RunConfig,
@@ -572,7 +561,7 @@ pub fn execute_central(
     let ts = config.ts;
     let tr = ts + config.emerging_period;
 
-    let exposed = overlay.any_malicious_exposure(slot, ts, tr);
+    let exposed = substrate.any_malicious_exposure(slot, ts, tr);
     let mut report = RunReport {
         released: None,
         failure: None,
@@ -584,7 +573,8 @@ pub fn execute_central(
             report.failure = Some("central holder destroyed the key".into());
         }
         AttackMode::ReleaseAhead if exposed => {
-            let t = first_malicious_exposure(overlay, slot, ts, tr)
+            let t = substrate
+                .first_malicious_exposure(slot, ts, tr)
                 .expect("exposure implies a first exposure");
             report.adversary_reconstruction = Some((t, secret.to_vec()));
             report.released = Some((tr, secret.to_vec()));
@@ -594,22 +584,6 @@ pub fn execute_central(
         }
     }
     Ok(report)
-}
-
-/// The earliest instant in `[from, to]` at which a malicious tenant
-/// occupies `slot`, if any.
-fn first_malicious_exposure(
-    overlay: &Overlay,
-    slot: usize,
-    from: SimTime,
-    to: SimTime,
-) -> Option<SimTime> {
-    overlay
-        .generations(slot)
-        .iter()
-        .filter(|g| g.malicious && g.spawn <= to && from < g.death)
-        .map(|g| g.spawn.max(from))
-        .min()
 }
 
 /// Combines key shares into a 32-byte symmetric key.
@@ -633,7 +607,7 @@ mod tests {
     use super::*;
     use crate::package::{build_keyed_packages, build_share_packages, KeySchedule};
     use crate::path::construct_paths;
-    use emerge_dht::overlay::{Overlay, OverlayConfig};
+    use crate::substrate::{Overlay, OverlayConfig};
 
     const SECRET: &[u8] = b"THE SELF-EMERGING SECRET KEY 32B";
 
@@ -656,11 +630,7 @@ mod tests {
         }
     }
 
-    fn keyed_setup(
-        params: &SchemeParams,
-        p: f64,
-        seed: u64,
-    ) -> (Overlay, PathPlan, KeyedPackages) {
+    fn keyed_setup(params: &SchemeParams, p: f64, seed: u64) -> (Overlay, PathPlan, KeyedPackages) {
         let overlay = overlay_with(100, p, seed);
         let sender_seed = SymmetricKey::from_bytes([seed as u8; 32]);
         let plan = construct_paths(&overlay, params, &sender_seed).unwrap();

@@ -84,11 +84,11 @@ fn compute_tag(
     let mut mac = Poly1305::new(&otk);
     let zeros = [0u8; 16];
     mac.update(aad);
-    if aad.len() % 16 != 0 {
+    if !aad.len().is_multiple_of(16) {
         mac.update(&zeros[..16 - aad.len() % 16]);
     }
     mac.update(ciphertext);
-    if ciphertext.len() % 16 != 0 {
+    if !ciphertext.len().is_multiple_of(16) {
         mac.update(&zeros[..16 - ciphertext.len() % 16]);
     }
     mac.update(&(aad.len() as u64).to_le_bytes());
@@ -116,7 +116,9 @@ mod tests {
     fn rfc8439_aead_vector() {
         let key_bytes: [u8; 32] = core::array::from_fn(|i| 0x80 + i as u8);
         let key = SymmetricKey::from_bytes(key_bytes);
-        let nonce: [u8; 12] = [0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47];
+        let nonce: [u8; 12] = [
+            0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
         let aad = unhex("50515253c0c1c2c3c4c5c6c7");
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it.";

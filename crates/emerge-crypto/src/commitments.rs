@@ -88,11 +88,7 @@ impl ShareCommitments {
     /// Returns the subset of `shares` that match their commitments,
     /// dropping polluted or foreign shares.
     pub fn filter_valid(&self, shares: &[KeyShare]) -> Vec<KeyShare> {
-        shares
-            .iter()
-            .filter(|s| self.verify(s))
-            .cloned()
-            .collect()
+        shares.iter().filter(|s| self.verify(s)).cloned().collect()
     }
 
     /// Serializes the vector.

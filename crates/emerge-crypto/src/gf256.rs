@@ -19,8 +19,8 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             // Multiply x by the generator 3 = x + 1: x*3 = x*2 ^ x.
             let x2 = x << 1;
@@ -170,7 +170,10 @@ mod tests {
     fn interpolation_recovers_constant_term() {
         // p(x) = 0x2a + 0x0fx + 0x80x^2
         let coeffs = [0x2a, 0x0f, 0x80];
-        let points: Vec<(u8, u8)> = [1u8, 2, 3].iter().map(|&x| (x, poly_eval(&coeffs, x))).collect();
+        let points: Vec<(u8, u8)> = [1u8, 2, 3]
+            .iter()
+            .map(|&x| (x, poly_eval(&coeffs, x)))
+            .collect();
         assert_eq!(interpolate_at_zero(&points), 0x2a);
     }
 

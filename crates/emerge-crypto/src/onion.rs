@@ -223,7 +223,10 @@ mod tests {
             Err(CryptoError::AuthenticationFailed),
             "inner key must not open the outer layer"
         );
-        assert_eq!(peel(&key(7), &onion), Err(CryptoError::AuthenticationFailed));
+        assert_eq!(
+            peel(&key(7), &onion),
+            Err(CryptoError::AuthenticationFailed)
+        );
     }
 
     #[test]

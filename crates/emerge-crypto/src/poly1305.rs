@@ -127,7 +127,7 @@ impl Poly1305 {
         }
         g[4] = (h[4] + c).wrapping_sub(1 << 26);
         // mask = all-ones if h >= p (select g), zero otherwise (select h).
-        let mask = ((g[4] >> 31).wrapping_sub(1)) as u32;
+        let mask = (g[4] >> 31).wrapping_sub(1);
         let select = |hv: u32, gv: u32| (hv & !mask) | (gv & mask);
         let f0 = select(h[0], g[0]);
         let f1 = select(h[1], g[1]);
@@ -147,9 +147,9 @@ impl Poly1305 {
 
         // Add s modulo 2^128.
         let mut carry64 = 0u64;
-        for i in 0..4 {
-            let t = words[i] as u64 + self.s[i] as u64 + carry64;
-            words[i] = t as u32;
+        for (word, &s) in words.iter_mut().zip(&self.s) {
+            let t = *word as u64 + s as u64 + carry64;
+            *word = t as u32;
             carry64 = t >> 32;
         }
 
@@ -242,9 +242,7 @@ mod tests {
     // RFC 8439 section 2.5.2.
     #[test]
     fn rfc8439_vector() {
-        let key_bytes = unhex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        );
+        let key_bytes = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");

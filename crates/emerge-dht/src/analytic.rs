@@ -1,0 +1,395 @@
+//! A lightweight DHT substrate for paper-scale Monte-Carlo runs.
+//!
+//! [`AnalyticSubstrate`] carries the *same* deterministic population as
+//! [`crate::overlay::Overlay`] (same generation-0 IDs, malicious marking
+//! and churn timelines for a given `(OverlayConfig, seed)` pair — both
+//! sample from [`crate::population::Genesis`]), but drops everything the
+//! key-routing schemes do not need when measuring resilience:
+//!
+//! * **no routing tables** — holder addresses are resolved directly
+//!   against a sorted ID index (bit-descent over the implicit binary
+//!   trie), hundreds of times faster per resolution than the overlay's
+//!   linear selection scan;
+//! * **lazy churn** — each slot's generation timeline is sampled from its
+//!   own per-slot stream only when first queried, so a Monte-Carlo trial
+//!   that touches ~30 holders of a 10 000-node world never pays for the
+//!   other 9 970 timelines;
+//! * **no network model** — storage is an oracle: values land on the
+//!   responsible slots instantly and lookups read them back directly.
+//!
+//! Because holder resolution is exact (the XOR-closest generation-0 ID)
+//! and lazily sampled timelines are bit-identical to eagerly sampled ones,
+//! every path plan, protocol run and emergence outcome matches the full
+//! overlay bit for bit; `tests/substrate_parity.rs` in the workspace root
+//! enforces this for all four schemes.
+
+use crate::id::{NodeId, ID_BITS};
+use crate::overlay::OverlayConfig;
+use crate::population::{self, Genesis, NodeInfo};
+use crate::storage::Store;
+use emerge_sim::rng::SeedSource;
+use emerge_sim::time::{SimDuration, SimTime};
+use rand::Rng;
+use std::cell::OnceCell;
+use std::collections::HashMap;
+
+/// The analytic (routing-free, lazily churned) DHT substrate.
+#[derive(Debug)]
+pub struct AnalyticSubstrate {
+    config: OverlayConfig,
+    seed: SeedSource,
+    genesis: Genesis,
+    /// Per-slot generation timelines, materialized on first access.
+    timelines: Vec<OnceCell<Vec<NodeInfo>>>,
+    /// Generation-0 `(id, slot)` pairs in ascending ID order — the trie
+    /// index behind closest-slot resolution.
+    sorted: Vec<(NodeId, u32)>,
+    /// Slot-local stores, created on first write.
+    stores: HashMap<usize, Store>,
+    now: SimTime,
+}
+
+impl AnalyticSubstrate {
+    /// Builds the substrate deterministically from `seed`. The population
+    /// is identical to `Overlay::build(config, seed)`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes == 0` or `malicious_fraction ∉ [0, 1]`.
+    pub fn build(config: OverlayConfig, seed: u64) -> Self {
+        let seed = SeedSource::new(seed);
+        let genesis = Genesis::sample(&config.population(), &seed);
+        let n = genesis.n_nodes();
+        let mut sorted: Vec<(NodeId, u32)> = genesis
+            .initial_ids()
+            .iter()
+            .enumerate()
+            .map(|(slot, id)| (*id, slot as u32))
+            .collect();
+        sorted.sort_unstable();
+        AnalyticSubstrate {
+            config,
+            seed,
+            genesis,
+            timelines: (0..n).map(|_| OnceCell::new()).collect(),
+            sorted,
+            stores: HashMap::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The configuration this substrate was built with.
+    pub fn config(&self) -> &OverlayConfig {
+        &self.config
+    }
+
+    /// Number of population slots.
+    pub fn n_nodes(&self) -> usize {
+        self.genesis.n_nodes()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock (monotonic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "substrate clock cannot go backwards");
+        self.now = t;
+    }
+
+    /// The initial (generation-0) node of a slot.
+    pub fn initial(&self, slot: usize) -> &NodeInfo {
+        &self.generations(slot)[0]
+    }
+
+    /// All generations of a slot, in order (sampled on first access).
+    pub fn generations(&self, slot: usize) -> &[NodeInfo] {
+        self.timelines[slot].get_or_init(|| self.genesis.slot_generations(slot))
+    }
+
+    /// How many slot timelines have been materialized so far (diagnostic
+    /// for the laziness the Monte-Carlo engine relies on).
+    pub fn materialized_timelines(&self) -> usize {
+        self.timelines.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    /// The generation occupying `slot` at time `t`.
+    pub fn generation_at(&self, slot: usize, t: SimTime) -> &NodeInfo {
+        population::tenant_at(self.generations(slot), t)
+    }
+
+    /// Number of generations whose tenancy overlaps `[from, to]`.
+    pub fn exposures_during(&self, slot: usize, from: SimTime, to: SimTime) -> usize {
+        population::exposures_during(self.generations(slot), from, to)
+    }
+
+    /// Whether any generation of `slot` overlapping `[from, to]` is
+    /// malicious.
+    pub fn any_malicious_exposure(&self, slot: usize, from: SimTime, to: SimTime) -> bool {
+        population::any_malicious_exposure(self.generations(slot), from, to)
+    }
+
+    /// Count of initially malicious nodes (generation 0; no timeline
+    /// sampling needed).
+    pub fn initial_malicious_count(&self) -> usize {
+        self.genesis.initial_malicious_count()
+    }
+
+    /// The seed source, for components that fork protocol-level streams.
+    pub fn seed(&self) -> SeedSource {
+        self.seed
+    }
+
+    /// The `count` slots whose generation-0 IDs are XOR-closest to
+    /// `target`, closest first — identical output to
+    /// `Overlay::closest_slots`, computed by descending the implicit
+    /// binary trie over the sorted ID index.
+    pub fn closest_slots(&self, target: &NodeId, count: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(count.min(self.sorted.len()));
+        self.visit_closest(0, self.sorted.len(), 0, target, count, &mut out);
+        out
+    }
+
+    /// The slot responsible for `target` (XOR-closest generation-0 ID).
+    pub fn resolve_holder(&self, target: &NodeId) -> usize {
+        self.closest_slots(target, 1)[0]
+    }
+
+    /// In-order traversal of the ID trie, target-side subtree first: every
+    /// ID in the subtree sharing `target`'s bit at the split level is
+    /// XOR-closer than any ID in the sibling subtree, so appending in
+    /// visit order enumerates slots in increasing XOR distance.
+    fn visit_closest(
+        &self,
+        lo: usize,
+        hi: usize,
+        bit: usize,
+        target: &NodeId,
+        count: usize,
+        out: &mut Vec<usize>,
+    ) {
+        if lo >= hi || out.len() >= count {
+            return;
+        }
+        if hi - lo == 1 || bit >= ID_BITS {
+            // Leaf range: a multi-element range at bit 160 means duplicate
+            // IDs — append in sorted order, matching the overlay's sort.
+            for &(_, slot) in &self.sorted[lo..hi] {
+                if out.len() >= count {
+                    return;
+                }
+                out.push(slot as usize);
+            }
+            return;
+        }
+        let split = lo + self.sorted[lo..hi].partition_point(|(id, _)| !id.bit(bit));
+        if target.bit(bit) {
+            self.visit_closest(split, hi, bit + 1, target, count, out);
+            self.visit_closest(lo, split, bit + 1, target, count, out);
+        } else {
+            self.visit_closest(lo, split, bit + 1, target, count, out);
+            self.visit_closest(split, hi, bit + 1, target, count, out);
+        }
+    }
+
+    /// Samples `count` distinct slots uniformly (same stream contract as
+    /// `Overlay::sample_distinct_slots`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > n_nodes`.
+    pub fn sample_distinct_slots<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<usize> {
+        assert!(
+            count <= self.n_nodes(),
+            "cannot sample more slots than exist"
+        );
+        rand::seq::index::sample(rng, self.n_nodes(), count).into_vec()
+    }
+
+    /// Stores `value` under `key` on the `replication` closest slots
+    /// (oracle placement — no lookup traffic). Returns the slots written.
+    pub fn store(&mut self, key: NodeId, value: Vec<u8>) -> Vec<usize> {
+        self.store_with_ttl_opt(key, value, None)
+    }
+
+    /// Stores with a TTL.
+    pub fn store_with_ttl(&mut self, key: NodeId, value: Vec<u8>, ttl: SimDuration) -> Vec<usize> {
+        self.store_with_ttl_opt(key, value, Some(ttl))
+    }
+
+    fn store_with_ttl_opt(
+        &mut self,
+        key: NodeId,
+        value: Vec<u8>,
+        ttl: Option<SimDuration>,
+    ) -> Vec<usize> {
+        let targets = self.closest_slots(&key, self.config.replication);
+        for &slot in &targets {
+            self.stores
+                .entry(slot)
+                .or_default()
+                .put(key, value.clone(), self.now, ttl);
+        }
+        targets
+    }
+
+    /// Reads a value back from the responsible slots (oracle lookup).
+    pub fn find_value(&self, key: NodeId) -> Option<Vec<u8>> {
+        let targets = self.closest_slots(&key, self.config.replication);
+        for slot in targets {
+            if let Some(v) = self
+                .stores
+                .get(&slot)
+                .and_then(|store| store.get(&key, self.now))
+            {
+                return Some(v.value.clone());
+            }
+        }
+        None
+    }
+
+    /// Direct access to a slot's local store (created on first use).
+    pub fn store_of(&mut self, slot: usize) -> &mut Store {
+        self.stores.entry(slot).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::sort_by_distance;
+    use crate::overlay::Overlay;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(n: usize) -> OverlayConfig {
+        OverlayConfig {
+            n_nodes: n,
+            ..OverlayConfig::default()
+        }
+    }
+
+    #[test]
+    fn population_matches_overlay_bit_for_bit() {
+        let cfg = OverlayConfig {
+            n_nodes: 200,
+            malicious_fraction: 0.3,
+            mean_lifetime: Some(2_000),
+            horizon: 50_000,
+            ..OverlayConfig::default()
+        };
+        let overlay = Overlay::build(cfg, 42);
+        let analytic = AnalyticSubstrate::build(cfg, 42);
+        for slot in 0..200 {
+            assert_eq!(overlay.generations(slot), analytic.generations(slot));
+        }
+        assert_eq!(
+            overlay.initial_malicious_count(),
+            analytic.initial_malicious_count()
+        );
+    }
+
+    #[test]
+    fn timelines_are_lazy() {
+        let cfg = OverlayConfig {
+            n_nodes: 1_000,
+            mean_lifetime: Some(1_000),
+            horizon: 100_000,
+            ..OverlayConfig::default()
+        };
+        let sub = AnalyticSubstrate::build(cfg, 9);
+        assert_eq!(sub.materialized_timelines(), 0);
+        let target = NodeId::from_name(b"one-holder");
+        let slot = sub.resolve_holder(&target);
+        assert_eq!(sub.materialized_timelines(), 0, "resolution needs no churn");
+        let _ = sub.generation_at(slot, SimTime::from_ticks(500));
+        assert_eq!(sub.materialized_timelines(), 1);
+    }
+
+    #[test]
+    fn closest_slots_matches_brute_force() {
+        let sub = AnalyticSubstrate::build(config(300), 7);
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 0..50 {
+            let target = if i % 5 == 0 {
+                NodeId::random(&mut rng)
+            } else {
+                NodeId::from_name(format!("probe-{i}").as_bytes())
+            };
+            let got = sub.closest_slots(&target, 8);
+            let mut ids: Vec<NodeId> = (0..300).map(|s| sub.initial(s).id).collect();
+            sort_by_distance(&mut ids, &target);
+            for (rank, slot) in got.iter().enumerate() {
+                assert_eq!(
+                    sub.initial(*slot).id,
+                    ids[rank],
+                    "rank {rank} of {target:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_agrees_with_overlay() {
+        let overlay = Overlay::build(config(500), 21);
+        let sub = AnalyticSubstrate::build(config(500), 21);
+        for i in 0..100 {
+            let target = NodeId::from_name(format!("addr-{i}").as_bytes());
+            assert_eq!(overlay.resolve_holder(&target), sub.resolve_holder(&target));
+            assert_eq!(
+                overlay.closest_slots(&target, 5),
+                sub.closest_slots(&target, 5)
+            );
+        }
+    }
+
+    #[test]
+    fn closest_slots_handles_edge_counts() {
+        let sub = AnalyticSubstrate::build(config(16), 3);
+        let target = NodeId::from_name(b"x");
+        assert!(sub.closest_slots(&target, 0).is_empty());
+        assert_eq!(sub.closest_slots(&target, 16).len(), 16);
+        assert_eq!(sub.closest_slots(&target, 100).len(), 16);
+    }
+
+    #[test]
+    fn store_and_find_roundtrip() {
+        let mut sub = AnalyticSubstrate::build(config(64), 5);
+        let key = NodeId::from_name(b"k");
+        let written = sub.store(key, b"v".to_vec());
+        assert_eq!(written.len(), sub.config().replication);
+        assert_eq!(sub.find_value(key), Some(b"v".to_vec()));
+        assert_eq!(sub.find_value(NodeId::from_name(b"missing")), None);
+    }
+
+    #[test]
+    fn ttl_expires_values() {
+        let mut sub = AnalyticSubstrate::build(config(64), 6);
+        let key = NodeId::from_name(b"ttl");
+        sub.store_with_ttl(key, b"v".to_vec(), SimDuration::from_ticks(10));
+        assert!(sub.find_value(key).is_some());
+        sub.advance_to(SimTime::from_ticks(11));
+        assert!(sub.find_value(key).is_none());
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut sub = AnalyticSubstrate::build(config(8), 1);
+        sub.advance_to(SimTime::from_ticks(5));
+        assert_eq!(sub.now(), SimTime::from_ticks(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot go backwards")]
+    fn clock_rejects_rewind() {
+        let mut sub = AnalyticSubstrate::build(config(8), 1);
+        sub.advance_to(SimTime::from_ticks(5));
+        sub.advance_to(SimTime::from_ticks(4));
+    }
+}

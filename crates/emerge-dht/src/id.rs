@@ -58,8 +58,8 @@ impl NodeId {
     /// XOR distance to `other`.
     pub fn distance(&self, other: &NodeId) -> Distance {
         let mut d = [0u8; ID_LEN];
-        for i in 0..ID_LEN {
-            d[i] = self.0[i] ^ other.0[i];
+        for ((d, a), b) in d.iter_mut().zip(&self.0).zip(&other.0) {
+            *d = a ^ b;
         }
         Distance(d)
     }
@@ -279,8 +279,8 @@ mod tests {
             let (a, b) = (NodeId(a), NodeId(b));
             let d = a.distance(&b);
             let mut recovered = [0u8; ID_LEN];
-            for i in 0..ID_LEN {
-                recovered[i] = a.0[i] ^ d.0[i];
+            for ((r, a), d) in recovered.iter_mut().zip(&a.0).zip(&d.0) {
+                *r = a ^ d;
             }
             prop_assert_eq!(NodeId(recovered), b);
         }

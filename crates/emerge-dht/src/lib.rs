@@ -18,8 +18,12 @@
 //! * [`lookup`] — iterative node/value lookup with α-way parallelism
 //! * [`storage`] — TTL'd local key-value store
 //! * [`network`] — latency and loss models, message accounting
+//! * [`population`] — the churn-expanded node population shared by every
+//!   substrate (generation timelines, malicious marking)
 //! * [`overlay`] — the whole-network harness: population, churn
 //!   generations, malicious marking, store/get, holder sampling
+//! * [`analytic`] — the routing-free substrate for paper-scale
+//!   Monte-Carlo sweeps (same population, `O(log² n)` holder resolution)
 //!
 //! ## Example
 //!
@@ -40,15 +44,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod bucket;
 pub mod id;
 pub mod lookup;
 pub mod network;
 pub mod node;
 pub mod overlay;
+pub mod population;
 pub mod rpc;
 pub mod storage;
 pub mod table;
 
+pub use analytic::AnalyticSubstrate;
 pub use id::NodeId;
 pub use overlay::{Overlay, OverlayConfig};
+pub use population::NodeInfo;

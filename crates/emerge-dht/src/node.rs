@@ -131,7 +131,11 @@ mod tests {
             t(1),
         );
         assert_eq!(resp, Response::StoreOk);
-        let resp = n.handle(NodeId::from_name(b"reader"), &Request::FindValue { key }, t(2));
+        let resp = n.handle(
+            NodeId::from_name(b"reader"),
+            &Request::FindValue { key },
+            t(2),
+        );
         assert_eq!(resp, Response::Value(b"v".to_vec()));
     }
 

@@ -20,14 +20,15 @@ use crate::bucket::DEFAULT_K;
 use crate::id::{cmp_distance, NodeId};
 use crate::lookup::{iterative_find_node, LookupOutcome, NodeQuery};
 use crate::network::{Network, NetworkConfig};
+use crate::population::{self, Population, PopulationConfig};
 use crate::storage::Store;
 use crate::table::RoutingTable;
-use emerge_sim::churn::LifetimeModel;
 use emerge_sim::rng::SeedSource;
 use emerge_sim::time::{SimDuration, SimTime};
-use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::HashMap;
+
+pub use crate::population::NodeInfo;
 
 /// Configuration of an overlay network.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,23 +67,15 @@ impl Default for OverlayConfig {
     }
 }
 
-/// One node generation occupying a slot for `[spawn, death)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct NodeInfo {
-    /// The node's DHT identifier.
-    pub id: NodeId,
-    /// Whether this node is adversary-controlled.
-    pub malicious: bool,
-    /// When this generation joined.
-    pub spawn: SimTime,
-    /// When this generation dies ([`SimTime::MAX`] if beyond the horizon).
-    pub death: SimTime,
-}
-
-impl NodeInfo {
-    /// Whether the generation is alive at `t`.
-    pub fn alive_at(&self, t: SimTime) -> bool {
-        self.spawn <= t && t < self.death
+impl OverlayConfig {
+    /// The churn-relevant subset, for [`Population::build`].
+    pub fn population(&self) -> PopulationConfig {
+        PopulationConfig {
+            n_nodes: self.n_nodes,
+            malicious_fraction: self.malicious_fraction,
+            mean_lifetime: self.mean_lifetime,
+            horizon: self.horizon,
+        }
     }
 }
 
@@ -125,71 +118,17 @@ impl Overlay {
     ///
     /// Panics if `n_nodes == 0` or `malicious_fraction ∉ [0, 1]`.
     pub fn build(config: OverlayConfig, seed: u64) -> Self {
-        assert!(config.n_nodes > 0, "overlay needs at least one node");
-        assert!(
-            (0.0..=1.0).contains(&config.malicious_fraction),
-            "malicious fraction must be in [0, 1]"
-        );
         let seed = SeedSource::new(seed);
-        let mut id_rng = seed.stream("node-ids");
-        let mut mark_rng = seed.stream("malicious-marking");
-        let mut churn_rng = seed.stream("churn-generations");
-
-        // Exact ⌊p·n⌋ malicious marking over generation 0.
-        let n = config.n_nodes;
-        let malicious_count = (config.malicious_fraction * n as f64).floor() as usize;
-        let mut indices: Vec<usize> = (0..n).collect();
-        indices.shuffle(&mut mark_rng);
-        let mut malicious = vec![false; n];
-        for &i in indices.iter().take(malicious_count) {
-            malicious[i] = true;
-        }
-
-        let lifetime = config
-            .mean_lifetime
-            .map(|m| LifetimeModel::new(SimDuration::from_ticks(m)));
-        let horizon = SimTime::from_ticks(config.horizon);
-
-        let mut slots = Vec::with_capacity(n);
-        let mut id_index = HashMap::with_capacity(n);
-        for (slot_idx, is_malicious) in malicious.iter().enumerate().take(n) {
-            let first_id = NodeId::random(&mut id_rng);
-            let mut generations = Vec::with_capacity(1);
-            let mut spawn = SimTime::ZERO;
-            let mut gen_malicious = *is_malicious;
-            let mut gen_id = first_id;
-            loop {
-                let death = match &lifetime {
-                    Some(model) => {
-                        let life = model.sample_lifetime(&mut churn_rng);
-                        let d = spawn + life;
-                        if d >= horizon {
-                            SimTime::MAX
-                        } else {
-                            d
-                        }
-                    }
-                    None => SimTime::MAX,
-                };
-                generations.push(NodeInfo {
-                    id: gen_id,
-                    malicious: gen_malicious,
-                    spawn,
-                    death,
-                });
-                if death == SimTime::MAX {
-                    break;
-                }
-                // Replacement node: fresh ID, independent malicious draw at
-                // rate p (the paper: "the new node also has probability p to
-                // be malicious").
-                spawn = death;
-                gen_id = NodeId::random(&mut churn_rng);
-                gen_malicious = churn_rng.gen::<f64>() < config.malicious_fraction;
-            }
-            id_index.insert(first_id, slot_idx);
-            slots.push(Slot { generations });
-        }
+        let population = Population::build(&config.population(), &seed);
+        let Population {
+            generations,
+            id_index,
+        } = population;
+        let n = generations.len();
+        let slots: Vec<Slot> = generations
+            .into_iter()
+            .map(|generations| Slot { generations })
+            .collect();
 
         let network = Network::new(config.network, seed.stream("network"));
         let stores = (0..n).map(|_| Store::new()).collect();
@@ -243,13 +182,7 @@ impl Overlay {
 
     /// The generation occupying `slot` at time `t`.
     pub fn generation_at(&self, slot: usize, t: SimTime) -> &NodeInfo {
-        let gens = &self.slots[slot].generations;
-        for g in gens {
-            if g.alive_at(t) || g.death == SimTime::MAX {
-                return g;
-            }
-        }
-        gens.last().expect("slot always has at least one generation")
+        population::tenant_at(&self.slots[slot].generations, t)
     }
 
     /// Whether the generation-0 node of `slot` is still the occupant and
@@ -262,21 +195,13 @@ impl Overlay {
     /// `[from, to]` — the key **re-exposure count** used by the churn
     /// analysis: each overlapping generation saw whatever the slot stored.
     pub fn exposures_during(&self, slot: usize, from: SimTime, to: SimTime) -> usize {
-        assert!(from <= to);
-        self.slots[slot]
-            .generations
-            .iter()
-            .filter(|g| g.spawn <= to && from < g.death)
-            .count()
+        population::exposures_during(&self.slots[slot].generations, from, to)
     }
 
     /// Whether any generation of `slot` overlapping `[from, to]` is
     /// malicious.
     pub fn any_malicious_exposure(&self, slot: usize, from: SimTime, to: SimTime) -> bool {
-        self.slots[slot]
-            .generations
-            .iter()
-            .any(|g| g.spawn <= to && from < g.death && g.malicious)
+        population::any_malicious_exposure(&self.slots[slot].generations, from, to)
     }
 
     /// Slot index of a generation-0 node ID.
@@ -285,17 +210,27 @@ impl Overlay {
     }
 
     /// The `count` slots whose generation-0 IDs are XOR-closest to
-    /// `target`, sorted closest-first. Exact (linear scan).
+    /// `target`, sorted closest-first. Exact: a linear selection
+    /// (`select_nth_unstable`) followed by a sort of only the `count`
+    /// survivors, so resolving holders is `O(n)` instead of
+    /// `O(n log n)` per call.
     pub fn closest_slots(&self, target: &NodeId, count: usize) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.slots.len()).collect();
-        order.sort_by(|&a, &b| {
+        let cmp = |a: &usize, b: &usize| {
             cmp_distance(
-                &self.slots[a].generations[0].id,
-                &self.slots[b].generations[0].id,
+                &self.slots[*a].generations[0].id,
+                &self.slots[*b].generations[0].id,
                 target,
             )
-        });
-        order.truncate(count);
+        };
+        let mut order: Vec<usize> = (0..self.slots.len()).collect();
+        if count == 0 {
+            return Vec::new();
+        }
+        if count < order.len() {
+            order.select_nth_unstable_by(count - 1, cmp);
+            order.truncate(count);
+        }
+        order.sort_unstable_by(cmp);
         order
     }
 
@@ -312,7 +247,10 @@ impl Overlay {
     ///
     /// Panics if `count > n_nodes`.
     pub fn sample_distinct_slots<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<usize> {
-        assert!(count <= self.slots.len(), "cannot sample more slots than exist");
+        assert!(
+            count <= self.slots.len(),
+            "cannot sample more slots than exist"
+        );
         rand::seq::index::sample(rng, self.slots.len(), count).into_vec()
     }
 
@@ -771,8 +709,14 @@ mod tests {
             let (lo, hi) = prefix_range(&own, prefix_len);
             assert!(lo <= hi);
             // Everything in [lo, hi] differs from own first at prefix_len.
-            assert_eq!(own.bucket_index(&lo), Some(crate::id::ID_BITS - 1 - prefix_len));
-            assert_eq!(own.bucket_index(&hi), Some(crate::id::ID_BITS - 1 - prefix_len));
+            assert_eq!(
+                own.bucket_index(&lo),
+                Some(crate::id::ID_BITS - 1 - prefix_len)
+            );
+            assert_eq!(
+                own.bucket_index(&hi),
+                Some(crate::id::ID_BITS - 1 - prefix_len)
+            );
         }
     }
 

@@ -1,0 +1,431 @@
+//! The churn-expanded node population shared by every DHT substrate.
+//!
+//! Both the full simulated [`crate::overlay::Overlay`] and the lightweight
+//! [`crate::analytic::AnalyticSubstrate`] need the same world: `n` slots,
+//! each occupied by a succession of node generations with exponential
+//! lifetimes and per-generation malicious draws. Building that world from
+//! one shared [`Genesis`] guarantees the two substrates are
+//! *bit-identical* populations — the property the substrate-parity test
+//! suite pins down.
+//!
+//! The sampling scheme is part of the deterministic contract:
+//!
+//! * generation-0 IDs come from the `"node-ids"` stream in slot order,
+//! * the exact-count malicious marking from `"malicious-marking"`,
+//! * each slot's churn replacements (lifetime, replacement ID, replacement
+//!   malicious draw) from that slot's own `"slot-churn"/slot` stream.
+//!
+//! Per-slot churn streams are what make churn timelines *independently
+//! addressable*: a substrate can sample only the slots a protocol run
+//! actually touches (the analytic substrate's lazy mode, ~30 of 10 000
+//! per Monte-Carlo trial), and future sharded Monte-Carlo workers can
+//! sample disjoint slot ranges without replaying a global stream.
+//! Changing any of this reseeds every world and breaks reproducibility
+//! tests.
+
+use crate::id::NodeId;
+use emerge_sim::churn::LifetimeModel;
+use emerge_sim::rng::SeedSource;
+use emerge_sim::time::{SimDuration, SimTime};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One node generation occupying a slot for `[spawn, death)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// The node's DHT identifier.
+    pub id: NodeId,
+    /// Whether this node is adversary-controlled.
+    pub malicious: bool,
+    /// When this generation joined.
+    pub spawn: SimTime,
+    /// When this generation dies ([`SimTime::MAX`] if beyond the horizon).
+    pub death: SimTime,
+}
+
+impl NodeInfo {
+    /// Whether the generation is alive at `t`.
+    pub fn alive_at(&self, t: SimTime) -> bool {
+        self.spawn <= t && t < self.death
+    }
+}
+
+/// Structural parameters of a population (the churn-relevant subset of
+/// `OverlayConfig`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationConfig {
+    /// Number of population slots (live nodes at any instant).
+    pub n_nodes: usize,
+    /// Fraction `p` of initially malicious nodes (marked exactly,
+    /// `⌊p·n⌋` non-repeated nodes as in the paper's setup).
+    pub malicious_fraction: f64,
+    /// Mean node lifetime in ticks; `None` disables churn.
+    pub mean_lifetime: Option<u64>,
+    /// Horizon up to which churn generations are pre-sampled.
+    pub horizon: u64,
+}
+
+/// The deterministic seed state of a population: generation-0 identities
+/// and marking, from which any slot's full churn timeline can be sampled
+/// independently (and therefore lazily).
+#[derive(Debug, Clone)]
+pub struct Genesis {
+    config: PopulationConfig,
+    seed: SeedSource,
+    initial_ids: Vec<NodeId>,
+    initial_malicious: Vec<bool>,
+}
+
+impl Genesis {
+    /// Samples generation-0 identities and the exact-count malicious
+    /// marking, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes == 0` or `malicious_fraction ∉ [0, 1]`.
+    pub fn sample(config: &PopulationConfig, seed: &SeedSource) -> Self {
+        assert!(config.n_nodes > 0, "population needs at least one node");
+        assert!(
+            (0.0..=1.0).contains(&config.malicious_fraction),
+            "malicious fraction must be in [0, 1]"
+        );
+        let n = config.n_nodes;
+        let mut id_rng = seed.stream("node-ids");
+        let initial_ids: Vec<NodeId> = (0..n).map(|_| NodeId::random(&mut id_rng)).collect();
+
+        // Exact ⌊p·n⌋ malicious marking over generation 0.
+        let mut mark_rng = seed.stream("malicious-marking");
+        let malicious_count = (config.malicious_fraction * n as f64).floor() as usize;
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut mark_rng);
+        let mut initial_malicious = vec![false; n];
+        for &i in indices.iter().take(malicious_count) {
+            initial_malicious[i] = true;
+        }
+
+        Genesis {
+            config: *config,
+            seed: *seed,
+            initial_ids,
+            initial_malicious,
+        }
+    }
+
+    /// Number of population slots.
+    pub fn n_nodes(&self) -> usize {
+        self.initial_ids.len()
+    }
+
+    /// The population's structural parameters.
+    pub fn config(&self) -> &PopulationConfig {
+        &self.config
+    }
+
+    /// The generation-0 ID of a slot.
+    pub fn initial_id(&self, slot: usize) -> NodeId {
+        self.initial_ids[slot]
+    }
+
+    /// All generation-0 IDs, in slot order.
+    pub fn initial_ids(&self) -> &[NodeId] {
+        &self.initial_ids
+    }
+
+    /// Whether slot `slot`'s generation-0 node is malicious.
+    pub fn initial_malicious(&self, slot: usize) -> bool {
+        self.initial_malicious[slot]
+    }
+
+    /// Count of initially malicious nodes (generation 0).
+    pub fn initial_malicious_count(&self) -> usize {
+        self.initial_malicious.iter().filter(|&&m| m).count()
+    }
+
+    /// Samples the full generation succession of one slot from its own
+    /// `"slot-churn"` stream. Identical output every call; independent of
+    /// every other slot.
+    pub fn slot_generations(&self, slot: usize) -> Vec<NodeInfo> {
+        let lifetime = self
+            .config
+            .mean_lifetime
+            .map(|m| LifetimeModel::new(SimDuration::from_ticks(m)));
+        let horizon = SimTime::from_ticks(self.config.horizon);
+        let mut churn_rng = self.seed.stream_n("slot-churn", slot as u64);
+
+        let mut generations = Vec::with_capacity(1);
+        let mut spawn = SimTime::ZERO;
+        let mut gen_malicious = self.initial_malicious[slot];
+        let mut gen_id = self.initial_ids[slot];
+        loop {
+            let death = match &lifetime {
+                Some(model) => {
+                    let life = model.sample_lifetime(&mut churn_rng);
+                    let d = spawn + life;
+                    if d >= horizon {
+                        SimTime::MAX
+                    } else {
+                        d
+                    }
+                }
+                None => SimTime::MAX,
+            };
+            generations.push(NodeInfo {
+                id: gen_id,
+                malicious: gen_malicious,
+                spawn,
+                death,
+            });
+            if death == SimTime::MAX {
+                break;
+            }
+            // Replacement node: fresh ID, independent malicious draw at
+            // rate p (the paper: "the new node also has probability p to
+            // be malicious").
+            spawn = death;
+            gen_id = NodeId::random(&mut churn_rng);
+            gen_malicious = churn_rng.gen::<f64>() < self.config.malicious_fraction;
+        }
+        generations
+    }
+}
+
+/// The generation occupying the slot at time `t`.
+pub fn tenant_at(generations: &[NodeInfo], t: SimTime) -> &NodeInfo {
+    for g in generations {
+        if g.alive_at(t) || g.death == SimTime::MAX {
+            return g;
+        }
+    }
+    generations
+        .last()
+        .expect("slot always has at least one generation")
+}
+
+/// Number of distinct generations whose tenancy overlaps `[from, to]` —
+/// the key **re-exposure count** used by the churn analysis.
+pub fn exposures_during(generations: &[NodeInfo], from: SimTime, to: SimTime) -> usize {
+    assert!(from <= to);
+    generations
+        .iter()
+        .filter(|g| g.spawn <= to && from < g.death)
+        .count()
+}
+
+/// Whether any generation overlapping `[from, to]` is malicious.
+pub fn any_malicious_exposure(generations: &[NodeInfo], from: SimTime, to: SimTime) -> bool {
+    generations
+        .iter()
+        .any(|g| g.spawn <= to && from < g.death && g.malicious)
+}
+
+/// The earliest instant in `[from, to]` at which a malicious tenant
+/// occupies the slot, if any.
+pub fn first_malicious_exposure(
+    generations: &[NodeInfo],
+    from: SimTime,
+    to: SimTime,
+) -> Option<SimTime> {
+    generations
+        .iter()
+        .filter(|g| g.malicious && g.spawn <= to && from < g.death)
+        .map(|g| g.spawn.max(from))
+        .min()
+}
+
+/// A fully materialized population: per-slot generation successions plus
+/// the generation-0 ID index. This is what the full overlay consumes; the
+/// analytic substrate keeps the [`Genesis`] and materializes slots on
+/// demand instead.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// `generations[slot]` is that slot's tenant succession, in time order.
+    pub generations: Vec<Vec<NodeInfo>>,
+    /// Generation-0 ID → slot index.
+    pub id_index: HashMap<NodeId, usize>,
+}
+
+impl Population {
+    /// Samples and materializes a whole population deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes == 0` or `malicious_fraction ∉ [0, 1]`.
+    pub fn build(config: &PopulationConfig, seed: &SeedSource) -> Self {
+        let genesis = Genesis::sample(config, seed);
+        let n = genesis.n_nodes();
+        let generations: Vec<Vec<NodeInfo>> =
+            (0..n).map(|slot| genesis.slot_generations(slot)).collect();
+        let id_index = genesis
+            .initial_ids()
+            .iter()
+            .enumerate()
+            .map(|(slot, id)| (*id, slot))
+            .collect();
+        Population {
+            generations,
+            id_index,
+        }
+    }
+
+    /// Number of population slots.
+    pub fn n_nodes(&self) -> usize {
+        self.generations.len()
+    }
+
+    /// The generation occupying `slot` at time `t`.
+    pub fn generation_at(&self, slot: usize, t: SimTime) -> &NodeInfo {
+        tenant_at(&self.generations[slot], t)
+    }
+
+    /// Number of distinct node generations whose tenancy overlaps
+    /// `[from, to]`.
+    pub fn exposures_during(&self, slot: usize, from: SimTime, to: SimTime) -> usize {
+        exposures_during(&self.generations[slot], from, to)
+    }
+
+    /// Whether any generation of `slot` overlapping `[from, to]` is
+    /// malicious.
+    pub fn any_malicious_exposure(&self, slot: usize, from: SimTime, to: SimTime) -> bool {
+        any_malicious_exposure(&self.generations[slot], from, to)
+    }
+
+    /// Count of initially malicious nodes (generation 0).
+    pub fn initial_malicious_count(&self) -> usize {
+        self.generations
+            .iter()
+            .filter(|gens| gens[0].malicious)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize) -> PopulationConfig {
+        PopulationConfig {
+            n_nodes: n,
+            malicious_fraction: 0.0,
+            mean_lifetime: None,
+            horizon: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let seed = SeedSource::new(7);
+        let a = Population::build(&config(64), &seed);
+        let b = Population::build(&config(64), &seed);
+        assert_eq!(a.generations, b.generations);
+    }
+
+    #[test]
+    fn exact_malicious_marking() {
+        let cfg = PopulationConfig {
+            malicious_fraction: 0.25,
+            ..config(400)
+        };
+        let p = Population::build(&cfg, &SeedSource::new(3));
+        assert_eq!(p.initial_malicious_count(), 100);
+        let g = Genesis::sample(&cfg, &SeedSource::new(3));
+        assert_eq!(g.initial_malicious_count(), 100);
+    }
+
+    #[test]
+    fn churn_generations_are_contiguous() {
+        let cfg = PopulationConfig {
+            mean_lifetime: Some(500),
+            horizon: 20_000,
+            ..config(100)
+        };
+        let p = Population::build(&cfg, &SeedSource::new(5));
+        for gens in &p.generations {
+            for w in gens.windows(2) {
+                assert_eq!(w[0].death, w[1].spawn);
+            }
+            assert_eq!(gens.last().unwrap().death, SimTime::MAX);
+        }
+    }
+
+    #[test]
+    fn id_index_maps_generation_zero() {
+        let p = Population::build(&config(32), &SeedSource::new(9));
+        for (slot, gens) in p.generations.iter().enumerate() {
+            assert_eq!(p.id_index[&gens[0].id], slot);
+        }
+    }
+
+    #[test]
+    fn lazy_slot_sampling_matches_materialized_population() {
+        let cfg = PopulationConfig {
+            malicious_fraction: 0.3,
+            mean_lifetime: Some(800),
+            horizon: 30_000,
+            ..config(50)
+        };
+        let seed = SeedSource::new(11);
+        let genesis = Genesis::sample(&cfg, &seed);
+        let population = Population::build(&cfg, &seed);
+        // Sample out of order and repeatedly: identical timelines.
+        for slot in [49usize, 0, 17, 17, 3] {
+            assert_eq!(
+                genesis.slot_generations(slot),
+                population.generations[slot],
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_streams_are_independent() {
+        let cfg = PopulationConfig {
+            mean_lifetime: Some(500),
+            horizon: 50_000,
+            ..config(20)
+        };
+        let genesis = Genesis::sample(&cfg, &SeedSource::new(13));
+        // Two distinct churny slots must not share a timeline.
+        let a = genesis.slot_generations(0);
+        let b = genesis.slot_generations(1);
+        assert_ne!(
+            a.iter().map(|g| g.death).collect::<Vec<_>>(),
+            b.iter().map(|g| g.death).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tenant_helpers_agree_with_timeline() {
+        let gens = vec![
+            NodeInfo {
+                id: NodeId::from_name(b"a"),
+                malicious: false,
+                spawn: SimTime::ZERO,
+                death: SimTime::from_ticks(10),
+            },
+            NodeInfo {
+                id: NodeId::from_name(b"b"),
+                malicious: true,
+                spawn: SimTime::from_ticks(10),
+                death: SimTime::MAX,
+            },
+        ];
+        assert!(!tenant_at(&gens, SimTime::from_ticks(9)).malicious);
+        assert!(tenant_at(&gens, SimTime::from_ticks(10)).malicious);
+        assert_eq!(
+            exposures_during(&gens, SimTime::ZERO, SimTime::from_ticks(10)),
+            2
+        );
+        assert!(!any_malicious_exposure(
+            &gens,
+            SimTime::ZERO,
+            SimTime::from_ticks(9)
+        ));
+        assert!(any_malicious_exposure(
+            &gens,
+            SimTime::ZERO,
+            SimTime::from_ticks(10)
+        ));
+    }
+}

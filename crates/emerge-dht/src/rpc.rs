@@ -153,7 +153,9 @@ fn decode_request(r: &mut Reader<'_>) -> Result<Request, CryptoError> {
             key: read_id(r)?,
             value: r.get_bytes()?.to_vec(),
         }),
-        TAG_FIND_NODE => Ok(Request::FindNode { target: read_id(r)? }),
+        TAG_FIND_NODE => Ok(Request::FindNode {
+            target: read_id(r)?,
+        }),
         TAG_FIND_VALUE => Ok(Request::FindValue { key: read_id(r)? }),
         _ => Err(CryptoError::Malformed("unknown request tag")),
     }

@@ -57,7 +57,11 @@ impl Exponential {
     pub fn sample_duration<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
         let v = self.sample(rng).round().max(1.0);
         // Clamp to u64 range; astronomically unlikely to matter.
-        let ticks = if v >= u64::MAX as f64 { u64::MAX } else { v as u64 };
+        let ticks = if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        };
         SimDuration::from_ticks(ticks)
     }
 
@@ -111,11 +115,7 @@ impl LifetimeModel {
     ///
     /// Used by the churn model for the first three schemes, where every
     /// death hands the stored key to a fresh (possibly malicious) node.
-    pub fn sample_replacements<R: Rng + ?Sized>(
-        &self,
-        window: SimDuration,
-        rng: &mut R,
-    ) -> u32 {
+    pub fn sample_replacements<R: Rng + ?Sized>(&self, window: SimDuration, rng: &mut R) -> u32 {
         let mut remaining = window.ticks() as f64;
         let mut count = 0u32;
         loop {
@@ -202,9 +202,7 @@ mod tests {
         // And empirically.
         let mut rng = SeedSource::new(2).stream("exp");
         let n = 100_000;
-        let hits = (0..n)
-            .filter(|_| dist.sample(&mut rng) < 1000.0)
-            .count();
+        let hits = (0..n).filter(|_| dist.sample(&mut rng) < 1000.0).count();
         let emp = hits as f64 / n as f64;
         assert!((emp - p).abs() < 0.01, "empirical {emp} vs analytic {p}");
     }

@@ -173,7 +173,13 @@ impl Rate {
 
 impl fmt::Display for Rate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.4} ({}/{})", self.value(), self.successes, self.trials)
+        write!(
+            f,
+            "{:.4} ({}/{})",
+            self.value(),
+            self.successes,
+            self.trials
+        )
     }
 }
 
@@ -253,7 +259,7 @@ impl fmt::Display for SeriesTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "# {}", self.columns.join("\t"))?;
         for row in self.rows.values() {
-            write!(f, "\n")?;
+            writeln!(f)?;
             let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
             write!(f, "{}", cells.join("\t"))?;
         }

@@ -36,7 +36,7 @@ fn main() {
     println!("== dead man's switch ==");
     println!(
         "dossier sealed into a {}-node DHT; 15% of nodes try to destroy it\n",
-        system.overlay().n_nodes()
+        system.substrate().n_nodes()
     );
 
     // The journalist renews twice, then "misses" the third renewal.

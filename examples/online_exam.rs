@@ -21,7 +21,10 @@ const MALICIOUS_RATE: f64 = 0.20;
 
 fn main() {
     println!("== online exam timed release ==");
-    println!("exam sealed; malicious student nodes: {:.0}%", MALICIOUS_RATE * 100.0);
+    println!(
+        "exam sealed; malicious student nodes: {:.0}%",
+        MALICIOUS_RATE * 100.0
+    );
     println!();
     println!(
         "{:<10} {:>8} {:>14} {:>14} {:>12}",

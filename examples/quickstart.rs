@@ -28,8 +28,8 @@ fn main() -> Result<(), EmergeError> {
     println!("== self-emerging data: quickstart ==");
     println!(
         "overlay: {} nodes, {} marked malicious",
-        system.overlay().n_nodes(),
-        system.overlay().initial_malicious_count()
+        system.substrate().n_nodes(),
+        system.substrate().initial_malicious_count()
     );
 
     let mut handle = system.send(SendRequest {

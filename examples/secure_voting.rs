@@ -46,7 +46,10 @@ fn main() -> Result<(), EmergeError> {
         })?;
         handles.push(handle);
     }
-    println!("{} encrypted ballots cast; none readable before poll close", handles.len());
+    println!(
+        "{} encrypted ballots cast; none readable before poll close",
+        handles.len()
+    );
 
     // Nobody — including the tallying authority — can read a ballot early.
     for handle in &handles {

@@ -150,11 +150,18 @@ fn passive_adversaries_never_disrupt_delivery() {
             (p * 100.0) as u64,
         );
         let mut handle = system
-            .send(request(SchemeKind::Joint, b"carried faithfully", 6_000, 0.1))
+            .send(request(
+                SchemeKind::Joint,
+                b"carried faithfully",
+                6_000,
+                0.1,
+            ))
             .unwrap();
         system.run_to_release(&mut handle);
         assert_eq!(
-            system.receive(&handle).expect("passive nodes follow protocol"),
+            system
+                .receive(&handle)
+                .expect("passive nodes follow protocol"),
             b"carried faithfully"
         );
     }

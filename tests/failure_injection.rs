@@ -71,10 +71,7 @@ fn mass_departure_degrades_but_does_not_crash_lookup() {
     overlay.advance_to(SimTime::from_ticks(101));
     let outcome = overlay.find_node(1, NodeId::from_name(b"post-apocalypse"));
     assert!(outcome.timeouts > 0, "dead nodes must be observed");
-    assert!(
-        !outcome.closest.is_empty(),
-        "survivors must still answer"
-    );
+    assert!(!outcome.closest.is_empty(), "survivors must still answer");
     for id in &outcome.closest {
         let slot = overlay.slot_of_id(id).unwrap();
         assert!(

@@ -33,8 +33,16 @@ fn central_matches_formula_across_p() {
     for (i, p) in [0.1, 0.3, 0.5].into_iter().enumerate() {
         let analytic = analysis::central(p);
         let (rr, rd) = measure(SchemeParams::Central, p, None, 100 + i as u64);
-        assert!((rr - analytic.release).abs() < TOL, "p={p}: Rr {rr} vs {}", analytic.release);
-        assert!((rd - analytic.drop).abs() < TOL, "p={p}: Rd {rd} vs {}", analytic.drop);
+        assert!(
+            (rr - analytic.release).abs() < TOL,
+            "p={p}: Rr {rr} vs {}",
+            analytic.release
+        );
+        assert!(
+            (rd - analytic.drop).abs() < TOL,
+            "p={p}: Rd {rd} vs {}",
+            analytic.drop
+        );
     }
 }
 
@@ -85,10 +93,7 @@ fn lemma1_holds_empirically_for_the_joint_scheme() {
     // Rr + Rd > 1 for p < 0.5 — measured, not just proved.
     for (i, p) in [0.1, 0.25, 0.4, 0.49].into_iter().enumerate() {
         let (rr, rd) = measure(SchemeParams::Joint { k: 3, l: 4 }, p, None, 400 + i as u64);
-        assert!(
-            rr + rd > 1.0,
-            "Lemma 1 violated at p={p}: Rr={rr} Rd={rd}"
-        );
+        assert!(rr + rd > 1.0, "Lemma 1 violated at p={p}: Rr={rr} Rd={rd}");
     }
 }
 
@@ -145,7 +150,10 @@ fn churn_ranking_matches_figure_7() {
         "figure-7 ordering broken: share={r_share} joint={r_joint} \
          disjoint={r_disjoint} central={r_central}"
     );
-    assert!(r_share > 0.95, "share must stay high under churn: {r_share}");
+    assert!(
+        r_share > 0.95,
+        "share must stay high under churn: {r_share}"
+    );
     assert!(
         r_central < 0.55,
         "central must collapse at α=3, p=0.2: {r_central}"

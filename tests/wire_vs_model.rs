@@ -8,13 +8,9 @@
 //! the same worlds' ground truth.
 
 use self_emerging_data::core::config::SchemeParams;
-use self_emerging_data::core::package::{
-    build_keyed_packages, build_share_packages, KeySchedule,
-};
+use self_emerging_data::core::package::{build_keyed_packages, build_share_packages, KeySchedule};
 use self_emerging_data::core::path::construct_paths;
-use self_emerging_data::core::protocol::{
-    execute_keyed, execute_share, AttackMode, RunConfig,
-};
+use self_emerging_data::core::protocol::{execute_keyed, execute_share, AttackMode, RunConfig};
 use self_emerging_data::crypto::keys::SymmetricKey;
 use self_emerging_data::dht::overlay::{Overlay, OverlayConfig};
 use self_emerging_data::sim::time::{SimDuration, SimTime};
@@ -46,9 +42,8 @@ fn keyed_release_predicate(
     overlay: &Overlay,
     plan: &self_emerging_data::core::path::PathPlan,
 ) -> bool {
-    (0..plan.cols).all(|col| {
-        (0..plan.rows).any(|row| overlay.initial(plan.slot(row, col)).malicious)
-    })
+    (0..plan.cols)
+        .all(|col| (0..plan.rows).any(|row| overlay.initial(plan.slot(row, col)).malicious))
 }
 
 /// Whether the joint drop predicate (a fully malicious column) holds.
@@ -56,9 +51,8 @@ fn joint_drop_predicate(
     overlay: &Overlay,
     plan: &self_emerging_data::core::path::PathPlan,
 ) -> bool {
-    (0..plan.cols).any(|col| {
-        (0..plan.rows).all(|row| overlay.initial(plan.slot(row, col)).malicious)
-    })
+    (0..plan.cols)
+        .any(|col| (0..plan.rows).all(|row| overlay.initial(plan.slot(row, col)).malicious))
 }
 
 /// Whether the disjoint drop predicate (every row cut) holds.
@@ -66,9 +60,8 @@ fn disjoint_drop_predicate(
     overlay: &Overlay,
     plan: &self_emerging_data::core::path::PathPlan,
 ) -> bool {
-    (0..plan.rows).all(|row| {
-        (0..plan.cols).any(|col| overlay.initial(plan.slot(row, col)).malicious)
-    })
+    (0..plan.rows)
+        .all(|row| (0..plan.cols).any(|col| overlay.initial(plan.slot(row, col)).malicious))
 }
 
 #[test]
@@ -79,8 +72,7 @@ fn joint_drop_outcomes_match_the_predicate_exactly() {
         let mut overlay = world(60, 0.35, seed);
         let sender = SymmetricKey::from_bytes([seed as u8; 32]);
         let plan = construct_paths(&overlay, &params, &sender).unwrap();
-        let pkgs =
-            build_keyed_packages(&plan, &params, &KeySchedule::new(sender), SECRET).unwrap();
+        let pkgs = build_keyed_packages(&plan, &params, &KeySchedule::new(sender), SECRET).unwrap();
         let report = execute_keyed(
             &mut overlay,
             &plan,
@@ -108,8 +100,7 @@ fn disjoint_drop_outcomes_match_the_predicate_exactly() {
         let mut overlay = world(80, 0.3, seed);
         let sender = SymmetricKey::from_bytes([(seed % 251) as u8; 32]);
         let plan = construct_paths(&overlay, &params, &sender).unwrap();
-        let pkgs =
-            build_keyed_packages(&plan, &params, &KeySchedule::new(sender), SECRET).unwrap();
+        let pkgs = build_keyed_packages(&plan, &params, &KeySchedule::new(sender), SECRET).unwrap();
         let report = execute_keyed(
             &mut overlay,
             &plan,
@@ -137,8 +128,7 @@ fn keyed_release_at_ts_happens_iff_full_chain() {
         let mut overlay = world(40, 0.5, seed);
         let sender = SymmetricKey::from_bytes([(seed % 251) as u8; 32]);
         let plan = construct_paths(&overlay, &params, &sender).unwrap();
-        let pkgs =
-            build_keyed_packages(&plan, &params, &KeySchedule::new(sender), SECRET).unwrap();
+        let pkgs = build_keyed_packages(&plan, &params, &KeySchedule::new(sender), SECRET).unwrap();
         let report = execute_keyed(
             &mut overlay,
             &plan,
@@ -173,8 +163,7 @@ fn share_drop_outcomes_match_the_share_predicate() {
         let mut overlay = world(60, 0.3, seed);
         let sender = SymmetricKey::from_bytes([(seed % 251) as u8; 32]);
         let plan = construct_paths(&overlay, &params, &sender).unwrap();
-        let pkgs =
-            build_share_packages(&plan, &params, &KeySchedule::new(sender), SECRET).unwrap();
+        let pkgs = build_share_packages(&plan, &params, &KeySchedule::new(sender), SECRET).unwrap();
         let report = execute_share(
             &mut overlay,
             &plan,
@@ -221,8 +210,7 @@ fn share_strict_release_matches_quorum_chain() {
         let mut overlay = world(50, 0.45, seed);
         let sender = SymmetricKey::from_bytes([(seed % 251) as u8; 32]);
         let plan = construct_paths(&overlay, &params, &sender).unwrap();
-        let pkgs =
-            build_share_packages(&plan, &params, &KeySchedule::new(sender), SECRET).unwrap();
+        let pkgs = build_share_packages(&plan, &params, &KeySchedule::new(sender), SECRET).unwrap();
         let report = execute_share(
             &mut overlay,
             &plan,
@@ -236,9 +224,7 @@ fn share_strict_release_matches_quorum_chain() {
         // Strict chain: onion contact at column 0 plus a share quorum at
         // every boundary.
         let onion0 = (0..2).any(|r| malicious(r, 0));
-        let quorums = (1..3).all(|col| {
-            (0..5).filter(|&r| malicious(r, col - 1)).count() >= 2
-        });
+        let quorums = (1..3).all(|col| (0..5).filter(|&r| malicious(r, col - 1)).count() >= 2);
         let model = onion0 && quorums;
         let wire = report
             .adversary_reconstruction
@@ -248,5 +234,8 @@ fn share_strict_release_matches_quorum_chain() {
         assert_eq!(wire, model, "world seed {seed}");
         hits += wire as u32;
     }
-    assert!(hits > 0, "at p=0.45 some worlds must fall to the quorum chain");
+    assert!(
+        hits > 0,
+        "at p=0.45 some worlds must fall to the quorum chain"
+    );
 }
