@@ -2,12 +2,15 @@
 //! package generation, full protocol runs, and Monte-Carlo throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use emerge_bench::mc::run_protocol_trials_threaded;
+use emerge_bench::parallel::mc_threads;
 use emerge_core::config::SchemeParams;
-use emerge_core::montecarlo::{run_trials, TrialSpec};
+use emerge_core::montecarlo::{run_trials, ProtocolTrialSpec, TrialSpec};
 use emerge_core::package::{build_keyed_packages, build_share_packages, KeySchedule};
 use emerge_core::path::construct_paths;
 use emerge_core::protocol::{execute_keyed, execute_share, AttackMode, RunConfig};
 use emerge_crypto::keys::SymmetricKey;
+use emerge_dht::analytic::AnalyticSubstrate;
 use emerge_dht::overlay::{Overlay, OverlayConfig};
 use emerge_sim::time::{SimDuration, SimTime};
 
@@ -138,8 +141,44 @@ fn bench_montecarlo(c: &mut Criterion) {
             unavailability: 0.0,
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
-            b.iter(|| run_trials(black_box(spec), 100, 42));
+            b.iter(|| run_trials(black_box(spec), 100, 42).unwrap());
         });
+    }
+    group.finish();
+}
+
+fn bench_protocol_montecarlo_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_mc_sharded_20_trials");
+    group.sample_size(10);
+    let spec = ProtocolTrialSpec {
+        params: SchemeParams::Joint { k: 4, l: 8 },
+        emerging_period: SimDuration::from_ticks(8_000),
+        attack: AttackMode::ReleaseAhead,
+    };
+    let world = OverlayConfig {
+        n_nodes: 2_000,
+        malicious_fraction: 0.2,
+        mean_lifetime: Some(40_000),
+        horizon: 200_000,
+        ..OverlayConfig::default()
+    };
+    let mut thread_counts = vec![1usize];
+    if mc_threads() > 1 {
+        thread_counts.push(mc_threads());
+    }
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}_threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    run_protocol_trials_threaded(black_box(&spec), 20, 42, threads, |s| {
+                        AnalyticSubstrate::build(world, s)
+                    })
+                    .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -149,6 +188,7 @@ criterion_group!(
     bench_path_construction,
     bench_package_generation,
     bench_protocol_run,
-    bench_montecarlo
+    bench_montecarlo,
+    bench_protocol_montecarlo_sharded
 );
 criterion_main!(benches);

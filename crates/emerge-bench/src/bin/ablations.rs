@@ -47,7 +47,7 @@ fn ablation_thresholds(ps: &[f64], trials: usize) {
                 alpha: Some(alpha),
                 unavailability: 0.0,
             };
-            run_trials(&spec, trials, 0xA1 ^ salt).r_min()
+            run_trials(&spec, trials, 0xA1 ^ salt).unwrap().r_min()
         };
         let balanced = analysis::algorithm1(k, l, POPULATION, alpha, p).m;
         let majority = vec![n / 2 + 1; l - 1];
@@ -72,7 +72,7 @@ fn ablation_release_metric(ps: &[f64], trials: usize) {
             alpha: None,
             unavailability: 0.0,
         };
-        let r = run_trials(&spec, trials, 0xB1);
+        let r = run_trials(&spec, trials, 0xB1).unwrap();
         (
             p,
             [
@@ -96,12 +96,14 @@ fn ablation_topology(ps: &[f64], trials: usize) {
             &TrialSpec::new(SchemeParams::Joint { k, l }, POPULATION, p),
             trials,
             0xC1,
-        );
+        )
+        .expect("valid ablation spec");
         let disjoint = run_trials(
             &TrialSpec::new(SchemeParams::Disjoint { k, l }, POPULATION, p),
             trials,
             0xC2,
-        );
+        )
+        .expect("valid ablation spec");
         (
             p,
             [
@@ -133,7 +135,7 @@ fn ablation_alpha_misestimation(ps: &[f64], trials: usize) {
                 alpha: Some(world_alpha),
                 unavailability: 0.0,
             };
-            vals[i] = run_trials(&spec, trials, 0xD1 + i as u64).r_min();
+            vals[i] = run_trials(&spec, trials, 0xD1 + i as u64).unwrap().r_min();
         }
         (p, vals)
     });
@@ -162,6 +164,7 @@ fn ablation_unavailability(trials: usize) {
                 unavailability: u,
             };
             run_trials(&spec, trials, 0xE1 ^ salt)
+                .unwrap()
                 .drop_resilience
                 .value()
         };

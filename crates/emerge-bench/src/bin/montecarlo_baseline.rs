@@ -6,16 +6,25 @@
 //! writes trials/sec for each to `BENCH_montecarlo.json` (first CLI arg
 //! overrides the path). Later PRs diff against the committed numbers.
 //!
+//! Trials run through the sharded engine
+//! (`emerge_bench::mc::run_protocol_trials_parallel`): contiguous trial
+//! ranges spread over `EMERGE_MC_THREADS` worker threads (default: the
+//! machine's available parallelism). Results are bit-identical to a
+//! serial run for any thread count; threads only change the wall clock.
+//!
 //! The overlay is measured over fewer trials (it is orders of magnitude
 //! slower at this population; throughput is what matters), after a
 //! fingerprint cross-check on a small shared cell proves both substrates
 //! still produce identical outcomes.
 //!
-//! Environment: `EMERGE_BASELINE_TRIALS` (default 1000) and
-//! `EMERGE_BASELINE_OVERLAY_TRIALS` (default 20).
+//! Environment: `EMERGE_BASELINE_TRIALS` (default 1000),
+//! `EMERGE_BASELINE_OVERLAY_TRIALS` (default 20) and `EMERGE_MC_THREADS`.
 
+use emerge_bench::mc::run_protocol_trials_threaded;
+use emerge_bench::parallel::mc_threads;
+use emerge_bench::report::{render_montecarlo_report, validate_json, McMeasurement};
 use emerge_core::config::SchemeParams;
-use emerge_core::montecarlo::{run_protocol_trials, ProtocolMcResults, ProtocolTrialSpec};
+use emerge_core::montecarlo::{ProtocolMcResults, ProtocolTrialSpec};
 use emerge_core::protocol::AttackMode;
 use emerge_dht::analytic::AnalyticSubstrate;
 use emerge_dht::overlay::{Overlay, OverlayConfig};
@@ -68,66 +77,40 @@ fn cells() -> Vec<(&'static str, ProtocolTrialSpec)> {
     ]
 }
 
-struct Measurement {
-    cell: &'static str,
-    substrate: &'static str,
-    trials: usize,
-    seconds: f64,
-    clean: f64,
-    released: f64,
-}
-
-impl Measurement {
-    fn trials_per_sec(&self) -> f64 {
-        self.trials as f64 / self.seconds
-    }
-
-    fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "    {{\"cell\": \"{}\", \"substrate\": \"{}\", \"trials\": {}, ",
-                "\"seconds\": {:.3}, \"trials_per_sec\": {:.3}, ",
-                "\"clean_rate\": {:.4}, \"released_rate\": {:.4}}}"
-            ),
-            self.cell,
-            self.substrate,
-            self.trials,
-            self.seconds,
-            self.trials_per_sec(),
-            self.clean,
-            self.released,
-        )
-    }
-}
-
 fn measure<F>(
     cell: &'static str,
     substrate: &'static str,
-    spec: &ProtocolTrialSpec,
+    threads: usize,
     trials: usize,
     run: F,
-) -> Measurement
+) -> McMeasurement
 where
-    F: FnOnce(&ProtocolTrialSpec, usize) -> ProtocolMcResults,
+    F: FnOnce(usize, usize) -> ProtocolMcResults,
 {
-    eprintln!("measuring {cell} on {substrate} ({trials} trials at N={POPULATION})...");
-    let start = Instant::now();
-    let results = run(spec, trials);
-    let seconds = start.elapsed().as_secs_f64();
     eprintln!(
-        "  {:.2} trials/sec (clean {:.3}, released {:.3})",
-        trials as f64 / seconds,
-        results.clean.value(),
-        results.released.value()
+        "measuring {cell} on {substrate} ({trials} trials at N={POPULATION}, {threads} threads)..."
     );
-    Measurement {
-        cell,
-        substrate,
+    let start = Instant::now();
+    // The recorded trials/threads and the executed ones cannot drift: the
+    // closure receives exactly what the report will claim.
+    let results = run(trials, threads);
+    let seconds = start.elapsed().as_secs_f64();
+    let m = McMeasurement {
+        cell: cell.into(),
+        substrate: substrate.into(),
+        threads,
         trials,
         seconds,
         clean: results.clean.value(),
         released: results.released.value(),
-    }
+    };
+    eprintln!(
+        "  {:.2} trials/sec (clean {:.3}, released {:.3})",
+        m.trials_per_sec(),
+        m.clean,
+        m.released
+    );
+    m
 }
 
 fn main() {
@@ -136,21 +119,25 @@ fn main() {
         .unwrap_or_else(|| "BENCH_montecarlo.json".into());
     let analytic_trials = env_usize("EMERGE_BASELINE_TRIALS", 1_000);
     let overlay_trials = env_usize("EMERGE_BASELINE_OVERLAY_TRIALS", 20);
+    let threads = mc_threads();
 
     // Cross-check first: both substrates must agree trial for trial on a
-    // small shared cell, otherwise the throughput numbers compare
+    // small shared cell — and the threaded runner must agree with itself
+    // single-threaded — otherwise the throughput numbers compare
     // different computations.
     let check_spec = &cells()[0].1;
     let check_cfg = world_config(500);
-    let full = run_protocol_trials(check_spec, 10, SEED, |s| Overlay::build(check_cfg, s))
-        .expect("overlay check trials");
-    let fast = run_protocol_trials(check_spec, 10, SEED, |s| {
+    let full = run_protocol_trials_threaded(check_spec, 10, SEED, threads, |s| {
+        Overlay::build(check_cfg, s)
+    })
+    .expect("overlay check trials");
+    let fast = run_protocol_trials_threaded(check_spec, 10, SEED, 1, |s| {
         AnalyticSubstrate::build(check_cfg, s)
     })
     .expect("analytic check trials");
     assert_eq!(
         full.fingerprint, fast.fingerprint,
-        "substrate parity violated; refusing to record a baseline"
+        "substrate/shard parity violated; refusing to record a baseline"
     );
     eprintln!(
         "parity check passed (fingerprint {:#018x})",
@@ -160,24 +147,37 @@ fn main() {
     let config = world_config(POPULATION);
     let mut measurements = Vec::new();
     for (cell, spec) in cells() {
-        measurements.push(measure(cell, "analytic", &spec, analytic_trials, |s, t| {
-            run_protocol_trials(s, t, SEED, |ws| AnalyticSubstrate::build(config, ws))
+        measurements.push(measure(
+            cell,
+            "analytic",
+            threads,
+            analytic_trials,
+            |trials, threads| {
+                run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
+                    AnalyticSubstrate::build(config, ws)
+                })
                 .expect("analytic trials")
-        }));
-        measurements.push(measure(cell, "overlay", &spec, overlay_trials, |s, t| {
-            run_protocol_trials(s, t, SEED, |ws| Overlay::build(config, ws))
+            },
+        ));
+        measurements.push(measure(
+            cell,
+            "overlay",
+            threads,
+            overlay_trials,
+            |trials, threads| {
+                run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
+                    Overlay::build(config, ws)
+                })
                 .expect("overlay trials")
-        }));
+            },
+        ));
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"population\": {POPULATION},\n"));
-    json.push_str(&format!("  \"seed\": {SEED},\n"));
-    json.push_str("  \"measurements\": [\n");
-    let lines: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
-    json.push_str(&lines.join(",\n"));
-    json.push_str("\n  ]\n}\n");
+    let json = render_montecarlo_report(POPULATION, SEED, &measurements);
+    if let Err((pos, msg)) = validate_json(&json) {
+        eprintln!("error: generated report is not valid JSON at byte {pos}: {msg}");
+        std::process::exit(1);
+    }
 
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
@@ -194,11 +194,15 @@ fn main() {
             .iter()
             .find(|m| m.cell == cell && m.substrate == "overlay")
             .expect("overlay measurement");
+        let speedup = if o.trials_per_sec() > 0.0 {
+            a.trials_per_sec() / o.trials_per_sec()
+        } else {
+            0.0
+        };
         println!(
-            "{cell}: analytic {:.2} trials/sec vs overlay {:.2} trials/sec ({:.1}x speedup)",
+            "{cell}: analytic {:.2} trials/sec vs overlay {:.2} trials/sec ({speedup:.1}x speedup)",
             a.trials_per_sec(),
             o.trials_per_sec(),
-            a.trials_per_sec() / o.trials_per_sec()
         );
     }
 }

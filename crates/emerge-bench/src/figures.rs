@@ -63,7 +63,7 @@ fn attack_cell(population: usize, p: f64, trials: usize, seed: u64) -> AttackCel
             alpha: None,
             unavailability: 0.0,
         };
-        run_trials(&spec, trials, seed ^ salt).r_min()
+        run_trials(&spec, trials, seed ^ salt).unwrap().r_min()
     };
 
     let central = run(SchemeParams::Central, 0x01);
@@ -102,7 +102,7 @@ pub fn fig7_churn_resilience(
                 alpha: Some(alpha),
                 unavailability: 0.0,
             };
-            run_trials(&spec, trials, seed ^ salt).r_min()
+            run_trials(&spec, trials, seed ^ salt).unwrap().r_min()
         };
         let central = run(SchemeParams::Central, 0x11);
         let disjoint = run(
@@ -146,7 +146,11 @@ pub fn fig8_share_cost(
                 alpha: Some(alpha),
                 unavailability: 0.0,
             };
-            values.push(run_trials(&spec, trials, seed ^ (0x20 + i as u64)).r_min());
+            values.push(
+                run_trials(&spec, trials, seed ^ (0x20 + i as u64))
+                    .unwrap()
+                    .r_min(),
+            );
         }
         (p, values)
     });

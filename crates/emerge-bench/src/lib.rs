@@ -13,13 +13,17 @@
 //!
 //! Each binary prints gnuplot-ready columns in the same shape as the
 //! paper's plots. Environment variables `EMERGE_TRIALS` (default 1000)
-//! and `EMERGE_P_STEP` (default 0.02) trade accuracy for speed.
+//! and `EMERGE_P_STEP` (default 0.02) trade accuracy for speed;
+//! `EMERGE_MC_THREADS` caps the sharded Monte-Carlo worker threads (see
+//! [`parallel::mc_threads`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod mc;
 pub mod parallel;
+pub mod report;
 
 /// Number of Monte-Carlo trials per experiment cell (the paper runs 1000).
 pub fn trials_from_env() -> usize {

@@ -1,0 +1,142 @@
+//! Thread-backed driver for the sharded wire-protocol Monte-Carlo.
+//!
+//! `emerge_core::montecarlo` provides the substrate-generic machinery:
+//! [`run_protocol_trial_range`] runs a contiguous range of independently
+//! seeded trials and [`shard_ranges`] partitions a batch into such
+//! ranges. This module spreads the ranges over OS threads via
+//! [`parallel_map_workers`] and merges the partial results in shard
+//! order.
+//!
+//! Because every trial draws from its own `"protocol-trial"` RNG stream
+//! keyed by the *global* trial index, the merged result is bit-identical
+//! to a serial [`run_protocol_trials`](emerge_core::montecarlo::run_protocol_trials) run — same rates, same
+//! fingerprint — for any thread count. Threads change wall-clock time
+//! only; `tests/sharded_montecarlo.rs` pins this down.
+//!
+//! Thread count: `EMERGE_MC_THREADS` if set, else the machine's available
+//! parallelism (see [`mc_threads`]).
+
+use crate::parallel::{mc_threads, parallel_map_workers};
+use emerge_core::error::EmergeError;
+use emerge_core::montecarlo::{
+    run_protocol_trial_range, shard_ranges, ProtocolMcResults, ProtocolTrialSpec,
+};
+use emerge_core::substrate::HolderSubstrate;
+
+/// Runs `trials` wire-protocol trials of `spec` across `threads` worker
+/// threads (one contiguous trial range per shard), merging the partial
+/// results in shard order.
+///
+/// Bit-identical to the serial [`run_protocol_trials`](emerge_core::montecarlo::run_protocol_trials) on the
+/// counter-valued fields and the fingerprint, for any `threads` value.
+/// Unlike the sequential sharded runner, the substrate factory is shared
+/// across workers, so it must be `Fn + Sync` (build worlds from the
+/// per-trial world seed it receives, not from mutable state).
+///
+/// # Errors
+///
+/// Propagates the first shard failure in shard order, e.g.
+/// [`EmergeError::InsufficientNodes`] when the structure does not fit the
+/// factory's worlds.
+pub fn run_protocol_trials_threaded<S, F>(
+    spec: &ProtocolTrialSpec,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    substrate_factory: F,
+) -> Result<ProtocolMcResults, EmergeError>
+where
+    S: HolderSubstrate,
+    F: Fn(u64) -> S + Sync,
+{
+    let ranges = shard_ranges(trials, threads);
+    let partials = parallel_map_workers(&ranges, threads, |&(first_trial, count)| {
+        run_protocol_trial_range(spec, first_trial, count, seed, &substrate_factory)
+    });
+    let mut results = ProtocolMcResults::default();
+    for partial in partials {
+        results.merge(&partial?);
+    }
+    Ok(results)
+}
+
+/// [`run_protocol_trials_threaded`] with the thread count taken from the
+/// environment ([`mc_threads`]: `EMERGE_MC_THREADS`, defaulting to the
+/// available parallelism).
+///
+/// # Errors
+///
+/// See [`run_protocol_trials_threaded`].
+pub fn run_protocol_trials_parallel<S, F>(
+    spec: &ProtocolTrialSpec,
+    trials: usize,
+    seed: u64,
+    substrate_factory: F,
+) -> Result<ProtocolMcResults, EmergeError>
+where
+    S: HolderSubstrate,
+    F: Fn(u64) -> S + Sync,
+{
+    run_protocol_trials_threaded(spec, trials, seed, mc_threads(), substrate_factory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emerge_core::config::SchemeParams;
+    use emerge_core::montecarlo::run_protocol_trials;
+    use emerge_core::protocol::AttackMode;
+    use emerge_core::substrate::{AnalyticSubstrate, OverlayConfig};
+    use emerge_sim::time::SimDuration;
+
+    fn spec(params: SchemeParams) -> ProtocolTrialSpec {
+        ProtocolTrialSpec {
+            params,
+            emerging_period: SimDuration::from_ticks(3_000),
+            attack: AttackMode::ReleaseAhead,
+        }
+    }
+
+    fn factory(s: u64) -> AnalyticSubstrate {
+        AnalyticSubstrate::build(
+            OverlayConfig {
+                n_nodes: 120,
+                malicious_fraction: 0.3,
+                ..OverlayConfig::default()
+            },
+            s,
+        )
+    }
+
+    #[test]
+    fn threaded_runs_match_serial_for_any_thread_count() {
+        let spec = spec(SchemeParams::Joint { k: 2, l: 3 });
+        let serial = run_protocol_trials(&spec, 12, 5, factory).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let threaded = run_protocol_trials_threaded(&spec, 12, 5, threads, factory).unwrap();
+            assert_eq!(
+                threaded.fingerprint, serial.fingerprint,
+                "{threads} threads"
+            );
+            assert_eq!(threaded.released, serial.released);
+            assert_eq!(threaded.clean, serial.clean);
+            assert_eq!(threaded.reconstructed_early, serial.reconstructed_early);
+            assert_eq!(threaded.messages.count(), serial.messages.count());
+        }
+    }
+
+    #[test]
+    fn threaded_runs_propagate_errors() {
+        let spec = spec(SchemeParams::Joint { k: 20, l: 20 });
+        let err = run_protocol_trials_threaded(&spec, 4, 1, 2, factory).unwrap_err();
+        assert!(matches!(err, EmergeError::InsufficientNodes { .. }));
+    }
+
+    #[test]
+    fn env_driven_entry_point_agrees_with_serial() {
+        let spec = spec(SchemeParams::Central);
+        let serial = run_protocol_trials(&spec, 6, 2, factory).unwrap();
+        let auto = run_protocol_trials_parallel(&spec, 6, 2, factory).unwrap();
+        assert_eq!(auto.fingerprint, serial.fingerprint);
+    }
+}

@@ -7,9 +7,49 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Worker-thread count for Monte-Carlo sharding: `EMERGE_MC_THREADS` if
+/// set to a positive integer, otherwise the machine's available
+/// parallelism (1 if unknown).
+///
+/// The thread count only affects wall-clock time, never results: the
+/// sharded Monte-Carlo engine is bit-identical across thread counts (CI
+/// runs the suites with `EMERGE_MC_THREADS=1` and unset to guard this).
+pub fn mc_threads() -> usize {
+    std::env::var("EMERGE_MC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+}
+
 /// Applies `f` to every item, in parallel, preserving input order in the
-/// output. `f` must be `Sync` (it is shared across workers).
+/// output. `f` must be `Sync` (it is shared across workers). Worker count
+/// defaults to the available parallelism.
+///
+/// A panic inside `f` propagates to the caller (the scoped-thread runtime
+/// re-raises it when the scope exits); the remaining items may or may not
+/// have been processed by then.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    parallel_map_workers(items, workers, f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count (clamped to
+/// `[1, items.len()]`). `workers == 1` runs inline on the caller's
+/// thread, which keeps single-threaded runs (`EMERGE_MC_THREADS=1`)
+/// trivially deterministic in scheduling as well as results.
+pub fn parallel_map_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -19,10 +59,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = workers.clamp(1, n);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -73,6 +110,40 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(&[7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let items: Vec<u64> = (0..50).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1usize, 2, 7, 64] {
+            assert_eq!(parallel_map_workers(&items, workers, |x| x * x), expect);
+        }
+        assert_eq!(parallel_map_workers(&items, 0, |x| x * x), expect);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let items: Vec<u64> = (0..32).collect();
+        for workers in [1usize, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                parallel_map_workers(&items, workers, |&x| {
+                    assert!(x != 17, "poisoned item");
+                    x
+                })
+            });
+            assert!(
+                caught.is_err(),
+                "a panic in f must not be swallowed (workers = {workers})"
+            );
+        }
+    }
+
+    #[test]
+    fn mc_threads_is_positive() {
+        // EMERGE_MC_THREADS is unset in the test environment; the default
+        // must be a sane positive worker count either way.
+        assert!(mc_threads() >= 1);
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Machine-readable benchmark reports (`BENCH_montecarlo.json`).
+//!
+//! The baseline binary used to hand-format JSON with `format!("{:.3}")`,
+//! which happily prints `inf` — not a JSON token — whenever a measurement
+//! finishes below the clock resolution. This module centralizes the
+//! rendering: every number goes through [`json_number`], which maps
+//! non-finite values to `0`, and the unit tests feed the rendered text
+//! back through the bundled [`validate_json`] checker so an invalid
+//! report can never be written silently again.
+
+use std::fmt::Write as _;
+
+/// One Monte-Carlo throughput measurement of a `(cell, substrate)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McMeasurement {
+    /// Scenario cell label, e.g. `share_40x5_release_ahead`.
+    pub cell: String,
+    /// Substrate label (`analytic` or `overlay`).
+    pub substrate: String,
+    /// Worker threads used by the sharded runner.
+    pub threads: usize,
+    /// Trials executed.
+    pub trials: usize,
+    /// Wall-clock seconds the batch took.
+    pub seconds: f64,
+    /// Clean-emergence rate observed.
+    pub clean: f64,
+    /// Release rate observed.
+    pub released: f64,
+}
+
+impl McMeasurement {
+    /// Trials per wall-clock second, `0.0` when the elapsed time is zero
+    /// or non-finite (a sub-resolution measurement carries no throughput
+    /// information, and `inf` is not a JSON token).
+    pub fn trials_per_sec(&self) -> f64 {
+        if self.seconds.is_finite() && self.seconds > 0.0 {
+            self.trials as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Formats `x` with `decimals` fraction digits, substituting `0` for
+/// non-finite values so the output is always a valid JSON number.
+fn json_number(x: f64, decimals: usize) -> String {
+    if x.is_finite() {
+        format!("{x:.decimals$}")
+    } else {
+        format!("{:.decimals$}", 0.0)
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal, so label
+/// fields can never corrupt the report.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full `BENCH_montecarlo.json` document.
+pub fn render_montecarlo_report(
+    population: usize,
+    seed: u64,
+    measurements: &[McMeasurement],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"population\": {population},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    json.push_str("  \"measurements\": [\n");
+    let lines: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                concat!(
+                    "    {{\"cell\": \"{}\", \"substrate\": \"{}\", ",
+                    "\"threads\": {}, \"trials\": {}, ",
+                    "\"seconds\": {}, \"trials_per_sec\": {}, ",
+                    "\"clean_rate\": {}, \"released_rate\": {}}}"
+                ),
+                json_escape(&m.cell),
+                json_escape(&m.substrate),
+                m.threads,
+                m.trials,
+                json_number(m.seconds, 3),
+                json_number(m.trials_per_sec(), 3),
+                json_number(m.clean, 4),
+                json_number(m.released, 4),
+            )
+        })
+        .collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
+/// Checks that `text` is one complete JSON value (RFC 8259 subset: no
+/// escapes beyond `\" \\ \/ \b \f \n \r \t \uXXXX`). Returns the byte
+/// offset and a message on the first violation.
+///
+/// This is a *validator*, not a data model — enough to guarantee the
+/// reports we emit parse, with no external dependency.
+pub fn validate_json(text: &str) -> Result<(), (usize, String)> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err((pos, "trailing characters after the JSON value".into()));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), (usize, String)> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err((*pos, format!("expected '{}'", b as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), (usize, String)> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&b) => Err((*pos, format!("unexpected byte {:?}", b as char))),
+        None => Err((*pos, "unexpected end of input".into())),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), (usize, String)> {
+    expect(bytes, pos, b'{')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err((*pos, "expected ',' or '}' in object".into())),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), (usize, String)> {
+    expect(bytes, pos, b'[')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err((*pos, "expected ',' or ']' in array".into())),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), (usize, String)> {
+    expect(bytes, pos, b'"')?;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !bytes.get(*pos).is_some_and(|c| c.is_ascii_hexdigit()) {
+                                return Err((*pos, "invalid \\u escape".into()));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err((*pos, "invalid escape".into())),
+                }
+            }
+            0x00..=0x1F => return Err((*pos, "raw control character in string".into())),
+            _ => *pos += 1,
+        }
+    }
+    Err((*pos, "unterminated string".into()))
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), (usize, String)> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err((
+            *pos,
+            format!(
+                "invalid literal (expected {})",
+                String::from_utf8_lossy(lit)
+            ),
+        ))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), (usize, String)> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    // Integer part: a single 0, or a nonzero digit followed by more.
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            digits(bytes, pos);
+        }
+        _ => return Err((start, "invalid number".into())),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err((*pos, "digits required after decimal point".into()));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err((*pos, "digits required in exponent".into()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(seconds: f64) -> McMeasurement {
+        McMeasurement {
+            cell: "share_40x5_release_ahead".into(),
+            substrate: "analytic".into(),
+            threads: 4,
+            trials: 1000,
+            seconds,
+            clean: 1.0,
+            released: 1.0,
+        }
+    }
+
+    #[test]
+    fn trials_per_sec_guards_sub_resolution_measurements() {
+        assert_eq!(measurement(0.0).trials_per_sec(), 0.0);
+        assert_eq!(measurement(-0.0).trials_per_sec(), 0.0);
+        assert_eq!(measurement(f64::NAN).trials_per_sec(), 0.0);
+        assert!((measurement(2.0).trials_per_sec() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_with_zero_elapsed_time_still_parses() {
+        // The historical bug: seconds == 0 rendered "trials_per_sec": inf.
+        let json = render_montecarlo_report(10_000, 0xB45E, &[measurement(0.0)]);
+        validate_json(&json).unwrap_or_else(|(pos, msg)| {
+            panic!("invalid JSON at byte {pos}: {msg}\n{json}");
+        });
+        assert!(json.contains("\"trials_per_sec\": 0.000"));
+        assert!(!json.contains("inf"));
+    }
+
+    #[test]
+    fn report_round_trips_normal_measurements() {
+        let json = render_montecarlo_report(10_000, 7, &[measurement(278.5), measurement(3.2)]);
+        assert!(validate_json(&json).is_ok());
+        assert!(json.contains("\"population\": 10000"));
+        assert!(json.contains("\"threads\": 4"));
+    }
+
+    #[test]
+    fn hostile_labels_are_escaped() {
+        let mut m = measurement(1.0);
+        m.cell = "joint \"fast\" cell\\\n\u{1}".into();
+        let json = render_montecarlo_report(100, 1, &[m]);
+        validate_json(&json).unwrap_or_else(|(pos, msg)| {
+            panic!("invalid JSON at byte {pos}: {msg}\n{json}");
+        });
+        assert!(json.contains("joint \\\"fast\\\" cell\\\\\\n\\u0001"));
+    }
+
+    #[test]
+    fn validator_accepts_json_shapes() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            "\"a \\u00e9 b\"",
+            "{\"a\": [1, 2, {\"b\": false}], \"c\": null}",
+            " { \"x\" : 0.25 } ",
+        ] {
+            assert!(validate_json(ok).is_ok(), "should accept {ok:?}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_non_json() {
+        for bad in [
+            "",
+            "inf",
+            "{\"a\": inf}",
+            "NaN",
+            "{\"a\":}",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "{\"a\": 01}",
+            "\"unterminated",
+            "{} trailing",
+            "{'single': 1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -92,29 +92,40 @@ impl McResults {
 /// Runs `trials` independent trials of `spec`, deterministically from
 /// `seed`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the scheme structure needs more holders than the population
-/// provides, or parameters fail validation.
-pub fn run_trials(spec: &TrialSpec, trials: usize, seed: u64) -> McResults {
-    spec.params.validate().expect("invalid scheme parameters");
-    assert!(
-        spec.params.node_cost() <= spec.population,
-        "structure needs {} holders, population has {}",
-        spec.params.node_cost(),
-        spec.population
-    );
-    assert!(
-        (0.0..=1.0).contains(&spec.p),
-        "malicious rate must be in [0,1]"
-    );
-    if let Some(a) = spec.alpha {
-        assert!(a > 0.0 && a.is_finite(), "alpha must be positive");
+/// Returns [`EmergeError::InvalidParameters`] when the scheme parameters,
+/// malicious rate, churn intensity or unavailability are out of range, and
+/// [`EmergeError::InsufficientNodes`] when the scheme structure needs more
+/// holders than the population provides.
+pub fn run_trials(spec: &TrialSpec, trials: usize, seed: u64) -> Result<McResults, EmergeError> {
+    spec.params.validate()?;
+    let cost = spec.params.node_cost();
+    if cost > spec.population {
+        return Err(EmergeError::InsufficientNodes {
+            required: cost,
+            available: spec.population,
+        });
     }
-    assert!(
-        (0.0..1.0).contains(&spec.unavailability),
-        "unavailability must be in [0, 1)"
-    );
+    if !(0.0..=1.0).contains(&spec.p) {
+        return Err(EmergeError::InvalidParameters(format!(
+            "malicious rate must be in [0, 1], got {}",
+            spec.p
+        )));
+    }
+    if let Some(a) = spec.alpha {
+        if !(a > 0.0 && a.is_finite()) {
+            return Err(EmergeError::InvalidParameters(format!(
+                "alpha must be positive and finite, got {a}"
+            )));
+        }
+    }
+    if !(0.0..1.0).contains(&spec.unavailability) {
+        return Err(EmergeError::InvalidParameters(format!(
+            "unavailability must be in [0, 1), got {}",
+            spec.unavailability
+        )));
+    }
 
     let seeds = SeedSource::new(seed);
     let mut results = McResults::default();
@@ -130,7 +141,7 @@ pub fn run_trials(spec: &TrialSpec, trials: usize, seed: u64) -> McResults {
             .strict_release_resilience
             .record(!outcome.strict_release);
     }
-    results
+    Ok(results)
 }
 
 /// Attack outcomes of a single trial.
@@ -259,15 +270,40 @@ pub struct ProtocolMcResults {
     pub reconstructed_early: Rate,
     /// Messages pushed through the substrate per trial.
     pub messages: Summary,
-    /// Order-sensitive digest of every trial's holder slots and report —
-    /// two runs (or two substrates) agree on this iff they agreed on every
-    /// single trial.
+    /// Digest of every trial's holder slots and report. Each trial
+    /// contributes a [`trial_digest`] keyed by its *global* trial index,
+    /// and contributions combine by wrapping addition — an associative,
+    /// commutative operation — so merging shard digests over disjoint
+    /// contiguous trial ranges reproduces the serial digest bit for bit.
+    /// Two runs (or two substrates) agree on this iff they agreed on every
+    /// single trial (up to 64-bit collision). An empty batch digests to 0.
     pub fingerprint: u64,
+}
+
+impl ProtocolMcResults {
+    /// Merges the results of a disjoint batch of trials into this one.
+    ///
+    /// The counter-valued fields ([`Rate`] numerators/denominators, the
+    /// [`Summary`] count/min/max and the fingerprint) merge *exactly*:
+    /// any merge tree over disjoint trial batches is bit-identical to one
+    /// serial run. The floating-point moments of `messages` (mean,
+    /// variance) merge via the parallel Welford update (Chan et al.),
+    /// which agrees with the serial computation up to normal
+    /// floating-point rounding.
+    pub fn merge(&mut self, other: &ProtocolMcResults) {
+        self.released.merge(&other.released);
+        self.clean.merge(&other.clean);
+        self.reconstructed_early.merge(&other.reconstructed_early);
+        self.messages.merge(&other.messages);
+        self.fingerprint = self.fingerprint.wrapping_add(other.fingerprint);
+    }
 }
 
 /// Runs `trials` wire-protocol trials of `spec`, deterministically from
 /// `seed`, building a fresh substrate world per trial via
 /// `substrate_factory` (which receives the trial's world seed).
+///
+/// Equivalent to [`run_protocol_trial_range`] over `[0, trials)`.
 ///
 /// # Errors
 ///
@@ -278,6 +314,35 @@ pub fn run_protocol_trials<S, F>(
     spec: &ProtocolTrialSpec,
     trials: usize,
     seed: u64,
+    substrate_factory: F,
+) -> Result<ProtocolMcResults, EmergeError>
+where
+    S: HolderSubstrate,
+    F: FnMut(u64) -> S,
+{
+    run_protocol_trial_range(spec, 0, trials, seed, substrate_factory)
+}
+
+/// Runs the contiguous trial range `[first_trial, first_trial + count)`
+/// of a wire-protocol Monte-Carlo batch.
+///
+/// Every trial draws its randomness from its own
+/// `SeedSource::stream_n("protocol-trial", trial_idx)` stream keyed by
+/// the *global* trial index, so a range run is bit-identical to the same
+/// trials inside a serial [`run_protocol_trials`] batch — no stream
+/// replay, no cross-trial coupling. Shard workers each run one range and
+/// [`ProtocolMcResults::merge`] the partial results.
+///
+/// # Errors
+///
+/// Propagates construction failures, e.g.
+/// [`EmergeError::InsufficientNodes`] when the structure does not fit the
+/// factory's worlds.
+pub fn run_protocol_trial_range<S, F>(
+    spec: &ProtocolTrialSpec,
+    first_trial: usize,
+    count: usize,
+    seed: u64,
     mut substrate_factory: F,
 ) -> Result<ProtocolMcResults, EmergeError>
 where
@@ -286,11 +351,8 @@ where
 {
     spec.params.validate()?;
     let seeds = SeedSource::new(seed);
-    let mut results = ProtocolMcResults {
-        fingerprint: FNV_OFFSET,
-        ..ProtocolMcResults::default()
-    };
-    for trial_idx in 0..trials {
+    let mut results = ProtocolMcResults::default();
+    for trial_idx in first_trial..first_trial + count {
         let mut trial_rng = seeds.stream_n("protocol-trial", trial_idx as u64);
         let world_seed = trial_rng.next_u64();
         let mut substrate = substrate_factory(world_seed);
@@ -326,7 +388,63 @@ where
             .reconstructed_early
             .record(report.adversary_reconstruction.is_some());
         results.messages.record(report.messages_sent as f64);
-        results.fingerprint = fold_trial(results.fingerprint, &plan.slots, &report);
+        results.fingerprint =
+            results
+                .fingerprint
+                .wrapping_add(trial_digest(trial_idx as u64, &plan.slots, &report));
+    }
+    Ok(results)
+}
+
+/// Partitions `trials` into `shards` contiguous `(first_trial, count)`
+/// ranges whose sizes differ by at most one. `shards` is clamped to
+/// `[1, max(trials, 1)]` so no range is empty (except the single range of
+/// an empty batch).
+pub fn shard_ranges(trials: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, trials.max(1));
+    let base = trials / shards;
+    let extra = trials % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let count = base + usize::from(i < extra);
+        ranges.push((start, count));
+        start += count;
+    }
+    ranges
+}
+
+/// Runs `trials` wire-protocol trials split over `shards` contiguous
+/// ranges ([`shard_ranges`]) and merges the partial results.
+///
+/// The merged [`ProtocolMcResults`] is bit-identical to a serial
+/// [`run_protocol_trials`] run on the counter-valued fields and the
+/// fingerprint, for *any* shard count — the property the sharded
+/// Monte-Carlo test suite pins down. This driver executes the shards
+/// sequentially; `emerge-bench`'s `mc::run_protocol_trials_parallel`
+/// spreads the same ranges over OS threads.
+///
+/// # Errors
+///
+/// Propagates the first shard failure, e.g.
+/// [`EmergeError::InsufficientNodes`] when the structure does not fit the
+/// factory's worlds.
+pub fn run_protocol_trials_sharded<S, F>(
+    spec: &ProtocolTrialSpec,
+    trials: usize,
+    seed: u64,
+    shards: usize,
+    mut substrate_factory: F,
+) -> Result<ProtocolMcResults, EmergeError>
+where
+    S: HolderSubstrate,
+    F: FnMut(u64) -> S,
+{
+    let mut results = ProtocolMcResults::default();
+    for (first_trial, count) in shard_ranges(trials, shards) {
+        let shard =
+            run_protocol_trial_range(spec, first_trial, count, seed, &mut substrate_factory)?;
+        results.merge(&shard);
     }
     Ok(results)
 }
@@ -334,15 +452,29 @@ where
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 
-/// Folds one trial's holder slots and report into the running FNV-1a
-/// digest.
-fn fold_trial(mut h: u64, slots: &[usize], report: &RunReport) -> u64 {
+/// SplitMix64 finalizer, applied to each trial's FNV state so that the
+/// wrapping-sum combination in [`ProtocolMcResults::fingerprint`] has
+/// full 64-bit diffusion (raw FNV outputs are biased in the low bits).
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Digest of one trial, keyed by its global trial index: FNV-1a over the
+/// index, the plan's holder slots and the run report, then finalized with
+/// [`mix64`]. Keying by the trial index makes the digest sensitive to
+/// *which* trial produced an outcome even though the combination is
+/// commutative.
+fn trial_digest(trial_idx: u64, slots: &[usize], report: &RunReport) -> u64 {
+    let mut h = FNV_OFFSET;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
             h ^= b as u64;
             h = h.wrapping_mul(FNV_PRIME);
         }
     };
+    eat(&trial_idx.to_le_bytes());
     for &slot in slots {
         eat(&(slot as u64).to_le_bytes());
     }
@@ -366,7 +498,7 @@ fn fold_trial(mut h: u64, slots: &[usize], report: &RunReport) -> u64 {
         eat(reason.as_bytes());
     }
     eat(&report.messages_sent.to_le_bytes());
-    h
+    mix64(h)
 }
 
 /// Samples holder timelines: exponential tenant lifetimes (mean 1.0 in
@@ -489,6 +621,105 @@ mod tests {
         }
     }
 
+    /// Exact-field equality between two protocol result batches: the
+    /// fingerprint, every rate counter and the integer-valued summary
+    /// fields must match bit for bit; the floating-point moments agree up
+    /// to parallel-Welford rounding.
+    fn assert_results_identical(a: &ProtocolMcResults, b: &ProtocolMcResults) {
+        assert_eq!(a.fingerprint, b.fingerprint, "fingerprint");
+        assert_eq!(a.released, b.released, "released");
+        assert_eq!(a.clean, b.clean, "clean");
+        assert_eq!(a.reconstructed_early, b.reconstructed_early, "early");
+        assert_eq!(a.messages.count(), b.messages.count(), "message count");
+        assert_eq!(a.messages.min(), b.messages.min(), "message min");
+        assert_eq!(a.messages.max(), b.messages.max(), "message max");
+        assert!((a.messages.mean() - b.messages.mean()).abs() < 1e-9);
+        assert!((a.messages.variance() - b.messages.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shard_ranges_partition_contiguously() {
+        for (trials, shards) in [(10, 3), (7, 7), (5, 9), (1, 1), (0, 4), (1000, 16)] {
+            let ranges = shard_ranges(trials, shards);
+            assert!(ranges.len() <= shards.max(1));
+            let mut next = 0;
+            for &(start, count) in &ranges {
+                assert_eq!(start, next, "ranges must be contiguous");
+                next = start + count;
+            }
+            assert_eq!(next, trials, "ranges must cover every trial");
+            let sizes: Vec<usize> = ranges.iter().map(|&(_, c)| c).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "near-equal split: {sizes:?}");
+        }
+        assert_eq!(shard_ranges(5, 0), vec![(0, 5)], "0 shards clamps to 1");
+        assert_eq!(shard_ranges(3, 8).len(), 3, "shards clamp to trial count");
+    }
+
+    #[test]
+    fn sharded_protocol_trials_match_serial() {
+        for params in [
+            SchemeParams::Central,
+            SchemeParams::Joint { k: 2, l: 3 },
+            SchemeParams::Disjoint { k: 2, l: 3 },
+            SchemeParams::Share {
+                k: 2,
+                l: 3,
+                n: 5,
+                m: vec![3, 3],
+            },
+        ] {
+            let spec = protocol_spec(params, AttackMode::ReleaseAhead);
+            let factory = |s| AnalyticSubstrate::build(world_config(120, 0.3), s);
+            let serial = run_protocol_trials(&spec, 14, 21, factory).unwrap();
+            for shards in [1usize, 2, 7] {
+                let sharded = run_protocol_trials_sharded(&spec, 14, 21, shards, factory).unwrap();
+                assert_results_identical(&serial, &sharded);
+            }
+        }
+    }
+
+    #[test]
+    fn trial_range_reproduces_serial_suffix() {
+        let spec = protocol_spec(SchemeParams::Joint { k: 2, l: 2 }, AttackMode::Drop);
+        let factory = |s| AnalyticSubstrate::build(world_config(100, 0.3), s);
+        let full = run_protocol_trials(&spec, 10, 3, factory).unwrap();
+        let head = run_protocol_trial_range(&spec, 0, 4, 3, factory).unwrap();
+        let tail = run_protocol_trial_range(&spec, 4, 6, 3, factory).unwrap();
+        let mut merged = head.clone();
+        merged.merge(&tail);
+        assert_results_identical(&full, &merged);
+        // Merge order must not matter (commutative combination).
+        let mut swapped = tail;
+        swapped.merge(&head);
+        assert_eq!(swapped.fingerprint, full.fingerprint);
+    }
+
+    #[test]
+    fn fingerprint_is_keyed_by_trial_index() {
+        // The same worlds run as trials [0, 2) vs [2, 4) must digest
+        // differently: the index key makes position matter even though the
+        // combination is commutative.
+        let spec = protocol_spec(SchemeParams::Central, AttackMode::Passive);
+        let factory = |s| AnalyticSubstrate::build(world_config(80, 0.0), s);
+        let a = run_protocol_trial_range(&spec, 0, 2, 9, factory).unwrap();
+        let b = run_protocol_trial_range(&spec, 2, 2, 9, factory).unwrap();
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn empty_batch_is_the_merge_identity() {
+        let spec = protocol_spec(SchemeParams::Central, AttackMode::Passive);
+        let factory = |s| AnalyticSubstrate::build(world_config(80, 0.1), s);
+        let empty = run_protocol_trials(&spec, 0, 1, factory).unwrap();
+        assert_eq!(empty.fingerprint, 0);
+        assert_eq!(empty.released.trials(), 0);
+        let run = run_protocol_trials(&spec, 6, 1, factory).unwrap();
+        let mut merged = empty;
+        merged.merge(&run);
+        assert_results_identical(&run, &merged);
+    }
+
     #[test]
     fn protocol_trials_reject_oversized_structures() {
         let spec = protocol_spec(SchemeParams::Joint { k: 20, l: 20 }, AttackMode::Passive);
@@ -512,7 +743,7 @@ mod tests {
     #[test]
     fn central_matches_one_minus_p() {
         let s = spec(SchemeParams::Central, 10_000, 0.3, None);
-        let r = run_trials(&s, 4000, 1);
+        let r = run_trials(&s, 4000, 1).unwrap();
         let rr = r.release_resilience.value();
         assert!((rr - 0.7).abs() < 0.02, "measured {rr}, analytic 0.7");
         assert_eq!(
@@ -526,7 +757,7 @@ mod tests {
     fn disjoint_matches_equations_1_and_2() {
         let (k, l, p) = (3usize, 4usize, 0.2f64);
         let s = spec(SchemeParams::Disjoint { k, l }, 10_000, p, None);
-        let r = run_trials(&s, 6000, 2);
+        let r = run_trials(&s, 6000, 2).unwrap();
         let analytic = analysis::disjoint(p, k, l);
         assert!(
             (r.release_resilience.value() - analytic.release).abs() < 0.02,
@@ -546,7 +777,7 @@ mod tests {
     fn joint_matches_equations_1_and_3() {
         let (k, l, p) = (3usize, 4usize, 0.25f64);
         let s = spec(SchemeParams::Joint { k, l }, 10_000, p, None);
-        let r = run_trials(&s, 6000, 3);
+        let r = run_trials(&s, 6000, 3).unwrap();
         let analytic = analysis::joint(p, k, l);
         assert!(
             (r.release_resilience.value() - analytic.release).abs() < 0.02,
@@ -570,7 +801,7 @@ mod tests {
         // malicious spread over 20 cells, outcomes are hypergeometric, not
         // Bernoulli — the test just checks we run and stay in bounds.
         let s = spec(SchemeParams::Joint { k: 4, l: 5 }, 20, 0.25, None);
-        let r = run_trials(&s, 2000, 4);
+        let r = run_trials(&s, 2000, 4).unwrap();
         let rr = r.release_resilience.value();
         assert!((0.0..=1.0).contains(&rr));
         // Bernoulli analytic would be eq(1) with p=0.25; hypergeometric
@@ -582,14 +813,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let s = spec(SchemeParams::Joint { k: 2, l: 3 }, 1000, 0.3, Some(2.0));
-        let a = run_trials(&s, 500, 42);
-        let b = run_trials(&s, 500, 42);
+        let a = run_trials(&s, 500, 42).unwrap();
+        let b = run_trials(&s, 500, 42).unwrap();
         assert_eq!(
             a.release_resilience.successes(),
             b.release_resilience.successes()
         );
         assert_eq!(a.drop_resilience.successes(), b.drop_resilience.successes());
-        let c = run_trials(&s, 500, 43);
+        let c = run_trials(&s, 500, 43).unwrap();
         // Overwhelmingly likely to differ.
         assert_ne!(
             (
@@ -607,8 +838,8 @@ mod tests {
     fn churn_degrades_keyed_schemes() {
         let params = SchemeParams::Joint { k: 4, l: 8 };
         let p = 0.2;
-        let no_churn = run_trials(&spec(params.clone(), 10_000, p, None), 2000, 5);
-        let churned = run_trials(&spec(params, 10_000, p, Some(3.0)), 2000, 5);
+        let no_churn = run_trials(&spec(params.clone(), 10_000, p, None), 2000, 5).unwrap();
+        let churned = run_trials(&spec(params, 10_000, p, Some(3.0)), 2000, 5).unwrap();
         assert!(
             churned.release_resilience.value() < no_churn.release_resilience.value() - 0.05,
             "churn must hurt release resilience: {} vs {}",
@@ -629,7 +860,7 @@ mod tests {
             n: a.n,
             m: a.m.clone(),
         };
-        let r = run_trials(&spec(params, 10_000, p, Some(3.0)), 300, 6);
+        let r = run_trials(&spec(params, 10_000, p, Some(3.0)), 300, 6).unwrap();
         assert!(
             r.release_resilience.value() > 0.95,
             "share Rr under churn: {}",
@@ -647,22 +878,47 @@ mod tests {
         // The strict metric counts strictly more adversary wins for keyed
         // schemes, so its resilience is <= the paper metric's.
         let s = spec(SchemeParams::Joint { k: 3, l: 5 }, 5000, 0.3, None);
-        let r = run_trials(&s, 2000, 7);
+        let r = run_trials(&s, 2000, 7).unwrap();
         assert!(r.strict_release_resilience.value() <= r.release_resilience.value() + 1e-9);
     }
 
     #[test]
     fn combined_is_at_most_min() {
         let s = spec(SchemeParams::Disjoint { k: 2, l: 4 }, 5000, 0.35, None);
-        let r = run_trials(&s, 2000, 8);
+        let r = run_trials(&s, 2000, 8).unwrap();
         assert!(r.combined_resilience.value() <= r.r_min() + 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "structure needs")]
-    fn oversized_structure_panics() {
+    fn oversized_structure_is_an_error() {
         let s = spec(SchemeParams::Joint { k: 50, l: 50 }, 100, 0.1, None);
-        let _ = run_trials(&s, 1, 9);
+        let err = run_trials(&s, 1, 9).unwrap_err();
+        assert!(matches!(
+            err,
+            EmergeError::InsufficientNodes {
+                required: 2500,
+                available: 100
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_errors_not_panics() {
+        let mut bad_p = spec(SchemeParams::Central, 100, 1.5, None);
+        assert!(matches!(
+            run_trials(&bad_p, 1, 9),
+            Err(EmergeError::InvalidParameters(_))
+        ));
+        bad_p.p = f64::NAN;
+        assert!(matches!(
+            run_trials(&bad_p, 1, 9),
+            Err(EmergeError::InvalidParameters(_))
+        ));
+        let bad_alpha = spec(SchemeParams::Central, 100, 0.1, Some(-1.0));
+        assert!(matches!(
+            run_trials(&bad_alpha, 1, 9),
+            Err(EmergeError::InvalidParameters(_))
+        ));
     }
 
     #[test]
@@ -671,8 +927,8 @@ mod tests {
         let base = spec(params.clone(), 5000, 0.1, None);
         let mut flaky = base.clone();
         flaky.unavailability = 0.2;
-        let r0 = run_trials(&base, 3000, 10);
-        let r1 = run_trials(&flaky, 3000, 10);
+        let r0 = run_trials(&base, 3000, 10).unwrap();
+        let r1 = run_trials(&flaky, 3000, 10).unwrap();
         assert!(
             r1.drop_resilience.value() < r0.drop_resilience.value() - 0.05,
             "20% offline probability must hurt disjoint delivery: {} vs {}",
@@ -692,8 +948,14 @@ mod tests {
         joint.unavailability = u;
         let mut disjoint = spec(SchemeParams::Disjoint { k, l }, 5000, p, None);
         disjoint.unavailability = u;
-        let rj = run_trials(&joint, 3000, 11).drop_resilience.value();
-        let rd = run_trials(&disjoint, 3000, 11).drop_resilience.value();
+        let rj = run_trials(&joint, 3000, 11)
+            .unwrap()
+            .drop_resilience
+            .value();
+        let rd = run_trials(&disjoint, 3000, 11)
+            .unwrap()
+            .drop_resilience
+            .value();
         assert!(
             rj > rd + 0.1,
             "column-complete forwarding must mask offline holders: joint={rj} disjoint={rd}"
@@ -711,7 +973,7 @@ mod tests {
         };
         let mut s = spec(params, 5000, 0.1, None);
         s.unavailability = 0.15;
-        let r = run_trials(&s, 500, 12);
+        let r = run_trials(&s, 500, 12).unwrap();
         assert!(
             r.drop_resilience.value() > 0.95,
             "thresholds sized with slack must absorb 15% offline: {}",
@@ -720,10 +982,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unavailability")]
-    fn unavailability_out_of_range_panics() {
+    fn unavailability_out_of_range_is_an_error() {
         let mut s = spec(SchemeParams::Central, 100, 0.1, None);
         s.unavailability = 1.0;
-        let _ = run_trials(&s, 1, 13);
+        assert!(matches!(
+            run_trials(&s, 1, 13),
+            Err(EmergeError::InvalidParameters(_))
+        ));
     }
 }

@@ -122,12 +122,22 @@ pub fn execute_keyed<S: HolderSubstrate + ?Sized>(
 
     if config.attack == AttackMode::ReleaseAhead {
         // Pre-assigned keys leak from any malicious tenant during the
-        // storage window [ts, arrival(col)].
+        // half-open storage window [ts, arrival(col)), or from the tenant
+        // occupying the slot at the arrival instant itself — that tenant
+        // is the peeler, so it necessarily holds the column key.
         for (col, key_time) in adv_key_time.iter_mut().enumerate() {
             let arrival = ts + th * col as u64;
             for row in 0..rows {
                 let slot = plan.slot(row, col);
-                if let Some(t) = substrate.first_malicious_exposure(slot, ts, arrival) {
+                let leak = substrate
+                    .first_malicious_exposure(slot, ts, arrival)
+                    .or_else(|| {
+                        substrate
+                            .generation_at(slot, arrival)
+                            .malicious
+                            .then_some(arrival)
+                    });
+                if let Some(t) = leak {
                     *key_time = Some(match *key_time {
                         Some(prev) if prev <= t => prev,
                         _ => t,

@@ -62,19 +62,19 @@ pub trait HolderSubstrate {
     /// The generation occupying `slot` at time `t`.
     fn generation_at(&self, slot: usize, t: SimTime) -> &NodeInfo;
 
-    /// Whether any generation of `slot` overlapping `[from, to]` is
+    /// Whether any generation of `slot` overlapping the half-open window `[from, to)` is
     /// malicious — the churn re-exposure predicate.
     fn any_malicious_exposure(&self, slot: usize, from: SimTime, to: SimTime) -> bool {
         population::any_malicious_exposure(self.generations(slot), from, to)
     }
 
-    /// The earliest instant in `[from, to]` at which a malicious tenant
+    /// The earliest instant in the half-open window `[from, to)` at which a malicious tenant
     /// occupies `slot`, if any.
     fn first_malicious_exposure(&self, slot: usize, from: SimTime, to: SimTime) -> Option<SimTime> {
         population::first_malicious_exposure(self.generations(slot), from, to)
     }
 
-    /// Number of distinct generations whose tenancy overlaps `[from, to]`
+    /// Number of distinct generations whose tenancy overlaps the half-open window `[from, to)`
     /// (the churn analysis' re-exposure count).
     fn exposures_during(&self, slot: usize, from: SimTime, to: SimTime) -> usize {
         population::exposures_during(self.generations(slot), from, to)

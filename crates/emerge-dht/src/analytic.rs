@@ -124,12 +124,12 @@ impl AnalyticSubstrate {
         population::tenant_at(self.generations(slot), t)
     }
 
-    /// Number of generations whose tenancy overlaps `[from, to]`.
+    /// Number of generations whose tenancy overlaps the half-open window `[from, to)`.
     pub fn exposures_during(&self, slot: usize, from: SimTime, to: SimTime) -> usize {
         population::exposures_during(self.generations(slot), from, to)
     }
 
-    /// Whether any generation of `slot` overlapping `[from, to]` is
+    /// Whether any generation of `slot` overlapping the half-open window `[from, to)` is
     /// malicious.
     pub fn any_malicious_exposure(&self, slot: usize, from: SimTime, to: SimTime) -> bool {
         population::any_malicious_exposure(self.generations(slot), from, to)

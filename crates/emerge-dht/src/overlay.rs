@@ -191,14 +191,15 @@ impl Overlay {
         self.slots[slot].generations[0].alive_at(t)
     }
 
-    /// Number of distinct node generations whose tenancy overlaps
-    /// `[from, to]` — the key **re-exposure count** used by the churn
-    /// analysis: each overlapping generation saw whatever the slot stored.
+    /// Number of distinct node generations whose tenancy overlaps the
+    /// half-open window `[from, to)` — the key **re-exposure count** used
+    /// by the churn analysis: each overlapping generation saw whatever
+    /// the slot stored.
     pub fn exposures_during(&self, slot: usize, from: SimTime, to: SimTime) -> usize {
         population::exposures_during(&self.slots[slot].generations, from, to)
     }
 
-    /// Whether any generation of `slot` overlapping `[from, to]` is
+    /// Whether any generation of `slot` overlapping the half-open window `[from, to)` is
     /// malicious.
     pub fn any_malicious_exposure(&self, slot: usize, from: SimTime, to: SimTime) -> bool {
         population::any_malicious_exposure(&self.slots[slot].generations, from, to)
@@ -621,7 +622,7 @@ mod tests {
             ..OverlayConfig::default()
         };
         let overlay = Overlay::build(config, 5);
-        // Over [0, 1000] with mean lifetime 100 we expect ~11 generations.
+        // Over [0, 1000) with mean lifetime 100 we expect ~11 generations.
         let mut total = 0usize;
         for slot in 0..200 {
             let e = overlay.exposures_during(slot, SimTime::ZERO, SimTime::from_ticks(1000));

@@ -18,10 +18,24 @@
 //! Per-slot churn streams are what make churn timelines *independently
 //! addressable*: a substrate can sample only the slots a protocol run
 //! actually touches (the analytic substrate's lazy mode, ~30 of 10 000
-//! per Monte-Carlo trial), and future sharded Monte-Carlo workers can
-//! sample disjoint slot ranges without replaying a global stream.
-//! Changing any of this reseeds every world and breaks reproducibility
-//! tests.
+//! per Monte-Carlo trial), and sharded Monte-Carlo workers (see
+//! `emerge_core::montecarlo::run_protocol_trial_range`) sample disjoint
+//! trial or slot ranges without replaying a global stream. Changing any
+//! of this reseeds every world and breaks reproducibility tests.
+//!
+//! ## Interval convention
+//!
+//! Every time interval in this module is **half-open**: a generation is
+//! the tenant over `[spawn, death)`, and the exposure helpers
+//! ([`exposures_during`], [`any_malicious_exposure`],
+//! [`first_malicious_exposure`]) take a half-open query window
+//! `[from, to)`. A generation overlaps the window iff
+//! `spawn < to && from < death`, so a generation dying exactly at `from`
+//! and one spawning exactly at `to` are both excluded — at those instants
+//! the slot belongs to the neighbouring generation, and a window's `to`
+//! boundary belongs to the *next* window. This keeps
+//! `exposures_during(gens, a, b) + exposures_during(gens, b, c)` double-
+//! counting only the single generation (if any) that straddles `b`.
 
 use crate::id::NodeId;
 use emerge_sim::churn::LifetimeModel;
@@ -190,37 +204,61 @@ impl Genesis {
     }
 }
 
-/// The generation occupying the slot at time `t`.
-pub fn tenant_at(generations: &[NodeInfo], t: SimTime) -> &NodeInfo {
-    for g in generations {
-        if g.alive_at(t) || g.death == SimTime::MAX {
-            return g;
-        }
-    }
-    generations
-        .last()
-        .expect("slot always has at least one generation")
+/// Whether a generation's tenancy `[spawn, death)` overlaps the half-open
+/// query window `[from, to)` — the single boundary convention every
+/// exposure helper in this module follows (see the module docs).
+fn overlaps_window(g: &NodeInfo, from: SimTime, to: SimTime) -> bool {
+    g.spawn < to && from < g.death
 }
 
-/// Number of distinct generations whose tenancy overlaps `[from, to]` —
-/// the key **re-exposure count** used by the churn analysis.
+/// The generation occupying the slot at time `t`.
+///
+/// Tenancies are half-open (`[spawn, death)`), so `t` belongs to exactly
+/// one generation of a contiguous timeline. The immortal final generation
+/// (`death == SimTime::MAX`) is additionally the tenant at
+/// `t == SimTime::MAX`, which no half-open interval can contain.
+///
+/// # Panics
+///
+/// Panics if no generation's tenancy contains `t` — e.g. a hand-built,
+/// non-contiguous timeline queried before its final generation's spawn
+/// (historically this returned the immortal final generation, silently
+/// reporting a tenant from the future).
+pub fn tenant_at(generations: &[NodeInfo], t: SimTime) -> &NodeInfo {
+    if let Some(g) = generations.iter().find(|g| g.alive_at(t)) {
+        return g;
+    }
+    match generations.last() {
+        Some(last) if last.death == SimTime::MAX && last.spawn <= t => last,
+        _ => panic!("no generation occupies the slot at t = {t:?}"),
+    }
+}
+
+/// Number of distinct generations whose tenancy overlaps the half-open
+/// window `[from, to)` — the key **re-exposure count** used by the churn
+/// analysis. An empty window (`from == to`) exposes nothing.
+///
+/// # Panics
+///
+/// Panics if `from > to`.
 pub fn exposures_during(generations: &[NodeInfo], from: SimTime, to: SimTime) -> usize {
     assert!(from <= to);
     generations
         .iter()
-        .filter(|g| g.spawn <= to && from < g.death)
+        .filter(|g| overlaps_window(g, from, to))
         .count()
 }
 
-/// Whether any generation overlapping `[from, to]` is malicious.
+/// Whether any generation overlapping the half-open window `[from, to)`
+/// is malicious.
 pub fn any_malicious_exposure(generations: &[NodeInfo], from: SimTime, to: SimTime) -> bool {
     generations
         .iter()
-        .any(|g| g.spawn <= to && from < g.death && g.malicious)
+        .any(|g| overlaps_window(g, from, to) && g.malicious)
 }
 
-/// The earliest instant in `[from, to]` at which a malicious tenant
-/// occupies the slot, if any.
+/// The earliest instant in the half-open window `[from, to)` at which a
+/// malicious tenant occupies the slot, if any.
 pub fn first_malicious_exposure(
     generations: &[NodeInfo],
     from: SimTime,
@@ -228,7 +266,7 @@ pub fn first_malicious_exposure(
 ) -> Option<SimTime> {
     generations
         .iter()
-        .filter(|g| g.malicious && g.spawn <= to && from < g.death)
+        .filter(|g| g.malicious && overlaps_window(g, from, to))
         .map(|g| g.spawn.max(from))
         .min()
 }
@@ -279,14 +317,14 @@ impl Population {
         tenant_at(&self.generations[slot], t)
     }
 
-    /// Number of distinct node generations whose tenancy overlaps
-    /// `[from, to]`.
+    /// Number of distinct node generations whose tenancy overlaps the
+    /// half-open window `[from, to)`.
     pub fn exposures_during(&self, slot: usize, from: SimTime, to: SimTime) -> usize {
         exposures_during(&self.generations[slot], from, to)
     }
 
-    /// Whether any generation of `slot` overlapping `[from, to]` is
-    /// malicious.
+    /// Whether any generation of `slot` overlapping the half-open window
+    /// `[from, to)` is malicious.
     pub fn any_malicious_exposure(&self, slot: usize, from: SimTime, to: SimTime) -> bool {
         any_malicious_exposure(&self.generations[slot], from, to)
     }
@@ -395,9 +433,10 @@ mod tests {
         );
     }
 
-    #[test]
-    fn tenant_helpers_agree_with_timeline() {
-        let gens = vec![
+    /// An honest generation over `[0, 10)` followed by an immortal
+    /// malicious one over `[10, ∞)`.
+    fn two_generations() -> Vec<NodeInfo> {
+        vec![
             NodeInfo {
                 id: NodeId::from_name(b"a"),
                 malicious: false,
@@ -410,22 +449,121 @@ mod tests {
                 spawn: SimTime::from_ticks(10),
                 death: SimTime::MAX,
             },
-        ];
+        ]
+    }
+
+    #[test]
+    fn tenant_helpers_agree_with_timeline() {
+        let gens = two_generations();
         assert!(!tenant_at(&gens, SimTime::from_ticks(9)).malicious);
         assert!(tenant_at(&gens, SimTime::from_ticks(10)).malicious);
+        // The window [0, 10) ends exactly where generation b spawns: only
+        // generation a is exposed.
         assert_eq!(
             exposures_during(&gens, SimTime::ZERO, SimTime::from_ticks(10)),
+            1
+        );
+        assert_eq!(
+            exposures_during(&gens, SimTime::ZERO, SimTime::from_ticks(11)),
             2
         );
         assert!(!any_malicious_exposure(
             &gens,
             SimTime::ZERO,
-            SimTime::from_ticks(9)
+            SimTime::from_ticks(10)
         ));
         assert!(any_malicious_exposure(
             &gens,
             SimTime::ZERO,
-            SimTime::from_ticks(10)
+            SimTime::from_ticks(11)
         ));
+    }
+
+    #[test]
+    fn exposure_boundaries_are_half_open_on_both_ends() {
+        let gens = two_generations();
+        let t10 = SimTime::from_ticks(10);
+        // A generation dying exactly at `from` is excluded: at t = 10 the
+        // slot already belongs to generation b.
+        assert_eq!(exposures_during(&gens, t10, SimTime::from_ticks(20)), 1);
+        assert!(any_malicious_exposure(&gens, t10, SimTime::from_ticks(20)));
+        // A generation spawning exactly at `to` is excluded, symmetric to
+        // the `from` side.
+        assert_eq!(exposures_during(&gens, SimTime::from_ticks(5), t10), 1);
+        assert!(!any_malicious_exposure(&gens, SimTime::from_ticks(5), t10));
+        // Adjacent windows double-count only the straddling generation.
+        let split = exposures_during(&gens, SimTime::ZERO, t10)
+            + exposures_during(&gens, t10, SimTime::from_ticks(20));
+        assert_eq!(
+            split,
+            exposures_during(&gens, SimTime::ZERO, SimTime::from_ticks(20))
+        );
+        // An empty window exposes nothing, even mid-tenancy.
+        assert_eq!(exposures_during(&gens, t10, t10), 0);
+        assert!(!any_malicious_exposure(&gens, t10, t10));
+        assert_eq!(first_malicious_exposure(&gens, t10, t10), None);
+    }
+
+    #[test]
+    fn first_malicious_exposure_clamps_to_window_start() {
+        let gens = two_generations();
+        // Malicious tenancy starts at 10; a window starting later reports
+        // its own start, one starting earlier reports the spawn.
+        assert_eq!(
+            first_malicious_exposure(&gens, SimTime::from_ticks(15), SimTime::from_ticks(30)),
+            Some(SimTime::from_ticks(15))
+        );
+        assert_eq!(
+            first_malicious_exposure(&gens, SimTime::ZERO, SimTime::from_ticks(30)),
+            Some(SimTime::from_ticks(10))
+        );
+        // Window ending exactly at the malicious spawn sees nothing.
+        assert_eq!(
+            first_malicious_exposure(&gens, SimTime::ZERO, SimTime::from_ticks(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn tenant_at_covers_the_immortal_tail_and_time_max() {
+        let gens = two_generations();
+        assert_eq!(tenant_at(&gens, SimTime::MAX).id, gens[1].id);
+        assert_eq!(
+            tenant_at(&gens, SimTime::from_ticks(1_000_000)).id,
+            gens[1].id
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no generation occupies the slot")]
+    fn tenant_at_rejects_gaps_before_the_final_generation() {
+        // A non-contiguous, hand-built timeline: nobody occupies [0, 10).
+        let gens = vec![NodeInfo {
+            id: NodeId::from_name(b"late"),
+            malicious: false,
+            spawn: SimTime::from_ticks(10),
+            death: SimTime::MAX,
+        }];
+        let _ = tenant_at(&gens, SimTime::from_ticks(5));
+    }
+
+    #[test]
+    fn genesis_timelines_have_a_tenant_at_every_instant() {
+        let cfg = PopulationConfig {
+            mean_lifetime: Some(300),
+            horizon: 10_000,
+            ..config(30)
+        };
+        let genesis = Genesis::sample(&cfg, &SeedSource::new(21));
+        for slot in 0..30 {
+            let gens = genesis.slot_generations(slot);
+            for t in [0u64, 1, 299, 300, 9_999, 10_000, 50_000] {
+                let tenant = tenant_at(&gens, SimTime::from_ticks(t));
+                assert!(
+                    tenant.spawn <= SimTime::from_ticks(t),
+                    "tenant from the future at t={t}"
+                );
+            }
+        }
     }
 }

@@ -169,6 +169,14 @@ impl Rate {
         let p = self.value();
         1.96 * (p * (1.0 - p) / self.trials as f64).sqrt()
     }
+
+    /// Merges another estimator into this one. Counter addition is exact
+    /// and associative, so any merge tree over disjoint trial batches
+    /// yields the same estimator as recording every trial serially.
+    pub fn merge(&mut self, other: &Rate) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
 }
 
 impl fmt::Display for Rate {
@@ -325,6 +333,27 @@ mod tests {
         assert!(r.ci95_half_width() < 0.03);
         assert_eq!(r.trials(), 1000);
         assert_eq!(r.successes(), 750);
+    }
+
+    #[test]
+    fn rate_merge_equals_combined() {
+        let mut whole = Rate::new();
+        let mut left = Rate::new();
+        let mut right = Rate::new();
+        for i in 0..100 {
+            let outcome = i % 3 == 0;
+            whole.record(outcome);
+            if i < 42 {
+                left.record(outcome);
+            } else {
+                right.record(outcome);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        let mut empty = Rate::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
     }
 
     #[test]

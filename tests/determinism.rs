@@ -70,8 +70,8 @@ fn montecarlo_estimates_are_exact_replicas() {
         alpha: Some(2.0),
         unavailability: 0.1,
     };
-    let a = run_trials(&spec, 400, 31337);
-    let b = run_trials(&spec, 400, 31337);
+    let a = run_trials(&spec, 400, 31337).unwrap();
+    let b = run_trials(&spec, 400, 31337).unwrap();
     assert_eq!(
         a.release_resilience.successes(),
         b.release_resilience.successes()
@@ -101,7 +101,7 @@ fn different_seeds_give_different_worlds() {
 fn figure_cells_are_reproducible() {
     // The exact numbers committed in EXPERIMENTS.md depend on this.
     let spec = TrialSpec::new(SchemeParams::Joint { k: 4, l: 8 }, 10_000, 0.3);
-    let r1 = run_trials(&spec, 200, 0x6A ^ 0x03);
-    let r2 = run_trials(&spec, 200, 0x6A ^ 0x03);
+    let r1 = run_trials(&spec, 200, 0x6A ^ 0x03).unwrap();
+    let r2 = run_trials(&spec, 200, 0x6A ^ 0x03).unwrap();
     assert_eq!(r1.r_min(), r2.r_min());
 }

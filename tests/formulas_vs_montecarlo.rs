@@ -20,7 +20,7 @@ fn measure(params: SchemeParams, p: f64, alpha: Option<f64>, seed: u64) -> (f64,
         alpha,
         unavailability: 0.0,
     };
-    let r = run_trials(&spec, TRIALS, seed);
+    let r = run_trials(&spec, TRIALS, seed).unwrap();
     (r.release_resilience.value(), r.drop_resilience.value())
 }
 
@@ -184,7 +184,7 @@ fn strict_release_metric_is_stronger_for_keyed_schemes() {
         alpha: None,
         unavailability: 0.0,
     };
-    let r = run_trials(&spec, TRIALS, 800);
+    let r = run_trials(&spec, TRIALS, 800).unwrap();
     assert!(
         r.strict_release_resilience.value() < r.release_resilience.value(),
         "the suffix-chain adversary must win strictly more often: strict={} paper={}",

@@ -1,0 +1,186 @@
+//! The sharded Monte-Carlo engine's core guarantee: partitioning a trial
+//! batch into contiguous ranges — sequentially via
+//! `run_protocol_trials_sharded` or over OS threads via the
+//! `emerge-bench` driver — produces a `ProtocolMcResults` identical to
+//! the serial run, fingerprint included, for every scheme, substrate and
+//! shard count. Sharding and threading change wall-clock time only.
+//!
+//! This is what licenses recording multi-threaded numbers in
+//! `BENCH_montecarlo.json` against single-threaded baselines, and it is
+//! the invariant CI's `EMERGE_MC_THREADS` matrix guards.
+
+use emerge_bench::mc::{run_protocol_trials_parallel, run_protocol_trials_threaded};
+use emerge_bench::parallel::mc_threads;
+use proptest::prelude::*;
+use self_emerging_data::core::config::{SchemeKind, SchemeParams};
+use self_emerging_data::core::montecarlo::{
+    run_protocol_trials, run_protocol_trials_sharded, ProtocolMcResults, ProtocolTrialSpec,
+};
+use self_emerging_data::core::protocol::AttackMode;
+use self_emerging_data::core::substrate::{AnalyticSubstrate, Overlay, OverlayConfig};
+use self_emerging_data::sim::time::SimDuration;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+fn params_for(kind: SchemeKind) -> SchemeParams {
+    match kind {
+        SchemeKind::Central => SchemeParams::Central,
+        SchemeKind::Disjoint => SchemeParams::Disjoint { k: 2, l: 3 },
+        SchemeKind::Joint => SchemeParams::Joint { k: 2, l: 3 },
+        SchemeKind::Share => SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 5,
+            m: vec![3, 3],
+        },
+    }
+}
+
+fn spec_for(kind: SchemeKind, attack: AttackMode) -> ProtocolTrialSpec {
+    ProtocolTrialSpec {
+        params: params_for(kind),
+        emerging_period: SimDuration::from_ticks(6_000),
+        attack,
+    }
+}
+
+fn world(n: usize, p: f64) -> OverlayConfig {
+    OverlayConfig {
+        n_nodes: n,
+        malicious_fraction: p,
+        mean_lifetime: Some(10_000),
+        horizon: 100_000,
+        ..OverlayConfig::default()
+    }
+}
+
+/// Exact equality on the fingerprint and every counter-valued field; the
+/// floating-point moments of the message summary merge via parallel
+/// Welford and agree up to rounding.
+fn assert_identical(label: &str, serial: &ProtocolMcResults, sharded: &ProtocolMcResults) {
+    assert_eq!(
+        serial.fingerprint, sharded.fingerprint,
+        "{label}: fingerprint"
+    );
+    assert_eq!(serial.released, sharded.released, "{label}: released");
+    assert_eq!(serial.clean, sharded.clean, "{label}: clean");
+    assert_eq!(
+        serial.reconstructed_early, sharded.reconstructed_early,
+        "{label}: reconstructed_early"
+    );
+    assert_eq!(
+        serial.messages.count(),
+        sharded.messages.count(),
+        "{label}: message count"
+    );
+    assert_eq!(
+        serial.messages.min(),
+        sharded.messages.min(),
+        "{label}: min"
+    );
+    assert_eq!(
+        serial.messages.max(),
+        sharded.messages.max(),
+        "{label}: max"
+    );
+    assert!(
+        (serial.messages.mean() - sharded.messages.mean()).abs() < 1e-9,
+        "{label}: message mean"
+    );
+}
+
+#[test]
+fn sharded_matches_serial_for_all_schemes_on_both_substrates() {
+    for kind in SchemeKind::ALL {
+        let spec = spec_for(kind, AttackMode::ReleaseAhead);
+        let cfg = world(150, 0.3);
+
+        let serial_fast =
+            run_protocol_trials(&spec, 12, 9, |s| AnalyticSubstrate::build(cfg, s)).unwrap();
+        let serial_full = run_protocol_trials(&spec, 12, 9, |s| Overlay::build(cfg, s)).unwrap();
+        assert_eq!(
+            serial_fast.fingerprint, serial_full.fingerprint,
+            "{kind}: substrate parity of the serial baseline"
+        );
+
+        for shards in SHARD_COUNTS {
+            let fast = run_protocol_trials_sharded(&spec, 12, 9, shards, |s| {
+                AnalyticSubstrate::build(cfg, s)
+            })
+            .unwrap();
+            assert_identical(
+                &format!("{kind}/analytic/{shards} shards"),
+                &serial_fast,
+                &fast,
+            );
+
+            let full =
+                run_protocol_trials_sharded(&spec, 12, 9, shards, |s| Overlay::build(cfg, s))
+                    .unwrap();
+            assert_identical(
+                &format!("{kind}/overlay/{shards} shards"),
+                &serial_full,
+                &full,
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_driver_matches_serial_for_all_schemes() {
+    for kind in SchemeKind::ALL {
+        let spec = spec_for(kind, AttackMode::Drop);
+        let cfg = world(150, 0.25);
+        let serial =
+            run_protocol_trials(&spec, 10, 17, |s| AnalyticSubstrate::build(cfg, s)).unwrap();
+        for threads in SHARD_COUNTS {
+            let threaded = run_protocol_trials_threaded(&spec, 10, 17, threads, |s| {
+                AnalyticSubstrate::build(cfg, s)
+            })
+            .unwrap();
+            assert_identical(&format!("{kind}/{threads} threads"), &serial, &threaded);
+        }
+        // The env-driven entry point (EMERGE_MC_THREADS or available
+        // parallelism) must agree too, whatever the environment says.
+        let auto =
+            run_protocol_trials_parallel(&spec, 10, 17, |s| AnalyticSubstrate::build(cfg, s))
+                .unwrap();
+        assert_identical(&format!("{kind}/auto ({})", mc_threads()), &serial, &auto);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property form over seeds, trial counts, attacks and malicious
+    /// rates: sharded == serial for every scheme and shard count, on the
+    /// fast substrate.
+    #[test]
+    fn sharded_equals_serial_property(
+        seed in 0u64..10_000,
+        trials in 1usize..20,
+        attack_idx in 0usize..3,
+        p in 0.0f64..0.5,
+    ) {
+        let attack = [AttackMode::Passive, AttackMode::ReleaseAhead, AttackMode::Drop][attack_idx];
+        let cfg = world(120, p);
+        for kind in SchemeKind::ALL {
+            let spec = spec_for(kind, attack);
+            let serial = run_protocol_trials(&spec, trials, seed, |s| {
+                AnalyticSubstrate::build(cfg, s)
+            })
+            .unwrap();
+            for shards in SHARD_COUNTS {
+                let sharded = run_protocol_trials_sharded(&spec, trials, seed, shards, |s| {
+                    AnalyticSubstrate::build(cfg, s)
+                })
+                .unwrap();
+                prop_assert_eq!(serial.fingerprint, sharded.fingerprint,
+                    "{} with {} shards, {} trials", kind, shards, trials);
+                prop_assert_eq!(serial.released, sharded.released);
+                prop_assert_eq!(serial.clean, sharded.clean);
+                prop_assert_eq!(serial.reconstructed_early, sharded.reconstructed_early);
+            }
+        }
+    }
+}
