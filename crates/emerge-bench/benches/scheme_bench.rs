@@ -4,6 +4,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use emerge_bench::mc::run_protocol_trials_threaded;
 use emerge_bench::parallel::mc_threads;
+use emerge_contract::economy::HolderStrategy;
+use emerge_contract::mc::run_bonded_trials;
+use emerge_contract::release::BondedSpec;
+use emerge_contract::substrate::{ContractConfig, ContractSubstrate};
 use emerge_core::config::SchemeParams;
 use emerge_core::montecarlo::{run_trials, ProtocolTrialSpec, TrialSpec};
 use emerge_core::package::{build_keyed_packages, build_share_packages, KeySchedule};
@@ -183,12 +187,64 @@ fn bench_protocol_montecarlo_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_contract_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contract_substrate_20_trials");
+    group.sample_size(10);
+    let world = OverlayConfig {
+        n_nodes: 2_000,
+        malicious_fraction: 0.2,
+        mean_lifetime: Some(40_000),
+        horizon: 200_000,
+        ..OverlayConfig::default()
+    };
+
+    // The four-scheme wire protocol on the contract substrate: the cost
+    // of the chain layer relative to the bare analytic substrate is the
+    // delta against protocol_mc_sharded's joint cell.
+    let spec = ProtocolTrialSpec {
+        params: SchemeParams::Joint { k: 4, l: 8 },
+        emerging_period: SimDuration::from_ticks(8_000),
+        attack: AttackMode::ReleaseAhead,
+    };
+    group.bench_function("joint_4x8_wire", |b| {
+        b.iter(|| {
+            run_protocol_trials_threaded(black_box(&spec), 20, 42, 1, |s| {
+                ContractSubstrate::build(ContractConfig::over(world), s)
+            })
+            .unwrap()
+        });
+    });
+
+    // The contract-native bonded release: escrow, commit, reveal, slash
+    // and claim with real Shamir shares per trial.
+    let bonded = BondedSpec {
+        n: 24,
+        m: 16,
+        emerging_period: SimDuration::from_ticks(8_000),
+        reveal_window_blocks: 1,
+        strategy: HolderStrategy::Rational {
+            withhold_bribe: 100,
+            early_reveal_bribe: 100,
+        },
+    };
+    group.bench_function("bonded_24x16_rational", |b| {
+        b.iter(|| {
+            run_bonded_trials(black_box(&bonded), 20, 42, |s| {
+                ContractSubstrate::build(ContractConfig::over(world), s)
+            })
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_path_construction,
     bench_package_generation,
     bench_protocol_run,
     bench_montecarlo,
-    bench_protocol_montecarlo_sharded
+    bench_protocol_montecarlo_sharded,
+    bench_contract_substrate
 );
 criterion_main!(benches);

@@ -1,30 +1,51 @@
-//! Records the Monte-Carlo throughput baseline for both DHT substrates.
+//! Records the Monte-Carlo throughput baseline for every DHT substrate.
 //!
 //! Runs the wire-protocol Monte-Carlo (real path construction, packaging
 //! and hop-by-hop execution) at the paper's scale — 10 000-node worlds —
-//! on the routing-free `AnalyticSubstrate` and on the full `Overlay`, and
-//! writes trials/sec for each to `BENCH_montecarlo.json` (first CLI arg
-//! overrides the path). Later PRs diff against the committed numbers.
+//! on the routing-free `AnalyticSubstrate`, on the full `Overlay` and on
+//! the smart-contract `ContractSubstrate`, plus the contract-native
+//! bonded-release cell, and writes trials/sec for each to
+//! `BENCH_montecarlo.json` (first non-flag CLI arg overrides the path).
+//! Later PRs diff against the committed numbers.
 //!
 //! Trials run through the sharded engine
-//! (`emerge_bench::mc::run_protocol_trials_parallel`): contiguous trial
-//! ranges spread over `EMERGE_MC_THREADS` worker threads (default: the
-//! machine's available parallelism). Results are bit-identical to a
-//! serial run for any thread count; threads only change the wall clock.
+//! (`emerge_bench::mc::run_protocol_trials_threaded` and
+//! `run_bonded_trials_threaded`): contiguous trial ranges spread over
+//! `EMERGE_MC_THREADS` worker threads (default: the machine's available
+//! parallelism). Results are bit-identical to a serial run for any
+//! thread count; threads only change the wall clock.
 //!
 //! The overlay is measured over fewer trials (it is orders of magnitude
 //! slower at this population; throughput is what matters), after a
-//! fingerprint cross-check on a small shared cell proves both substrates
+//! fingerprint cross-check on a small shared cell proves all substrates
 //! still produce identical outcomes.
+//!
+//! ## Cell filters
+//!
+//! Single-cell dev loops don't need the full grid:
+//!
+//! ```sh
+//! montecarlo_baseline --scheme joint            # joint cells only
+//! montecarlo_baseline --substrate contract      # contract substrate only
+//! montecarlo_baseline --scheme share --substrate analytic out.json
+//! ```
+//!
+//! Filters are case-insensitive substring matches on the cell name and
+//! the substrate label. A filtered run skips the cross-substrate parity
+//! gate (it may not measure comparable pairs) and is meant for iteration,
+//! not for re-recording the committed baseline.
 //!
 //! Environment: `EMERGE_BASELINE_TRIALS` (default 1000),
 //! `EMERGE_BASELINE_OVERLAY_TRIALS` (default 20) and `EMERGE_MC_THREADS`.
 
-use emerge_bench::mc::run_protocol_trials_threaded;
+use emerge_bench::mc::{run_bonded_trials_threaded, run_protocol_trials_threaded};
 use emerge_bench::parallel::mc_threads;
 use emerge_bench::report::{render_montecarlo_report, validate_json, McMeasurement};
+use emerge_contract::economy::HolderStrategy;
+use emerge_contract::release::BondedSpec;
+use emerge_contract::substrate::{ContractConfig, ContractSubstrate};
 use emerge_core::config::SchemeParams;
-use emerge_core::montecarlo::{ProtocolMcResults, ProtocolTrialSpec};
+use emerge_core::montecarlo::ProtocolTrialSpec;
 use emerge_core::protocol::AttackMode;
 use emerge_dht::analytic::AnalyticSubstrate;
 use emerge_dht::overlay::{Overlay, OverlayConfig};
@@ -77,7 +98,87 @@ fn cells() -> Vec<(&'static str, ProtocolTrialSpec)> {
     ]
 }
 
-fn measure<F>(
+/// The contract-native cell: a bonded `(m, n)` release against rational
+/// holders offered a bribe that does *not* cover the deviation cost, so
+/// the economics (not hop deadlines) carry the release.
+fn bonded_cell() -> (&'static str, BondedSpec) {
+    (
+        "bonded_24x16_rational",
+        BondedSpec {
+            n: 24,
+            m: 16,
+            emerging_period: SimDuration::from_ticks(8_000),
+            reveal_window_blocks: 1,
+            strategy: HolderStrategy::Rational {
+                withhold_bribe: 100,
+                early_reveal_bribe: 100,
+            },
+        },
+    )
+}
+
+/// Parsed CLI: output path plus optional cell-name / substrate filters.
+struct Args {
+    out_path: String,
+    scheme: Option<String>,
+    substrate: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out_path: "BENCH_montecarlo.json".into(),
+        scheme: None,
+        substrate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => {
+                args.scheme = Some(
+                    it.next()
+                        .ok_or_else(|| "--scheme needs a value (e.g. --scheme joint)".to_string())?
+                        .to_lowercase(),
+                );
+            }
+            "--substrate" => {
+                args.substrate = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            "--substrate needs a value (analytic, overlay or contract)".to_string()
+                        })?
+                        .to_lowercase(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "unknown flag {flag}; supported: --scheme <substr>, --substrate <substr>"
+                ));
+            }
+            path => args.out_path = path.to_string(),
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    fn wants_cell(&self, cell: &str) -> bool {
+        self.scheme
+            .as_deref()
+            .is_none_or(|f| cell.to_lowercase().contains(f))
+    }
+
+    fn wants_substrate(&self, substrate: &str) -> bool {
+        self.substrate
+            .as_deref()
+            .is_none_or(|f| substrate.contains(f))
+    }
+
+    fn filtered(&self) -> bool {
+        self.scheme.is_some() || self.substrate.is_some()
+    }
+}
+
+fn measure<R, F>(
     cell: &'static str,
     substrate: &'static str,
     threads: usize,
@@ -85,7 +186,8 @@ fn measure<F>(
     run: F,
 ) -> McMeasurement
 where
-    F: FnOnce(usize, usize) -> ProtocolMcResults,
+    F: FnOnce(usize, usize) -> R,
+    R: CellRates,
 {
     eprintln!(
         "measuring {cell} on {substrate} ({trials} trials at N={POPULATION}, {threads} threads)..."
@@ -101,8 +203,8 @@ where
         threads,
         trials,
         seconds,
-        clean: results.clean.value(),
-        released: results.released.value(),
+        clean: results.clean_rate(),
+        released: results.released_rate(),
     };
     eprintln!(
         "  {:.2} trials/sec (clean {:.3}, released {:.3})",
@@ -113,64 +215,153 @@ where
     m
 }
 
+/// The two rates every cell kind reports, whatever engine produced them.
+trait CellRates {
+    fn clean_rate(&self) -> f64;
+    fn released_rate(&self) -> f64;
+}
+
+impl CellRates for emerge_core::montecarlo::ProtocolMcResults {
+    fn clean_rate(&self) -> f64 {
+        self.clean.value()
+    }
+    fn released_rate(&self) -> f64 {
+        self.released.value()
+    }
+}
+
+impl CellRates for emerge_contract::mc::BondedMcResults {
+    fn clean_rate(&self) -> f64 {
+        self.clean.value()
+    }
+    fn released_rate(&self) -> f64 {
+        self.released.value()
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_montecarlo.json".into());
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
     let analytic_trials = env_usize("EMERGE_BASELINE_TRIALS", 1_000);
     let overlay_trials = env_usize("EMERGE_BASELINE_OVERLAY_TRIALS", 20);
     let threads = mc_threads();
 
-    // Cross-check first: both substrates must agree trial for trial on a
+    // Cross-check first: all substrates must agree trial for trial on a
     // small shared cell — and the threaded runner must agree with itself
     // single-threaded — otherwise the throughput numbers compare
-    // different computations.
-    let check_spec = &cells()[0].1;
-    let check_cfg = world_config(500);
-    let full = run_protocol_trials_threaded(check_spec, 10, SEED, threads, |s| {
-        Overlay::build(check_cfg, s)
-    })
-    .expect("overlay check trials");
-    let fast = run_protocol_trials_threaded(check_spec, 10, SEED, 1, |s| {
-        AnalyticSubstrate::build(check_cfg, s)
-    })
-    .expect("analytic check trials");
-    assert_eq!(
-        full.fingerprint, fast.fingerprint,
-        "substrate/shard parity violated; refusing to record a baseline"
-    );
-    eprintln!(
-        "parity check passed (fingerprint {:#018x})",
-        full.fingerprint
-    );
+    // different computations. Filtered dev-loop runs skip the gate.
+    if !args.filtered() {
+        let check_spec = &cells()[0].1;
+        let check_cfg = world_config(500);
+        let full = run_protocol_trials_threaded(check_spec, 10, SEED, threads, |s| {
+            Overlay::build(check_cfg, s)
+        })
+        .expect("overlay check trials");
+        let fast = run_protocol_trials_threaded(check_spec, 10, SEED, 1, |s| {
+            AnalyticSubstrate::build(check_cfg, s)
+        })
+        .expect("analytic check trials");
+        let chained = run_protocol_trials_threaded(check_spec, 10, SEED, threads, |s| {
+            ContractSubstrate::build(ContractConfig::over(check_cfg), s)
+        })
+        .expect("contract check trials");
+        assert_eq!(
+            full.fingerprint, fast.fingerprint,
+            "overlay/analytic parity violated; refusing to record a baseline"
+        );
+        assert_eq!(
+            fast.fingerprint, chained.fingerprint,
+            "analytic/contract parity violated; refusing to record a baseline"
+        );
+        eprintln!(
+            "parity check passed across 3 substrates (fingerprint {:#018x})",
+            full.fingerprint
+        );
+    } else {
+        eprintln!("cell filters active: skipping the cross-substrate parity gate");
+    }
 
     let config = world_config(POPULATION);
     let mut measurements = Vec::new();
     for (cell, spec) in cells() {
+        if !args.wants_cell(cell) {
+            continue;
+        }
+        if args.wants_substrate("analytic") {
+            measurements.push(measure(
+                cell,
+                "analytic",
+                threads,
+                analytic_trials,
+                |trials, threads| {
+                    run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
+                        AnalyticSubstrate::build(config, ws)
+                    })
+                    .expect("analytic trials")
+                },
+            ));
+        }
+        if args.wants_substrate("overlay") {
+            measurements.push(measure(
+                cell,
+                "overlay",
+                threads,
+                overlay_trials,
+                |trials, threads| {
+                    run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
+                        Overlay::build(config, ws)
+                    })
+                    .expect("overlay trials")
+                },
+            ));
+        }
+        if args.wants_substrate("contract") {
+            measurements.push(measure(
+                cell,
+                "contract",
+                threads,
+                analytic_trials,
+                |trials, threads| {
+                    run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
+                        ContractSubstrate::build(ContractConfig::over(config), ws)
+                    })
+                    .expect("contract trials")
+                },
+            ));
+        }
+    }
+    let (bonded_name, bonded_spec) = bonded_cell();
+    if args.wants_cell(bonded_name) && args.wants_substrate("contract") {
         measurements.push(measure(
-            cell,
-            "analytic",
+            bonded_name,
+            "contract",
             threads,
             analytic_trials,
             |trials, threads| {
-                run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
-                    AnalyticSubstrate::build(config, ws)
+                run_bonded_trials_threaded(&bonded_spec, trials, SEED, threads, |ws| {
+                    ContractSubstrate::build(ContractConfig::over(config), ws)
                 })
-                .expect("analytic trials")
+                .expect("bonded trials")
             },
         ));
-        measurements.push(measure(
-            cell,
-            "overlay",
-            threads,
-            overlay_trials,
-            |trials, threads| {
-                run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
-                    Overlay::build(config, ws)
-                })
-                .expect("overlay trials")
-            },
-        ));
+    }
+
+    if measurements.is_empty() {
+        eprintln!(
+            "error: the filters matched no cells; available cells: {}, substrates: analytic, overlay, contract",
+            cells()
+                .iter()
+                .map(|(name, _)| *name)
+                .chain([bonded_name])
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
     }
 
     let json = render_montecarlo_report(POPULATION, SEED, &measurements);
@@ -179,21 +370,22 @@ fn main() {
         std::process::exit(1);
     }
 
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("error: cannot write {out_path}: {e}");
+    if let Err(e) = std::fs::write(&args.out_path, &json) {
+        eprintln!("error: cannot write {}: {e}", args.out_path);
         std::process::exit(1);
     }
-    eprintln!("wrote {out_path}");
+    eprintln!("wrote {}", args.out_path);
 
     for (cell, _) in cells() {
         let a = measurements
             .iter()
-            .find(|m| m.cell == cell && m.substrate == "analytic")
-            .expect("analytic measurement");
+            .find(|m| m.cell == cell && m.substrate == "analytic");
         let o = measurements
             .iter()
-            .find(|m| m.cell == cell && m.substrate == "overlay")
-            .expect("overlay measurement");
+            .find(|m| m.cell == cell && m.substrate == "overlay");
+        let (Some(a), Some(o)) = (a, o) else {
+            continue; // filtered out: nothing to compare
+        };
         let speedup = if o.trials_per_sec() > 0.0 {
             a.trials_per_sec() / o.trials_per_sec()
         } else {

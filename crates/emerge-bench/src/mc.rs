@@ -17,6 +17,10 @@
 //! parallelism (see [`mc_threads`]).
 
 use crate::parallel::{mc_threads, parallel_map_workers};
+use emerge_contract::error::ContractError;
+use emerge_contract::mc::{run_bonded_trial_range, BondedMcResults};
+use emerge_contract::release::BondedSpec;
+use emerge_contract::substrate::ContractSubstrate;
 use emerge_core::error::EmergeError;
 use emerge_core::montecarlo::{
     run_protocol_trial_range, shard_ranges, ProtocolMcResults, ProtocolTrialSpec,
@@ -80,6 +84,40 @@ where
     run_protocol_trials_threaded(spec, trials, seed, mc_threads(), substrate_factory)
 }
 
+/// Runs `trials` bonded-release trials (the contract-native emergence
+/// mode) across `threads` worker threads, one contiguous trial range per
+/// shard, merging the partials in shard order.
+///
+/// Bit-identical to the serial
+/// [`run_bonded_trials`](emerge_contract::mc::run_bonded_trials) on the
+/// counter-valued fields and the fingerprint, for any `threads` value —
+/// the same guarantee the wire-protocol driver gives, extended to the
+/// contract substrate's native mode.
+///
+/// # Errors
+///
+/// Propagates the first shard failure in shard order.
+pub fn run_bonded_trials_threaded<F>(
+    spec: &BondedSpec,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    substrate_factory: F,
+) -> Result<BondedMcResults, ContractError>
+where
+    F: Fn(u64) -> ContractSubstrate + Sync,
+{
+    let ranges = shard_ranges(trials, threads);
+    let partials = parallel_map_workers(&ranges, threads, |&(first_trial, count)| {
+        run_bonded_trial_range(spec, first_trial, count, seed, &substrate_factory)
+    });
+    let mut results = BondedMcResults::default();
+    for partial in partials {
+        results.merge(&partial?);
+    }
+    Ok(results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +176,36 @@ mod tests {
         let serial = run_protocol_trials(&spec, 6, 2, factory).unwrap();
         let auto = run_protocol_trials_parallel(&spec, 6, 2, factory).unwrap();
         assert_eq!(auto.fingerprint, serial.fingerprint);
+    }
+
+    #[test]
+    fn threaded_bonded_runs_match_serial_for_any_thread_count() {
+        use emerge_contract::mc::run_bonded_trials;
+        use emerge_contract::substrate::ContractConfig;
+        use emerge_sim::time::SimDuration;
+
+        let spec = BondedSpec::new(6, 4, SimDuration::from_ticks(1_000));
+        let contract_factory = |s| {
+            ContractSubstrate::build(
+                ContractConfig::over(OverlayConfig {
+                    n_nodes: 100,
+                    malicious_fraction: 0.4,
+                    ..OverlayConfig::default()
+                }),
+                s,
+            )
+        };
+        let serial = run_bonded_trials(&spec, 11, 3, contract_factory).unwrap();
+        for threads in [1usize, 2, 5, 11] {
+            let threaded =
+                run_bonded_trials_threaded(&spec, 11, 3, threads, contract_factory).unwrap();
+            assert_eq!(
+                threaded.fingerprint, serial.fingerprint,
+                "{threads} threads"
+            );
+            assert_eq!(threaded.released, serial.released);
+            assert_eq!(threaded.clean, serial.clean);
+            assert_eq!(threaded.slashed.count(), serial.slashed.count());
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! The baseline binary used to hand-format JSON with `format!("{:.3}")`,
 //! which happily prints `inf` — not a JSON token — whenever a measurement
 //! finishes below the clock resolution. This module centralizes the
-//! rendering: every number goes through [`json_number`], which maps
+//! rendering: every number goes through `json_number`, which maps
 //! non-finite values to `0`, and the unit tests feed the rendered text
 //! back through the bundled [`validate_json`] checker so an invalid
 //! report can never be written silently again.

@@ -1,0 +1,112 @@
+//! The block clock: a deterministic mapping between simulated time and
+//! blockchain height.
+//!
+//! The contract substrate does not simulate consensus; it only needs the
+//! property consensus provides to a timed-release contract: a shared,
+//! monotonic, coarse clock every participant agrees on. A [`BlockClock`]
+//! partitions the tick line into fixed-width blocks — block `h` spans the
+//! half-open tick window `[h·interval, (h+1)·interval)` — mirroring the
+//! half-open interval convention used throughout the population model.
+//!
+//! Contract deadlines (commit-by, reveal-from, reveal-by) are expressed in
+//! block heights, so every deadline check reduces to an integer comparison
+//! that is bit-identical across substrates, shards and threads.
+
+use emerge_sim::time::{SimDuration, SimTime};
+
+/// A blockchain height (block number), starting at 0 at `SimTime::ZERO`.
+pub type BlockHeight = u64;
+
+/// Fixed-interval mapping between [`SimTime`] ticks and block heights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockClock {
+    interval: SimDuration,
+}
+
+impl BlockClock {
+    /// Creates a clock producing one block every `interval` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(
+            interval.ticks() > 0,
+            "block interval must be at least one tick"
+        );
+        BlockClock { interval }
+    }
+
+    /// The block interval in ticks.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// The height of the block containing instant `t`.
+    pub fn height_at(&self, t: SimTime) -> BlockHeight {
+        t.ticks() / self.interval.ticks()
+    }
+
+    /// The first instant of block `height`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block start overflows the tick line.
+    pub fn time_of(&self, height: BlockHeight) -> SimTime {
+        SimTime::from_ticks(
+            height
+                .checked_mul(self.interval.ticks())
+                .expect("block height overflows the tick line"),
+        )
+    }
+
+    /// The height of the first block whose start is at or after `t` — the
+    /// block at which a deadline "no earlier than `t`" becomes eligible.
+    pub fn first_block_at_or_after(&self, t: SimTime) -> BlockHeight {
+        let h = self.height_at(t);
+        if self.time_of(h) == t {
+            h
+        } else {
+            h + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_partition_the_tick_line() {
+        let clock = BlockClock::new(SimDuration::from_ticks(100));
+        assert_eq!(clock.height_at(SimTime::ZERO), 0);
+        assert_eq!(clock.height_at(SimTime::from_ticks(99)), 0);
+        assert_eq!(clock.height_at(SimTime::from_ticks(100)), 1);
+        assert_eq!(clock.height_at(SimTime::from_ticks(250)), 2);
+        assert_eq!(clock.time_of(2), SimTime::from_ticks(200));
+    }
+
+    #[test]
+    fn first_block_at_or_after_rounds_up() {
+        let clock = BlockClock::new(SimDuration::from_ticks(100));
+        assert_eq!(clock.first_block_at_or_after(SimTime::ZERO), 0);
+        assert_eq!(clock.first_block_at_or_after(SimTime::from_ticks(100)), 1);
+        assert_eq!(clock.first_block_at_or_after(SimTime::from_ticks(101)), 2);
+        assert_eq!(clock.first_block_at_or_after(SimTime::from_ticks(199)), 2);
+        assert_eq!(clock.first_block_at_or_after(SimTime::from_ticks(200)), 2);
+    }
+
+    #[test]
+    fn height_and_time_round_trip_on_boundaries() {
+        let clock = BlockClock::new(SimDuration::from_ticks(7));
+        for h in [0u64, 1, 13, 999] {
+            assert_eq!(clock.height_at(clock.time_of(h)), h);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tick")]
+    fn zero_interval_rejected() {
+        let _ = BlockClock::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,180 @@
+//! Error types for the contract release layer.
+
+use crate::clock::BlockHeight;
+use emerge_crypto::CryptoError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the ledger, the release contract, or the bonded
+/// release protocol.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ContractError {
+    /// Protocol parameters were invalid (zero holders, threshold out of
+    /// range, reveal window before the commit block, ...).
+    InvalidParameters(String),
+    /// An account id does not exist on the ledger.
+    UnknownAccount {
+        /// The offending account id.
+        account: usize,
+    },
+    /// An account's free balance cannot cover the requested lock.
+    InsufficientFunds {
+        /// The account attempting the lock.
+        account: usize,
+        /// Tokens required.
+        required: u64,
+        /// Tokens available.
+        available: u64,
+    },
+    /// The escrow pot cannot cover a release or confiscation — only
+    /// reachable through a contract bug, never through user input.
+    EscrowUnderflow {
+        /// Tokens required.
+        required: u64,
+        /// Tokens in escrow.
+        available: u64,
+    },
+    /// A deposit id does not exist on the contract.
+    UnknownDeposit {
+        /// The offending deposit id.
+        deposit: usize,
+    },
+    /// A holder index is outside the deposit's holder set.
+    UnknownHolder {
+        /// The offending holder index.
+        holder: usize,
+    },
+    /// An operation arrived in the wrong state-machine phase (committing
+    /// twice, revealing after the deadline, claiming before finalization).
+    WrongPhase {
+        /// The rejected operation.
+        operation: &'static str,
+        /// Human-readable state description.
+        state: String,
+    },
+    /// A revealed payload does not match the registered commitment.
+    CommitmentMismatch {
+        /// The holder whose reveal was rejected.
+        holder: usize,
+    },
+    /// A holder tried to claim an already-claimed payout.
+    AlreadyClaimed {
+        /// The double-claiming holder index.
+        holder: usize,
+    },
+    /// A deadline height is inconsistent (reveal-by before reveal-from,
+    /// or a window already in the past at open time).
+    BadDeadline {
+        /// The offending height.
+        height: BlockHeight,
+        /// What the height was supposed to satisfy.
+        requirement: &'static str,
+    },
+    /// A cryptographic operation failed.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for ContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            ContractError::UnknownAccount { account } => {
+                write!(f, "unknown ledger account {account}")
+            }
+            ContractError::InsufficientFunds {
+                account,
+                required,
+                available,
+            } => write!(
+                f,
+                "account {account} cannot lock {required} tokens ({available} available)"
+            ),
+            ContractError::EscrowUnderflow {
+                required,
+                available,
+            } => write!(
+                f,
+                "escrow underflow: {required} requested, {available} locked"
+            ),
+            ContractError::UnknownDeposit { deposit } => write!(f, "unknown deposit {deposit}"),
+            ContractError::UnknownHolder { holder } => write!(f, "unknown holder index {holder}"),
+            ContractError::WrongPhase { operation, state } => {
+                write!(f, "{operation} rejected: {state}")
+            }
+            ContractError::CommitmentMismatch { holder } => {
+                write!(
+                    f,
+                    "holder {holder} revealed a payload that breaks its commitment"
+                )
+            }
+            ContractError::AlreadyClaimed { holder } => {
+                write!(f, "holder {holder} already claimed its payout")
+            }
+            ContractError::BadDeadline {
+                height,
+                requirement,
+            } => write!(f, "bad deadline at block {height}: {requirement}"),
+            ContractError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+        }
+    }
+}
+
+impl Error for ContractError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ContractError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for ContractError {
+    fn from(e: CryptoError) -> Self {
+        ContractError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let variants: Vec<ContractError> = vec![
+            ContractError::InvalidParameters("m = 0".into()),
+            ContractError::UnknownAccount { account: 9 },
+            ContractError::InsufficientFunds {
+                account: 1,
+                required: 100,
+                available: 7,
+            },
+            ContractError::EscrowUnderflow {
+                required: 10,
+                available: 0,
+            },
+            ContractError::UnknownDeposit { deposit: 3 },
+            ContractError::UnknownHolder { holder: 4 },
+            ContractError::WrongPhase {
+                operation: "reveal",
+                state: "deposit finalized".into(),
+            },
+            ContractError::CommitmentMismatch { holder: 2 },
+            ContractError::AlreadyClaimed { holder: 0 },
+            ContractError::BadDeadline {
+                height: 5,
+                requirement: "reveal-by must not precede reveal-from",
+            },
+            ContractError::Crypto(CryptoError::AuthenticationFailed),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ContractError>();
+    }
+}

@@ -1,0 +1,291 @@
+//! Monte-Carlo evaluation of the bonded release, with mergeable results.
+//!
+//! Mirrors the sharded wire-protocol engine in `emerge-core`: every trial
+//! draws from its own `SeedSource::stream_n("bonded-trial", idx)` stream
+//! keyed by the **global** trial index, results carry exact-merging
+//! counters plus a trial-index-keyed fingerprint combined by wrapping
+//! addition, and a contiguous range run is therefore bit-identical to the
+//! same trials inside a serial batch. Shard workers run disjoint ranges
+//! and [`BondedMcResults::merge`] the partials — the sharded Monte-Carlo
+//! guarantee extends to the contract-native emergence mode unchanged.
+
+use crate::error::ContractError;
+use crate::release::{run_bonded_release, BondedReport, BondedSpec};
+use crate::substrate::ContractSubstrate;
+use emerge_sim::metrics::{Rate, Summary};
+use emerge_sim::rng::SeedSource;
+use emerge_sim::shard::{shard_ranges, TrialDigest};
+use rand::RngCore;
+
+/// Aggregated outcomes of a batch of bonded-release trials.
+#[derive(Debug, Clone, Default)]
+pub struct BondedMcResults {
+    /// Fraction of trials where the secret was released at all.
+    pub released: Rate,
+    /// Fraction of trials with a clean emergence: released, never leaked
+    /// before `tr`.
+    pub clean: Rate,
+    /// Fraction of trials where `m` shares were public before `tr`
+    /// (the early-reveal-leak predicate).
+    pub leaked_early: Rate,
+    /// Fraction of trials starved below the reveal quorum
+    /// (the withheld-quorum predicate).
+    pub withheld_quorum: Rate,
+    /// Bond value slashed per trial.
+    pub slashed: Summary,
+    /// Trial-index-keyed digest of every trial's slots and report,
+    /// combined by wrapping addition (associative and commutative), so
+    /// merging shard digests over disjoint trial ranges reproduces the
+    /// serial digest bit for bit. An empty batch digests to 0.
+    pub fingerprint: u64,
+}
+
+impl BondedMcResults {
+    /// Merges the results of a disjoint batch of trials into this one.
+    /// Counter-valued fields and the fingerprint merge exactly; the
+    /// floating-point moments of `slashed` merge via parallel Welford.
+    pub fn merge(&mut self, other: &BondedMcResults) {
+        self.released.merge(&other.released);
+        self.clean.merge(&other.clean);
+        self.leaked_early.merge(&other.leaked_early);
+        self.withheld_quorum.merge(&other.withheld_quorum);
+        self.slashed.merge(&other.slashed);
+        self.fingerprint = self.fingerprint.wrapping_add(other.fingerprint);
+    }
+}
+
+/// Runs the contiguous trial range `[first_trial, first_trial + count)`
+/// of a bonded-release Monte-Carlo batch, building a fresh substrate
+/// world per trial via `substrate_factory` (which receives the trial's
+/// world seed).
+///
+/// # Errors
+///
+/// Propagates the first trial failure (invalid spec, contract errors).
+pub fn run_bonded_trial_range<F>(
+    spec: &BondedSpec,
+    first_trial: usize,
+    count: usize,
+    seed: u64,
+    mut substrate_factory: F,
+) -> Result<BondedMcResults, ContractError>
+where
+    F: FnMut(u64) -> ContractSubstrate,
+{
+    let seeds = SeedSource::new(seed);
+    let mut results = BondedMcResults::default();
+    for trial_idx in first_trial..first_trial + count {
+        let mut trial_rng = seeds.stream_n("bonded-trial", trial_idx as u64);
+        let world_seed = trial_rng.next_u64();
+        let mut substrate = substrate_factory(world_seed);
+        let mut secret = [0u8; 32];
+        trial_rng.fill_bytes(&mut secret);
+
+        let report = run_bonded_release(&mut substrate, spec, &secret, &mut trial_rng)?;
+        results.released.record(report.released.is_some());
+        results.clean.record(report.clean_emergence());
+        results.leaked_early.record(report.early_leak.is_some());
+        results.withheld_quorum.record(report.failure.is_some());
+        results.slashed.record(report.slashed as f64);
+        results.fingerprint = results
+            .fingerprint
+            .wrapping_add(trial_digest(trial_idx as u64, &report));
+    }
+    Ok(results)
+}
+
+/// Runs `trials` bonded-release trials, deterministically from `seed`.
+/// Equivalent to [`run_bonded_trial_range`] over `[0, trials)`.
+///
+/// # Errors
+///
+/// See [`run_bonded_trial_range`].
+pub fn run_bonded_trials<F>(
+    spec: &BondedSpec,
+    trials: usize,
+    seed: u64,
+    substrate_factory: F,
+) -> Result<BondedMcResults, ContractError>
+where
+    F: FnMut(u64) -> ContractSubstrate,
+{
+    run_bonded_trial_range(spec, 0, trials, seed, substrate_factory)
+}
+
+/// Runs `trials` bonded trials split over `shards` contiguous ranges and
+/// merges the partials — bit-identical to the serial run on every
+/// counter-valued field and the fingerprint, for any shard count.
+///
+/// # Errors
+///
+/// Propagates the first shard failure in shard order.
+pub fn run_bonded_trials_sharded<F>(
+    spec: &BondedSpec,
+    trials: usize,
+    seed: u64,
+    shards: usize,
+    mut substrate_factory: F,
+) -> Result<BondedMcResults, ContractError>
+where
+    F: FnMut(u64) -> ContractSubstrate,
+{
+    let mut results = BondedMcResults::default();
+    for (first_trial, count) in shard_ranges(trials, shards) {
+        let shard = run_bonded_trial_range(spec, first_trial, count, seed, &mut substrate_factory)?;
+        results.merge(&shard);
+    }
+    Ok(results)
+}
+
+/// Digest of one trial, keyed by its global trial index
+/// ([`emerge_sim::shard::TrialDigest`] — the same accumulator the
+/// wire-protocol engine uses, so the two engines cannot drift apart).
+fn trial_digest(trial_idx: u64, report: &BondedReport) -> u64 {
+    let mut d = TrialDigest::new();
+    d.eat(&trial_idx.to_le_bytes());
+    for &slot in &report.slots {
+        d.eat(&(slot as u64).to_le_bytes());
+    }
+    for field in [&report.released, &report.early_leak] {
+        match field {
+            Some((at, secret)) => {
+                d.eat(&[1]);
+                d.eat(&at.ticks().to_le_bytes());
+                d.eat(secret);
+            }
+            None => d.eat(&[0]),
+        }
+    }
+    if let Some(failure) = &report.failure {
+        d.eat(failure.to_string().as_bytes());
+    }
+    for count in [report.on_time, report.early, report.withheld, report.died] {
+        d.eat(&(count as u64).to_le_bytes());
+    }
+    d.eat(&report.slashed.to_le_bytes());
+    d.eat(&report.rewards_paid.to_le_bytes());
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::economy::HolderStrategy;
+    use crate::substrate::ContractConfig;
+    use emerge_dht::overlay::OverlayConfig;
+    use emerge_sim::time::SimDuration;
+
+    fn factory(p: f64) -> impl FnMut(u64) -> ContractSubstrate {
+        move |seed| {
+            ContractSubstrate::build(
+                ContractConfig::over(OverlayConfig {
+                    n_nodes: 80,
+                    malicious_fraction: p,
+                    ..OverlayConfig::default()
+                }),
+                seed,
+            )
+        }
+    }
+
+    fn spec(strategy: HolderStrategy) -> BondedSpec {
+        BondedSpec {
+            strategy,
+            ..BondedSpec::new(6, 4, SimDuration::from_ticks(1_000))
+        }
+    }
+
+    #[test]
+    fn clean_network_is_always_clean() {
+        let r = run_bonded_trials(&spec(HolderStrategy::Compliant), 20, 1, factory(0.0)).unwrap();
+        assert_eq!(r.released.value(), 1.0);
+        assert_eq!(r.clean.value(), 1.0);
+        assert_eq!(r.leaked_early.value(), 0.0);
+        assert_eq!(r.withheld_quorum.value(), 0.0);
+        assert_eq!(r.slashed.max(), 0.0);
+    }
+
+    #[test]
+    fn withholders_register_in_the_quorum_predicate() {
+        let r =
+            run_bonded_trials(&spec(HolderStrategy::AlwaysWithhold), 30, 2, factory(0.5)).unwrap();
+        assert!(
+            r.withheld_quorum.value() > 0.0,
+            "p=0.5 must starve sometimes"
+        );
+        assert!(r.slashed.mean() > 0.0);
+        // Withheld-quorum and released partition the trials.
+        assert_eq!(
+            r.withheld_quorum.successes() + r.released.successes(),
+            r.released.trials()
+        );
+    }
+
+    #[test]
+    fn early_revealers_register_in_the_leak_predicate() {
+        let r = run_bonded_trials(
+            &spec(HolderStrategy::AlwaysRevealEarly),
+            30,
+            3,
+            factory(0.6),
+        )
+        .unwrap();
+        assert!(r.leaked_early.value() > 0.0);
+        assert!(r.clean.value() < 1.0);
+    }
+
+    #[test]
+    fn sharded_matches_serial_bit_for_bit() {
+        let spec = spec(HolderStrategy::AlwaysWithhold);
+        let serial = run_bonded_trials(&spec, 17, 9, factory(0.4)).unwrap();
+        for shards in [1usize, 2, 5, 17, 40] {
+            let sharded = run_bonded_trials_sharded(&spec, 17, 9, shards, factory(0.4)).unwrap();
+            assert_eq!(sharded.fingerprint, serial.fingerprint, "{shards} shards");
+            assert_eq!(sharded.released, serial.released);
+            assert_eq!(sharded.clean, serial.clean);
+            assert_eq!(sharded.leaked_early, serial.leaked_early);
+            assert_eq!(sharded.withheld_quorum, serial.withheld_quorum);
+            assert_eq!(sharded.slashed.count(), serial.slashed.count());
+            assert_eq!(sharded.slashed.min(), serial.slashed.min());
+            assert_eq!(sharded.slashed.max(), serial.slashed.max());
+        }
+    }
+
+    #[test]
+    fn ranges_merge_commutatively_and_key_by_index() {
+        let spec = spec(HolderStrategy::Compliant);
+        let full = run_bonded_trials(&spec, 10, 5, factory(0.3)).unwrap();
+        let head = run_bonded_trial_range(&spec, 0, 4, 5, factory(0.3)).unwrap();
+        let tail = run_bonded_trial_range(&spec, 4, 6, 5, factory(0.3)).unwrap();
+        let mut merged = tail.clone();
+        merged.merge(&head);
+        assert_eq!(merged.fingerprint, full.fingerprint);
+        assert_eq!(merged.released, full.released);
+        // Same count of trials run as ranges [0,2) vs [2,4) digests
+        // differently: position matters despite commutative combination.
+        let a = run_bonded_trial_range(&spec, 0, 2, 5, factory(0.3)).unwrap();
+        let b = run_bonded_trial_range(&spec, 2, 2, 5, factory(0.3)).unwrap();
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn empty_batch_is_the_merge_identity() {
+        let spec = spec(HolderStrategy::Compliant);
+        let empty = run_bonded_trials(&spec, 0, 1, factory(0.0)).unwrap();
+        assert_eq!(empty.fingerprint, 0);
+        assert_eq!(empty.released.trials(), 0);
+        let run = run_bonded_trials(&spec, 5, 1, factory(0.0)).unwrap();
+        let mut merged = empty;
+        merged.merge(&run);
+        assert_eq!(merged.fingerprint, run.fingerprint);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let bad = BondedSpec::new(5, 0, SimDuration::from_ticks(100));
+        assert!(matches!(
+            run_bonded_trials(&bad, 1, 1, factory(0.0)),
+            Err(ContractError::InvalidParameters(_))
+        ));
+    }
+}

@@ -1,0 +1,383 @@
+//! The contract-backed DHT substrate.
+//!
+//! [`ContractSubstrate`] layers the simulated blockchain — block clock,
+//! token [`Ledger`], [`ReleaseContract`] — on top of the routing-free
+//! [`AnalyticSubstrate`]. The DHT semantics (population, churn
+//! timelines, XOR-closest holder resolution, storage oracle) are
+//! *delegated verbatim* to the inner substrate, so for a given
+//! `(OverlayConfig, seed)` pair every path plan, protocol run and
+//! Monte-Carlo fingerprint is bit-identical across the overlay, the
+//! analytic substrate and this one — the cross-substrate parity the
+//! workspace test suites pin down. What the contract layer adds:
+//!
+//! * a **block clock**: `advance_to` keeps a blockchain height in sync
+//!   with simulated time, and contract deadlines are block heights;
+//! * **storage deals**: every replicated `store` escrows a per-replica
+//!   bond from the responsible slots' accounts, refunded when the
+//!   value's TTL expires — storage capacity is collateralized, not free;
+//! * the **release contract** itself, on which the contract-native
+//!   bonded-release protocol ([`crate::release`]) escrows, reveals,
+//!   claims and slashes.
+//!
+//! Account layout: slot `s` owns ledger account `s`; the depositor
+//! (sender) owns account `n_nodes`.
+
+use crate::clock::{BlockClock, BlockHeight};
+use crate::contract::ReleaseContract;
+use crate::economy::EconomyParams;
+use crate::ledger::{AccountId, Ledger};
+use emerge_dht::analytic::AnalyticSubstrate;
+use emerge_dht::id::NodeId;
+use emerge_dht::overlay::OverlayConfig;
+use emerge_dht::population::NodeInfo;
+use emerge_sim::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Configuration of a contract substrate: the DHT world plus the chain
+/// economy layered on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContractConfig {
+    /// The DHT population / world parameters (shared with the other
+    /// substrates; equal configs + seeds mean bit-identical populations).
+    pub overlay: OverlayConfig,
+    /// Token economy parameters.
+    pub economy: EconomyParams,
+    /// Ticks per block of the simulated chain.
+    pub block_interval: SimDuration,
+}
+
+impl Default for ContractConfig {
+    fn default() -> Self {
+        ContractConfig {
+            overlay: OverlayConfig::default(),
+            economy: EconomyParams::default(),
+            block_interval: SimDuration::from_ticks(250),
+        }
+    }
+}
+
+impl ContractConfig {
+    /// A config with default economy and block interval over `overlay`.
+    pub fn over(overlay: OverlayConfig) -> Self {
+        ContractConfig {
+            overlay,
+            ..ContractConfig::default()
+        }
+    }
+}
+
+/// A collateralized replicated store: the bonds are refunded to the
+/// responsible slots when the value expires.
+#[derive(Debug, Clone)]
+struct StorageDeal {
+    expires: SimTime,
+    slots: Vec<usize>,
+    bond: u64,
+}
+
+/// The smart-contract release substrate: analytic DHT semantics plus a
+/// deterministic simulated blockchain.
+#[derive(Debug)]
+pub struct ContractSubstrate {
+    inner: AnalyticSubstrate,
+    clock: BlockClock,
+    economy: EconomyParams,
+    ledger: Ledger,
+    contract: ReleaseContract,
+    /// Open storage deals, settled lazily as time advances past expiry.
+    deals: Vec<StorageDeal>,
+}
+
+impl ContractSubstrate {
+    /// Builds the substrate deterministically from `seed`. The population
+    /// is identical to `AnalyticSubstrate::build(config.overlay, seed)`'s
+    /// (and therefore to the full overlay's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes == 0`, `malicious_fraction ∉ [0, 1]` or the
+    /// block interval is zero.
+    pub fn build(config: ContractConfig, seed: u64) -> Self {
+        let inner = AnalyticSubstrate::build(config.overlay, seed);
+        // Slot `s` owns account `s`; the depositor account comes last and
+        // is funded with the sender's (larger) genesis allocation.
+        let mut ledger = Ledger::new(inner.n_nodes(), config.economy.holder_funds);
+        ledger.push_account(config.economy.sender_funds);
+        ContractSubstrate {
+            inner,
+            clock: BlockClock::new(config.block_interval),
+            economy: config.economy,
+            ledger,
+            contract: ReleaseContract::new(),
+            deals: Vec::new(),
+        }
+    }
+
+    /// The block clock mapping simulated time onto chain height.
+    pub fn clock(&self) -> BlockClock {
+        self.clock
+    }
+
+    /// The chain height at the current simulated time.
+    pub fn block_height(&self) -> BlockHeight {
+        self.clock.height_at(self.inner.now())
+    }
+
+    /// The ledger account owned by population slot `slot`.
+    pub fn slot_account(&self, slot: usize) -> AccountId {
+        slot
+    }
+
+    /// The depositor (sender) account.
+    pub fn depositor_account(&self) -> AccountId {
+        self.inner.n_nodes()
+    }
+
+    /// Read access to the token ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The economy parameters this substrate was built with.
+    pub fn economy(&self) -> &EconomyParams {
+        &self.economy
+    }
+
+    /// Read access to the release contract.
+    pub fn contract(&self) -> &ReleaseContract {
+        &self.contract
+    }
+
+    /// Mutable access to the contract and ledger together (every contract
+    /// operation moves tokens).
+    pub fn contract_mut(&mut self) -> (&mut ReleaseContract, &mut Ledger) {
+        (&mut self.contract, &mut self.ledger)
+    }
+
+    /// The inner analytic substrate carrying the DHT semantics.
+    pub fn dht(&self) -> &AnalyticSubstrate {
+        &self.inner
+    }
+
+    /// Number of open (unsettled) storage deals.
+    pub fn open_storage_deals(&self) -> usize {
+        self.deals.len()
+    }
+
+    // ---- delegated DHT semantics -------------------------------------
+
+    /// Number of population slots.
+    pub fn n_nodes(&self) -> usize {
+        self.inner.n_nodes()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    /// Advances the clock (monotonic) and settles storage deals whose
+    /// values expired at or before the new time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.inner.advance_to(t);
+        let (ledger, deals) = (&mut self.ledger, &mut self.deals);
+        deals.retain(|deal| {
+            if deal.expires > t {
+                return true;
+            }
+            for &slot in &deal.slots {
+                ledger
+                    .release(slot, deal.bond)
+                    .expect("storage-deal escrow must cover its own refund");
+            }
+            false
+        });
+    }
+
+    /// The slot responsible for `target`.
+    pub fn resolve_holder(&self, target: &NodeId) -> usize {
+        self.inner.resolve_holder(target)
+    }
+
+    /// The `count` slots XOR-closest to `target`, closest first.
+    pub fn closest_slots(&self, target: &NodeId, count: usize) -> Vec<usize> {
+        self.inner.closest_slots(target, count)
+    }
+
+    /// All tenant generations of a slot, in time order.
+    pub fn generations(&self, slot: usize) -> &[NodeInfo] {
+        self.inner.generations(slot)
+    }
+
+    /// The generation occupying `slot` at time `t`.
+    pub fn generation_at(&self, slot: usize, t: SimTime) -> &NodeInfo {
+        self.inner.generation_at(slot, t)
+    }
+
+    /// Count of initially malicious nodes (generation 0).
+    pub fn initial_malicious_count(&self) -> usize {
+        self.inner.initial_malicious_count()
+    }
+
+    /// Samples `count` distinct slots uniformly (same stream contract as
+    /// the other substrates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > n_nodes`.
+    pub fn sample_distinct_slots<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<usize> {
+        self.inner.sample_distinct_slots(count, rng)
+    }
+
+    /// Stores `value` under `key` on the responsible slots, escrowing the
+    /// per-replica storage bond from each slot's account. With a TTL the
+    /// bonds refund when the value expires; without one they stay locked
+    /// for the substrate's lifetime (an open-ended deal).
+    pub fn store(&mut self, key: NodeId, value: Vec<u8>, ttl: Option<SimDuration>) -> Vec<usize> {
+        let slots = match ttl {
+            Some(ttl) => self.inner.store_with_ttl(key, value, ttl),
+            None => self.inner.store(key, value),
+        };
+        let bond = self.economy.store_bond;
+        if bond > 0 {
+            let funded: Vec<usize> = slots
+                .iter()
+                .copied()
+                .filter(|&slot| self.ledger.lock(slot, bond).is_ok())
+                .collect();
+            // Unfunded replicas simply store without collateral; the data
+            // path never depends on the economy.
+            if let Some(ttl) = ttl {
+                if !funded.is_empty() {
+                    self.deals.push(StorageDeal {
+                        expires: self.inner.now() + ttl,
+                        slots: funded,
+                        bond,
+                    });
+                }
+            }
+        }
+        slots
+    }
+
+    /// Reads a value back from the responsible slots.
+    pub fn find_value(&self, key: NodeId) -> Option<Vec<u8>> {
+        self.inner.find_value(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emerge_dht::overlay::Overlay;
+
+    fn config(n: usize) -> ContractConfig {
+        ContractConfig::over(OverlayConfig {
+            n_nodes: n,
+            ..OverlayConfig::default()
+        })
+    }
+
+    #[test]
+    fn population_matches_the_other_substrates_bit_for_bit() {
+        let overlay_cfg = OverlayConfig {
+            n_nodes: 120,
+            malicious_fraction: 0.3,
+            mean_lifetime: Some(2_000),
+            horizon: 50_000,
+            ..OverlayConfig::default()
+        };
+        let overlay = Overlay::build(overlay_cfg, 42);
+        let analytic = AnalyticSubstrate::build(overlay_cfg, 42);
+        let contract = ContractSubstrate::build(ContractConfig::over(overlay_cfg), 42);
+        for slot in 0..120 {
+            assert_eq!(overlay.generations(slot), contract.generations(slot));
+            assert_eq!(analytic.generations(slot), contract.generations(slot));
+        }
+        let target = NodeId::from_name(b"parity-probe");
+        assert_eq!(
+            overlay.closest_slots(&target, 8),
+            contract.closest_slots(&target, 8)
+        );
+    }
+
+    #[test]
+    fn block_height_tracks_the_clock() {
+        let mut sub = ContractSubstrate::build(config(16), 1);
+        assert_eq!(sub.block_height(), 0);
+        sub.advance_to(SimTime::from_ticks(251));
+        assert_eq!(sub.block_height(), 1);
+        sub.advance_to(SimTime::from_ticks(1_000));
+        assert_eq!(sub.block_height(), 4);
+    }
+
+    #[test]
+    fn genesis_funds_slots_and_depositor() {
+        let sub = ContractSubstrate::build(config(8), 2);
+        let economy = EconomyParams::default();
+        assert_eq!(sub.ledger().accounts(), 9);
+        assert_eq!(sub.ledger().balance(0), economy.holder_funds);
+        assert_eq!(
+            sub.ledger().balance(sub.depositor_account()),
+            economy.sender_funds
+        );
+        assert_eq!(
+            sub.ledger().total_supply(),
+            8 * economy.holder_funds + economy.sender_funds
+        );
+    }
+
+    #[test]
+    fn stores_escrow_and_refund_storage_bonds() {
+        let mut sub = ContractSubstrate::build(config(64), 3);
+        let supply = sub.ledger().total_supply();
+        let key = NodeId::from_name(b"deal");
+        let slots = sub.store(key, b"v".to_vec(), Some(SimDuration::from_ticks(100)));
+        assert!(!slots.is_empty());
+        assert_eq!(sub.open_storage_deals(), 1);
+        let bond = sub.economy().store_bond;
+        assert_eq!(sub.ledger().escrow(), bond * slots.len() as u64);
+        assert_eq!(sub.find_value(key), Some(b"v".to_vec()));
+
+        // Expiry refunds every replica's bond and drops the value.
+        sub.advance_to(SimTime::from_ticks(101));
+        assert_eq!(sub.open_storage_deals(), 0);
+        assert_eq!(sub.ledger().escrow(), 0);
+        assert_eq!(sub.find_value(key), None);
+        assert_eq!(sub.ledger().total_supply(), supply);
+        for slot in slots {
+            assert_eq!(
+                sub.ledger().balance(slot),
+                EconomyParams::default().holder_funds
+            );
+        }
+    }
+
+    #[test]
+    fn untimed_stores_keep_bonds_locked() {
+        let mut sub = ContractSubstrate::build(config(64), 4);
+        let slots = sub.store(NodeId::from_name(b"forever"), b"v".to_vec(), None);
+        assert_eq!(sub.open_storage_deals(), 0, "no deal to settle");
+        assert_eq!(
+            sub.ledger().escrow(),
+            sub.economy().store_bond * slots.len() as u64
+        );
+        sub.advance_to(SimTime::from_ticks(10_000));
+        assert_eq!(
+            sub.ledger().escrow(),
+            sub.economy().store_bond * slots.len() as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot go backwards")]
+    fn clock_rejects_rewind() {
+        let mut sub = ContractSubstrate::build(config(8), 5);
+        sub.advance_to(SimTime::from_ticks(10));
+        sub.advance_to(SimTime::from_ticks(9));
+    }
+}

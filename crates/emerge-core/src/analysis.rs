@@ -512,6 +512,16 @@ pub fn joint_frontier(p: f64, cost: usize) -> Vec<FrontierPoint> {
     frontier
 }
 
+/// The two extreme points of a tradeoff frontier: the drop-optimal
+/// configuration (lowest `Rr`, the sorted frontier's first point) and the
+/// release-optimal configuration (highest `Rr`, its last point). Returns
+/// `None` for an empty frontier instead of panicking — callers composing
+/// their own (possibly filtered-empty) frontiers get a typed absence, not
+/// an `unwrap` crash.
+pub fn frontier_extremes(frontier: &[FrontierPoint]) -> Option<(&FrontierPoint, &FrontierPoint)> {
+    Some((frontier.first()?, frontier.last()?))
+}
+
 fn assert_p(p: f64) {
     assert!(
         (0.0..=1.0).contains(&p) && p.is_finite(),
@@ -746,8 +756,8 @@ mod tests {
     #[test]
     fn frontier_extremes_favor_k_or_l() {
         let frontier = joint_frontier(0.2, 36);
-        let best_release = frontier.last().unwrap();
-        let best_drop = frontier.first().unwrap();
+        let (best_drop, best_release) =
+            frontier_extremes(&frontier).expect("a 36-node frontier is never empty");
         assert!(
             best_release.l >= best_release.k,
             "release extreme should favour long paths: {best_release:?}"
@@ -756,6 +766,22 @@ mod tests {
             best_drop.k >= best_drop.l,
             "drop extreme should favour wide replication: {best_drop:?}"
         );
+    }
+
+    #[test]
+    fn frontier_extremes_of_an_empty_frontier_are_none() {
+        assert_eq!(frontier_extremes(&[]), None);
+        // A filtered-to-empty frontier is the realistic caller mistake the
+        // Option guards against.
+        let filtered: Vec<FrontierPoint> = joint_frontier(0.2, 16)
+            .into_iter()
+            .filter(|pt| pt.resilience.min() > 2.0) // impossible bar
+            .collect();
+        assert_eq!(frontier_extremes(&filtered), None);
+        // A single-point frontier has identical extremes.
+        let one = joint_frontier(0.2, 1);
+        let (lo, hi) = frontier_extremes(&one).unwrap();
+        assert_eq!(lo, hi);
     }
 
     #[test]

@@ -271,7 +271,7 @@ pub struct ProtocolMcResults {
     /// Messages pushed through the substrate per trial.
     pub messages: Summary,
     /// Digest of every trial's holder slots and report. Each trial
-    /// contributes a [`trial_digest`] keyed by its *global* trial index,
+    /// contributes a `trial_digest` keyed by its *global* trial index,
     /// and contributions combine by wrapping addition — an associative,
     /// commutative operation — so merging shard digests over disjoint
     /// contiguous trial ranges reproduces the serial digest bit for bit.
@@ -396,23 +396,7 @@ where
     Ok(results)
 }
 
-/// Partitions `trials` into `shards` contiguous `(first_trial, count)`
-/// ranges whose sizes differ by at most one. `shards` is clamped to
-/// `[1, max(trials, 1)]` so no range is empty (except the single range of
-/// an empty batch).
-pub fn shard_ranges(trials: usize, shards: usize) -> Vec<(usize, usize)> {
-    let shards = shards.clamp(1, trials.max(1));
-    let base = trials / shards;
-    let extra = trials % shards;
-    let mut ranges = Vec::with_capacity(shards);
-    let mut start = 0;
-    for i in 0..shards {
-        let count = base + usize::from(i < extra);
-        ranges.push((start, count));
-        start += count;
-    }
-    ranges
-}
+pub use emerge_sim::shard::shard_ranges;
 
 /// Runs `trials` wire-protocol trials split over `shards` contiguous
 /// ranges ([`shard_ranges`]) and merges the partial results.
@@ -449,56 +433,38 @@ where
     Ok(results)
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x100_0000_01b3;
-
-/// SplitMix64 finalizer, applied to each trial's FNV state so that the
-/// wrapping-sum combination in [`ProtocolMcResults::fingerprint`] has
-/// full 64-bit diffusion (raw FNV outputs are biased in the low bits).
-fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Digest of one trial, keyed by its global trial index: FNV-1a over the
-/// index, the plan's holder slots and the run report, then finalized with
-/// [`mix64`]. Keying by the trial index makes the digest sensitive to
-/// *which* trial produced an outcome even though the combination is
-/// commutative.
+/// Digest of one trial, keyed by its global trial index: FNV-1a
+/// ([`emerge_sim::shard::TrialDigest`]) over the index, the plan's holder
+/// slots and the run report. Keying by the trial index makes the digest
+/// sensitive to *which* trial produced an outcome even though the
+/// combination is commutative.
 fn trial_digest(trial_idx: u64, slots: &[usize], report: &RunReport) -> u64 {
-    let mut h = FNV_OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-    };
-    eat(&trial_idx.to_le_bytes());
+    let mut d = emerge_sim::shard::TrialDigest::new();
+    d.eat(&trial_idx.to_le_bytes());
     for &slot in slots {
-        eat(&(slot as u64).to_le_bytes());
+        d.eat(&(slot as u64).to_le_bytes());
     }
     match &report.released {
         Some((at, secret)) => {
-            eat(&[1]);
-            eat(&at.ticks().to_le_bytes());
-            eat(secret);
+            d.eat(&[1]);
+            d.eat(&at.ticks().to_le_bytes());
+            d.eat(secret);
         }
-        None => eat(&[0]),
+        None => d.eat(&[0]),
     }
     match &report.adversary_reconstruction {
         Some((at, secret)) => {
-            eat(&[1]);
-            eat(&at.ticks().to_le_bytes());
-            eat(secret);
+            d.eat(&[1]);
+            d.eat(&at.ticks().to_le_bytes());
+            d.eat(secret);
         }
-        None => eat(&[0]),
+        None => d.eat(&[0]),
     }
     if let Some(reason) = &report.failure {
-        eat(reason.as_bytes());
+        d.eat(reason.as_bytes());
     }
-    eat(&report.messages_sent.to_le_bytes());
-    mix64(h)
+    d.eat(&report.messages_sent.to_le_bytes());
+    d.finish()
 }
 
 /// Samples holder timelines: exponential tenant lifetimes (mean 1.0 in

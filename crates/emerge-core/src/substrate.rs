@@ -9,25 +9,29 @@
 //! protocol code runs on:
 //!
 //! * [`Overlay`] — the full simulated Kademlia network (routing tables,
-//!   latency/loss model, iterative lookups), and
+//!   latency/loss model, iterative lookups),
 //! * [`AnalyticSubstrate`] — the routing-free twin that makes paper-scale
-//!   Monte-Carlo (10 000 nodes × 1 000 trials) cheap.
+//!   Monte-Carlo (10 000 nodes × 1 000 trials) cheap, and
+//! * [`ContractSubstrate`] — the smart-contract release layer (analytic
+//!   DHT semantics plus a block clock, a token ledger and the bonded
+//!   commit/reveal escrow contract of `emerge-contract`).
 //!
-//! Both substrates build *identical* populations for the same
+//! All substrates build *identical* populations for the same
 //! `(OverlayConfig, seed)` pair, so plans and protocol outcomes agree bit
-//! for bit — the workspace's `substrate_parity` suite enforces that. New
-//! backends (an async networked DHT, a smart-contract release layer) only
-//! need to implement this trait.
+//! for bit — the workspace's `substrate_parity` and
+//! `substrate_conformance` suites enforce that. New backends (an async
+//! networked DHT) only need to implement this trait.
 //!
 //! This module is the **only** place in `emerge-core` that names the
-//! concrete DHT types; everything else goes through the trait or through
-//! the re-exports below.
+//! concrete substrate types; everything else goes through the trait or
+//! through the re-exports below.
 
 use emerge_dht::id::NodeId;
 use emerge_dht::population::{self, NodeInfo};
 use emerge_sim::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 
+pub use emerge_contract::{ContractConfig, ContractSubstrate};
 pub use emerge_dht::analytic::AnalyticSubstrate;
 pub use emerge_dht::overlay::{Overlay, OverlayConfig};
 
@@ -206,6 +210,52 @@ impl HolderSubstrate for AnalyticSubstrate {
     }
 }
 
+impl HolderSubstrate for ContractSubstrate {
+    fn n_nodes(&self) -> usize {
+        ContractSubstrate::n_nodes(self)
+    }
+
+    fn now(&self) -> SimTime {
+        ContractSubstrate::now(self)
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        ContractSubstrate::advance_to(self, t)
+    }
+
+    fn resolve_holder(&self, target: &NodeId) -> usize {
+        ContractSubstrate::resolve_holder(self, target)
+    }
+
+    fn closest_slots(&self, target: &NodeId, count: usize) -> Vec<usize> {
+        ContractSubstrate::closest_slots(self, target, count)
+    }
+
+    fn generations(&self, slot: usize) -> &[NodeInfo] {
+        ContractSubstrate::generations(self, slot)
+    }
+
+    fn generation_at(&self, slot: usize, t: SimTime) -> &NodeInfo {
+        ContractSubstrate::generation_at(self, slot, t)
+    }
+
+    fn sample_distinct_slots(&self, count: usize, rng: &mut StdRng) -> Vec<usize> {
+        ContractSubstrate::sample_distinct_slots(self, count, rng)
+    }
+
+    /// Contract-substrate stores are collateralized: each accepting slot
+    /// escrows the storage bond, refunded at TTL expiry. The data path
+    /// (placement, replication, lookup) is identical to the analytic
+    /// substrate's.
+    fn store(&mut self, key: NodeId, value: Vec<u8>, ttl: Option<SimDuration>) -> Vec<usize> {
+        ContractSubstrate::store(self, key, value, ttl)
+    }
+
+    fn find_value(&mut self, key: NodeId) -> Option<Vec<u8>> {
+        ContractSubstrate::find_value(self, key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,7 +287,7 @@ mod tests {
     }
 
     #[test]
-    fn both_substrates_answer_identically() {
+    fn all_substrates_answer_identically() {
         let cfg = OverlayConfig {
             malicious_fraction: 0.3,
             mean_lifetime: Some(5_000),
@@ -246,7 +296,9 @@ mod tests {
         };
         let mut overlay = Overlay::build(cfg, 11);
         let mut analytic = AnalyticSubstrate::build(cfg, 11);
+        let mut contract = ContractSubstrate::build(ContractConfig::over(cfg), 11);
         assert_eq!(probe(&mut overlay), probe(&mut analytic));
+        assert_eq!(probe(&mut analytic), probe(&mut contract));
     }
 
     fn ttl_roundtrip<S: HolderSubstrate>(mut s: S) {
@@ -258,8 +310,12 @@ mod tests {
     }
 
     #[test]
-    fn ttl_store_expires_on_both() {
+    fn ttl_store_expires_on_all() {
         ttl_roundtrip(Overlay::build(config(64), 3));
         ttl_roundtrip(AnalyticSubstrate::build(config(64), 3));
+        ttl_roundtrip(ContractSubstrate::build(
+            ContractConfig::over(config(64)),
+            3,
+        ));
     }
 }

@@ -41,6 +41,7 @@ pub mod churn;
 pub mod engine;
 pub mod metrics;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use engine::Engine;

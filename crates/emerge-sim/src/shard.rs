@@ -1,0 +1,128 @@
+//! Shared machinery of the sharded Monte-Carlo engines: contiguous range
+//! partitioning and the trial-digest hash.
+//!
+//! Both the wire-protocol engine (`emerge-core::montecarlo`) and the
+//! contract-native bonded engine (`emerge-contract::mc`) rest on the same
+//! two building blocks, and their "sharded == serial bit for bit"
+//! guarantee requires the two engines to *stay* identical — so the
+//! blocks live here, in the crate both already depend on:
+//!
+//! * [`shard_ranges`] splits a trial batch into contiguous near-equal
+//!   ranges, and
+//! * [`TrialDigest`] is the FNV-1a accumulator whose [`mix64`]-finalized
+//!   output is combined across trials by wrapping addition — an
+//!   associative, commutative operation, so any merge tree over disjoint
+//!   trial ranges reproduces the serial digest exactly.
+
+/// Partitions `trials` into `shards` contiguous `(first_trial, count)`
+/// ranges whose sizes differ by at most one. `shards` is clamped to
+/// `[1, max(trials, 1)]` so no range is empty (except the single range of
+/// an empty batch).
+pub fn shard_ranges(trials: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, trials.max(1));
+    let base = trials / shards;
+    let extra = trials % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let count = base + usize::from(i < extra);
+        ranges.push((start, count));
+        start += count;
+    }
+    ranges
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// SplitMix64 finalizer (Vigna 2015). Applied to each trial's FNV state
+/// so that the wrapping-sum combination of per-trial digests has full
+/// 64-bit diffusion (raw FNV outputs are biased in the low bits).
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An FNV-1a accumulator for one trial's digest. Key it by the *global*
+/// trial index first ([`TrialDigest::eat`] the index bytes), so the
+/// digest is sensitive to which trial produced an outcome even though
+/// the cross-trial combination is commutative.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialDigest {
+    state: u64,
+}
+
+impl TrialDigest {
+    /// A fresh accumulator at the FNV offset basis.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        TrialDigest { state: FNV_OFFSET }
+    }
+
+    /// Feeds bytes through the FNV-1a round.
+    pub fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The [`mix64`]-finalized digest, ready for wrapping-sum combination.
+    pub fn finish(self) -> u64 {
+        mix64(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_contiguously() {
+        for (trials, shards) in [(10, 3), (7, 7), (5, 9), (1, 1), (0, 4), (1000, 16)] {
+            let ranges = shard_ranges(trials, shards);
+            assert!(ranges.len() <= shards.max(1));
+            let mut next = 0;
+            for &(start, count) in &ranges {
+                assert_eq!(start, next, "ranges must be contiguous");
+                next = start + count;
+            }
+            assert_eq!(next, trials, "ranges must cover every trial");
+            let sizes: Vec<usize> = ranges.iter().map(|&(_, c)| c).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "near-equal split: {sizes:?}");
+        }
+        assert_eq!(shard_ranges(5, 0), vec![(0, 5)], "0 shards clamps to 1");
+        assert_eq!(shard_ranges(3, 8).len(), 3, "shards clamp to trial count");
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_input_sensitive() {
+        let digest_of = |chunks: &[&[u8]]| {
+            let mut d = TrialDigest::new();
+            for c in chunks {
+                d.eat(c);
+            }
+            d.finish()
+        };
+        assert_eq!(digest_of(&[b"abc"]), digest_of(&[b"abc"]));
+        // FNV-1a is a pure byte stream: chunking must not matter...
+        assert_eq!(digest_of(&[b"ab", b"c"]), digest_of(&[b"abc"]));
+        // ...but content must.
+        assert_ne!(digest_of(&[b"abc"]), digest_of(&[b"abd"]));
+        // The empty digest is the mixed offset basis, not zero.
+        assert_eq!(digest_of(&[]), TrialDigest::new().finish());
+        assert_ne!(digest_of(&[]), 0);
+    }
+
+    #[test]
+    fn mix64_diffuses_counter_inputs() {
+        // Adjacent inputs (the failure mode of raw FNV in a wrapping sum)
+        // land far apart after finalization.
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 16, "adjacent inputs must diffuse");
+    }
+}

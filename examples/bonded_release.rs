@@ -1,0 +1,113 @@
+//! Bonded release: timed emergence enforced by escrow, not hop deadlines.
+//!
+//! ```sh
+//! cargo run --example bonded_release
+//! ```
+//!
+//! Runs the contract-native emergence mode three times on the
+//! smart-contract substrate:
+//!
+//! 1. an honest network — every holder reveals in the release block and
+//!    collects bond + reward;
+//! 2. an adversary bribing rational holders *below* the deviation cost —
+//!    deviating would lose money, so the release still emerges cleanly;
+//! 3. the same adversary with a bribe *above* the deviation cost — the
+//!    holders take it, the quorum starves, and the contract slashes
+//!    every withholder's bond.
+//!
+//! The printed ledger movements show the economics doing the work the
+//! DHT schemes do with replication: misbehaviour is not prevented, it is
+//! priced.
+
+use emerge_contract::economy::HolderStrategy;
+use emerge_contract::release::{run_bonded_release, BondedSpec};
+use emerge_contract::substrate::{ContractConfig, ContractSubstrate};
+use emerge_contract::ContractError;
+use emerge_dht::overlay::OverlayConfig;
+use emerge_sim::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SECRET: &[u8] = b"deed of gift: everything to the observatory";
+
+fn run(label: &str, strategy: HolderStrategy) -> Result<(), ContractError> {
+    let mut substrate = ContractSubstrate::build(
+        ContractConfig::over(OverlayConfig {
+            n_nodes: 256,
+            malicious_fraction: 1.0, // every holder hears the bribe
+            ..OverlayConfig::default()
+        }),
+        7,
+    );
+    let economy = *substrate.economy();
+    let spec = BondedSpec {
+        n: 12,
+        m: 8,
+        emerging_period: SimDuration::from_ticks(10_000),
+        reveal_window_blocks: 1,
+        strategy,
+    };
+
+    println!("== {label} ==");
+    println!(
+        "deposit: n = {}, m = {}, bond = {}, reveal reward = {}, deviation cost = {}",
+        spec.n,
+        spec.m,
+        economy.bond,
+        economy.reveal_reward,
+        economy.deviation_cost()
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let report = run_bonded_release(&mut substrate, &spec, SECRET, &mut rng)?;
+
+    println!(
+        "reveals: {} on time, {} early, {} withheld ({} by churn)",
+        report.on_time, report.early, report.withheld, report.died
+    );
+    match &report.released {
+        Some((at, secret)) => println!("released at {at}: {:?}", String::from_utf8_lossy(secret)),
+        None => println!(
+            "release FAILED: {}",
+            report
+                .failure
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "unknown".into())
+        ),
+    }
+    if let Some((at, _)) = &report.early_leak {
+        println!("EARLY LEAK at {at}: a reveal quorum went public before tr");
+    }
+    println!(
+        "ledger: {} slashed into the treasury, {} paid in rewards, escrow drained to {}",
+        report.slashed,
+        report.rewards_paid,
+        substrate.ledger().escrow()
+    );
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), ContractError> {
+    run("honest network", HolderStrategy::Compliant)?;
+
+    let cheap = HolderStrategy::Rational {
+        withhold_bribe: 100, // < bond + reward: deviation loses money
+        early_reveal_bribe: 100,
+    };
+    run("bribe below the deviation cost", cheap)?;
+
+    let rich = HolderStrategy::Rational {
+        withhold_bribe: 500, // > bond + reward: the bribe wins
+        early_reveal_bribe: 0,
+    };
+    run("bribe above the deviation cost", rich)?;
+
+    println!(
+        "(The defence is the bond size: raise it past the bribe and the\n\
+         third run collapses back into the first — see the contract\n\
+         backend section of the README.)"
+    );
+    Ok(())
+}

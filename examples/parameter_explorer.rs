@@ -87,6 +87,17 @@ fn main() {
             pt.k, pt.l, pt.resilience.release, pt.resilience.drop
         );
     }
+    if let Some((best_drop, best_release)) = analysis::frontier_extremes(&frontier) {
+        println!(
+            "extremes: drop-optimal {}x{} (Rd {:.4}), release-optimal {}x{} (Rr {:.4})",
+            best_drop.k,
+            best_drop.l,
+            best_drop.resilience.drop,
+            best_release.k,
+            best_release.l,
+            best_release.resilience.release
+        );
+    }
     println!(
         "\n(Lemma 1: every frontier point with p < 0.5 has Rr + Rd > 1 — \
          verified across {} configurations.)",

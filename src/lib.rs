@@ -9,6 +9,9 @@
 //! * [`core`] — the four key-routing schemes, analysis, Monte-Carlo
 //!   evaluation and the high-level sender/receiver API
 //! * [`dht`] — the Kademlia-style DHT substrate
+//! * [`contract`] — the smart-contract release layer: block clock, bonded
+//!   commit/reveal escrow, holder economy, and the contract-native bonded
+//!   release mode
 //! * [`sim`] — the deterministic discrete-event engine
 //! * [`crypto`] — the from-scratch cryptographic substrate
 //! * [`cloud`] — the encrypted blob store
@@ -18,6 +21,7 @@
 //! the paper's evaluation section.
 
 pub use emerge_cloud as cloud;
+pub use emerge_contract as contract;
 pub use emerge_core as core;
 pub use emerge_crypto as crypto;
 pub use emerge_dht as dht;

@@ -1,0 +1,275 @@
+//! A reusable, trait-level conformance suite for [`HolderSubstrate`]
+//! backends, run against all three substrates (overlay, analytic,
+//! contract).
+//!
+//! Every check goes through the **trait**, not the concrete type — in
+//! particular the *default* exposure methods (`any_malicious_exposure`,
+//! `first_malicious_exposure`, `exposures_during`), which concrete
+//! substrates may override: the suite cross-checks each against the
+//! `population` free functions on the same generation timeline, so an
+//! override can never drift from the default semantics. A fourth backend
+//! (e.g. the planned async/network substrate) gets its conformance test
+//! by adding one `#[test]` calling [`suite::run`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use self_emerging_data::contract::substrate::{ContractConfig, ContractSubstrate};
+use self_emerging_data::core::substrate::{
+    AnalyticSubstrate, HolderSubstrate, Overlay, OverlayConfig,
+};
+use self_emerging_data::dht::id::NodeId;
+use self_emerging_data::dht::population;
+use self_emerging_data::sim::time::{SimDuration, SimTime};
+
+mod suite {
+    use super::*;
+
+    /// Worlds the suite exercises: a churn-free one and a churny,
+    /// adversarial one.
+    fn configs() -> [OverlayConfig; 2] {
+        [
+            OverlayConfig {
+                n_nodes: 96,
+                ..OverlayConfig::default()
+            },
+            OverlayConfig {
+                n_nodes: 96,
+                malicious_fraction: 0.3,
+                mean_lifetime: Some(4_000),
+                horizon: 80_000,
+                ..OverlayConfig::default()
+            },
+        ]
+    }
+
+    /// Runs the full conformance suite against the backend constructed by
+    /// `build`. `label` tags assertion messages.
+    pub fn run<S, F>(label: &str, build: F)
+    where
+        S: HolderSubstrate,
+        F: Fn(OverlayConfig, u64) -> S,
+    {
+        for (i, cfg) in configs().into_iter().enumerate() {
+            let seed = 40 + i as u64;
+            clock_is_monotonic(label, build(cfg, seed));
+            resolution_is_consistent(label, &build(cfg, seed), cfg.n_nodes);
+            generations_are_coherent(label, &build(cfg, seed));
+            default_exposure_methods_match_population_semantics(label, &build(cfg, seed));
+            sampling_is_uniform_width_and_distinct(label, &build(cfg, seed), cfg.n_nodes);
+            storage_round_trips(label, build(cfg, seed));
+            ttl_expires(label, build(cfg, seed));
+            determinism(label, &build, cfg, seed);
+        }
+    }
+
+    fn clock_is_monotonic<S: HolderSubstrate>(label: &str, mut s: S) {
+        assert_eq!(s.now(), SimTime::ZERO, "{label}: fresh substrate at t=0");
+        s.advance_to(SimTime::from_ticks(500));
+        assert_eq!(s.now(), SimTime::from_ticks(500), "{label}: clock advanced");
+        // Advancing to the current instant is a no-op, not a rewind.
+        s.advance_to(SimTime::from_ticks(500));
+        assert_eq!(s.now(), SimTime::from_ticks(500), "{label}: idempotent");
+    }
+
+    fn resolution_is_consistent<S: HolderSubstrate>(label: &str, s: &S, n: usize) {
+        assert_eq!(s.n_nodes(), n, "{label}: population size");
+        for probe in 0..24 {
+            let target = NodeId::from_name(format!("conformance-{probe}").as_bytes());
+            let closest = s.closest_slots(&target, 8);
+            assert_eq!(closest.len(), 8, "{label}: closest_slots count");
+            assert_eq!(
+                s.resolve_holder(&target),
+                closest[0],
+                "{label}: resolve_holder is closest_slots' head"
+            );
+            let mut sorted = closest.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 8, "{label}: closest slots are distinct");
+            assert!(
+                closest.iter().all(|&slot| slot < n),
+                "{label}: slots in range"
+            );
+        }
+        // Count clamping at the population size.
+        let target = NodeId::from_name(b"clamp");
+        assert!(
+            s.closest_slots(&target, 0).is_empty(),
+            "{label}: zero count"
+        );
+        assert_eq!(
+            s.closest_slots(&target, n + 50).len(),
+            n,
+            "{label}: count clamps to n"
+        );
+    }
+
+    fn generations_are_coherent<S: HolderSubstrate>(label: &str, s: &S) {
+        for slot in 0..s.n_nodes() {
+            let gens = s.generations(slot);
+            assert!(!gens.is_empty(), "{label}: slot {slot} has a timeline");
+            assert_eq!(gens[0].spawn, SimTime::ZERO, "{label}: genesis at t=0");
+            for w in gens.windows(2) {
+                assert_eq!(
+                    w[0].death, w[1].spawn,
+                    "{label}: slot {slot} timeline contiguous"
+                );
+            }
+            assert_eq!(
+                gens.last().unwrap().death,
+                SimTime::MAX,
+                "{label}: immortal tail"
+            );
+            // generation_at agrees with the timeline's own tenancy.
+            for t in [0u64, 1, 1_999, 2_000, 50_000] {
+                let t = SimTime::from_ticks(t);
+                let tenant = s.generation_at(slot, t);
+                assert_eq!(
+                    tenant,
+                    population::tenant_at(gens, t),
+                    "{label}: tenant at {t}"
+                );
+            }
+        }
+    }
+
+    /// The satellite's core check: the trait's *default* exposure methods
+    /// must agree with the canonical `population` helpers on the same
+    /// timeline, whether or not the backend overrides them.
+    fn default_exposure_methods_match_population_semantics<S: HolderSubstrate>(label: &str, s: &S) {
+        let windows = [
+            (SimTime::ZERO, SimTime::ZERO), // empty window
+            (SimTime::ZERO, SimTime::from_ticks(1_000)),
+            (SimTime::from_ticks(999), SimTime::from_ticks(4_001)),
+            (SimTime::from_ticks(4_000), SimTime::from_ticks(40_000)),
+        ];
+        for slot in 0..s.n_nodes() {
+            let gens = s.generations(slot);
+            for (from, to) in windows {
+                assert_eq!(
+                    s.any_malicious_exposure(slot, from, to),
+                    population::any_malicious_exposure(gens, from, to),
+                    "{label}: any_malicious_exposure({slot}, {from}, {to})"
+                );
+                assert_eq!(
+                    s.first_malicious_exposure(slot, from, to),
+                    population::first_malicious_exposure(gens, from, to),
+                    "{label}: first_malicious_exposure({slot}, {from}, {to})"
+                );
+                assert_eq!(
+                    s.exposures_during(slot, from, to),
+                    population::exposures_during(gens, from, to),
+                    "{label}: exposures_during({slot}, {from}, {to})"
+                );
+                // Internal consistency across the three predicates.
+                assert_eq!(
+                    s.any_malicious_exposure(slot, from, to),
+                    s.first_malicious_exposure(slot, from, to).is_some(),
+                    "{label}: any ⇔ first.is_some()"
+                );
+                if s.any_malicious_exposure(slot, from, to) {
+                    assert!(
+                        s.exposures_during(slot, from, to) > 0,
+                        "{label}: a malicious exposure is an exposure"
+                    );
+                    let first = s.first_malicious_exposure(slot, from, to).unwrap();
+                    assert!(
+                        from <= first && first < to,
+                        "{label}: first exposure inside the half-open window"
+                    );
+                }
+            }
+        }
+    }
+
+    fn sampling_is_uniform_width_and_distinct<S: HolderSubstrate>(label: &str, s: &S, n: usize) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sample = s.sample_distinct_slots(n / 2, &mut rng);
+        assert_eq!(sample.len(), n / 2, "{label}: sample size");
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n / 2, "{label}: sample distinct");
+        assert!(sample.iter().all(|&slot| slot < n), "{label}: in range");
+        // The whole population can be drawn.
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(
+            s.sample_distinct_slots(n, &mut rng).len(),
+            n,
+            "{label}: full draw"
+        );
+    }
+
+    fn storage_round_trips<S: HolderSubstrate>(label: &str, mut s: S) {
+        let key = NodeId::from_name(b"conformance-store");
+        let written = s.store(key, b"payload".to_vec(), None);
+        assert!(!written.is_empty(), "{label}: store places replicas");
+        assert_eq!(
+            s.find_value(key),
+            Some(b"payload".to_vec()),
+            "{label}: lookup finds the value"
+        );
+        assert_eq!(
+            s.find_value(NodeId::from_name(b"conformance-missing")),
+            None,
+            "{label}: missing keys are None"
+        );
+    }
+
+    fn ttl_expires<S: HolderSubstrate>(label: &str, mut s: S) {
+        let key = NodeId::from_name(b"conformance-ttl");
+        s.store(key, b"v".to_vec(), Some(SimDuration::from_ticks(10)));
+        assert!(s.find_value(key).is_some(), "{label}: alive inside TTL");
+        s.advance_to(SimTime::from_ticks(11));
+        assert_eq!(s.find_value(key), None, "{label}: expired after TTL");
+    }
+
+    /// Two builds from the same seed answer every query identically.
+    fn determinism<S, F>(label: &str, build: &F, cfg: OverlayConfig, seed: u64)
+    where
+        S: HolderSubstrate,
+        F: Fn(OverlayConfig, u64) -> S,
+    {
+        let a = build(cfg, seed);
+        let b = build(cfg, seed);
+        for probe in 0..8 {
+            let target = NodeId::from_name(format!("det-{probe}").as_bytes());
+            assert_eq!(
+                a.resolve_holder(&target),
+                b.resolve_holder(&target),
+                "{label}: resolution deterministic"
+            );
+        }
+        for slot in 0..cfg.n_nodes {
+            assert_eq!(
+                a.generations(slot),
+                b.generations(slot),
+                "{label}: timelines deterministic"
+            );
+        }
+        let mut ra = StdRng::seed_from_u64(3);
+        let mut rb = StdRng::seed_from_u64(3);
+        assert_eq!(
+            a.sample_distinct_slots(10, &mut ra),
+            b.sample_distinct_slots(10, &mut rb),
+            "{label}: sampling stream deterministic"
+        );
+    }
+}
+
+#[test]
+fn overlay_conforms() {
+    suite::run("overlay", Overlay::build);
+}
+
+#[test]
+fn analytic_substrate_conforms() {
+    suite::run("analytic", AnalyticSubstrate::build);
+}
+
+#[test]
+fn contract_substrate_conforms() {
+    suite::run("contract", |cfg, seed| {
+        ContractSubstrate::build(ContractConfig::over(cfg), seed)
+    });
+}
