@@ -1,14 +1,71 @@
 //! Criterion microbenches for the cryptographic substrate.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emerge_core::package::KeySchedule;
 use emerge_crypto::aead;
 use emerge_crypto::chacha20::ChaCha20;
+use emerge_crypto::gf256;
 use emerge_crypto::keys::SymmetricKey;
 use emerge_crypto::onion::{build_onion, peel, Peeled};
 use emerge_crypto::sha256::Sha256;
 use emerge_crypto::shamir;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn bench_gf256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256");
+    for size in [32usize, 1024] {
+        let src: Vec<u8> = (0..size).map(|i| (i * 31 + 1) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("mul_slice_assign", size),
+            &src,
+            |b, src| {
+                let mut buf = src.clone();
+                b.iter(|| gf256::mul_slice_assign(black_box(&mut buf), 0x53));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("mul_acc_slice", size), &src, |b, src| {
+            let mut acc = vec![0u8; src.len()];
+            b.iter(|| gf256::mul_acc_slice(black_box(&mut acc), src, 0x53));
+        });
+        // The scalar path the kernels replaced, for the before/after story.
+        group.bench_with_input(BenchmarkId::new("mul_scalar_loop", size), &src, |b, src| {
+            let mut buf = src.clone();
+            b.iter(|| {
+                for byte in buf.iter_mut() {
+                    *byte = gf256::mul(black_box(*byte), 0x53);
+                }
+            });
+        });
+    }
+    group.bench_function("lagrange_weights_20", |b| {
+        let xs: Vec<u8> = (1..=20).collect();
+        b.iter(|| gf256::lagrange_weights_at_zero(black_box(&xs)));
+    });
+    group.finish();
+}
+
+fn bench_key_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_schedule");
+    let seed = SymmetricKey::from_bytes([0x42u8; 32]);
+    // The pre-refactor behavior: a fresh format! allocation plus a full
+    // HKDF run on every request.
+    group.bench_function("derive_format_label", |b| {
+        b.iter(|| seed.derive(format!("row-key/{}/{}", black_box(17), black_box(3)).as_bytes()));
+    });
+    // Stack label + HKDF, but a cold cache each time (first-request cost).
+    group.bench_function("row_key_uncached", |b| {
+        b.iter(|| KeySchedule::new(seed.clone()).row_key(black_box(17), black_box(3)));
+    });
+    // The steady state: every later request is a cache hit.
+    group.bench_function("row_key_memoized", |b| {
+        let schedule = KeySchedule::new(seed.clone());
+        schedule.row_key(17, 3);
+        b.iter(|| schedule.row_key(black_box(17), black_box(3)));
+    });
+    group.finish();
+}
 
 fn bench_sha256(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
@@ -114,10 +171,12 @@ fn bench_onion(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_gf256,
     bench_sha256,
     bench_chacha20,
     bench_aead,
     bench_shamir,
-    bench_onion
+    bench_onion,
+    bench_key_schedule
 );
 criterion_main!(benches);

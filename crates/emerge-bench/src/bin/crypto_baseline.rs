@@ -1,0 +1,154 @@
+//! Records the crypto-kernel throughput baseline to `BENCH_crypto.json`
+//! (first CLI arg overrides the path).
+//!
+//! Measures the batched hot-path kernels the Monte-Carlo share cell leans
+//! on — slice-wise GF(256), slab Shamir split/combine, block-wise
+//! ChaCha20, AEAD seal/open at header and bundle sizes, and the memoized
+//! key schedule — each alongside its pre-refactor scalar shape where one
+//! still exists, so the before/after ratio stays visible in the recorded
+//! numbers. Later PRs diff against the committed file the same way they
+//! diff `BENCH_montecarlo.json`.
+//!
+//! Environment: `EMERGE_CRYPTO_SAMPLE_MS` (default 300) sets the minimum
+//! sampling window per operation.
+
+use emerge_bench::report::{render_crypto_report, validate_json, CryptoMeasurement};
+use emerge_core::package::KeySchedule;
+use emerge_crypto::chacha20::ChaCha20;
+use emerge_crypto::gf256;
+use emerge_crypto::keys::SymmetricKey;
+use emerge_crypto::{aead, shamir};
+use emerge_sim::rng::SeedSource;
+use std::time::Instant;
+
+fn sample_ms() -> u64 {
+    std::env::var("EMERGE_CRYPTO_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+/// Runs `op` repeatedly for at least the sampling window and records it.
+fn measure<F: FnMut()>(
+    out: &mut Vec<CryptoMeasurement>,
+    op: &str,
+    bytes_per_iter: usize,
+    mut f: F,
+) {
+    // Warm up lazily built tables outside the timed window.
+    f();
+    let window = std::time::Duration::from_millis(sample_ms());
+    let start = Instant::now();
+    let mut iters = 0usize;
+    // Check the clock once per batch, not per iteration: a clock read
+    // costs tens of nanoseconds and would otherwise be billed to the
+    // nanosecond-scale kernels.
+    const BATCH: usize = 64;
+    while start.elapsed() < window {
+        for _ in 0..BATCH {
+            f();
+        }
+        iters += BATCH;
+    }
+    let m = CryptoMeasurement {
+        op: op.into(),
+        iters,
+        seconds: start.elapsed().as_secs_f64(),
+        bytes_per_iter,
+    };
+    if bytes_per_iter > 0 {
+        eprintln!(
+            "{op}: {:.1} ops/sec, {:.1} MB/s",
+            m.ops_per_sec(),
+            m.mb_per_sec()
+        );
+    } else {
+        eprintln!("{op}: {:.1} ops/sec", m.ops_per_sec());
+    }
+    out.push(m);
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_crypto.json".into());
+    let mut ms = Vec::new();
+
+    // GF(256) slice kernels vs the scalar loop they replaced.
+    let src: Vec<u8> = (0..1024).map(|i| (i * 31 + 1) as u8).collect();
+    let mut buf = src.clone();
+    measure(&mut ms, "gf256_mul_slice_assign_1KiB", 1024, || {
+        gf256::mul_slice_assign(std::hint::black_box(&mut buf), 0x53);
+    });
+    let mut acc = vec![0u8; 1024];
+    measure(&mut ms, "gf256_mul_acc_slice_1KiB", 1024, || {
+        gf256::mul_acc_slice(std::hint::black_box(&mut acc), &src, 0x53);
+    });
+    let mut sbuf = src.clone();
+    measure(&mut ms, "gf256_mul_scalar_loop_1KiB", 1024, || {
+        for byte in sbuf.iter_mut() {
+            *byte = gf256::mul(std::hint::black_box(*byte), 0x53);
+        }
+    });
+
+    // Shamir at the Monte-Carlo share cell's own shape: 32-byte keys,
+    // 20-of-40.
+    let secret = [0xC3u8; 32];
+    let mut rng = SeedSource::new(7).stream("crypto-baseline");
+    measure(&mut ms, "shamir_split_20of40_32B", 32, || {
+        std::hint::black_box(shamir::split(&secret, 20, 40, &mut rng).unwrap());
+    });
+    let shares = shamir::split(&secret, 20, 40, &mut rng).unwrap();
+    measure(&mut ms, "shamir_combine_20of40_32B", 32, || {
+        std::hint::black_box(shamir::combine(&shares, 20).unwrap());
+    });
+
+    // ChaCha20 keystream over a bundle-sized buffer.
+    let key = [7u8; 32];
+    let nonce = [9u8; 12];
+    let mut stream_buf = vec![0u8; 256 * 1024];
+    measure(&mut ms, "chacha20_keystream_256KiB", 256 * 1024, || {
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(std::hint::black_box(&mut stream_buf));
+    });
+
+    // AEAD at the two sizes the share scheme uses: per-row headers
+    // (~4 KiB) and sealed inner bundles (~256 KiB).
+    let skey = SymmetricKey::from_bytes([1u8; 32]);
+    for (label_seal, label_open, size) in [
+        ("aead_seal_4KiB", "aead_open_4KiB", 4 * 1024usize),
+        ("aead_seal_256KiB", "aead_open_256KiB", 256 * 1024),
+    ] {
+        let plaintext = vec![0x55u8; size];
+        measure(&mut ms, label_seal, size, || {
+            std::hint::black_box(aead::seal(&skey, &nonce, &plaintext, b"aad"));
+        });
+        let sealed = aead::seal(&skey, &nonce, &plaintext, b"aad");
+        measure(&mut ms, label_open, size, || {
+            std::hint::black_box(aead::open(&skey, &nonce, &sealed, b"aad").unwrap());
+        });
+    }
+
+    // Key schedule: first-request derivation vs the memoized steady state.
+    let seed = SymmetricKey::from_bytes([0x42u8; 32]);
+    measure(&mut ms, "key_schedule_row_key_uncached", 0, || {
+        std::hint::black_box(KeySchedule::new(seed.clone()).row_key(17, 3));
+    });
+    let schedule = KeySchedule::new(seed.clone());
+    measure(&mut ms, "key_schedule_row_key_memoized", 0, || {
+        std::hint::black_box(schedule.row_key(17, 3));
+    });
+    measure(&mut ms, "derive_format_label", 0, || {
+        std::hint::black_box(seed.derive(format!("row-key/{}/{}", 17, 3).as_bytes()));
+    });
+
+    let json = render_crypto_report(&ms);
+    if let Err((pos, msg)) = validate_json(&json) {
+        eprintln!("error: generated report is not valid JSON at byte {pos}: {msg}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -26,12 +26,14 @@
 //!
 //! ```sh
 //! montecarlo_baseline --scheme joint            # joint cells only
+//! montecarlo_baseline --cell share_8x3          # the CI-sized share cell
 //! montecarlo_baseline --substrate contract      # contract substrate only
 //! montecarlo_baseline --scheme share --substrate analytic out.json
 //! ```
 //!
-//! Filters are case-insensitive substring matches on the cell name and
-//! the substrate label. A filtered run skips the cross-substrate parity
+//! `--cell` and `--scheme` are the same filter — a case-insensitive
+//! substring match on the cell name — and `--substrate` matches the
+//! substrate label. A filtered run skips the cross-substrate parity
 //! gate (it may not measure comparable pairs) and is meant for iteration,
 //! not for re-recording the committed baseline.
 //!
@@ -95,6 +97,22 @@ fn cells() -> Vec<(&'static str, ProtocolTrialSpec)> {
                 attack: AttackMode::ReleaseAhead,
             },
         ),
+        // A CI-sized share cell: same crypto path as share_40x5 at a
+        // fraction of the cost, so automated runs can track the share hot
+        // path without paying for the full-width grid.
+        (
+            "share_8x3_release_ahead",
+            ProtocolTrialSpec {
+                params: SchemeParams::Share {
+                    k: 2,
+                    l: 3,
+                    n: 8,
+                    m: vec![4, 4],
+                },
+                emerging_period: SimDuration::from_ticks(8_000),
+                attack: AttackMode::ReleaseAhead,
+            },
+        ),
     ]
 }
 
@@ -133,10 +151,14 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--scheme" => {
+            // --cell and --scheme are the same filter (a case-insensitive
+            // substring match on the cell name); --cell reads better for
+            // full names like `share_8x3_release_ahead`, --scheme for
+            // family filters like `share`.
+            "--cell" | "--scheme" => {
                 args.scheme = Some(
                     it.next()
-                        .ok_or_else(|| "--scheme needs a value (e.g. --scheme joint)".to_string())?
+                        .ok_or_else(|| format!("{arg} needs a value (e.g. {arg} share_8x3)"))?
                         .to_lowercase(),
                 );
             }
@@ -151,7 +173,8 @@ fn parse_args() -> Result<Args, String> {
             }
             flag if flag.starts_with("--") => {
                 return Err(format!(
-                    "unknown flag {flag}; supported: --scheme <substr>, --substrate <substr>"
+                    "unknown flag {flag}; supported: --cell <substr>, --scheme <substr>, \
+                     --substrate <substr>"
                 ));
             }
             path => args.out_path = path.to_string(),

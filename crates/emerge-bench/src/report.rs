@@ -109,6 +109,64 @@ pub fn render_montecarlo_report(
     json
 }
 
+/// One crypto-kernel throughput measurement (`BENCH_crypto.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CryptoMeasurement {
+    /// Operation label, e.g. `shamir_split_20of40_32B`.
+    pub op: String,
+    /// Iterations executed.
+    pub iters: usize,
+    /// Wall-clock seconds the batch took.
+    pub seconds: f64,
+    /// Bytes processed per iteration (`0` when throughput-in-bytes is not
+    /// meaningful for the operation).
+    pub bytes_per_iter: usize,
+}
+
+impl CryptoMeasurement {
+    /// Iterations per wall-clock second (`0.0` for sub-resolution runs).
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.seconds.is_finite() && self.seconds > 0.0 {
+            self.iters as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Decimal megabytes (10^6 bytes) per second, `0.0` when
+    /// `bytes_per_iter` is zero.
+    pub fn mb_per_sec(&self) -> f64 {
+        self.ops_per_sec() * self.bytes_per_iter as f64 / 1e6
+    }
+}
+
+/// Renders the full `BENCH_crypto.json` document.
+pub fn render_crypto_report(measurements: &[CryptoMeasurement]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"measurements\": [\n");
+    let lines: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                concat!(
+                    "    {{\"op\": \"{}\", \"iters\": {}, \"seconds\": {}, ",
+                    "\"ops_per_sec\": {}, \"bytes_per_iter\": {}, ",
+                    "\"mb_per_sec\": {}}}"
+                ),
+                json_escape(&m.op),
+                m.iters,
+                json_number(m.seconds, 3),
+                json_number(m.ops_per_sec(), 1),
+                m.bytes_per_iter,
+                json_number(m.mb_per_sec(), 2),
+            )
+        })
+        .collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
 /// Checks that `text` is one complete JSON value (RFC 8259 subset: no
 /// escapes beyond `\" \\ \/ \b \f \n \r \t \uXXXX`). Returns the byte
 /// offset and a message on the first violation.
@@ -339,6 +397,31 @@ mod tests {
             panic!("invalid JSON at byte {pos}: {msg}\n{json}");
         });
         assert!(json.contains("joint \\\"fast\\\" cell\\\\\\n\\u0001"));
+    }
+
+    #[test]
+    fn crypto_report_renders_valid_json() {
+        let ms = [
+            CryptoMeasurement {
+                op: "gf256_mul_slice_assign_1KiB".into(),
+                iters: 1000,
+                seconds: 0.25,
+                bytes_per_iter: 1024,
+            },
+            CryptoMeasurement {
+                op: "key_schedule_row_key_memoized".into(),
+                iters: 5_000_000,
+                seconds: 0.0, // sub-resolution: must render 0, not inf
+                bytes_per_iter: 0,
+            },
+        ];
+        let json = render_crypto_report(&ms);
+        validate_json(&json).unwrap_or_else(|(pos, msg)| {
+            panic!("invalid JSON at byte {pos}: {msg}\n{json}");
+        });
+        assert!(json.contains("\"ops_per_sec\": 4000.0"));
+        assert!(json.contains("\"mb_per_sec\": 0.00"));
+        assert!(!json.contains("inf"));
     }
 
     #[test]

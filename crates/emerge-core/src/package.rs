@@ -30,40 +30,151 @@ use emerge_crypto::CryptoError;
 use emerge_dht::id::{NodeId, ID_LEN};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Discriminates the four derived-key families in [`DerivedKeys`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum KeyKind {
+    Column,
+    Core,
+    Row,
+    Bundle,
+}
+
+impl KeyKind {
+    fn prefix(self) -> &'static str {
+        match self {
+            KeyKind::Column => "column-key",
+            KeyKind::Core => "core-key",
+            KeyKind::Row => "row-key",
+            KeyKind::Bundle => "bundle-key",
+        }
+    }
+}
+
+/// Memoized HKDF derivations of one send operation.
+///
+/// Package generation asks for the same keys at several call sites —
+/// splitting a row key into shares and sealing that row's header are
+/// independent requests for `K_{r,j}`, and the builder, the executor
+/// test paths and the delivered `col0` material all re-ask. Each label
+/// is HKDF-derived exactly once per [`KeySchedule`]; later requests are
+/// a hash-map hit.
+#[derive(Debug, Clone, Default)]
+struct DerivedKeys {
+    keys: HashMap<(KeyKind, usize, usize), SymmetricKey>,
+}
+
+/// Longest label: `row-key` plus two `/`-prefixed 20-digit indices.
+const MAX_LABEL: usize = 64;
+
+/// Stack-buffer writer for derivation labels like `row-key/3/7`.
+/// Byte-identical to the `format!` it replaces, without the per-call
+/// heap allocation.
+struct LabelWriter {
+    buf: [u8; MAX_LABEL],
+    len: usize,
+}
+
+impl LabelWriter {
+    fn new(prefix: &'static str) -> Self {
+        let mut w = LabelWriter {
+            buf: [0; MAX_LABEL],
+            len: 0,
+        };
+        w.buf[..prefix.len()].copy_from_slice(prefix.as_bytes());
+        w.len = prefix.len();
+        w
+    }
+
+    /// Appends `/` followed by `value` in decimal, exactly as
+    /// `format!("/{value}")` renders it.
+    fn push_segment(&mut self, value: usize) {
+        self.buf[self.len] = b'/';
+        self.len += 1;
+        let mut digits = [0u8; 20];
+        let mut i = digits.len();
+        let mut v = value;
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        let d = &digits[i..];
+        self.buf[self.len..self.len + d.len()].copy_from_slice(d);
+        self.len += d.len();
+    }
+
+    fn as_bytes(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
 
 /// Deterministic key derivation for a send operation.
+///
+/// All keys derive from the sender's seed via HKDF labels; each label is
+/// derived once and memoized in a `DerivedKeys` cache, so repeated
+/// requests (the share scheme asks for every row key twice: once to
+/// split, once to seal) cost a lookup, not an HKDF run.
 #[derive(Debug, Clone)]
 pub struct KeySchedule {
     seed: SymmetricKey,
+    cache: RefCell<DerivedKeys>,
 }
 
 impl KeySchedule {
     /// Creates a schedule from the sender's seed.
     pub fn new(seed: SymmetricKey) -> Self {
-        KeySchedule { seed }
+        KeySchedule {
+            seed,
+            cache: RefCell::new(DerivedKeys::default()),
+        }
+    }
+
+    /// Derives (or fetches) the key for `(kind, row, col)`; `row` is only
+    /// part of the label for [`KeyKind::Row`].
+    fn derived(&self, kind: KeyKind, row: usize, col: usize) -> SymmetricKey {
+        if let Some(key) = self.cache.borrow().keys.get(&(kind, row, col)) {
+            return key.clone();
+        }
+        let mut label = LabelWriter::new(kind.prefix());
+        if kind == KeyKind::Row {
+            label.push_segment(row);
+        }
+        label.push_segment(col);
+        let key = self.seed.derive(label.as_bytes());
+        self.cache
+            .borrow_mut()
+            .keys
+            .insert((kind, row, col), key.clone());
+        key
     }
 
     /// Column key `K_j` (keyed schemes) — shared by all rows of column
     /// `col`.
     pub fn column_key(&self, col: usize) -> SymmetricKey {
-        self.seed.derive(format!("column-key/{col}").as_bytes())
+        self.derived(KeyKind::Column, 0, col)
     }
 
     /// Core-onion key for column `col` (share scheme).
     pub fn core_key(&self, col: usize) -> SymmetricKey {
-        self.seed.derive(format!("core-key/{col}").as_bytes())
+        self.derived(KeyKind::Core, 0, col)
     }
 
     /// Row-onion key `K_{r,j}` (share scheme).
     pub fn row_key(&self, row: usize, col: usize) -> SymmetricKey {
-        self.seed.derive(format!("row-key/{row}/{col}").as_bytes())
+        self.derived(KeyKind::Row, row, col)
     }
 
     /// Bundle key `C_j` protecting the inner bundle of column `col`
     /// (share scheme). Revealed inside every column-`col` header so any
     /// one honest holder can unwrap and relay the next bundle.
     pub fn bundle_key(&self, col: usize) -> SymmetricKey {
-        self.seed.derive(format!("bundle-key/{col}").as_bytes())
+        self.derived(KeyKind::Bundle, 0, col)
     }
 
     /// Deterministic RNG for the Shamir polynomials.
@@ -390,6 +501,26 @@ pub fn open_inner(key: &SymmetricKey, sealed: &[u8]) -> Result<ColumnBundle, Cry
     ColumnBundle::from_bytes(&plain)
 }
 
+/// Opens a sealed inner bundle and returns its *serialized* bytes,
+/// validated to parse as a [`ColumnBundle`].
+///
+/// The protocol executor forwards the unwrapped bundle verbatim; since
+/// the sealed plaintext *is* the serialization, this skips the
+/// parse-then-reserialize round trip of [`open_inner`] while returning
+/// bit-identical bytes (the wire format round-trips exactly) and
+/// surfacing the same structural errors.
+///
+/// # Errors
+///
+/// Returns a [`CryptoError`] for a wrong key, tampered bundle, or a
+/// plaintext that does not parse as a bundle.
+pub fn open_inner_bytes(key: &SymmetricKey, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let nonce = key.derive_nonce(b"share-bundle");
+    let plain = emerge_crypto::aead::open(key, &nonce, sealed, BUNDLE_AAD)?;
+    ColumnBundle::from_bytes(&plain)?;
+    Ok(plain)
+}
+
 /// Builds the share-scheme packages per Section III-D.
 ///
 /// The secret travels in a core onion sealed with per-column core keys;
@@ -528,6 +659,54 @@ mod tests {
 
     fn schedule() -> KeySchedule {
         KeySchedule::new(SymmetricKey::from_bytes([0x42; 32]))
+    }
+
+    #[test]
+    fn label_writer_matches_the_format_macro() {
+        for (row, col) in [
+            (0usize, 0usize),
+            (1, 9),
+            (10, 10),
+            (12345, 678),
+            (usize::MAX, usize::MAX),
+        ] {
+            let mut w = LabelWriter::new("row-key");
+            w.push_segment(row);
+            w.push_segment(col);
+            assert_eq!(w.as_bytes(), format!("row-key/{row}/{col}").as_bytes());
+        }
+        let mut w = LabelWriter::new("bundle-key");
+        w.push_segment(42);
+        assert_eq!(w.as_bytes(), b"bundle-key/42");
+    }
+
+    #[test]
+    fn memoized_derivations_match_explicit_labels() {
+        // The cache and the stack label writer must not change a single
+        // derived byte relative to the original format!-based derivation.
+        let seed = SymmetricKey::from_bytes([0x42; 32]);
+        let s = KeySchedule::new(seed.clone());
+        assert_eq!(
+            s.row_key(5, 11).into_bytes(),
+            seed.derive(b"row-key/5/11").into_bytes()
+        );
+        assert_eq!(
+            s.column_key(3).into_bytes(),
+            seed.derive(b"column-key/3").into_bytes()
+        );
+        assert_eq!(
+            s.core_key(0).into_bytes(),
+            seed.derive(b"core-key/0").into_bytes()
+        );
+        assert_eq!(
+            s.bundle_key(7).into_bytes(),
+            seed.derive(b"bundle-key/7").into_bytes()
+        );
+        // A second ask is a cache hit and returns the same key.
+        assert_eq!(
+            s.row_key(5, 11).into_bytes(),
+            seed.derive(b"row-key/5/11").into_bytes()
+        );
     }
 
     #[test]

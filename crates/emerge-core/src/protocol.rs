@@ -14,7 +14,7 @@
 
 use crate::config::SchemeParams;
 use crate::error::EmergeError;
-use crate::package::{open_header, open_inner, ColumnBundle, KeyedPackages, SharePackages};
+use crate::package::{open_header, open_inner_bytes, ColumnBundle, KeyedPackages, SharePackages};
 use crate::path::PathPlan;
 use crate::substrate::HolderSubstrate;
 use emerge_crypto::keys::{KeyShare, SymmetricKey};
@@ -22,6 +22,7 @@ use emerge_crypto::onion::{peel, peel_core, Peeled};
 use emerge_crypto::shamir;
 use emerge_sim::engine::Engine;
 use emerge_sim::time::{SimDuration, SimTime};
+use std::rc::Rc;
 
 /// Adversarial posture of the malicious nodes during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -309,7 +310,10 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
     #[derive(Default, Clone)]
     struct Inbox {
         /// The column bundle (same blob from every forwarder; one kept).
-        bundle: Option<Vec<u8>>,
+        /// `Rc`-shared: every holder of a column carries the identical
+        /// bytes, so pointer identity lets the per-column hot loop parse
+        /// and unwrap the blob once instead of once per row.
+        bundle: Option<Rc<Vec<u8>>>,
         core_onion: Option<Vec<u8>>,
         key_shares: Vec<KeyShare>,
         core_shares: Vec<KeyShare>,
@@ -318,9 +322,10 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
     }
 
     let mut inboxes: Vec<Inbox> = vec![Inbox::default(); n * l];
+    let bundle0 = Rc::new(packages.bundle.clone());
     for row in 0..n {
         let inbox = &mut inboxes[row * l];
-        inbox.bundle = Some(packages.bundle.clone());
+        inbox.bundle = Some(bundle0.clone());
         inbox.direct_row_key = Some(packages.col0_row_keys[row].clone());
         if row < k {
             inbox.core_onion = Some(packages.core_onion.clone());
@@ -349,6 +354,15 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
                 let depart = now + th;
                 // Plan of what each next-column holder will receive.
                 let mut next: Vec<Inbox> = vec![Inbox::default(); n];
+                // Per-column memos: the transit redundancy hands every
+                // holder the same sealed blob, so the parse and the inner
+                // AEAD unwrap are computed once and reused by pointer
+                // identity (a divergent blob or key still recomputes).
+                // This is where the batched executor earns its keep: the
+                // naive loop opened the same multi-hundred-KB ciphertext
+                // `n` times per column.
+                let mut parsed_memo: Option<(Rc<Vec<u8>>, Rc<ColumnBundle>)> = None;
+                let mut unwrap_memo: Option<(Rc<ColumnBundle>, SymmetricKey, Rc<Vec<u8>>)> = None;
                 for row in 0..n {
                     let inbox = std::mem::take(&mut inboxes[row * l + col]);
                     let slot = plan.slot(row, col);
@@ -368,7 +382,14 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
                     let Some(bundle_bytes) = inbox.bundle.clone() else {
                         continue; // no honest forwarder upstream delivered
                     };
-                    let bundle = ColumnBundle::from_bytes(&bundle_bytes)?;
+                    let bundle: Rc<ColumnBundle> = match &parsed_memo {
+                        Some((blob, parsed)) if Rc::ptr_eq(blob, &bundle_bytes) => parsed.clone(),
+                        _ => {
+                            let parsed = Rc::new(ColumnBundle::from_bytes(&bundle_bytes)?);
+                            parsed_memo = Some((bundle_bytes.clone(), parsed.clone()));
+                            parsed
+                        }
+                    };
                     let Some(header) = bundle.headers.get(row) else {
                         return Err(EmergeError::InvalidParameters(
                             "bundle is missing this row's header".into(),
@@ -411,11 +432,25 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
                         }
                     }
 
-                    // Unwrap the next column's bundle for relay.
-                    let next_bundle: Option<Vec<u8>> = match (&payload.bundle_key, &bundle.inner) {
-                        (Some(bk), Some(sealed)) => Some(open_inner(bk, sealed)?.to_bytes()),
-                        _ => None,
-                    };
+                    // Unwrap the next column's bundle for relay (once per
+                    // distinct sealed blob and key; every row after the
+                    // first is a memo hit).
+                    let next_bundle: Option<Rc<Vec<u8>>> =
+                        match (&payload.bundle_key, &bundle.inner) {
+                            (Some(bk), Some(sealed)) => Some(match &unwrap_memo {
+                                Some((parsed, key, bytes))
+                                    if Rc::ptr_eq(parsed, &bundle) && key == bk =>
+                                {
+                                    bytes.clone()
+                                }
+                                _ => {
+                                    let bytes = Rc::new(open_inner_bytes(bk, sealed)?);
+                                    unwrap_memo = Some((bundle.clone(), bk.clone(), bytes.clone()));
+                                    bytes
+                                }
+                            }),
+                            _ => None,
+                        };
 
                     // Onion rows also process the core onion.
                     let mut inner_core: Option<Vec<u8>> = None;

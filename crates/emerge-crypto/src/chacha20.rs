@@ -42,30 +42,39 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
+/// Runs the 20 ChaCha rounds plus the feed-forward addition on `state`,
+/// returning the 16 keystream words of one block.
+#[inline]
+fn keystream_words(state: &[u32; 16]) -> [u32; 16] {
+    let mut working = *state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (w, &init) in working.iter_mut().zip(state.iter()) {
+        *w = w.wrapping_add(init);
+    }
+    working
+}
+
 /// Computes one 64-byte ChaCha20 block for the given key, nonce and counter.
 pub fn chacha20_block(
     key: &[u8; KEY_LEN],
     nonce: &[u8; NONCE_LEN],
     counter: u32,
 ) -> [u8; BLOCK_LEN] {
-    let mut state = initial_state(key, nonce, counter);
-    let initial = state;
-    for _ in 0..10 {
-        // Column rounds.
-        quarter_round(&mut state, 0, 4, 8, 12);
-        quarter_round(&mut state, 1, 5, 9, 13);
-        quarter_round(&mut state, 2, 6, 10, 14);
-        quarter_round(&mut state, 3, 7, 11, 15);
-        // Diagonal rounds.
-        quarter_round(&mut state, 0, 5, 10, 15);
-        quarter_round(&mut state, 1, 6, 11, 12);
-        quarter_round(&mut state, 2, 7, 8, 13);
-        quarter_round(&mut state, 3, 4, 9, 14);
-    }
+    let words = keystream_words(&initial_state(key, nonce, counter));
     let mut out = [0u8; BLOCK_LEN];
-    for i in 0..16 {
-        let word = state[i].wrapping_add(initial[i]);
-        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    for (chunk, word) in out.chunks_exact_mut(4).zip(words.iter()) {
+        chunk.copy_from_slice(&word.to_le_bytes());
     }
     out
 }
@@ -104,32 +113,52 @@ impl ChaCha20 {
     }
 
     /// XORs the keystream into `data` in place, advancing the stream.
-    pub fn apply_keystream(&mut self, data: &mut [u8]) {
-        for byte in data.iter_mut() {
-            if self.offset == BLOCK_LEN {
-                self.refill();
+    ///
+    /// Whole 64-byte blocks bypass the keystream buffer entirely: each
+    /// block's words are XORed into `data` in u64 chunks, one branch per
+    /// block instead of one per byte. Partial blocks (a leftover tail, or
+    /// resuming mid-block from a previous call) still go through the
+    /// buffered path, so streaming semantics are unchanged.
+    pub fn apply_keystream(&mut self, mut data: &mut [u8]) {
+        // Drain keystream left over from a previous partial block.
+        if self.offset < BLOCK_LEN {
+            let take = (BLOCK_LEN - self.offset).min(data.len());
+            let (head, rest) = std::mem::take(&mut data).split_at_mut(take);
+            for (byte, &ks) in head
+                .iter_mut()
+                .zip(self.keystream[self.offset..self.offset + take].iter())
+            {
+                *byte ^= ks;
             }
-            *byte ^= self.keystream[self.offset];
-            self.offset += 1;
+            self.offset += take;
+            data = rest;
+        }
+        // Whole blocks: generate straight from the state, no buffering.
+        while data.len() >= BLOCK_LEN {
+            let words = keystream_words(&self.state);
+            self.state[12] = self.state[12].wrapping_add(1);
+            let (block, rest) = std::mem::take(&mut data).split_at_mut(BLOCK_LEN);
+            for (chunk, pair) in block.chunks_exact_mut(8).zip(words.chunks_exact(2)) {
+                let ks = (pair[0] as u64) | ((pair[1] as u64) << 32);
+                let x = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")) ^ ks;
+                chunk.copy_from_slice(&x.to_le_bytes());
+            }
+            data = rest;
+        }
+        // Tail shorter than a block: buffer a fresh block and consume part.
+        if !data.is_empty() {
+            self.refill();
+            for (byte, &ks) in data.iter_mut().zip(self.keystream.iter()) {
+                *byte ^= ks;
+            }
+            self.offset = data.len();
         }
     }
 
     fn refill(&mut self) {
-        let initial = self.state;
-        let mut working = self.state;
-        for _ in 0..10 {
-            quarter_round(&mut working, 0, 4, 8, 12);
-            quarter_round(&mut working, 1, 5, 9, 13);
-            quarter_round(&mut working, 2, 6, 10, 14);
-            quarter_round(&mut working, 3, 7, 11, 15);
-            quarter_round(&mut working, 0, 5, 10, 15);
-            quarter_round(&mut working, 1, 6, 11, 12);
-            quarter_round(&mut working, 2, 7, 8, 13);
-            quarter_round(&mut working, 3, 4, 9, 14);
-        }
-        for i in 0..16 {
-            let word = working[i].wrapping_add(initial[i]);
-            self.keystream[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        let words = keystream_words(&self.state);
+        for (chunk, word) in self.keystream.chunks_exact_mut(4).zip(words.iter()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
         }
         // Increment the block counter (word 12) for the next refill.
         self.state[12] = self.state[12].wrapping_add(1);
@@ -222,6 +251,94 @@ only one tip for the future, sunscreen would be it.";
         let mut from_one = vec![0u8; 64];
         ChaCha20::new(&key, &nonce, 1).apply_keystream(&mut from_one);
         assert_eq!(&from_zero[64..], &from_one[..]);
+    }
+
+    /// Per-byte reference keystream built from the RFC-verified block
+    /// function: block `counter + i` supplies bytes `64i..64i+64`.
+    fn reference_keystream(key: &[u8; 32], nonce: &[u8; 12], counter: u32, len: usize) -> Vec<u8> {
+        let mut ks = Vec::with_capacity(len + BLOCK_LEN);
+        let mut block = 0u32;
+        while ks.len() < len {
+            ks.extend_from_slice(&chacha20_block(key, nonce, counter.wrapping_add(block)));
+            block += 1;
+        }
+        ks.truncate(len);
+        ks
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The block-wise fast path equals the per-byte reference for any
+        /// length (aligned or not) and any starting counter.
+        #[test]
+        fn blockwise_matches_bytewise_reference(
+            len in 0usize..400,
+            counter: u32,
+            key_seed: u8,
+            nonce_seed: u8,
+        ) {
+            let key = [key_seed; 32];
+            let nonce = [nonce_seed; 12];
+            let mut buf: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+            let original = buf.clone();
+            ChaCha20::new(&key, &nonce, counter).apply_keystream(&mut buf);
+            let ks = reference_keystream(&key, &nonce, counter, len);
+            let expected: Vec<u8> =
+                original.iter().zip(&ks).map(|(&b, &k)| b ^ k).collect();
+            prop_assert_eq!(buf, expected);
+        }
+
+        /// Streaming across arbitrary chunk boundaries — including
+        /// repeated mid-block resumes — equals the one-shot application.
+        #[test]
+        fn chunked_streaming_matches_oneshot(
+            chunks in proptest::collection::vec(0usize..100, 0..8),
+        ) {
+            let key = [0x42u8; 32];
+            let nonce = [0x99u8; 12];
+            let total: usize = chunks.iter().sum();
+            let mut oneshot: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+            let mut streamed = oneshot.clone();
+            ChaCha20::new(&key, &nonce, 5).apply_keystream(&mut oneshot);
+
+            let mut cipher = ChaCha20::new(&key, &nonce, 5);
+            let mut pos = 0;
+            for chunk in chunks {
+                cipher.apply_keystream(&mut streamed[pos..pos + chunk]);
+                pos += chunk;
+            }
+            prop_assert_eq!(streamed, oneshot);
+        }
+    }
+
+    #[test]
+    fn exact_block_boundary_then_resume() {
+        // Consume exactly one block, then a misaligned tail: the second
+        // call must pick up at block 1 byte 0 with no gap or overlap.
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut joined = vec![0u8; 64 + 37];
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut joined);
+
+        let mut split = vec![0u8; 64 + 37];
+        let mut cipher = ChaCha20::new(&key, &nonce, 0);
+        cipher.apply_keystream(&mut split[..64]);
+        cipher.apply_keystream(&mut split[64..]);
+        assert_eq!(split, joined);
+    }
+
+    #[test]
+    fn empty_apply_is_a_noop() {
+        let key = [3u8; 32];
+        let nonce = [4u8; 12];
+        let mut a = vec![0u8; 100];
+        let mut cipher = ChaCha20::new(&key, &nonce, 0);
+        cipher.apply_keystream(&mut []);
+        cipher.apply_keystream(&mut a);
+        let mut b = vec![0u8; 100];
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut b);
+        assert_eq!(a, b, "an empty apply must not advance the stream");
     }
 
     #[test]

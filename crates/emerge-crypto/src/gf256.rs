@@ -36,6 +36,117 @@ fn tables() -> &'static Tables {
     })
 }
 
+/// Full 256x256 product table: `MUL[a][b] = mul(a, b)`. 64 KiB, built once
+/// at first use. A per-scalar row turns slice multiplication into a single
+/// indexed load per byte — no zero branch, no log/antilog double lookup —
+/// which is what makes the Shamir slab kernels fast.
+fn mul_table() -> &'static [[u8; 256]; 256] {
+    static MUL: OnceLock<Box<[[u8; 256]; 256]>> = OnceLock::new();
+    MUL.get_or_init(|| {
+        let mut table = Box::new([[0u8; 256]; 256]);
+        for a in 0..256 {
+            for b in 0..256 {
+                table[a][b] = mul(a as u8, b as u8);
+            }
+        }
+        table
+    })
+}
+
+/// The 256-entry multiplication row of `scalar`: `row[b] = mul(scalar, b)`.
+#[inline]
+pub fn mul_row(scalar: u8) -> &'static [u8; 256] {
+    &mul_table()[scalar as usize]
+}
+
+/// Multiplies every byte of `dst` by `scalar` in place.
+///
+/// Slice form of [`mul`]: `dst[i] = mul(dst[i], scalar)` for all `i`, via
+/// one table row instead of per-byte log/antilog arithmetic.
+pub fn mul_slice_assign(dst: &mut [u8], scalar: u8) {
+    match scalar {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            let row = mul_row(scalar);
+            for b in dst.iter_mut() {
+                *b = row[*b as usize];
+            }
+        }
+    }
+}
+
+/// Accumulates `scalar * src` into `dst`: `dst[i] ^= mul(src[i], scalar)`.
+///
+/// This is the Lagrange slice-accumulate at the heart of batched
+/// [`crate::shamir::combine`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], scalar: u8) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "mul_acc_slice requires equal-length slices"
+    );
+    match scalar {
+        0 => {}
+        1 => add_slice_assign(dst, src),
+        _ => {
+            let row = mul_row(scalar);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d ^= row[s as usize];
+            }
+        }
+    }
+}
+
+/// XORs `src` into `dst` (slice form of [`add`]).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn add_slice_assign(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "add_slice_assign requires equal-length slices"
+    );
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Lagrange basis coefficients at x = 0 for the evaluation points `xs`:
+/// `weights[i] = L_i(0) = prod_{j != i} x_j / (x_j - x_i)`.
+///
+/// Computing the weights **once per share set** (instead of once per byte,
+/// as the naive [`interpolate_at_zero`] loop does) turns interpolation of
+/// an s-byte secret from `O(s * m^2)` field ops into `O(m^2 + s * m)`.
+/// The per-weight arithmetic is identical to the scalar path, so results
+/// are bit-for-bit the same.
+///
+/// # Panics
+///
+/// Panics if any `x_i` is repeated (division by zero).
+pub fn lagrange_weights_at_zero(xs: &[u8]) -> Vec<u8> {
+    let mut weights = Vec::with_capacity(xs.len());
+    for (i, &xi) in xs.iter().enumerate() {
+        let mut num = 1u8;
+        let mut den = 1u8;
+        for (j, &xj) in xs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = mul(num, xj);
+            den = mul(den, sub(xj, xi));
+        }
+        weights.push(div(num, den));
+    }
+    weights
+}
+
 /// Adds two field elements (XOR).
 #[inline]
 pub fn add(a: u8, b: u8) -> u8 {
@@ -206,6 +317,81 @@ mod tests {
         #[test]
         fn div_inverts_mul(a: u8, b in 1u8..) {
             prop_assert_eq!(div(mul(a, b), b), a);
+        }
+
+        #[test]
+        fn mul_slice_assign_matches_scalar_mul(
+            data in proptest::collection::vec(any::<u8>(), 0..80),
+            scalar: u8,
+        ) {
+            let expected: Vec<u8> = data.iter().map(|&b| mul(b, scalar)).collect();
+            let mut got = data;
+            mul_slice_assign(&mut got, scalar);
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn mul_acc_slice_matches_scalar_loop(
+            dst_full: [u8; 64],
+            src_full: [u8; 64],
+            len in 0usize..=64,
+            scalar: u8,
+        ) {
+            let (dst, src) = (&dst_full[..len], &src_full[..len]);
+            let expected: Vec<u8> = dst
+                .iter()
+                .zip(src)
+                .map(|(&d, &s)| add(d, mul(s, scalar)))
+                .collect();
+            let mut got = dst.to_vec();
+            mul_acc_slice(&mut got, src, scalar);
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn add_slice_assign_is_xor(
+            dst_full: [u8; 64],
+            src_full: [u8; 64],
+            len in 0usize..=64,
+        ) {
+            let (dst, src) = (&dst_full[..len], &src_full[..len]);
+            let expected: Vec<u8> =
+                dst.iter().zip(src).map(|(&d, &s)| d ^ s).collect();
+            let mut got = dst.to_vec();
+            add_slice_assign(&mut got, src);
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn mul_row_is_the_mul_table_row(scalar: u8) {
+            let row = mul_row(scalar);
+            for b in 0..=255u8 {
+                prop_assert_eq!(row[b as usize], mul(scalar, b));
+            }
+        }
+
+        #[test]
+        fn weights_reproduce_interpolation(
+            coeffs in proptest::collection::vec(any::<u8>(), 1..6),
+            ys in proptest::collection::vec(any::<u8>(), 0..10),
+        ) {
+            // Interpolating with precomputed weights must equal the
+            // per-byte scalar interpolation for every secret byte.
+            let m = coeffs.len();
+            let xs: Vec<u8> = (1..=m as u8).collect();
+            let weights = lagrange_weights_at_zero(&xs);
+            for &extra in &ys {
+                let mut c = coeffs.clone();
+                c[0] = extra; // vary the constant term
+                let points: Vec<(u8, u8)> =
+                    xs.iter().map(|&x| (x, poly_eval(&c, x))).collect();
+                let scalar = interpolate_at_zero(&points);
+                let batched = points
+                    .iter()
+                    .zip(&weights)
+                    .fold(0u8, |acc, (&(_, y), &w)| add(acc, mul(y, w)));
+                prop_assert_eq!(batched, scalar);
+            }
         }
 
         #[test]

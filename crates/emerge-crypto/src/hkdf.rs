@@ -46,14 +46,28 @@ impl Hkdf {
     ///
     /// Panics if `len > 255 * 32` (the RFC 5869 limit).
     pub fn expand(&self, info: &[u8], len: usize) -> Vec<u8> {
+        let mut okm = vec![0u8; len];
+        self.expand_into(info, &mut okm);
+        okm
+    }
+
+    /// HKDF-Expand directly into `out`, with no heap allocation. Key and
+    /// nonce derivations on the packaging hot path use this with stack
+    /// buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() > 255 * 32` (the RFC 5869 limit).
+    pub fn expand_into(&self, info: &[u8], out: &mut [u8]) {
+        let len = out.len();
         assert!(
             len <= 255 * DIGEST_LEN,
             "HKDF-Expand output length {len} exceeds RFC 5869 limit"
         );
-        let mut okm = Vec::with_capacity(len);
         let mut previous: Option<[u8; DIGEST_LEN]> = None;
         let mut counter = 1u8;
-        while okm.len() < len {
+        let mut filled = 0;
+        while filled < len {
             let mut mac = HmacSha256::new(&self.prk);
             if let Some(prev) = previous {
                 mac.update(&prev);
@@ -61,19 +75,18 @@ impl Hkdf {
             mac.update(info);
             mac.update(&[counter]);
             let block = mac.finalize();
-            let take = (len - okm.len()).min(DIGEST_LEN);
-            okm.extend_from_slice(&block[..take]);
+            let take = (len - filled).min(DIGEST_LEN);
+            out[filled..filled + take].copy_from_slice(&block[..take]);
+            filled += take;
             previous = Some(block);
             counter = counter.wrapping_add(1);
         }
-        okm
     }
 
     /// Convenience: expand exactly 32 bytes into a fixed array.
     pub fn expand_key(&self, info: &[u8]) -> [u8; DIGEST_LEN] {
-        let okm = self.expand(info, DIGEST_LEN);
         let mut out = [0u8; DIGEST_LEN];
-        out.copy_from_slice(&okm);
+        self.expand_into(info, &mut out);
         out
     }
 }

@@ -35,11 +35,23 @@ impl SymmetricKey {
     }
 
     /// Derives a 12-byte nonce bound to `label`.
+    ///
+    /// Runs on every AEAD seal/open and onion peel, so the
+    /// `label || "/nonce"` info string is composed on the stack for the
+    /// short labels the schemes use (falling back to a heap concat only
+    /// for oversized labels).
     pub fn derive_nonce(&self, label: &[u8]) -> [u8; 12] {
+        const SUFFIX: &[u8] = b"/nonce";
         let hk = Hkdf::from_prk(self.0);
-        let okm = hk.expand(&[label, b"/nonce"].concat(), 12);
         let mut nonce = [0u8; 12];
-        nonce.copy_from_slice(&okm);
+        let mut info = [0u8; 64];
+        if label.len() + SUFFIX.len() <= info.len() {
+            info[..label.len()].copy_from_slice(label);
+            info[label.len()..label.len() + SUFFIX.len()].copy_from_slice(SUFFIX);
+            hk.expand_into(&info[..label.len() + SUFFIX.len()], &mut nonce);
+        } else {
+            hk.expand_into(&[label, SUFFIX].concat(), &mut nonce);
+        }
         nonce
     }
 
@@ -132,6 +144,19 @@ mod tests {
         let key = SymmetricKey::from_bytes([7u8; 32]);
         assert_ne!(key.derive(b"a").into_bytes(), key.derive(b"b").into_bytes());
         assert_eq!(key.derive(b"a").into_bytes(), key.derive(b"a").into_bytes());
+    }
+
+    #[test]
+    fn oversized_label_nonce_matches_heap_reference() {
+        // Labels longer than the stack buffer take the concat fallback;
+        // both paths must derive the same nonce as the plain HKDF expand.
+        let key = SymmetricKey::from_bytes([7u8; 32]);
+        for len in [1usize, 57, 58, 59, 100] {
+            let label = vec![b'x'; len];
+            let hk = Hkdf::from_prk(*key.as_bytes());
+            let okm = hk.expand(&[label.as_slice(), b"/nonce"].concat(), 12);
+            assert_eq!(&key.derive_nonce(&label)[..], &okm[..], "label len {len}");
+        }
     }
 
     #[test]

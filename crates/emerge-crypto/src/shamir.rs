@@ -57,31 +57,51 @@ pub fn split<R: RngCore>(
         ));
     }
 
-    // One polynomial per secret byte; coefficients[0] is the secret byte.
-    let mut shares: Vec<KeyShare> = (1..=n as u8)
-        .map(|x| KeyShare::new(x, Vec::with_capacity(secret.len())))
-        .collect();
-
-    let mut coeffs = vec![0u8; m];
-    for &byte in secret {
-        coeffs[0] = byte;
-        // Degree m-1 polynomial: m-1 random coefficients.
-        if m > 1 {
-            let tail = &mut coeffs[1..];
-            rng.fill_bytes(tail);
-            // The leading coefficient must be non-zero for the polynomial to
-            // have true degree m-1; a zero leading coefficient would weaken
-            // the threshold by one.
-            while tail[m - 2] == 0 {
+    // One polynomial per secret byte, stored as a coefficient slab:
+    // `rows[j][i]` is coefficient `j` of byte `i`'s polynomial, so each
+    // degree is a contiguous slice and share evaluation becomes slice-wise
+    // Horner. Row 0 is the secret itself.
+    //
+    // The random rows are drawn with the byte-at-a-time call sequence of
+    // the pre-slab implementation (one `fill_bytes` of m-1 coefficients
+    // per secret byte, then single-byte redraws while the leading
+    // coefficient is zero), so the RNG stream — and therefore every
+    // package ever derived from a seed — is unchanged.
+    let len = secret.len();
+    let mut rows: Vec<Vec<u8>> = Vec::with_capacity(m);
+    rows.push(secret.to_vec());
+    for _ in 1..m {
+        rows.push(vec![0u8; len]);
+    }
+    if m > 1 {
+        let mut coeffs = vec![0u8; m - 1];
+        for i in 0..len {
+            rng.fill_bytes(&mut coeffs);
+            // The leading coefficient must be non-zero for the polynomial
+            // to have true degree m-1; a zero leading coefficient would
+            // weaken the threshold by one.
+            while coeffs[m - 2] == 0 {
                 let mut b = [0u8; 1];
                 rng.fill_bytes(&mut b);
-                tail[m - 2] = b[0];
+                coeffs[m - 2] = b[0];
+            }
+            for (row, &c) in rows[1..].iter_mut().zip(coeffs.iter()) {
+                row[i] = c;
             }
         }
-        for share in shares.iter_mut() {
-            share.data.push(gf256::poly_eval(&coeffs, share.index));
-        }
     }
+
+    // Share x = Horner over the coefficient rows, one slice op per degree.
+    let shares = (1..=n as u8)
+        .map(|x| {
+            let mut acc = rows[m - 1].clone();
+            for row in rows[..m - 1].iter().rev() {
+                gf256::mul_slice_assign(&mut acc, x);
+                gf256::add_slice_assign(&mut acc, row);
+            }
+            KeyShare::new(x, acc)
+        })
+        .collect();
     Ok(shares)
 }
 
@@ -126,15 +146,104 @@ pub fn combine(shares: &[KeyShare], m: usize) -> Result<Vec<u8>, CryptoError> {
         return Err(CryptoError::MalformedShare("share lengths disagree"));
     }
 
-    let mut secret = Vec::with_capacity(len);
-    let mut points = vec![(0u8, 0u8); m];
-    for byte_idx in 0..len {
-        for (slot, share) in points.iter_mut().zip(distinct.iter()) {
-            *slot = (share.index, share.data[byte_idx]);
-        }
-        secret.push(gf256::interpolate_at_zero(&points));
+    // Lagrange weights once per share set (not once per byte), then one
+    // λ_i·share_i slice-accumulate per share. The field arithmetic is
+    // identical to per-byte interpolation, so the secret is bit-for-bit
+    // the same.
+    let xs: Vec<u8> = distinct.iter().map(|s| s.index).collect();
+    let weights = gf256::lagrange_weights_at_zero(&xs);
+    let mut secret = vec![0u8; len];
+    for (share, &w) in distinct.iter().zip(weights.iter()) {
+        gf256::mul_acc_slice(&mut secret, &share.data, w);
     }
     Ok(secret)
+}
+
+/// The pre-slab byte-at-a-time implementation, kept verbatim as the
+/// bit-identity oracle for the batched kernels.
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    pub fn split<R: RngCore>(
+        secret: &[u8],
+        m: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<KeyShare>, CryptoError> {
+        if m == 0 {
+            return Err(CryptoError::InvalidParameters("threshold m must be >= 1"));
+        }
+        if m > n {
+            return Err(CryptoError::InvalidParameters(
+                "threshold m cannot exceed share count n",
+            ));
+        }
+        if n > MAX_SHARES {
+            return Err(CryptoError::InvalidParameters(
+                "GF(256) sharing supports at most 255 shares",
+            ));
+        }
+        let mut shares: Vec<KeyShare> = (1..=n as u8)
+            .map(|x| KeyShare::new(x, Vec::with_capacity(secret.len())))
+            .collect();
+        let mut coeffs = vec![0u8; m];
+        for &byte in secret {
+            coeffs[0] = byte;
+            if m > 1 {
+                let tail = &mut coeffs[1..];
+                rng.fill_bytes(tail);
+                while tail[m - 2] == 0 {
+                    let mut b = [0u8; 1];
+                    rng.fill_bytes(&mut b);
+                    tail[m - 2] = b[0];
+                }
+            }
+            for share in shares.iter_mut() {
+                share.data.push(gf256::poly_eval(&coeffs, share.index));
+            }
+        }
+        Ok(shares)
+    }
+
+    pub fn combine(shares: &[KeyShare], m: usize) -> Result<Vec<u8>, CryptoError> {
+        if m == 0 {
+            return Err(CryptoError::InvalidParameters("threshold m must be >= 1"));
+        }
+        let mut seen = [false; 256];
+        let mut distinct: Vec<&KeyShare> = Vec::with_capacity(m);
+        for share in shares {
+            if share.index == 0 {
+                return Err(CryptoError::MalformedShare("share index 0 is reserved"));
+            }
+            if !seen[share.index as usize] {
+                seen[share.index as usize] = true;
+                distinct.push(share);
+                if distinct.len() == m {
+                    break;
+                }
+            }
+        }
+        if distinct.len() < m {
+            return Err(CryptoError::NotEnoughShares {
+                threshold: m,
+                supplied: distinct.len(),
+            });
+        }
+        let len = distinct[0].data.len();
+        if distinct.iter().any(|s| s.data.len() != len) {
+            return Err(CryptoError::MalformedShare("share lengths disagree"));
+        }
+        let mut secret = Vec::with_capacity(len);
+        let mut points = vec![(0u8, 0u8); m];
+        for byte_idx in 0..len {
+            for (slot, share) in points.iter_mut().zip(distinct.iter()) {
+                *slot = (share.index, share.data[byte_idx]);
+            }
+            secret.push(gf256::interpolate_at_zero(&points));
+        }
+        Ok(secret)
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +380,53 @@ mod tests {
     }
 
     proptest! {
+        /// The slab split is bit-identical to the pre-refactor scalar
+        /// split: same shares AND same RNG stream position afterwards.
+        #[test]
+        fn slab_split_matches_scalar_reference(
+            secret in proptest::collection::vec(any::<u8>(), 0..64),
+            m in 1usize..8,
+            extra in 0usize..6,
+            seed: u64,
+        ) {
+            let n = m + extra;
+            let mut fast_rng = StdRng::seed_from_u64(seed);
+            let mut ref_rng = StdRng::seed_from_u64(seed);
+            let fast = split(&secret, m, n, &mut fast_rng).unwrap();
+            let reference = reference::split(&secret, m, n, &mut ref_rng).unwrap();
+            prop_assert_eq!(fast.len(), reference.len());
+            for (f, r) in fast.iter().zip(&reference) {
+                prop_assert_eq!(f.index, r.index);
+                prop_assert_eq!(&f.data, &r.data);
+            }
+            // Both implementations must leave the RNG at the same point:
+            // a stream drift would silently desynchronize every later
+            // draw in a key schedule.
+            prop_assert_eq!(fast_rng.next_u64(), ref_rng.next_u64());
+        }
+
+        /// The weight-based combine is bit-identical to per-byte Lagrange
+        /// interpolation, including with extra and duplicate shares.
+        #[test]
+        fn batched_combine_matches_scalar_reference(
+            secret in proptest::collection::vec(any::<u8>(), 0..64),
+            m in 1usize..8,
+            extra in 0usize..6,
+            dup_first: bool,
+            seed: u64,
+        ) {
+            let n = m + extra;
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut shares = split(&secret, m, n, &mut r).unwrap();
+            if dup_first {
+                shares.insert(0, shares[0].clone());
+            }
+            prop_assert_eq!(
+                combine(&shares, m).unwrap(),
+                reference::combine(&shares, m).unwrap()
+            );
+        }
+
         #[test]
         fn roundtrip_any_secret(
             secret in proptest::collection::vec(any::<u8>(), 0..64),
