@@ -67,6 +67,42 @@ fn bench_package_generation(c: &mut Criterion) {
     group.bench_function("share_15x5", |b| {
         b.iter(|| build_share_packages(&plan, &share, &schedule, black_box(b"secret")).unwrap());
     });
+    // Flat v2 vs the nested v1 oracle on the same plan: the before/after
+    // pair for the O(l²·n) → O(l·n) seal-volume flattening.
+    group.bench_function("share_15x5_nested_v1", |b| {
+        b.iter(|| {
+            emerge_core::package::legacy::build_share_packages_v1(
+                &plan,
+                &share,
+                &schedule,
+                black_box(b"secret"),
+            )
+            .unwrap()
+        });
+    });
+
+    // Deep chain (l = 12): the shape the flat format unlocked.
+    let deep = SchemeParams::Share {
+        k: 3,
+        l: 12,
+        n: 16,
+        m: vec![8; 11],
+    };
+    let plan = construct_paths(&ov, &deep, &seed).unwrap();
+    group.bench_function("share_16x12_deep", |b| {
+        b.iter(|| build_share_packages(&plan, &deep, &schedule, black_box(b"secret")).unwrap());
+    });
+    group.bench_function("share_16x12_deep_nested_v1", |b| {
+        b.iter(|| {
+            emerge_core::package::legacy::build_share_packages_v1(
+                &plan,
+                &deep,
+                &schedule,
+                black_box(b"secret"),
+            )
+            .unwrap()
+        });
+    });
     group.finish();
 }
 
@@ -109,6 +145,33 @@ fn bench_protocol_run(c: &mut Criterion) {
             b.iter_batched(
                 || overlay(2_000),
                 |mut ov| execute_share(&mut ov, &plan, &share, &pkgs, black_box(&config)).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+
+    // Deep chain on the analytic substrate: twelve just-in-time key
+    // release hops, the regime the flat package format makes affordable.
+    let deep = SchemeParams::Share {
+        k: 3,
+        l: 12,
+        n: 16,
+        m: vec![8; 11],
+    };
+    {
+        let world_cfg = OverlayConfig {
+            n_nodes: 2_000,
+            ..OverlayConfig::default()
+        };
+        let world = AnalyticSubstrate::build(world_cfg, 11);
+        let seed = SymmetricKey::from_bytes([5; 32]);
+        let schedule = KeySchedule::new(seed.clone());
+        let plan = construct_paths(&world, &deep, &seed).unwrap();
+        let pkgs = build_share_packages(&plan, &deep, &schedule, b"secret").unwrap();
+        group.bench_function("share_16x12_deep_analytic", |b| {
+            b.iter_batched(
+                || AnalyticSubstrate::build(world_cfg, 11),
+                |mut w| execute_share(&mut w, &plan, &deep, &pkgs, black_box(&config)).unwrap(),
                 criterion::BatchSize::SmallInput,
             );
         });

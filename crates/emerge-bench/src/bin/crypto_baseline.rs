@@ -3,21 +3,27 @@
 //!
 //! Measures the batched hot-path kernels the Monte-Carlo share cell leans
 //! on — slice-wise GF(256), slab Shamir split/combine, block-wise
-//! ChaCha20, AEAD seal/open at header and bundle sizes, and the memoized
-//! key schedule — each alongside its pre-refactor scalar shape where one
-//! still exists, so the before/after ratio stays visible in the recorded
-//! numbers. Later PRs diff against the committed file the same way they
-//! diff `BENCH_montecarlo.json`.
+//! ChaCha20, AEAD seal/open at header and bundle sizes, the memoized
+//! key schedule, and the whole share-package build (flat format v2 vs
+//! the nested v1 oracle, with `share_package_seal_bytes_*` recording the
+//! AEAD seal volume per build) — each alongside its pre-refactor shape
+//! where one still exists, so the before/after ratio stays visible in
+//! the recorded numbers. Later PRs diff against the committed file the
+//! same way they diff `BENCH_montecarlo.json`.
 //!
 //! Environment: `EMERGE_CRYPTO_SAMPLE_MS` (default 300) sets the minimum
 //! sampling window per operation.
 
 use emerge_bench::report::{render_crypto_report, validate_json, CryptoMeasurement};
-use emerge_core::package::KeySchedule;
+use emerge_core::config::SchemeParams;
+use emerge_core::package::{build_share_packages, legacy, take_sealed_byte_count, KeySchedule};
+use emerge_core::path::construct_paths;
 use emerge_crypto::chacha20::ChaCha20;
 use emerge_crypto::gf256;
 use emerge_crypto::keys::SymmetricKey;
 use emerge_crypto::{aead, shamir};
+use emerge_dht::analytic::AnalyticSubstrate;
+use emerge_dht::overlay::OverlayConfig;
 use emerge_sim::rng::SeedSource;
 use std::time::Instant;
 
@@ -98,6 +104,19 @@ fn main() {
     measure(&mut ms, "shamir_split_20of40_32B", 32, || {
         std::hint::black_box(shamir::split(&secret, 20, 40, &mut rng).unwrap());
     });
+    // The packaging hot path's actual shape: one slab split for all 40
+    // row keys of a column (kilobyte-wide GF(256) kernels instead of
+    // 32-byte ones).
+    let secrets: Vec<[u8; 32]> = (0..40).map(|i| [i as u8 + 1; 32]).collect();
+    let views: Vec<&[u8]> = secrets.iter().map(|s| s.as_slice()).collect();
+    measure(
+        &mut ms,
+        "shamir_split_many_40keys_20of40_32B",
+        40 * 32,
+        || {
+            std::hint::black_box(shamir::split_many(&views, 20, 40, &mut rng).unwrap());
+        },
+    );
     let shares = shamir::split(&secret, 20, 40, &mut rng).unwrap();
     measure(&mut ms, "shamir_combine_20of40_32B", 32, || {
         std::hint::black_box(shamir::combine(&shares, 20).unwrap());
@@ -126,6 +145,66 @@ fn main() {
         measure(&mut ms, label_open, size, || {
             std::hint::black_box(aead::open(&skey, &nonce, &sealed, b"aad").unwrap());
         });
+    }
+
+    // Share packaging at the Monte-Carlo cell's shape (40 rows × 5
+    // columns): total AEAD plaintext bytes sealed per build call, flat
+    // format v2 vs the nested v1 oracle. `bytes_per_iter` is the measured
+    // seal volume — the quantity the flattening reduced from O(l²·n) to
+    // O(l·n) — and the op throughput doubles as a build benchmark.
+    {
+        let world = AnalyticSubstrate::build(
+            OverlayConfig {
+                n_nodes: 2_000,
+                ..OverlayConfig::default()
+            },
+            7,
+        );
+        let params = SchemeParams::Share {
+            k: 3,
+            l: 5,
+            n: 40,
+            m: vec![18, 18, 18, 20],
+        };
+        let sender = SymmetricKey::from_bytes([0x2A; 32]);
+        let plan = construct_paths(&world, &params, &sender).expect("share plan");
+
+        let _ = take_sealed_byte_count();
+        build_share_packages(&plan, &params, &KeySchedule::new(sender.clone()), b"s")
+            .expect("v2 build");
+        let v2_bytes = take_sealed_byte_count() as usize;
+        measure(
+            &mut ms,
+            "share_package_seal_bytes_v2_40x5",
+            v2_bytes,
+            || {
+                let schedule = KeySchedule::new(sender.clone());
+                std::hint::black_box(
+                    build_share_packages(&plan, &params, &schedule, b"s").unwrap(),
+                );
+            },
+        );
+
+        let _ = take_sealed_byte_count();
+        legacy::build_share_packages_v1(&plan, &params, &KeySchedule::new(sender.clone()), b"s")
+            .expect("v1 build");
+        let v1_bytes = take_sealed_byte_count() as usize;
+        measure(
+            &mut ms,
+            "share_package_seal_bytes_v1_40x5",
+            v1_bytes,
+            || {
+                let schedule = KeySchedule::new(sender.clone());
+                std::hint::black_box(
+                    legacy::build_share_packages_v1(&plan, &params, &schedule, b"s").unwrap(),
+                );
+            },
+        );
+        let _ = take_sealed_byte_count();
+        eprintln!(
+            "  seal volume per build: v2 {v2_bytes} bytes vs v1 {v1_bytes} bytes ({:.2}x)",
+            v1_bytes as f64 / v2_bytes as f64
+        );
     }
 
     // Key schedule: first-request derivation vs the memoized steady state.

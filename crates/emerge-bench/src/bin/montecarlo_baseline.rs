@@ -37,6 +37,17 @@
 //! gate (it may not measure comparable pairs) and is meant for iteration,
 //! not for re-recording the committed baseline.
 //!
+//! ## Perf floor
+//!
+//! `--floor <trials/sec>` turns the run into a smoke gate: if any
+//! measured cell falls below the floor the process exits nonzero. CI
+//! runs the CI-sized `share_8x3_release_ahead` cell this way so a future
+//! change cannot silently undo the flat-format packaging win:
+//!
+//! ```sh
+//! montecarlo_baseline --cell share_8x3 --substrate analytic --floor 120 /tmp/perf.json
+//! ```
+//!
 //! Environment: `EMERGE_BASELINE_TRIALS` (default 1000),
 //! `EMERGE_BASELINE_OVERLAY_TRIALS` (default 20) and `EMERGE_MC_THREADS`.
 
@@ -113,6 +124,23 @@ fn cells() -> Vec<(&'static str, ProtocolTrialSpec)> {
                 attack: AttackMode::ReleaseAhead,
             },
         ),
+        // The deep-chain cell the flat format v2 unlocked: at l = 12 the
+        // nested v1 format re-sealed every column ~6x over (O(l²·n) AEAD
+        // volume), making long just-in-time key-release chains
+        // prohibitively slow to simulate; v2 seals each column once.
+        (
+            "share_16x12_release_ahead",
+            ProtocolTrialSpec {
+                params: SchemeParams::Share {
+                    k: 3,
+                    l: 12,
+                    n: 16,
+                    m: vec![8; 11],
+                },
+                emerging_period: SimDuration::from_ticks(12_000),
+                attack: AttackMode::ReleaseAhead,
+            },
+        ),
     ]
 }
 
@@ -135,11 +163,18 @@ fn bonded_cell() -> (&'static str, BondedSpec) {
     )
 }
 
-/// Parsed CLI: output path plus optional cell-name / substrate filters.
+/// Parsed CLI: output path plus optional cell-name / substrate filters
+/// and a perf floor.
 struct Args {
     out_path: String,
     scheme: Option<String>,
     substrate: Option<String>,
+    /// Minimum acceptable trials/sec across the measured cells; any
+    /// measurement below it makes the process exit nonzero. This is the
+    /// CI perf-smoke gate: the workflow stores the floor and runs the
+    /// CI-sized cell, so a future change cannot silently undo the
+    /// share-packaging win.
+    floor: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -147,10 +182,23 @@ fn parse_args() -> Result<Args, String> {
         out_path: "BENCH_montecarlo.json".into(),
         scheme: None,
         substrate: None,
+        floor: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--floor" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--floor needs a trials/sec value".to_string())?;
+                let parsed: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--floor value {value:?} is not a number"))?;
+                if !(parsed.is_finite() && parsed > 0.0) {
+                    return Err(format!("--floor must be positive and finite, got {value}"));
+                }
+                args.floor = Some(parsed);
+            }
             // --cell and --scheme are the same filter (a case-insensitive
             // substring match on the cell name); --cell reads better for
             // full names like `share_8x3_release_ahead`, --scheme for
@@ -174,7 +222,7 @@ fn parse_args() -> Result<Args, String> {
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unknown flag {flag}; supported: --cell <substr>, --scheme <substr>, \
-                     --substrate <substr>"
+                     --substrate <substr>, --floor <trials/sec>"
                 ));
             }
             path => args.out_path = path.to_string(),
@@ -398,6 +446,30 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {}", args.out_path);
+
+    // Perf-smoke gate: fail loudly when any measured cell regresses below
+    // the floor.
+    if let Some(floor) = args.floor {
+        let mut failed = false;
+        for m in &measurements {
+            if m.trials_per_sec() < floor {
+                eprintln!(
+                    "PERF REGRESSION: {} on {} ran at {:.2} trials/sec, below the floor of {floor}",
+                    m.cell,
+                    m.substrate,
+                    m.trials_per_sec()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf floor {floor} trials/sec held across {} measurement(s)",
+            measurements.len()
+        );
+    }
 
     for (cell, _) in cells() {
         let a = measurements

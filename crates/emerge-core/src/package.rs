@@ -8,20 +8,56 @@
 //!   pre-assigned to the column holders at `ts` (that is the scheme's
 //!   defining weakness under churn). Layer payloads carry the next-hop
 //!   addresses.
-//! * **Share scheme**: nested *column bundles* — per-row headers sealed
-//!   with row keys `K_{r,j}` (delivered just-in-time as Shamir shares)
-//!   around an inner bundle sealed with a bundle key, plus a separate
-//!   core onion sealed with per-column core keys and processed by the
-//!   first `k` rows. Header payloads embed the shares each holder must
-//!   forward to the next column. See DESIGN.md §4.2 for the rationale
-//!   (linear size, n-wide transit redundancy).
+//! * **Share scheme**: a flat [`SharePackage`] (**format v2**) — one
+//!   segment per column, each segment holding that column's `n`
+//!   row-key-sealed headers and sealed *once* under a bundle key — plus a
+//!   separate core onion sealed with per-column core keys and processed
+//!   by the first `k` rows. Header payloads embed the shares each holder
+//!   must forward to the next column.
+//!
+//! ## The flat segment table (format v2)
+//!
+//! ```text
+//! SharePackage := u8 version (= 2) ‖ segment table (u16 count = l)
+//!   segment 0 :  headers[0..n]                      (plaintext table)
+//!   segment 1 :  AEAD_{C_0}( headers[0..n] )
+//!   segment 2 :  AEAD_{C_1}( headers[0..n] )
+//!   …
+//!   segment l-1: AEAD_{C_{l-2}}( headers[0..n] )
+//!
+//!   headers[r] of column j := AEAD_{K_{r,j}}( ShareLayerPayload )
+//!   payload of column j < l-1 carries: next hops, row-key shares,
+//!     core-key share, and the bundle key C_j that opens segment j+1.
+//! ```
+//!
+//! The predecessor format (v1, kept as the [`legacy`] test/bench oracle)
+//! nested the columns: column `j`'s bundle contained the *sealed* bundle
+//! of column `j+1`, so sealing the package re-encrypted every deeper
+//! column's bytes once per enclosing column — `O(l²·n)` AEAD byte volume
+//! for an `O(l·n)` payload. Flatness fixes the volume without weakening
+//! the scheme, because the nesting never carried the security argument:
+//! what stops a column-`j` holder from reading ahead is that segment
+//! `j+1` is sealed under `C_j`, and `C_j` only reaches the holder inside
+//! its own row-key-sealed header — whose row key `K_{r,j}` is itself
+//! delivered just-in-time as Shamir shares from column `j-1`. The
+//! one-hop-ahead key-release chain is preserved verbatim; each column's
+//! bytes are simply sealed once instead of `j` times, and the executor
+//! forwards the remaining still-sealed segments instead of re-wrapped
+//! nests. Same confidentiality and ordering invariant, `O(l·n)` seal and
+//! open volume, and the `n`-wide transit redundancy of Figure 5 (every
+//! holder of a column carries the same blob) is untouched.
 //!
 //! All keys derive from the sender's seed via HKDF labels, so package
-//! generation is deterministic given the seed.
+//! generation is deterministic given the seed. Decrypted header payloads,
+//! Shamir share values and key schedules are bit-identical between v1
+//! and v2 — only the sealing topology changed — which is what the
+//! cross-format oracle tests in this module and in
+//! [`crate::protocol`] pin down.
 
 use crate::config::SchemeParams;
 use crate::error::EmergeError;
 use crate::path::PathPlan;
+use emerge_crypto::hkdf::Hkdf;
 use emerge_crypto::keys::{KeyShare, SymmetricKey};
 use emerge_crypto::onion::build_onion;
 use emerge_crypto::shamir;
@@ -30,8 +66,32 @@ use emerge_crypto::CryptoError;
 use emerge_dht::id::{NodeId, ID_LEN};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+
+thread_local! {
+    /// Instrumented seal hook: total AEAD plaintext bytes sealed by the
+    /// share-packaging code on this thread since the last
+    /// [`take_sealed_byte_count`]. Drives the seal-volume regression test
+    /// (v2 must be `Θ(l·n)`) and the `share_package_seal_bytes`
+    /// measurement in `crypto_baseline`.
+    static SEALED_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Every AEAD seal in this module (headers, segments, legacy nested
+/// bundles) reports its plaintext length here.
+fn record_sealed(plaintext_len: usize) {
+    SEALED_BYTES.with(|c| c.set(c.get() + plaintext_len as u64));
+}
+
+/// Returns the total AEAD plaintext bytes sealed by share packaging on
+/// this thread since the previous call, and resets the counter.
+///
+/// Call it immediately before and read it immediately after a
+/// [`build_share_packages`] call to attribute the volume to that call.
+pub fn take_sealed_byte_count() -> u64 {
+    SEALED_BYTES.with(|c| c.replace(0))
+}
 
 /// Discriminates the four derived-key families in [`DerivedKeys`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,14 +183,20 @@ impl LabelWriter {
 #[derive(Debug, Clone)]
 pub struct KeySchedule {
     seed: SymmetricKey,
+    /// Prepared HKDF expander over the seed: `hk.expand(label)` is
+    /// `seed.derive(label)` with the HMAC keying paid once per schedule
+    /// instead of once per derivation.
+    hk: Hkdf,
     cache: RefCell<DerivedKeys>,
 }
 
 impl KeySchedule {
     /// Creates a schedule from the sender's seed.
     pub fn new(seed: SymmetricKey) -> Self {
+        let hk = Hkdf::from_prk(*seed.as_bytes());
         KeySchedule {
             seed,
+            hk,
             cache: RefCell::new(DerivedKeys::default()),
         }
     }
@@ -146,7 +212,7 @@ impl KeySchedule {
             label.push_segment(row);
         }
         label.push_segment(col);
-        let key = self.seed.derive(label.as_bytes());
+        let key = SymmetricKey::from_bytes(self.hk.expand_key(label.as_bytes()));
         self.cache
             .borrow_mut()
             .keys
@@ -305,9 +371,35 @@ pub struct ShareLayerPayload {
 }
 
 impl ShareLayerPayload {
+    /// Exact serialized size, for pre-sizing buffers.
+    fn encoded_len(&self) -> usize {
+        let shares: usize = self
+            .row_key_shares
+            .iter()
+            .map(|s| 1 + 4 + s.data.len())
+            .sum();
+        2 + self.next_hops.len() * ID_LEN
+            + 2
+            + shares
+            + 1
+            + self
+                .core_key_share
+                .as_ref()
+                .map_or(0, |s| 1 + 4 + s.data.len())
+            + 1
+            + if self.bundle_key.is_some() { 32 } else { 0 }
+    }
+
     /// Serializes the payload.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut w = Writer::with_capacity(self.encoded_len());
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Serializes the payload into `w` (a reusable scratch buffer in the
+    /// package builder's hot loop).
+    fn encode_into(&self, w: &mut Writer) {
         w.put_u16(self.next_hops.len() as u16);
         for id in &self.next_hops {
             w.put_raw(id.as_bytes());
@@ -334,7 +426,6 @@ impl ShareLayerPayload {
                 w.put_u8(0);
             }
         }
-        w.into_bytes()
     }
 
     /// Parses a payload.
@@ -388,69 +479,109 @@ impl ShareLayerPayload {
     }
 }
 
-/// One column's bundle: per-row header ciphertexts (sealed under the row
-/// keys `K_{r,j}`) plus the sealed inner bundle of the next column.
+/// Writes the wire form of a *terminal* (last-column) header payload: no
+/// next hops, no shares, no keys. Byte-identical to encoding an empty
+/// [`ShareLayerPayload`] (pinned by test).
+fn encode_terminal_payload(w: &mut Writer) {
+    w.put_u16(0); // next hops
+    w.put_u16(0); // row-key shares
+    w.put_u8(0); // no core share
+    w.put_u8(0); // no bundle key
+}
+
+/// Writes the wire form of a non-terminal header payload straight from
+/// the builder's share matrix — the hot-loop twin of
+/// [`ShareLayerPayload::encode_into`] that borrows everything instead of
+/// cloning `n` key shares per header. Byte-identical output (pinned by
+/// test).
 ///
-/// Every holder of a column carries the same bundle blob; any one honest
+/// `row_shares[target_row][row]` is sender-row `row`'s share of the
+/// next-column key of `target_row`.
+fn encode_payload_borrowed(
+    w: &mut Writer,
+    next_hops: &[NodeId],
+    row_shares: &[Vec<KeyShare>],
+    row: usize,
+    core_share: &KeyShare,
+    bundle_key: &SymmetricKey,
+) {
+    w.put_u16(next_hops.len() as u16);
+    for id in next_hops {
+        w.put_raw(id.as_bytes());
+    }
+    w.put_u16(row_shares.len() as u16);
+    for per_target in row_shares {
+        let s = &per_target[row];
+        w.put_u8(s.index);
+        w.put_bytes(&s.data);
+    }
+    w.put_u8(1).put_u8(core_share.index);
+    w.put_bytes(&core_share.data);
+    w.put_u8(1).put_raw(bundle_key.as_bytes());
+}
+
+/// The flat share package (format v2): `l` column segments, delivered in
+/// full to every first-column holder at `ts`.
+///
+/// `segments[0]` is column 0's plaintext header table (those holders' row
+/// keys are handed over directly at `ts`, exactly like v1's outermost
+/// bundle travelled unsealed); `segments[j]` for `j ≥ 1` is column `j`'s
+/// header table sealed **once** under the bundle key `C_{j-1}`, which
+/// column-`j-1` headers release one hop ahead of use.
+///
+/// Every holder of a column carries the same package tail; any one honest
 /// holder suffices to relay it onward, which gives the share scheme its
 /// `n`-wide transit redundancy (the paper's "three remaining onions"
 /// replication in Figure 5, in linear instead of exponential size).
 #[derive(Debug, Clone, PartialEq)]
-pub struct ColumnBundle {
-    /// `headers[r]` opens with `K_{r,col}` and parses to a
+pub struct SharePackage {
+    /// `segments[col]` is that column's header table: plaintext at
+    /// `col == 0`, sealed under `C_{col-1}` otherwise. Each decoded
+    /// header opens with `K_{r,col}` and parses to a
     /// [`ShareLayerPayload`].
-    pub headers: Vec<Vec<u8>>,
-    /// The sealed next-column bundle (absent at the last column).
-    pub inner: Option<Vec<u8>>,
+    pub segments: Vec<Vec<u8>>,
 }
 
-impl ColumnBundle {
-    /// Serializes the bundle.
+/// Wire version tag of [`SharePackage`] (the flat segment-table format).
+pub const SHARE_FORMAT_VERSION: u8 = 2;
+
+impl SharePackage {
+    /// Serializes the package: the version byte followed by the
+    /// length-prefixed segment table.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
-        w.put_u16(self.headers.len() as u16);
-        for h in &self.headers {
-            w.put_bytes(h);
-        }
-        match &self.inner {
-            Some(e) => {
-                w.put_u8(1).put_bytes(e);
-            }
-            None => {
-                w.put_u8(0);
-            }
-        }
+        let total: usize = self.segments.iter().map(|s| 4 + s.len()).sum();
+        let mut w = Writer::with_capacity(1 + 2 + total);
+        w.put_u8(SHARE_FORMAT_VERSION);
+        w.put_table(&self.segments);
         w.into_bytes()
     }
 
-    /// Parses a bundle.
+    /// Parses a package.
     ///
     /// # Errors
     ///
-    /// Returns a [`CryptoError`] on malformed input.
+    /// Returns a [`CryptoError`] on a wrong version tag, an empty segment
+    /// table, truncation, or trailing bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
         let mut r = Reader::new(bytes);
-        let count = r.get_u16()? as usize;
-        let mut headers = Vec::with_capacity(count);
-        for _ in 0..count {
-            headers.push(r.get_bytes()?.to_vec());
+        if r.get_u8()? != SHARE_FORMAT_VERSION {
+            return Err(CryptoError::Malformed("unsupported share-package version"));
         }
-        let inner = match r.get_u8()? {
-            0 => None,
-            1 => Some(r.get_bytes()?.to_vec()),
-            _ => return Err(CryptoError::Malformed("bad inner-bundle flag")),
-        };
+        let segments = r.get_table()?;
+        if segments.is_empty() {
+            return Err(CryptoError::Malformed("share package with no segments"));
+        }
         r.expect_end()?;
-        Ok(ColumnBundle { headers, inner })
+        Ok(SharePackage { segments })
     }
 }
 
-/// Packages for the key-share routing scheme.
+/// Packages for the key-share routing scheme (flat format v2).
 #[derive(Debug, Clone)]
 pub struct SharePackages {
-    /// The outermost column bundle, delivered to every first-column
-    /// holder at `ts`.
-    pub bundle: Vec<u8>,
+    /// The serialized flat [`SharePackage`] (segment table), delivered to
+    /// every first-column holder at `ts`.
+    pub package: Vec<u8>,
     /// The core onion (processed by rows `0..k`).
     pub core_onion: Vec<u8>,
     /// Column-0 row keys, handed to each first-column holder directly at
@@ -461,15 +592,30 @@ pub struct SharePackages {
     pub col0_core_key: SymmetricKey,
 }
 
-/// Domain-separation label for bundle header seals.
-const HEADER_AAD: &[u8] = b"emerge-share-header-v1";
-/// Domain-separation label for inner-bundle seals.
-const BUNDLE_AAD: &[u8] = b"emerge-share-bundle-v1";
+/// Domain-separation label for format-v2 header seals.
+const HEADER_AAD: &[u8] = b"emerge-share-header-v2";
+/// Domain-separation label for format-v2 segment seals.
+const SEGMENT_AAD: &[u8] = b"emerge-share-segment-v2";
+
+/// Fixed nonce for format-v2 header seals.
+///
+/// Every row key `K_{r,j}` is an HKDF-derived single-use value that seals
+/// exactly one header, so a constant nonce can never repeat a
+/// `(key, nonce)` pair — the property RFC 8439 actually requires. v1
+/// spent an HKDF-HMAC run per seal *and* per open deriving a nonce from
+/// the key; at a few hundred AEAD operations per protocol run that was a
+/// measurable slice of the trial, bought no security, and is dropped in
+/// v2. (Role separation lives in the AAD labels and in the nonce bytes
+/// themselves.)
+const HEADER_NONCE: [u8; 12] = *b"emerge-hdr-2";
+/// Fixed nonce for format-v2 segment seals (bundle keys `C_j` are
+/// likewise single-use: each seals exactly one segment).
+const SEGMENT_NONCE: [u8; 12] = *b"emerge-seg-2";
 
 /// Seals one header under a row key.
 fn seal_header(key: &SymmetricKey, payload: &[u8]) -> Vec<u8> {
-    let nonce = key.derive_nonce(b"share-header");
-    emerge_crypto::aead::seal(key, &nonce, payload, HEADER_AAD)
+    record_sealed(payload.len());
+    emerge_crypto::aead::seal(key, &HEADER_NONCE, payload, HEADER_AAD)
 }
 
 /// Opens a header. Public so the protocol executor and tests share one
@@ -479,55 +625,199 @@ fn seal_header(key: &SymmetricKey, payload: &[u8]) -> Vec<u8> {
 ///
 /// Returns a [`CryptoError`] for a wrong key or tampered header.
 pub fn open_header(key: &SymmetricKey, header: &[u8]) -> Result<ShareLayerPayload, CryptoError> {
-    let nonce = key.derive_nonce(b"share-header");
-    let plain = emerge_crypto::aead::open(key, &nonce, header, HEADER_AAD)?;
+    let plain = emerge_crypto::aead::open(key, &HEADER_NONCE, header, HEADER_AAD)?;
     ShareLayerPayload::from_bytes(&plain)
 }
 
-/// Seals the serialized next bundle under the bundle key.
-fn seal_inner(key: &SymmetricKey, bundle: &[u8]) -> Vec<u8> {
-    let nonce = key.derive_nonce(b"share-bundle");
-    emerge_crypto::aead::seal(key, &nonce, bundle, BUNDLE_AAD)
+/// The subset of a header payload the protocol executor consumes.
+///
+/// The executor forwards by grid position, so the payload's next-hop
+/// list (the largest field: `n` 20-byte addresses) is validated but
+/// never materialized on this path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorPayload {
+    /// Shares (all with this row's index) of each next-column row key,
+    /// ordered by target row. Empty at the last column.
+    pub row_key_shares: Vec<KeyShare>,
+    /// This row's share of the next column's core key.
+    pub core_key_share: Option<KeyShare>,
+    /// The bundle key `C_j` opening the next column's segment (absent at
+    /// the last column).
+    pub bundle_key: Option<SymmetricKey>,
 }
 
-/// Opens a sealed inner bundle.
+/// Opens a header for the executor: same AEAD and wire format as
+/// [`open_header`], same errors on any malformed byte, but the next-hop
+/// list is length-checked and skipped instead of copied out (pinned
+/// equal to [`open_header`]'s projection by test).
 ///
 /// # Errors
 ///
-/// Returns a [`CryptoError`] for a wrong key or tampered bundle.
-pub fn open_inner(key: &SymmetricKey, sealed: &[u8]) -> Result<ColumnBundle, CryptoError> {
-    let nonce = key.derive_nonce(b"share-bundle");
-    let plain = emerge_crypto::aead::open(key, &nonce, sealed, BUNDLE_AAD)?;
-    ColumnBundle::from_bytes(&plain)
+/// Returns a [`CryptoError`] for a wrong key, a tampered header, or a
+/// malformed payload.
+pub fn open_header_for_executor(
+    key: &SymmetricKey,
+    header: &[u8],
+) -> Result<ExecutorPayload, CryptoError> {
+    let plain = emerge_crypto::aead::open(key, &HEADER_NONCE, header, HEADER_AAD)?;
+    let mut r = Reader::new(&plain);
+    let hop_count = r.get_u16()? as usize;
+    r.get_raw(hop_count * ID_LEN)?;
+    let share_count = r.get_u16()? as usize;
+    let mut row_key_shares = Vec::with_capacity(share_count.min(r.remaining() / 5 + 1));
+    for _ in 0..share_count {
+        let index = r.get_u8()?;
+        let data = r.get_bytes()?.to_vec();
+        row_key_shares.push(KeyShare::new(index, data));
+    }
+    let core_key_share = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let index = r.get_u8()?;
+            let data = r.get_bytes()?.to_vec();
+            Some(KeyShare::new(index, data))
+        }
+        _ => return Err(CryptoError::Malformed("bad core-share flag")),
+    };
+    let bundle_key = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let raw = r.get_raw(32)?;
+            let mut kb = [0u8; 32];
+            kb.copy_from_slice(raw);
+            Some(SymmetricKey::from_bytes(kb))
+        }
+        _ => return Err(CryptoError::Malformed("bad bundle-key flag")),
+    };
+    r.expect_end()?;
+    Ok(ExecutorPayload {
+        row_key_shares,
+        core_key_share,
+        bundle_key,
+    })
 }
 
-/// Opens a sealed inner bundle and returns its *serialized* bytes,
-/// validated to parse as a [`ColumnBundle`].
-///
-/// The protocol executor forwards the unwrapped bundle verbatim; since
-/// the sealed plaintext *is* the serialization, this skips the
-/// parse-then-reserialize round trip of [`open_inner`] while returning
-/// bit-identical bytes (the wire format round-trips exactly) and
-/// surfacing the same structural errors.
+/// Encodes a column's header table — a segment's plaintext (and the
+/// final wire form of the unsealed column-0 segment).
+fn encode_segment(headers: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = headers.iter().map(|h| 4 + h.len()).sum();
+    let mut w = Writer::with_capacity(2 + total);
+    w.put_table(headers);
+    w.into_bytes()
+}
+
+/// Decodes a column's header table (the plaintext column-0 segment, or
+/// the output of [`open_segment`] on a sealed one).
 ///
 /// # Errors
 ///
-/// Returns a [`CryptoError`] for a wrong key, tampered bundle, or a
-/// plaintext that does not parse as a bundle.
-pub fn open_inner_bytes(key: &SymmetricKey, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    let nonce = key.derive_nonce(b"share-bundle");
-    let plain = emerge_crypto::aead::open(key, &nonce, sealed, BUNDLE_AAD)?;
-    ColumnBundle::from_bytes(&plain)?;
-    Ok(plain)
+/// Returns a [`CryptoError`] on truncation or trailing bytes.
+pub fn decode_segment(bytes: &[u8]) -> Result<Vec<Vec<u8>>, CryptoError> {
+    let mut r = Reader::new(bytes);
+    let headers = r.get_table()?;
+    r.expect_end()?;
+    Ok(headers)
 }
 
-/// Builds the share-scheme packages per Section III-D.
+/// A decoded header table backed by its single segment buffer: headers
+/// are spans into `blob` instead of per-header copies. This is what the
+/// protocol executor holds and forwards — decoding a 40-row segment costs
+/// two allocations, not forty-two.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentHeaders {
+    blob: Vec<u8>,
+    /// `(offset, len)` of each header inside `blob`.
+    spans: Vec<(u32, u32)>,
+}
+
+impl SegmentHeaders {
+    /// Number of headers in the table.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the table has no headers.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The sealed header of `row`, if the table has that many rows.
+    pub fn get(&self, row: usize) -> Option<&[u8]> {
+        let &(off, len) = self.spans.get(row)?;
+        Some(&self.blob[off as usize..off as usize + len as usize])
+    }
+}
+
+/// Decodes a header table into spans over its backing buffer — the same
+/// wire format as [`decode_segment`], without copying each header out.
+///
+/// # Errors
+///
+/// Returns a [`CryptoError`] on truncation or trailing bytes.
+pub fn decode_segment_headers(bytes: Vec<u8>) -> Result<SegmentHeaders, CryptoError> {
+    let spans = {
+        let mut r = Reader::new(&bytes);
+        let count = r.get_u16()? as usize;
+        let mut spans = Vec::with_capacity(count.min(r.remaining() / 4 + 1));
+        for _ in 0..count {
+            let len = r.get_u32()?;
+            let start = r.position() as u32;
+            r.get_raw(len as usize)?;
+            spans.push((start, len));
+        }
+        r.expect_end()?;
+        spans
+    };
+    Ok(SegmentHeaders { blob: bytes, spans })
+}
+
+/// Opens a sealed column segment into a span-backed header table (the
+/// protocol executor's path; see [`open_segment`] for the copying form).
+///
+/// # Errors
+///
+/// Identical to [`open_segment`].
+pub fn open_segment_headers(
+    key: &SymmetricKey,
+    sealed: &[u8],
+) -> Result<SegmentHeaders, CryptoError> {
+    let plain = emerge_crypto::aead::open(key, &SEGMENT_NONCE, sealed, SEGMENT_AAD)?;
+    decode_segment_headers(plain)
+}
+
+/// Seals a column's header table under its bundle key.
+fn seal_segment(key: &SymmetricKey, headers: &[Vec<u8>]) -> Vec<u8> {
+    let plain = encode_segment(headers);
+    record_sealed(plain.len());
+    emerge_crypto::aead::seal(key, &SEGMENT_NONCE, &plain, SEGMENT_AAD)
+}
+
+/// Opens a sealed column segment into its header table.
+///
+/// # Errors
+///
+/// Returns a [`CryptoError`] for a wrong key, a tampered segment, or a
+/// plaintext that does not decode as a header table.
+pub fn open_segment(key: &SymmetricKey, sealed: &[u8]) -> Result<Vec<Vec<u8>>, CryptoError> {
+    let plain = emerge_crypto::aead::open(key, &SEGMENT_NONCE, sealed, SEGMENT_AAD)?;
+    decode_segment(&plain)
+}
+
+/// Builds the share-scheme packages per Section III-D, in the flat
+/// format v2.
 ///
 /// The secret travels in a core onion sealed with per-column core keys;
-/// routing metadata and the just-in-time key shares travel in nested
-/// column bundles whose headers are sealed with per-row keys. Both the
-/// core keys and the row keys of column `j ≥ 1` are `(m_j, n)`-shared and
-/// delivered one hop ahead of use.
+/// routing metadata and the just-in-time key shares travel in the flat
+/// [`SharePackage`] segment table, one independently sealed segment per
+/// column, each segment holding that column's row-key-sealed headers.
+/// Both the core keys and the row keys of column `j ≥ 1` are
+/// `(m_j, n)`-shared and delivered one hop ahead of use.
+///
+/// Total AEAD seal volume is `Θ(l·n)` — each column's bytes are sealed
+/// exactly once — versus the nested v1 format's `O(l²·n)`
+/// (see [`legacy::build_share_packages_v1`], the retained oracle).
+/// Decrypted header payloads, share values and the key schedule are
+/// bit-identical to v1's.
 ///
 /// # Errors
 ///
@@ -567,60 +857,72 @@ pub fn build_share_packages(
     let mut core_key_shares: Vec<Vec<KeyShare>> = Vec::with_capacity(l - 1);
     for col in 1..l {
         let threshold = m[col - 1];
-        let mut per_target = Vec::with_capacity(n);
-        for target_row in 0..n {
-            let key = schedule.row_key(target_row, col);
-            let shares = shamir::split(key.as_bytes(), threshold, n, &mut rng)?;
-            per_target.push(shares);
-        }
-        row_key_shares.push(per_target);
+        // One slab split per column: all `n` row keys at once. Identical
+        // shares and RNG stream to per-key splits (`split_many`'s pinned
+        // contract), but the GF(256) kernels run over kilobyte slabs
+        // instead of 32-byte keys.
+        let keys: Vec<SymmetricKey> = (0..n).map(|r| schedule.row_key(r, col)).collect();
+        let views: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes().as_slice()).collect();
+        row_key_shares.push(shamir::split_many(&views, threshold, n, &mut rng)?);
         let core = schedule.core_key(col);
         core_key_shares.push(shamir::split(core.as_bytes(), threshold, n, &mut rng)?);
     }
 
-    // Build bundles innermost-first.
-    let mut inner_sealed: Option<Vec<u8>> = None;
-    let mut outermost: Option<ColumnBundle> = None;
-    for col in (0..l).rev() {
+    // Build the flat segment table, one independently sealed segment per
+    // column. Forward order (the nesting that forced innermost-first
+    // construction is gone); no serialized column is ever re-sealed.
+    //
+    // One scratch buffer serves every header payload serialization,
+    // pre-sized to the non-terminal payload length: n next-hop IDs, n
+    // 32-byte row-key shares, one core share, one bundle key. Payloads
+    // are written straight from the share matrix (no per-header
+    // `ShareLayerPayload` with its `n` cloned shares); the borrowed
+    // encoder is pinned byte-identical to the struct encoder by test.
+    let mut scratch = Writer::with_capacity(2 + n * ID_LEN + 2 + n * 37 + 38 + 33);
+    let mut segments = Vec::with_capacity(l);
+    for col in 0..l {
         let last = col + 1 == l;
-        let bundle_key = schedule.bundle_key(col);
-        let mut headers = Vec::with_capacity(n);
-        for row in 0..n {
-            let payload = if last {
-                ShareLayerPayload {
-                    next_hops: Vec::new(),
-                    row_key_shares: Vec::new(),
-                    core_key_share: None,
-                    bundle_key: None,
-                }
-            } else {
-                ShareLayerPayload {
-                    next_hops: (0..n).map(|r| plan.targets[r * l + col + 1]).collect(),
-                    row_key_shares: (0..n)
-                        .map(|target_row| row_key_shares[col][target_row][row].clone())
-                        .collect(),
-                    core_key_share: Some(core_key_shares[col][row].clone()),
-                    bundle_key: Some(bundle_key.clone()),
-                }
-            };
-            headers.push(seal_header(
-                &schedule.row_key(row, col),
-                &payload.to_bytes(),
-            ));
-        }
-        let bundle = ColumnBundle {
-            headers,
-            inner: inner_sealed.take(),
-        };
-        if col == 0 {
-            outermost = Some(bundle);
+        // Hoisted out of the row loop: one cache lookup per column
+        // instead of one per header, and one next-hop list per column
+        // instead of one per row.
+        let bundle_key = (!last).then(|| schedule.bundle_key(col));
+        let next_hops: Vec<NodeId> = if last {
+            Vec::new()
         } else {
-            // Seal this bundle for transport inside the previous column.
-            let parent_key = schedule.bundle_key(col - 1);
-            inner_sealed = Some(seal_inner(&parent_key, &bundle.to_bytes()));
+            (0..n).map(|r| plan.targets[r * l + col + 1]).collect()
+        };
+        let mut headers = Vec::with_capacity(n);
+        if let Some(bk) = &bundle_key {
+            for (row, core_share) in core_key_shares[col].iter().enumerate() {
+                scratch.clear();
+                encode_payload_borrowed(
+                    &mut scratch,
+                    &next_hops,
+                    &row_key_shares[col],
+                    row,
+                    core_share,
+                    bk,
+                );
+                headers.push(seal_header(&schedule.row_key(row, col), scratch.as_slice()));
+            }
+        } else {
+            for row in 0..n {
+                scratch.clear();
+                encode_terminal_payload(&mut scratch);
+                headers.push(seal_header(&schedule.row_key(row, col), scratch.as_slice()));
+            }
+        }
+        if col == 0 {
+            // Column 0 travels unsealed: its row keys are delivered
+            // directly at `ts`.
+            segments.push(encode_segment(&headers));
+        } else {
+            // Sealed once, under the key the previous column's headers
+            // release one hop ahead.
+            segments.push(seal_segment(&schedule.bundle_key(col - 1), &headers));
         }
     }
-    let bundle = outermost.expect("loop always produces the outermost bundle");
+    let package = SharePackage { segments };
 
     // Core onion: sealed with the per-column core keys; payloads empty.
     let core_keys: Vec<SymmetricKey> = (0..l).map(|c| schedule.core_key(c)).collect();
@@ -633,11 +935,262 @@ pub fn build_share_packages(
     let core_onion = build_onion(&core_layers, secret);
 
     Ok(SharePackages {
-        bundle: bundle.to_bytes(),
+        package: package.to_bytes(),
         core_onion,
         col0_row_keys: (0..n).map(|r| schedule.row_key(r, 0)).collect(),
         col0_core_key: schedule.core_key(0),
     })
+}
+
+/// The nested column-bundle format **v1**, retained verbatim as the
+/// cross-format oracle: tests and `crypto_baseline` build both formats
+/// from one [`KeySchedule`] to prove share values, key schedules and
+/// release outcomes are identical, and to measure the `O(l²·n)` seal
+/// volume the flat format eliminated.
+///
+/// Compiled only for tests and under the `legacy-v1` feature
+/// (`emerge-bench` enables it); nothing in the production protocol path
+/// references this module.
+#[cfg(any(test, feature = "legacy-v1"))]
+pub mod legacy {
+    use super::*;
+
+    /// One column's v1 bundle: per-row header ciphertexts (sealed under
+    /// the row keys `K_{r,j}`) plus the sealed inner bundle of the next
+    /// column — the recursive nesting that made v1 packaging `O(l²·n)`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct ColumnBundle {
+        /// `headers[r]` opens with `K_{r,col}` and parses to a
+        /// [`ShareLayerPayload`].
+        pub headers: Vec<Vec<u8>>,
+        /// The sealed next-column bundle (absent at the last column).
+        pub inner: Option<Vec<u8>>,
+    }
+
+    impl ColumnBundle {
+        /// Serializes the bundle.
+        pub fn to_bytes(&self) -> Vec<u8> {
+            let mut w = Writer::new();
+            w.put_u16(self.headers.len() as u16);
+            for h in &self.headers {
+                w.put_bytes(h);
+            }
+            match &self.inner {
+                Some(e) => {
+                    w.put_u8(1).put_bytes(e);
+                }
+                None => {
+                    w.put_u8(0);
+                }
+            }
+            w.into_bytes()
+        }
+
+        /// Parses a bundle.
+        ///
+        /// # Errors
+        ///
+        /// Returns a [`CryptoError`] on malformed input.
+        pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+            let mut r = Reader::new(bytes);
+            let count = r.get_u16()? as usize;
+            let mut headers = Vec::with_capacity(count);
+            for _ in 0..count {
+                headers.push(r.get_bytes()?.to_vec());
+            }
+            let inner = match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_bytes()?.to_vec()),
+                _ => return Err(CryptoError::Malformed("bad inner-bundle flag")),
+            };
+            r.expect_end()?;
+            Ok(ColumnBundle { headers, inner })
+        }
+    }
+
+    /// v1 packages: the outermost nested bundle plus the (format-neutral)
+    /// core-onion material.
+    #[derive(Debug, Clone)]
+    pub struct SharePackagesV1 {
+        /// The outermost column bundle, delivered to every first-column
+        /// holder at `ts`.
+        pub bundle: Vec<u8>,
+        /// The core onion (identical bytes to the v2 build).
+        pub core_onion: Vec<u8>,
+        /// Column-0 row keys (identical to the v2 build).
+        pub col0_row_keys: Vec<SymmetricKey>,
+        /// Column-0 core key (identical to the v2 build).
+        pub col0_core_key: SymmetricKey,
+    }
+
+    /// v1 domain-separation label for bundle header seals.
+    const HEADER_AAD_V1: &[u8] = b"emerge-share-header-v1";
+    /// v1 domain-separation label for inner-bundle seals.
+    const BUNDLE_AAD_V1: &[u8] = b"emerge-share-bundle-v1";
+
+    /// Seals one v1 header under a row key.
+    fn seal_header_v1(key: &SymmetricKey, payload: &[u8]) -> Vec<u8> {
+        record_sealed(payload.len());
+        let nonce = key.derive_nonce(b"share-header");
+        emerge_crypto::aead::seal(key, &nonce, payload, HEADER_AAD_V1)
+    }
+
+    /// Opens a v1 header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] for a wrong key or tampered header.
+    pub fn open_header_v1(
+        key: &SymmetricKey,
+        header: &[u8],
+    ) -> Result<ShareLayerPayload, CryptoError> {
+        let nonce = key.derive_nonce(b"share-header");
+        let plain = emerge_crypto::aead::open(key, &nonce, header, HEADER_AAD_V1)?;
+        ShareLayerPayload::from_bytes(&plain)
+    }
+
+    /// Seals the serialized next bundle under the bundle key.
+    fn seal_inner(key: &SymmetricKey, bundle: &[u8]) -> Vec<u8> {
+        record_sealed(bundle.len());
+        let nonce = key.derive_nonce(b"share-bundle");
+        emerge_crypto::aead::seal(key, &nonce, bundle, BUNDLE_AAD_V1)
+    }
+
+    /// Opens a sealed inner bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] for a wrong key or tampered bundle.
+    pub fn open_inner(key: &SymmetricKey, sealed: &[u8]) -> Result<ColumnBundle, CryptoError> {
+        let nonce = key.derive_nonce(b"share-bundle");
+        let plain = emerge_crypto::aead::open(key, &nonce, sealed, BUNDLE_AAD_V1)?;
+        ColumnBundle::from_bytes(&plain)
+    }
+
+    /// Opens a sealed inner bundle and returns its *serialized* bytes,
+    /// validated to parse as a [`ColumnBundle`] (the v1 executor's
+    /// forward-verbatim path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] for a wrong key, tampered bundle, or a
+    /// plaintext that does not parse as a bundle.
+    pub fn open_inner_bytes(key: &SymmetricKey, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let nonce = key.derive_nonce(b"share-bundle");
+        let plain = emerge_crypto::aead::open(key, &nonce, sealed, BUNDLE_AAD_V1)?;
+        ColumnBundle::from_bytes(&plain)?;
+        Ok(plain)
+    }
+
+    /// Builds the v1 (nested) share packages — the pre-flattening
+    /// `build_share_packages`, byte for byte, including its Shamir RNG
+    /// draw order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmergeError::InvalidParameters`] for non-share `params`
+    /// or `n` beyond GF(256) sharing, and propagates
+    /// [`EmergeError::Crypto`] from the Shamir layer.
+    pub fn build_share_packages_v1(
+        plan: &PathPlan,
+        params: &SchemeParams,
+        schedule: &KeySchedule,
+        secret: &[u8],
+    ) -> Result<SharePackagesV1, EmergeError> {
+        let (_k, l, n, m) = match params {
+            SchemeParams::Share { k, l, n, m } => (*k, *l, *n, m),
+            _ => {
+                return Err(EmergeError::InvalidParameters(
+                    "share packages require the share scheme".into(),
+                ))
+            }
+        };
+        if n > shamir::MAX_SHARES {
+            return Err(EmergeError::InvalidParameters(format!(
+                "wire-level GF(256) sharing supports at most {} rows, got {n}",
+                shamir::MAX_SHARES
+            )));
+        }
+        debug_assert_eq!(plan.rows, n);
+        debug_assert_eq!(plan.cols, l);
+
+        let mut rng = schedule.shamir_rng();
+        let mut row_key_shares: Vec<Vec<Vec<KeyShare>>> = Vec::with_capacity(l - 1);
+        let mut core_key_shares: Vec<Vec<KeyShare>> = Vec::with_capacity(l - 1);
+        for col in 1..l {
+            let threshold = m[col - 1];
+            let mut per_target = Vec::with_capacity(n);
+            for target_row in 0..n {
+                let key = schedule.row_key(target_row, col);
+                let shares = shamir::split(key.as_bytes(), threshold, n, &mut rng)?;
+                per_target.push(shares);
+            }
+            row_key_shares.push(per_target);
+            let core = schedule.core_key(col);
+            core_key_shares.push(shamir::split(core.as_bytes(), threshold, n, &mut rng)?);
+        }
+
+        // Build bundles innermost-first.
+        let mut inner_sealed: Option<Vec<u8>> = None;
+        let mut outermost: Option<ColumnBundle> = None;
+        for col in (0..l).rev() {
+            let last = col + 1 == l;
+            let bundle_key = schedule.bundle_key(col);
+            let mut headers = Vec::with_capacity(n);
+            for row in 0..n {
+                let payload = if last {
+                    ShareLayerPayload {
+                        next_hops: Vec::new(),
+                        row_key_shares: Vec::new(),
+                        core_key_share: None,
+                        bundle_key: None,
+                    }
+                } else {
+                    ShareLayerPayload {
+                        next_hops: (0..n).map(|r| plan.targets[r * l + col + 1]).collect(),
+                        row_key_shares: (0..n)
+                            .map(|target_row| row_key_shares[col][target_row][row].clone())
+                            .collect(),
+                        core_key_share: Some(core_key_shares[col][row].clone()),
+                        bundle_key: Some(bundle_key.clone()),
+                    }
+                };
+                headers.push(seal_header_v1(
+                    &schedule.row_key(row, col),
+                    &payload.to_bytes(),
+                ));
+            }
+            let bundle = ColumnBundle {
+                headers,
+                inner: inner_sealed.take(),
+            };
+            if col == 0 {
+                outermost = Some(bundle);
+            } else {
+                // Seal this bundle for transport inside the previous
+                // column — the quadratic re-encryption v2 removes.
+                let parent_key = schedule.bundle_key(col - 1);
+                inner_sealed = Some(seal_inner(&parent_key, &bundle.to_bytes()));
+            }
+        }
+        let bundle = outermost.expect("loop always produces the outermost bundle");
+
+        let core_keys: Vec<SymmetricKey> = (0..l).map(|c| schedule.core_key(c)).collect();
+        let empty: Vec<Vec<u8>> = vec![Vec::new(); l];
+        let core_layers: Vec<(&SymmetricKey, &[u8])> = core_keys
+            .iter()
+            .zip(empty.iter())
+            .map(|(k, p)| (k, p.as_slice()))
+            .collect();
+        let core_onion = build_onion(&core_layers, secret);
+
+        Ok(SharePackagesV1 {
+            bundle: bundle.to_bytes(),
+            core_onion,
+            col0_row_keys: (0..n).map(|r| schedule.row_key(r, 0)).collect(),
+            col0_core_key: schedule.core_key(0),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -756,17 +1309,56 @@ mod tests {
     }
 
     #[test]
-    fn column_bundle_roundtrip() {
-        let b = ColumnBundle {
+    fn share_package_roundtrip() {
+        let p = SharePackage {
+            segments: vec![vec![1, 2, 3], Vec::new(), vec![9; 400]],
+        };
+        assert_eq!(SharePackage::from_bytes(&p.to_bytes()).unwrap(), p);
+        let single = SharePackage {
+            segments: vec![vec![0; 8]],
+        };
+        assert_eq!(
+            SharePackage::from_bytes(&single.to_bytes()).unwrap(),
+            single
+        );
+    }
+
+    #[test]
+    fn share_package_rejects_bad_version_emptiness_and_trailing() {
+        let p = SharePackage {
+            segments: vec![vec![1, 2, 3]],
+        };
+        let mut wrong_version = p.to_bytes();
+        wrong_version[0] = 1;
+        assert!(SharePackage::from_bytes(&wrong_version).is_err());
+
+        let empty = SharePackage {
+            segments: Vec::new(),
+        };
+        assert!(SharePackage::from_bytes(&empty.to_bytes()).is_err());
+
+        let mut trailing = p.to_bytes();
+        trailing.push(0);
+        assert!(SharePackage::from_bytes(&trailing).is_err());
+
+        assert!(SharePackage::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn legacy_column_bundle_roundtrip() {
+        let b = legacy::ColumnBundle {
             headers: vec![vec![1, 2, 3], vec![], vec![9; 40]],
             inner: Some(vec![5; 100]),
         };
-        assert_eq!(ColumnBundle::from_bytes(&b.to_bytes()).unwrap(), b);
-        let last = ColumnBundle {
+        assert_eq!(legacy::ColumnBundle::from_bytes(&b.to_bytes()).unwrap(), b);
+        let last = legacy::ColumnBundle {
             headers: vec![vec![0; 8]],
             inner: None,
         };
-        assert_eq!(ColumnBundle::from_bytes(&last.to_bytes()).unwrap(), last);
+        assert_eq!(
+            legacy::ColumnBundle::from_bytes(&last.to_bytes()).unwrap(),
+            last
+        );
     }
 
     #[test]
@@ -842,11 +1434,13 @@ mod tests {
 
         // Open each column-0 header with the directly delivered row key
         // and collect the shares for column 1.
-        let bundle0 = ColumnBundle::from_bytes(&pkgs.bundle).unwrap();
-        assert_eq!(bundle0.headers.len(), 5);
+        let package = SharePackage::from_bytes(&pkgs.package).unwrap();
+        assert_eq!(package.segments.len(), 3, "one segment per column");
+        let headers0 = decode_segment(&package.segments[0]).unwrap();
+        assert_eq!(headers0.len(), 5);
         let mut payloads = Vec::new();
-        for row in 0..5 {
-            payloads.push(open_header(&pkgs.col0_row_keys[row], &bundle0.headers[row]).unwrap());
+        for (row, header) in headers0.iter().enumerate() {
+            payloads.push(open_header(&pkgs.col0_row_keys[row], header).unwrap());
         }
 
         // Any 3 of the 5 shares reconstruct row 2's column-1 key.
@@ -887,7 +1481,7 @@ mod tests {
     }
 
     #[test]
-    fn share_bundles_unwrap_column_by_column() {
+    fn share_segments_unwrap_column_by_column() {
         let ov = overlay(100);
         let params = SchemeParams::Share {
             k: 2,
@@ -900,20 +1494,24 @@ mod tests {
         let sched = schedule();
         let pkgs = build_share_packages(&plan, &params, &sched, b"s").unwrap();
 
-        let bundle0 = ColumnBundle::from_bytes(&pkgs.bundle).unwrap();
-        let payload0 = open_header(&pkgs.col0_row_keys[0], &bundle0.headers[0]).unwrap();
+        let package = SharePackage::from_bytes(&pkgs.package).unwrap();
+        let headers0 = decode_segment(&package.segments[0]).unwrap();
+        let payload0 = open_header(&pkgs.col0_row_keys[0], &headers0[0]).unwrap();
         let bk0 = payload0.bundle_key.expect("column 0 carries a bundle key");
-        let bundle1 = open_inner(&bk0, bundle0.inner.as_ref().unwrap()).unwrap();
-        assert_eq!(bundle1.headers.len(), 4);
+        let headers1 = open_segment(&bk0, &package.segments[1]).unwrap();
+        assert_eq!(headers1.len(), 4);
 
         // Column 1 headers open with the (derivable) row keys.
-        let payload1 = open_header(&sched.row_key(1, 1), &bundle1.headers[1]).unwrap();
+        let payload1 = open_header(&sched.row_key(1, 1), &headers1[1]).unwrap();
         let bk1 = payload1.bundle_key.expect("column 1 carries a bundle key");
-        let bundle2 = open_inner(&bk1, bundle1.inner.as_ref().unwrap()).unwrap();
-        assert!(bundle2.inner.is_none(), "last column has no inner bundle");
+        let headers2 = open_segment(&bk1, &package.segments[2]).unwrap();
+
+        // A column's bundle key opens only its own successor segment:
+        // jumping ahead with the wrong key fails authentication.
+        assert!(open_segment(&bk0, &package.segments[2]).is_err());
 
         // Terminal headers carry an empty payload.
-        let payload2 = open_header(&sched.row_key(3, 2), &bundle2.headers[3]).unwrap();
+        let payload2 = open_header(&sched.row_key(3, 2), &headers2[3]).unwrap();
         assert!(payload2.next_hops.is_empty());
         assert!(payload2.row_key_shares.is_empty());
         assert!(payload2.bundle_key.is_none());
@@ -930,9 +1528,10 @@ mod tests {
         };
         let plan = construct_paths(&ov, &params, &SymmetricKey::from_bytes([6; 32])).unwrap();
         let pkgs = build_share_packages(&plan, &params, &schedule(), b"x").unwrap();
-        let bundle0 = ColumnBundle::from_bytes(&pkgs.bundle).unwrap();
-        for row in 0..4 {
-            let parsed = open_header(&pkgs.col0_row_keys[row], &bundle0.headers[row]).unwrap();
+        let package = SharePackage::from_bytes(&pkgs.package).unwrap();
+        let headers0 = decode_segment(&package.segments[0]).unwrap();
+        for (row, header) in headers0.iter().enumerate() {
+            let parsed = open_header(&pkgs.col0_row_keys[row], header).unwrap();
             for s in &parsed.row_key_shares {
                 assert_eq!(s.index as usize, row + 1, "share index must be the row");
             }
@@ -972,5 +1571,228 @@ mod tests {
         let a = build_keyed_packages(&plan, &params, &sched, b"s").unwrap();
         let b = build_keyed_packages(&plan, &params, &sched, b"s").unwrap();
         assert_eq!(a.onions, b.onions);
+    }
+
+    #[test]
+    fn executor_parse_is_a_projection_of_the_full_parse() {
+        let key = SymmetricKey::from_bytes([0x66; 32]);
+        for payload in [
+            ShareLayerPayload {
+                next_hops: vec![NodeId::from_name(b"a"), NodeId::from_name(b"b")],
+                row_key_shares: vec![KeyShare::new(2, vec![1; 32]), KeyShare::new(2, vec![2; 32])],
+                core_key_share: Some(KeyShare::new(2, vec![9; 32])),
+                bundle_key: Some(SymmetricKey::from_bytes([7; 32])),
+            },
+            ShareLayerPayload {
+                next_hops: Vec::new(),
+                row_key_shares: Vec::new(),
+                core_key_share: None,
+                bundle_key: None,
+            },
+        ] {
+            let sealed = seal_header(&key, &payload.to_bytes());
+            let full = open_header(&key, &sealed).unwrap();
+            let lean = open_header_for_executor(&key, &sealed).unwrap();
+            assert_eq!(lean.row_key_shares, full.row_key_shares);
+            assert_eq!(lean.core_key_share, full.core_key_share);
+            assert_eq!(lean.bundle_key, full.bundle_key);
+        }
+        // Same failure on a tampered header.
+        let mut sealed = seal_header(&key, b"xx");
+        sealed[0] ^= 1;
+        assert!(open_header_for_executor(&key, &sealed).is_err());
+    }
+
+    #[test]
+    fn borrowed_encoders_match_the_struct_encoder() {
+        // Terminal payload.
+        let empty = ShareLayerPayload {
+            next_hops: Vec::new(),
+            row_key_shares: Vec::new(),
+            core_key_share: None,
+            bundle_key: None,
+        };
+        let mut w = Writer::new();
+        encode_terminal_payload(&mut w);
+        assert_eq!(w.as_slice(), empty.to_bytes());
+
+        // Non-terminal payload, straight from a share matrix.
+        let next_hops = vec![NodeId::from_name(b"h0"), NodeId::from_name(b"h1")];
+        let row_shares = vec![
+            vec![
+                KeyShare::new(1, vec![10; 32]),
+                KeyShare::new(2, vec![11; 32]),
+            ],
+            vec![
+                KeyShare::new(1, vec![20; 32]),
+                KeyShare::new(2, vec![21; 32]),
+            ],
+        ];
+        let core = KeyShare::new(2, vec![9; 32]);
+        let bk = SymmetricKey::from_bytes([5; 32]);
+        for row in 0..2 {
+            let payload = ShareLayerPayload {
+                next_hops: next_hops.clone(),
+                row_key_shares: row_shares.iter().map(|t| t[row].clone()).collect(),
+                core_key_share: Some(core.clone()),
+                bundle_key: Some(bk.clone()),
+            };
+            let mut w = Writer::new();
+            encode_payload_borrowed(&mut w, &next_hops, &row_shares, row, &core, &bk);
+            assert_eq!(w.as_slice(), payload.to_bytes(), "row {row}");
+        }
+    }
+
+    /// Builds a share plan+schedule for an `n × l` grid on a fixed world.
+    fn share_setup(n: usize, l: usize) -> (SchemeParams, PathPlan, KeySchedule) {
+        let params = SchemeParams::Share {
+            k: 2,
+            l,
+            n,
+            m: vec![(n / 2).max(1); l - 1],
+        };
+        let ov = overlay(600);
+        let seed = SymmetricKey::from_bytes([0x31; 32]);
+        let plan = construct_paths(&ov, &params, &seed).unwrap();
+        (params, plan, KeySchedule::new(seed))
+    }
+
+    /// Seal volume attributed to one build call via the instrumented hook.
+    fn sealed_bytes_of<F: FnOnce()>(build: F) -> u64 {
+        let _ = take_sealed_byte_count(); // discard other tests' residue
+        build();
+        take_sealed_byte_count()
+    }
+
+    #[test]
+    fn v2_seal_volume_is_linear_in_l_where_v1_was_quadratic() {
+        // Doubling the chain depth at fixed n must no more than ~double
+        // v2's sealed bytes (Θ(l·n)), while v1's nested re-sealing grows
+        // them ~quadratically (Σ_j j·segment ≈ l²/2).
+        let n = 6;
+        let volume = |l: usize, v1: bool| {
+            let (params, plan, sched) = share_setup(n, l);
+            sealed_bytes_of(|| {
+                if v1 {
+                    legacy::build_share_packages_v1(&plan, &params, &sched, b"s").unwrap();
+                } else {
+                    build_share_packages(&plan, &params, &sched, b"s").unwrap();
+                }
+            })
+        };
+        let (v2_short, v2_long) = (volume(6, false), volume(12, false));
+        let (v1_short, v1_long) = (volume(6, true), volume(12, true));
+        let v2_ratio = v2_long as f64 / v2_short as f64;
+        let v1_ratio = v1_long as f64 / v1_short as f64;
+        assert!(
+            v2_ratio < 2.4,
+            "v2 seal volume must grow linearly in l: {v2_short} -> {v2_long} ({v2_ratio:.2}x for 2x depth)"
+        );
+        assert!(
+            v1_ratio > 3.0,
+            "the v1 oracle should still exhibit the quadratic blow-up: \
+             {v1_short} -> {v1_long} ({v1_ratio:.2}x for 2x depth)"
+        );
+        assert!(
+            v1_long > 2 * v2_long,
+            "at l = 12 the flat format must seal far fewer bytes: v1 {v1_long} vs v2 {v2_long}"
+        );
+    }
+
+    #[test]
+    fn v1_and_v2_deliver_identical_key_material() {
+        // Same schedule, both formats: every decrypted header payload —
+        // next hops, Shamir share values, core shares, bundle keys — must
+        // match byte for byte. Only the sealing topology differs.
+        let (params, plan, sched) = share_setup(5, 4);
+        let v2 = build_share_packages(&plan, &params, &sched, b"SECRET").unwrap();
+        let v1 = legacy::build_share_packages_v1(&plan, &params, &sched, b"SECRET").unwrap();
+
+        assert_eq!(v1.core_onion, v2.core_onion);
+        assert_eq!(
+            v1.col0_row_keys
+                .iter()
+                .map(|k| *k.as_bytes())
+                .collect::<Vec<_>>(),
+            v2.col0_row_keys
+                .iter()
+                .map(|k| *k.as_bytes())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(v1.col0_core_key.as_bytes(), v2.col0_core_key.as_bytes());
+
+        let package = SharePackage::from_bytes(&v2.package).unwrap();
+        assert_eq!(package.segments.len(), 4);
+
+        // Walk both formats column by column.
+        let mut v1_bundle = legacy::ColumnBundle::from_bytes(&v1.bundle).unwrap();
+        for col in 0..4 {
+            let v2_headers = if col == 0 {
+                decode_segment(&package.segments[0]).unwrap()
+            } else {
+                open_segment(&sched.bundle_key(col - 1), &package.segments[col]).unwrap()
+            };
+            assert_eq!(v2_headers.len(), 5, "column {col}");
+            for (row, v2_header) in v2_headers.iter().enumerate() {
+                let key = sched.row_key(row, col);
+                let p1 = legacy::open_header_v1(&key, &v1_bundle.headers[row]).unwrap();
+                let p2 = open_header(&key, v2_header).unwrap();
+                assert_eq!(p1, p2, "payload mismatch at row {row}, column {col}");
+            }
+            if col + 1 < 4 {
+                let inner = v1_bundle.inner.as_ref().expect("v1 nests the next column");
+                v1_bundle = legacy::open_inner(&sched.bundle_key(col), inner).unwrap();
+            } else {
+                assert!(v1_bundle.inner.is_none());
+            }
+        }
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Arbitrary bytes never panic the package parser.
+            #[test]
+            fn random_bytes_never_panic_the_parser(
+                bytes in proptest::collection::vec(any::<u8>(), 0..300)
+            ) {
+                let _ = SharePackage::from_bytes(&bytes);
+                let _ = decode_segment(&bytes);
+            }
+
+            /// Single-byte corruptions of a valid package either parse to
+            /// a (different) structurally valid table or error cleanly —
+            /// no panics, no unbounded allocation.
+            #[test]
+            fn mutated_packages_parse_or_error_cleanly(
+                pos in 0usize..200,
+                xor in 1u8..=255,
+                truncate in 0usize..40,
+            ) {
+                let p = SharePackage {
+                    segments: vec![vec![1u8; 30], vec![2u8; 60], vec![3u8; 90]],
+                };
+                let mut bytes = p.to_bytes();
+                let pos = pos % bytes.len();
+                bytes[pos] ^= xor;
+                let keep = bytes.len().saturating_sub(truncate % bytes.len());
+                let _ = SharePackage::from_bytes(&bytes[..keep]);
+            }
+
+            /// A corrupted sealed segment never opens.
+            #[test]
+            fn corrupted_segments_fail_authentication(pos_seed: usize, xor in 1u8..=255) {
+                let key = SymmetricKey::from_bytes([0x77; 32]);
+                let headers = vec![vec![5u8; 40], vec![6u8; 40]];
+                let mut sealed = seal_segment(&key, &headers);
+                let pos = pos_seed % sealed.len();
+                sealed[pos] ^= xor;
+                prop_assert!(open_segment(&key, &sealed).is_err());
+            }
+        }
     }
 }

@@ -11,6 +11,7 @@
 use crate::config::SchemeParams;
 use crate::error::EmergeError;
 use crate::substrate::HolderSubstrate;
+use emerge_crypto::hkdf::Hkdf;
 use emerge_crypto::keys::SymmetricKey;
 use emerge_dht::id::NodeId;
 use std::collections::HashSet;
@@ -52,10 +53,18 @@ impl PathPlan {
 /// Derives the holder address for grid position `(row, col)` and a
 /// collision-retry attempt.
 pub fn holder_address(seed: &SymmetricKey, row: usize, col: usize, attempt: u32) -> NodeId {
+    holder_address_with(&Hkdf::from_prk(*seed.as_bytes()), row, col, attempt)
+}
+
+/// [`holder_address`] against a prepared expander, so the grid loop pays
+/// the HMAC keying of the seed once instead of once per address.
+/// `Hkdf::from_prk(seed).expand(label)` *is* `seed.derive(label)`, so the
+/// addresses are unchanged.
+fn holder_address_with(hk: &Hkdf, row: usize, col: usize, attempt: u32) -> NodeId {
     let label = format!("holder-addr/{row}/{col}/{attempt}");
-    let bytes = seed.derive(label.as_bytes());
+    let bytes = hk.expand_key(label.as_bytes());
     let mut id = [0u8; 20];
-    id.copy_from_slice(&bytes.as_bytes()[..20]);
+    id.copy_from_slice(&bytes[..20]);
     NodeId::from_bytes(id)
 }
 
@@ -87,6 +96,7 @@ pub fn construct_paths<S: HolderSubstrate + ?Sized>(
         });
     }
 
+    let hk = Hkdf::from_prk(*seed.as_bytes());
     let mut used: HashSet<usize> = HashSet::with_capacity(needed);
     let mut slots = Vec::with_capacity(needed);
     let mut targets = Vec::with_capacity(needed);
@@ -94,7 +104,7 @@ pub fn construct_paths<S: HolderSubstrate + ?Sized>(
         for col in 0..cols {
             let mut attempt = 0u32;
             let (slot, target) = loop {
-                let target = holder_address(seed, row, col, attempt);
+                let target = holder_address_with(&hk, row, col, attempt);
                 let slot = substrate.resolve_holder(&target);
                 if !used.contains(&slot) {
                     break (slot, target);

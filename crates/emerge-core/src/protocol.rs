@@ -14,7 +14,10 @@
 
 use crate::config::SchemeParams;
 use crate::error::EmergeError;
-use crate::package::{open_header, open_inner_bytes, ColumnBundle, KeyedPackages, SharePackages};
+use crate::package::{
+    decode_segment_headers, open_header_for_executor, open_segment_headers, KeyedPackages,
+    SegmentHeaders, SharePackage, SharePackages,
+};
 use crate::path::PathPlan;
 use crate::substrate::HolderSubstrate;
 use emerge_crypto::keys::{KeyShare, SymmetricKey};
@@ -306,14 +309,33 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
     let ts = config.ts;
     let tr = ts + config.emerging_period;
 
+    // Parse the flat package once. The sealed segment table is immutable
+    // and shared by every holder; what travels hop to hop is the opened
+    // header table of the current column (plus, conceptually, the
+    // still-sealed tail of the table — identical bytes from every
+    // forwarder, so holding one `Rc` to the whole table models it
+    // exactly).
+    let package = SharePackage::from_bytes(&packages.package)?;
+    if package.segments.len() != l {
+        return Err(EmergeError::InvalidParameters(format!(
+            "share package has {} segments for an l = {l} run",
+            package.segments.len()
+        )));
+    }
+    let mut segments = package.segments;
+    let headers0: Rc<SegmentHeaders> =
+        Rc::new(decode_segment_headers(std::mem::take(&mut segments[0]))?);
+
     /// In-flight state of one holder position.
     #[derive(Default, Clone)]
     struct Inbox {
-        /// The column bundle (same blob from every forwarder; one kept).
-        /// `Rc`-shared: every holder of a column carries the identical
-        /// bytes, so pointer identity lets the per-column hot loop parse
-        /// and unwrap the blob once instead of once per row.
-        bundle: Option<Rc<Vec<u8>>>,
+        /// This column's opened header table (same blob from every
+        /// forwarder; one kept). `Rc`-shared: every holder of a column
+        /// carries identical bytes, so pointer identity lets the
+        /// per-column hot loop open the next sealed segment once instead
+        /// of once per row. `None` means no honest upstream forwarder
+        /// delivered the package tail.
+        headers: Option<Rc<SegmentHeaders>>,
         core_onion: Option<Vec<u8>>,
         key_shares: Vec<KeyShare>,
         core_shares: Vec<KeyShare>,
@@ -322,10 +344,9 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
     }
 
     let mut inboxes: Vec<Inbox> = vec![Inbox::default(); n * l];
-    let bundle0 = Rc::new(packages.bundle.clone());
     for row in 0..n {
         let inbox = &mut inboxes[row * l];
-        inbox.bundle = Some(bundle0.clone());
+        inbox.headers = Some(headers0.clone());
         inbox.direct_row_key = Some(packages.col0_row_keys[row].clone());
         if row < k {
             inbox.core_onion = Some(packages.core_onion.clone());
@@ -348,21 +369,29 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
     let mut engine: Engine<Ev> = Engine::new();
     engine.schedule_at(ts, Ev::Arrive { col: 0 });
 
+    // Lagrange-weight memo shared by every reconstruction of the run:
+    // within a column all holders combine shares from the same surviving
+    // rows, so the O(m²) basis computation runs ~once per column.
+    let mut weight_cache = shamir::WeightCache::default();
+
     while let Some((now, ev)) = engine.pop() {
         match ev {
             Ev::Arrive { col } => {
                 let depart = now + th;
                 // Plan of what each next-column holder will receive.
                 let mut next: Vec<Inbox> = vec![Inbox::default(); n];
-                // Per-column memos: the transit redundancy hands every
-                // holder the same sealed blob, so the parse and the inner
-                // AEAD unwrap are computed once and reused by pointer
-                // identity (a divergent blob or key still recomputes).
-                // This is where the batched executor earns its keep: the
-                // naive loop opened the same multi-hundred-KB ciphertext
-                // `n` times per column.
-                let mut parsed_memo: Option<(Rc<Vec<u8>>, Rc<ColumnBundle>)> = None;
-                let mut unwrap_memo: Option<(Rc<ColumnBundle>, SymmetricKey, Rc<Vec<u8>>)> = None;
+                // Per-column memo: the transit redundancy hands every
+                // holder the same opened header table, so the AEAD open of
+                // the next sealed segment is computed once and reused by
+                // pointer identity (a divergent table or key still
+                // recomputes). With the flat format this is a single
+                // `O(n·header)` segment open — no parse or re-wrap of
+                // deeper columns ever happens.
+                let mut unwrap_memo: Option<(
+                    Rc<SegmentHeaders>,
+                    SymmetricKey,
+                    Rc<SegmentHeaders>,
+                )> = None;
                 for row in 0..n {
                     let inbox = std::mem::take(&mut inboxes[row * l + col]);
                     let slot = plan.slot(row, col);
@@ -372,27 +401,19 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
                     let row_key = if col == 0 {
                         inbox.direct_row_key.clone()
                     } else if inbox.key_shares.len() >= m[col - 1] {
-                        combine_key(&inbox.key_shares, m[col - 1])?
+                        combine_key_cached(&inbox.key_shares, m[col - 1], &mut weight_cache)?
                     } else {
                         None
                     };
                     let Some(row_key) = row_key else {
                         continue; // starved: cannot act this hop
                     };
-                    let Some(bundle_bytes) = inbox.bundle.clone() else {
+                    let Some(headers) = inbox.headers.clone() else {
                         continue; // no honest forwarder upstream delivered
                     };
-                    let bundle: Rc<ColumnBundle> = match &parsed_memo {
-                        Some((blob, parsed)) if Rc::ptr_eq(blob, &bundle_bytes) => parsed.clone(),
-                        _ => {
-                            let parsed = Rc::new(ColumnBundle::from_bytes(&bundle_bytes)?);
-                            parsed_memo = Some((bundle_bytes.clone(), parsed.clone()));
-                            parsed
-                        }
-                    };
-                    let Some(header) = bundle.headers.get(row) else {
+                    let Some(header) = headers.get(row) else {
                         return Err(EmergeError::InvalidParameters(
-                            "bundle is missing this row's header".into(),
+                            "segment is missing this row's header".into(),
                         ));
                     };
 
@@ -412,12 +433,14 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
                     }
                     // Churn: a tenant dying mid-hold takes its *shares*
                     // with it (key material is never re-homed), but the
-                    // opaque bundle/onion blobs are re-homed to the slot
+                    // opaque package/onion blobs are re-homed to the slot
                     // replacement by DHT replication and still move.
                     let survivor = substrate.generation_at(slot, depart).spawn == tenant.spawn;
 
-                    // Open this row's header.
-                    let payload = open_header(&row_key, header)?;
+                    // Open this row's header (executor-path parse: the
+                    // next-hop list is validated but not materialized —
+                    // forwarding goes by grid position).
+                    let mut payload = open_header_for_executor(&row_key, header)?;
 
                     // Adversary copies the payload's onward shares.
                     if config.attack == AttackMode::ReleaseAhead && tenant.malicious && col + 1 < l
@@ -432,25 +455,24 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
                         }
                     }
 
-                    // Unwrap the next column's bundle for relay (once per
-                    // distinct sealed blob and key; every row after the
+                    // Open the next column's segment for relay (once per
+                    // distinct header table and key; every row after the
                     // first is a memo hit).
-                    let next_bundle: Option<Rc<Vec<u8>>> =
-                        match (&payload.bundle_key, &bundle.inner) {
-                            (Some(bk), Some(sealed)) => Some(match &unwrap_memo {
-                                Some((parsed, key, bytes))
-                                    if Rc::ptr_eq(parsed, &bundle) && key == bk =>
-                                {
-                                    bytes.clone()
-                                }
-                                _ => {
-                                    let bytes = Rc::new(open_inner_bytes(bk, sealed)?);
-                                    unwrap_memo = Some((bundle.clone(), bk.clone(), bytes.clone()));
-                                    bytes
-                                }
-                            }),
-                            _ => None,
-                        };
+                    let next_headers: Option<Rc<SegmentHeaders>> = match &payload.bundle_key {
+                        Some(bk) if col + 1 < l => Some(match &unwrap_memo {
+                            Some((table, key, opened))
+                                if Rc::ptr_eq(table, &headers) && key == bk =>
+                            {
+                                opened.clone()
+                            }
+                            _ => {
+                                let opened = Rc::new(open_segment_headers(bk, &segments[col + 1])?);
+                                unwrap_memo = Some((headers.clone(), bk.clone(), opened.clone()));
+                                opened
+                            }
+                        }),
+                        _ => None,
+                    };
 
                     // Onion rows also process the core onion.
                     let mut inner_core: Option<Vec<u8>> = None;
@@ -459,7 +481,7 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
                         let core_key = if col == 0 {
                             inbox.direct_core_key.clone()
                         } else if inbox.core_shares.len() >= m[col - 1] {
-                            combine_key(&inbox.core_shares, m[col - 1])?
+                            combine_key_cached(&inbox.core_shares, m[col - 1], &mut weight_cache)?
                         } else {
                             None
                         };
@@ -485,25 +507,27 @@ pub fn execute_share<S: HolderSubstrate + ?Sized>(
                     }
 
                     // Forward. Shares travel only if the tenant survived
-                    // the hold; bundle/onion blobs always move (re-homed
-                    // on death).
+                    // the hold; package/onion blobs always move (re-homed
+                    // on death). The payload is this holder's own copy,
+                    // so its shares move into the next inboxes instead of
+                    // being cloned (the dominant allocation of the loop).
                     if survivor {
-                        for (target_row, next_inbox) in next.iter_mut().enumerate() {
-                            if let Some(s) = payload.row_key_shares.get(target_row) {
-                                next_inbox.key_shares.push(s.clone());
+                        for (target_row, s) in payload.row_key_shares.drain(..).enumerate() {
+                            if let Some(next_inbox) = next.get_mut(target_row) {
+                                next_inbox.key_shares.push(s);
                                 messages += 1;
                             }
-                            if target_row < k {
-                                if let Some(s) = &payload.core_key_share {
-                                    next_inbox.core_shares.push(s.clone());
-                                }
+                        }
+                        if let Some(s) = &payload.core_key_share {
+                            for next_inbox in next.iter_mut().take(k) {
+                                next_inbox.core_shares.push(s.clone());
                             }
                         }
                     }
-                    if let Some(nb) = next_bundle {
+                    if let Some(nh) = next_headers {
                         for next_inbox in next.iter_mut() {
-                            if next_inbox.bundle.is_none() {
-                                next_inbox.bundle = Some(nb.clone());
+                            if next_inbox.headers.is_none() {
+                                next_inbox.headers = Some(nh.clone());
                                 messages += 1;
                             }
                         }
@@ -632,8 +656,22 @@ pub fn execute_central<S: HolderSubstrate + ?Sized>(
 }
 
 /// Combines key shares into a 32-byte symmetric key.
+///
+/// Convenience form of [`combine_key_cached`] for one-off call sites.
 fn combine_key(shares: &[KeyShare], m: usize) -> Result<Option<SymmetricKey>, EmergeError> {
-    match shamir::combine(shares, m) {
+    combine_key_cached(shares, m, &mut shamir::WeightCache::default())
+}
+
+/// Combines key shares into a 32-byte symmetric key, memoizing the
+/// Lagrange weights across calls with the same share-index set — the
+/// common case in the executor's per-column reconstruction loop, where
+/// every holder's shares come from the same surviving rows.
+fn combine_key_cached(
+    shares: &[KeyShare],
+    m: usize,
+    cache: &mut shamir::WeightCache,
+) -> Result<Option<SymmetricKey>, EmergeError> {
+    match shamir::combine_cached(shares, m, cache) {
         Ok(bytes) if bytes.len() == 32 => {
             let mut kb = [0u8; 32];
             kb.copy_from_slice(&bytes);
@@ -907,6 +945,361 @@ mod tests {
         )
         .unwrap();
         assert!(report.messages_sent > 2, "hops must generate traffic");
+    }
+
+    /// Cross-format oracle: the retained v1 (nested) builder and executor
+    /// run side by side with the v2 flat format on identical worlds. The
+    /// two formats package the same key material under a different
+    /// sealing topology, so every run — across attacks, churn, and
+    /// starvation — must end in the exact same [`RunReport`].
+    mod format_oracle {
+        use super::*;
+        use crate::package::legacy::{
+            self, build_share_packages_v1, open_header_v1, ColumnBundle, SharePackagesV1,
+        };
+        use crate::substrate::AnalyticSubstrate;
+
+        /// The pre-flattening `execute_share`, retained verbatim (nested
+        /// bundle parse + inner unwrap, memoized per column) against the
+        /// legacy v1 package types.
+        fn execute_share_v1<S: HolderSubstrate + ?Sized>(
+            substrate: &mut S,
+            plan: &PathPlan,
+            params: &SchemeParams,
+            packages: &SharePackagesV1,
+            config: &RunConfig,
+        ) -> Result<RunReport, EmergeError> {
+            let (k, l, n, m) = match params {
+                SchemeParams::Share { k, l, n, m } => (*k, *l, *n, m.clone()),
+                _ => {
+                    return Err(EmergeError::InvalidParameters(
+                        "execute_share requires share parameters".into(),
+                    ))
+                }
+            };
+            let th = config.emerging_period / l as u64;
+            let ts = config.ts;
+            let tr = ts + config.emerging_period;
+
+            #[derive(Default, Clone)]
+            struct Inbox {
+                bundle: Option<Rc<Vec<u8>>>,
+                core_onion: Option<Vec<u8>>,
+                key_shares: Vec<KeyShare>,
+                core_shares: Vec<KeyShare>,
+                direct_row_key: Option<SymmetricKey>,
+                direct_core_key: Option<SymmetricKey>,
+            }
+
+            let mut inboxes: Vec<Inbox> = vec![Inbox::default(); n * l];
+            let bundle0 = Rc::new(packages.bundle.clone());
+            for row in 0..n {
+                let inbox = &mut inboxes[row * l];
+                inbox.bundle = Some(bundle0.clone());
+                inbox.direct_row_key = Some(packages.col0_row_keys[row].clone());
+                if row < k {
+                    inbox.core_onion = Some(packages.core_onion.clone());
+                    inbox.direct_core_key = Some(packages.col0_core_key.clone());
+                }
+            }
+
+            let mut messages = n as u64;
+            let mut released: Option<(SimTime, Vec<u8>)> = None;
+            let mut failure: Option<String> = None;
+            let mut terminal_secrets: Vec<Vec<u8>> = Vec::new();
+
+            let mut adv_key_shares: Vec<Vec<KeyShare>> = vec![Vec::new(); l];
+            let mut adv_core_shares: Vec<Vec<KeyShare>> = vec![Vec::new(); l];
+            let mut adv_core_onion_col0: Option<Vec<u8>> = None;
+            let mut adv_direct_core_key: Option<SymmetricKey> = None;
+
+            let mut engine: Engine<Ev> = Engine::new();
+            engine.schedule_at(ts, Ev::Arrive { col: 0 });
+
+            while let Some((now, ev)) = engine.pop() {
+                match ev {
+                    Ev::Arrive { col } => {
+                        let depart = now + th;
+                        let mut next: Vec<Inbox> = vec![Inbox::default(); n];
+                        let mut parsed_memo: Option<(Rc<Vec<u8>>, Rc<ColumnBundle>)> = None;
+                        let mut unwrap_memo: Option<(Rc<ColumnBundle>, SymmetricKey, Rc<Vec<u8>>)> =
+                            None;
+                        for row in 0..n {
+                            let inbox = std::mem::take(&mut inboxes[row * l + col]);
+                            let slot = plan.slot(row, col);
+                            let tenant = *substrate.generation_at(slot, now);
+
+                            let row_key = if col == 0 {
+                                inbox.direct_row_key.clone()
+                            } else if inbox.key_shares.len() >= m[col - 1] {
+                                combine_key(&inbox.key_shares, m[col - 1])?
+                            } else {
+                                None
+                            };
+                            let Some(row_key) = row_key else {
+                                continue;
+                            };
+                            let Some(bundle_bytes) = inbox.bundle.clone() else {
+                                continue;
+                            };
+                            let bundle: Rc<ColumnBundle> = match &parsed_memo {
+                                Some((blob, parsed)) if Rc::ptr_eq(blob, &bundle_bytes) => {
+                                    parsed.clone()
+                                }
+                                _ => {
+                                    let parsed = Rc::new(ColumnBundle::from_bytes(&bundle_bytes)?);
+                                    parsed_memo = Some((bundle_bytes.clone(), parsed.clone()));
+                                    parsed
+                                }
+                            };
+                            let Some(header) = bundle.headers.get(row) else {
+                                return Err(EmergeError::InvalidParameters(
+                                    "bundle is missing this row's header".into(),
+                                ));
+                            };
+
+                            if config.attack == AttackMode::ReleaseAhead
+                                && tenant.malicious
+                                && col == 0
+                            {
+                                if let Some(core) = &inbox.core_onion {
+                                    adv_core_onion_col0 = Some(core.clone());
+                                }
+                                if inbox.direct_core_key.is_some() {
+                                    adv_direct_core_key = inbox.direct_core_key.clone();
+                                }
+                            }
+
+                            if config.attack == AttackMode::Drop && tenant.malicious {
+                                continue;
+                            }
+                            let survivor =
+                                substrate.generation_at(slot, depart).spawn == tenant.spawn;
+
+                            let payload = open_header_v1(&row_key, header)?;
+
+                            if config.attack == AttackMode::ReleaseAhead
+                                && tenant.malicious
+                                && col + 1 < l
+                            {
+                                if let Some(s) = payload.row_key_shares.first() {
+                                    adv_key_shares[col + 1].push(s.clone());
+                                }
+                                if let Some(s) = &payload.core_key_share {
+                                    adv_core_shares[col + 1].push(s.clone());
+                                }
+                            }
+
+                            let next_bundle: Option<Rc<Vec<u8>>> =
+                                match (&payload.bundle_key, &bundle.inner) {
+                                    (Some(bk), Some(sealed)) => Some(match &unwrap_memo {
+                                        Some((parsed, key, bytes))
+                                            if Rc::ptr_eq(parsed, &bundle) && key == bk =>
+                                        {
+                                            bytes.clone()
+                                        }
+                                        _ => {
+                                            let bytes =
+                                                Rc::new(legacy::open_inner_bytes(bk, sealed)?);
+                                            unwrap_memo =
+                                                Some((bundle.clone(), bk.clone(), bytes.clone()));
+                                            bytes
+                                        }
+                                    }),
+                                    _ => None,
+                                };
+
+                            let mut inner_core: Option<Vec<u8>> = None;
+                            let mut core_secret: Option<Vec<u8>> = None;
+                            if row < k {
+                                let core_key = if col == 0 {
+                                    inbox.direct_core_key.clone()
+                                } else if inbox.core_shares.len() >= m[col - 1] {
+                                    combine_key(&inbox.core_shares, m[col - 1])?
+                                } else {
+                                    None
+                                };
+                                if let (Some(core_key), Some(core_onion)) =
+                                    (core_key, inbox.core_onion.clone())
+                                {
+                                    match peel(&core_key, &core_onion)? {
+                                        Peeled::Intermediate { inner, .. } => {
+                                            inner_core = Some(inner);
+                                        }
+                                        Peeled::Core { payload } => {
+                                            core_secret = Some(payload);
+                                        }
+                                    }
+                                }
+                            }
+
+                            if col + 1 == l {
+                                if let Some(secret) = core_secret {
+                                    terminal_secrets.push(secret);
+                                }
+                                continue;
+                            }
+
+                            if survivor {
+                                for (target_row, next_inbox) in next.iter_mut().enumerate() {
+                                    if let Some(s) = payload.row_key_shares.get(target_row) {
+                                        next_inbox.key_shares.push(s.clone());
+                                        messages += 1;
+                                    }
+                                    if target_row < k {
+                                        if let Some(s) = &payload.core_key_share {
+                                            next_inbox.core_shares.push(s.clone());
+                                        }
+                                    }
+                                }
+                            }
+                            if let Some(nb) = next_bundle {
+                                for next_inbox in next.iter_mut() {
+                                    if next_inbox.bundle.is_none() {
+                                        next_inbox.bundle = Some(nb.clone());
+                                        messages += 1;
+                                    }
+                                }
+                            }
+                            if row < k {
+                                if let Some(inner) = inner_core {
+                                    for next_inbox in next.iter_mut().take(k) {
+                                        if next_inbox.core_onion.is_none() {
+                                            next_inbox.core_onion = Some(inner.clone());
+                                            messages += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+
+                        if col + 1 < l {
+                            for (row, nb) in next.into_iter().enumerate() {
+                                inboxes[row * l + col + 1] = nb;
+                            }
+                            engine.schedule_at(depart, Ev::Arrive { col: col + 1 });
+                        } else {
+                            engine.schedule_at(tr, Ev::Release);
+                        }
+                    }
+                    Ev::Release => {
+                        if let Some(secret) = terminal_secrets.first() {
+                            released = Some((now, secret.clone()));
+                            messages += terminal_secrets.len() as u64;
+                        } else {
+                            failure = Some("no terminal onion row reconstructed the secret".into());
+                        }
+                    }
+                }
+            }
+            if released.is_none() && failure.is_none() {
+                failure = Some("share flow starved before the terminal column".into());
+            }
+
+            let mut adversary_reconstruction: Option<(SimTime, Vec<u8>)> = None;
+            if config.attack == AttackMode::ReleaseAhead {
+                if let (Some(core_onion), Some(core_key0)) =
+                    (adv_core_onion_col0, adv_direct_core_key)
+                {
+                    let mut onion = core_onion;
+                    let mut when = ts;
+                    for col in 0..l {
+                        let key = if col == 0 {
+                            Some(core_key0.clone())
+                        } else if adv_core_shares[col].len() >= m[col - 1] {
+                            when = when
+                                .max(ts + (config.emerging_period / l as u64) * (col as u64 - 1));
+                            combine_key(&adv_core_shares[col], m[col - 1])?
+                        } else {
+                            None
+                        };
+                        let Some(key) = key else {
+                            break;
+                        };
+                        if col + 1 == l {
+                            let (_, secret) = peel_core(&key, &onion)?;
+                            if when < tr {
+                                adversary_reconstruction = Some((when, secret));
+                            }
+                        } else {
+                            match peel(&key, &onion)? {
+                                Peeled::Intermediate { inner, .. } => onion = inner,
+                                Peeled::Core { payload } => {
+                                    if when < tr {
+                                        adversary_reconstruction = Some((when, payload));
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            Ok(RunReport {
+                released,
+                failure,
+                adversary_reconstruction,
+                messages_sent: messages,
+            })
+        }
+
+        #[test]
+        fn v1_and_v2_runs_produce_identical_reports() {
+            let grids = [
+                SchemeParams::Share {
+                    k: 2,
+                    l: 3,
+                    n: 5,
+                    m: vec![3, 3],
+                },
+                SchemeParams::Share {
+                    k: 3,
+                    l: 5,
+                    n: 8,
+                    m: vec![4, 4, 4, 5],
+                },
+            ];
+            let attacks = [
+                AttackMode::Passive,
+                AttackMode::ReleaseAhead,
+                AttackMode::Drop,
+            ];
+            let mut compared = 0usize;
+            for params in &grids {
+                for &attack in &attacks {
+                    for seed in 0..4u64 {
+                        // A hostile, churny world so drops, leaks and
+                        // share starvation all occur across the seeds.
+                        let cfg = OverlayConfig {
+                            n_nodes: 150,
+                            malicious_fraction: 0.35,
+                            mean_lifetime: Some(9_000),
+                            horizon: 100_000,
+                            ..OverlayConfig::default()
+                        };
+                        let sender = SymmetricKey::from_bytes([seed as u8 + 100; 32]);
+                        let mut world_a = AnalyticSubstrate::build(cfg, seed);
+                        let mut world_b = AnalyticSubstrate::build(cfg, seed);
+                        let plan = construct_paths(&world_a, params, &sender).unwrap();
+                        let schedule = KeySchedule::new(sender);
+                        let v2 = build_share_packages(&plan, params, &schedule, SECRET).unwrap();
+                        let v1 = build_share_packages_v1(&plan, params, &schedule, SECRET).unwrap();
+                        let config = run_config(attack);
+                        let report_v2 =
+                            execute_share(&mut world_a, &plan, params, &v2, &config).unwrap();
+                        let report_v1 =
+                            execute_share_v1(&mut world_b, &plan, params, &v1, &config).unwrap();
+                        assert_eq!(
+                            report_v2, report_v1,
+                            "formats diverged: {params:?}, {attack:?}, seed {seed}"
+                        );
+                        compared += 1;
+                    }
+                }
+            }
+            assert_eq!(compared, 24);
+        }
     }
 
     mod properties {

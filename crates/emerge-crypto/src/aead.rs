@@ -32,7 +32,12 @@ pub const OVERHEAD: usize = TAG_LEN;
 ///
 /// Returns `ciphertext || 16-byte tag`.
 pub fn seal(key: &SymmetricKey, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
-    let mut out = plaintext.to_vec();
+    // Reserve for the tag up front: `plaintext.to_vec()` sizes the buffer
+    // exactly, so appending the tag later would reallocate and copy the
+    // whole ciphertext again — measurable at the share scheme's
+    // hundreds-of-KB-per-trial seal volume.
+    let mut out = Vec::with_capacity(plaintext.len() + OVERHEAD);
+    out.extend_from_slice(plaintext);
     ChaCha20::new(key.as_bytes(), nonce, 1).apply_keystream(&mut out);
     let tag = compute_tag(key, nonce, &out, aad);
     out.extend_from_slice(&tag);

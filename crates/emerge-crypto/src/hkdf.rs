@@ -16,9 +16,20 @@ use crate::hmac::{hmac_sha256, HmacSha256};
 use crate::sha256::DIGEST_LEN;
 
 /// An HKDF pseudo-random key, ready for `expand` calls.
+///
+/// Construction absorbs the HMAC key pads once; every expand block then
+/// clones that midstate instead of re-keying HMAC, which halves the
+/// SHA-256 compressions of a 32-byte derive. Callers that derive many
+/// labels from one seed (the package key schedule, holder-address
+/// construction) should build one `Hkdf` and reuse it — each additional
+/// derive costs only the two message compressions.
 #[derive(Debug, Clone)]
 pub struct Hkdf {
+    /// The extracted pseudo-random key (kept for inspection/tests).
     prk: [u8; DIGEST_LEN],
+    /// HMAC-SHA256 midstate keyed with the PRK (ipad/opad blocks already
+    /// absorbed).
+    mac: HmacSha256,
 }
 
 impl Hkdf {
@@ -28,15 +39,21 @@ impl Hkdf {
     pub fn extract(salt: Option<&[u8]>, ikm: &[u8]) -> Self {
         let zeros = [0u8; DIGEST_LEN];
         let salt = salt.unwrap_or(&zeros);
-        Hkdf {
-            prk: hmac_sha256(salt, ikm),
-        }
+        Hkdf::from_prk(hmac_sha256(salt, ikm))
+    }
+
+    /// The extracted pseudo-random key.
+    pub fn prk(&self) -> &[u8; DIGEST_LEN] {
+        &self.prk
     }
 
     /// Builds an `Hkdf` from an existing pseudo-random key (HKDF-Expand-only
     /// mode, for callers that already hold a uniformly random key).
     pub fn from_prk(prk: [u8; DIGEST_LEN]) -> Self {
-        Hkdf { prk }
+        Hkdf {
+            prk,
+            mac: HmacSha256::new(&prk),
+        }
     }
 
     /// HKDF-Expand: derives `len` bytes of output keying material bound to
@@ -68,7 +85,7 @@ impl Hkdf {
         let mut counter = 1u8;
         let mut filled = 0;
         while filled < len {
-            let mut mac = HmacSha256::new(&self.prk);
+            let mut mac = self.mac.clone();
             if let Some(prev) = previous {
                 mac.update(&prev);
             }
@@ -114,7 +131,7 @@ mod tests {
         let info = unhex("f0f1f2f3f4f5f6f7f8f9");
         let hk = Hkdf::extract(Some(&salt), &ikm);
         assert_eq!(
-            hex(&hk.prk),
+            hex(hk.prk()),
             "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
         );
         let okm = hk.expand(&info, 42);

@@ -91,18 +91,112 @@ pub fn split<R: RngCore>(
         }
     }
 
-    // Share x = Horner over the coefficient rows, one slice op per degree.
+    // Share x = Horner over the coefficient rows, one fused
+    // multiply-accumulate slice op per degree.
     let shares = (1..=n as u8)
         .map(|x| {
             let mut acc = rows[m - 1].clone();
             for row in rows[..m - 1].iter().rev() {
-                gf256::mul_slice_assign(&mut acc, x);
-                gf256::add_slice_assign(&mut acc, row);
+                gf256::horner_step_slice(&mut acc, row, x);
             }
             KeyShare::new(x, acc)
         })
         .collect();
     Ok(shares)
+}
+
+/// Splits many equal-length secrets with one slab evaluation.
+///
+/// Semantically `secrets.iter().map(|s| split(s, m, n, rng))`, and
+/// **stream-compatible** with it: the coefficient draws happen in the
+/// exact per-secret, per-byte call sequence of sequential [`split`]
+/// calls, so the RNG ends at the same position and every share value is
+/// bit-identical (the property suite pins both). The win is in the
+/// evaluation: one Horner walk over a `secrets.len() × len` coefficient
+/// slab turns thousands of 32-byte slice kernels into dozens of
+/// kilobyte-wide ones, which is where the vectorized GF(256) ladder
+/// actually reaches its throughput. This is the share-packaging hot
+/// path's kernel: one call per column splits all `n` next-column row
+/// keys.
+///
+/// Returns one share vector per secret: `out[s][i]` is share `i + 1` of
+/// `secrets[s]`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidParameters`] under the same conditions
+/// as [`split`], or when the secrets' lengths differ.
+pub fn split_many<R: RngCore>(
+    secrets: &[&[u8]],
+    m: usize,
+    n: usize,
+    rng: &mut R,
+) -> Result<Vec<Vec<KeyShare>>, CryptoError> {
+    if m == 0 {
+        return Err(CryptoError::InvalidParameters("threshold m must be >= 1"));
+    }
+    if m > n {
+        return Err(CryptoError::InvalidParameters(
+            "threshold m cannot exceed share count n",
+        ));
+    }
+    if n > MAX_SHARES {
+        return Err(CryptoError::InvalidParameters(
+            "GF(256) sharing supports at most 255 shares",
+        ));
+    }
+    let Some(first) = secrets.first() else {
+        return Ok(Vec::new());
+    };
+    let len = first.len();
+    if secrets.iter().any(|s| s.len() != len) {
+        return Err(CryptoError::InvalidParameters(
+            "split_many requires equal-length secrets",
+        ));
+    }
+
+    // Coefficient slab across all secrets: `rows[j][s*len + i]` is
+    // coefficient `j` of byte `i` of secret `s`'s polynomial.
+    let total = len * secrets.len();
+    let mut rows: Vec<Vec<u8>> = Vec::with_capacity(m);
+    let mut row0 = Vec::with_capacity(total);
+    for secret in secrets {
+        row0.extend_from_slice(secret);
+    }
+    rows.push(row0);
+    for _ in 1..m {
+        rows.push(vec![0u8; total]);
+    }
+    if m > 1 {
+        let mut coeffs = vec![0u8; m - 1];
+        for s in 0..secrets.len() {
+            for i in 0..len {
+                rng.fill_bytes(&mut coeffs);
+                while coeffs[m - 2] == 0 {
+                    let mut b = [0u8; 1];
+                    rng.fill_bytes(&mut b);
+                    coeffs[m - 2] = b[0];
+                }
+                for (row, &c) in rows[1..].iter_mut().zip(coeffs.iter()) {
+                    row[s * len + i] = c;
+                }
+            }
+        }
+    }
+
+    // One slab-wide Horner per share point.
+    let mut out: Vec<Vec<KeyShare>> = (0..secrets.len()).map(|_| Vec::with_capacity(n)).collect();
+    let mut acc = vec![0u8; total];
+    for x in 1..=n as u8 {
+        acc.copy_from_slice(&rows[m - 1]);
+        for row in rows[..m - 1].iter().rev() {
+            gf256::horner_step_slice(&mut acc, row, x);
+        }
+        for (s, shares) in out.iter_mut().enumerate() {
+            shares.push(KeyShare::new(x, acc[s * len..(s + 1) * len].to_vec()));
+        }
+    }
+    Ok(out)
 }
 
 /// Reconstructs the secret from at least `m` shares.
@@ -117,6 +211,49 @@ pub fn split<R: RngCore>(
 /// * [`CryptoError::MalformedShare`] if a share has index 0, or the share
 ///   lengths disagree.
 pub fn combine(shares: &[KeyShare], m: usize) -> Result<Vec<u8>, CryptoError> {
+    combine_cached(shares, m, &mut WeightCache::default())
+}
+
+/// A one-entry memo of the Lagrange-at-zero weight vector, keyed by the
+/// share-index set.
+///
+/// The protocol executor reconstructs a different 32-byte key for every
+/// holder of a column, but all of them carry shares from the *same*
+/// surviving sender rows — identical index sets, identical weights. With
+/// the weights memoized, the `O(m²)` basis computation runs once per
+/// distinct index set instead of once per reconstruction, leaving only
+/// the `O(m·len)` accumulate per key. Reconstructed secrets are
+/// bit-identical (weights depend only on the indices).
+#[derive(Debug, Clone, Default)]
+pub struct WeightCache {
+    xs: Vec<u8>,
+    weights: Vec<u8>,
+}
+
+impl WeightCache {
+    /// The weights for `xs`, recomputed only when `xs` differs from the
+    /// previous call's.
+    fn weights_for(&mut self, xs: &[u8]) -> &[u8] {
+        if self.xs != xs {
+            self.weights = gf256::lagrange_weights_at_zero(xs);
+            self.xs.clear();
+            self.xs.extend_from_slice(xs);
+        }
+        &self.weights
+    }
+}
+
+/// [`combine`] with a caller-held [`WeightCache`], for reconstruction
+/// loops that combine many share sets with the same indices.
+///
+/// # Errors
+///
+/// Identical to [`combine`].
+pub fn combine_cached(
+    shares: &[KeyShare],
+    m: usize,
+    cache: &mut WeightCache,
+) -> Result<Vec<u8>, CryptoError> {
     if m == 0 {
         return Err(CryptoError::InvalidParameters("threshold m must be >= 1"));
     }
@@ -151,7 +288,7 @@ pub fn combine(shares: &[KeyShare], m: usize) -> Result<Vec<u8>, CryptoError> {
     // identical to per-byte interpolation, so the secret is bit-for-bit
     // the same.
     let xs: Vec<u8> = distinct.iter().map(|s| s.index).collect();
-    let weights = gf256::lagrange_weights_at_zero(&xs);
+    let weights = cache.weights_for(&xs);
     let mut secret = vec![0u8; len];
     for (share, &w) in distinct.iter().zip(weights.iter()) {
         gf256::mul_acc_slice(&mut secret, &share.data, w);
@@ -403,6 +540,33 @@ mod tests {
             // a stream drift would silently desynchronize every later
             // draw in a key schedule.
             prop_assert_eq!(fast_rng.next_u64(), ref_rng.next_u64());
+        }
+
+        /// The batched multi-secret split is bit-identical to sequential
+        /// single-secret splits: same shares AND same RNG stream position
+        /// afterwards.
+        #[test]
+        fn split_many_matches_sequential_splits(
+            count in 0usize..6,
+            len in 1usize..40,
+            m in 1usize..8,
+            extra in 0usize..6,
+            seed: u64,
+        ) {
+            let n = m + extra;
+            let secrets: Vec<Vec<u8>> = (0..count)
+                .map(|s| (0..len).map(|i| (s * 131 + i * 7 + 1) as u8).collect())
+                .collect();
+            let views: Vec<&[u8]> = secrets.iter().map(|s| s.as_slice()).collect();
+            let mut batch_rng = StdRng::seed_from_u64(seed);
+            let mut seq_rng = StdRng::seed_from_u64(seed);
+            let batch = split_many(&views, m, n, &mut batch_rng).unwrap();
+            let sequential: Vec<Vec<KeyShare>> = secrets
+                .iter()
+                .map(|s| split(s, m, n, &mut seq_rng).unwrap())
+                .collect();
+            prop_assert_eq!(&batch, &sequential);
+            prop_assert_eq!(batch_rng.next_u64(), seq_rng.next_u64());
         }
 
         /// The weight-based combine is bit-identical to per-byte Lagrange

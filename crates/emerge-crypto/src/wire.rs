@@ -63,9 +63,31 @@ impl Writer {
         self
     }
 
+    /// Appends a length-prefixed table of byte strings: a u16 entry count
+    /// followed by each entry as u32-length-prefixed bytes. This is the
+    /// framing of the share scheme's flat segment table (format v2).
+    pub fn put_table(&mut self, entries: &[Vec<u8>]) -> &mut Self {
+        self.put_u16(entries.len() as u16);
+        for entry in entries {
+            self.put_bytes(entry);
+        }
+        self
+    }
+
     /// Finishes and returns the accumulated buffer.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// The accumulated bytes without consuming the writer, so one writer
+    /// can serve as a reusable scratch buffer across serializations.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Empties the buffer, keeping its capacity for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 
     /// Current length of the buffer.
@@ -141,9 +163,35 @@ impl<'a> Reader<'a> {
         self.take(len, "length-prefixed bytes")
     }
 
+    /// Reads a table written by [`Writer::put_table`], returning owned
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CryptoError`] when the count or any entry overruns the
+    /// input.
+    pub fn get_table(&mut self) -> Result<Vec<Vec<u8>>, CryptoError> {
+        let count = self.get_u16()? as usize;
+        // Cap the pre-allocation by what the input could possibly hold
+        // (each entry costs at least its 4-byte length prefix), so a
+        // hostile count cannot force a huge reservation before the
+        // per-entry reads fail.
+        let mut entries = Vec::with_capacity(count.min(self.remaining() / 4 + 1));
+        for _ in 0..count {
+            entries.push(self.get_bytes()?.to_vec());
+        }
+        Ok(entries)
+    }
+
     /// Number of bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Current cursor offset from the start of the buffer, for parsers
+    /// that record spans into the backing buffer instead of copying out.
+    pub fn position(&self) -> usize {
+        self.pos
     }
 
     /// Returns an error if any input remains unconsumed.
@@ -215,7 +263,46 @@ mod tests {
         assert_eq!(w.len(), 0);
     }
 
+    #[test]
+    fn table_roundtrip_and_scratch_reuse() {
+        let entries = vec![b"one".to_vec(), Vec::new(), vec![7u8; 300]];
+        let mut w = Writer::new();
+        w.put_table(&entries);
+        let mut r = Reader::new(w.as_slice());
+        assert_eq!(r.get_table().unwrap(), entries);
+        assert!(r.expect_end().is_ok());
+        // The writer is reusable as a scratch buffer.
+        w.clear();
+        assert!(w.is_empty());
+        w.put_table(&[]);
+        let mut r = Reader::new(w.as_slice());
+        assert_eq!(r.get_table().unwrap(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn table_with_lying_count_errors_without_allocation_blowup() {
+        let mut w = Writer::new();
+        w.put_u16(u16::MAX); // claims 65535 entries in a 2-byte buffer
+        let mut r = Reader::new(w.as_slice());
+        assert!(r.get_table().is_err());
+    }
+
     proptest! {
+        #[test]
+        fn table_roundtrip(
+            entries in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..40),
+                0..12,
+            )
+        ) {
+            let mut w = Writer::new();
+            w.put_table(&entries);
+            let buf = w.into_bytes();
+            let mut r = Reader::new(&buf);
+            prop_assert_eq!(r.get_table().unwrap(), entries);
+            prop_assert!(r.expect_end().is_ok());
+        }
+
         #[test]
         fn bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
             let mut w = Writer::new();

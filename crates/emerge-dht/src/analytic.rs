@@ -23,7 +23,8 @@
 //! overlay bit for bit; `tests/substrate_parity.rs` in the workspace root
 //! enforces this for all four schemes.
 
-use crate::id::{NodeId, ID_BITS};
+use crate::id::NodeId;
+use crate::index::SortedIdIndex;
 use crate::overlay::OverlayConfig;
 use crate::population::{self, Genesis, NodeInfo};
 use crate::storage::Store;
@@ -41,9 +42,9 @@ pub struct AnalyticSubstrate {
     genesis: Genesis,
     /// Per-slot generation timelines, materialized on first access.
     timelines: Vec<OnceCell<Vec<NodeInfo>>>,
-    /// Generation-0 `(id, slot)` pairs in ascending ID order — the trie
-    /// index behind closest-slot resolution.
-    sorted: Vec<(NodeId, u32)>,
+    /// The sorted generation-0 ID index behind closest-slot resolution
+    /// (shared machinery with the full overlay).
+    index: SortedIdIndex,
     /// Slot-local stores, created on first write.
     stores: HashMap<usize, Store>,
     now: SimTime,
@@ -60,19 +61,13 @@ impl AnalyticSubstrate {
         let seed = SeedSource::new(seed);
         let genesis = Genesis::sample(&config.population(), &seed);
         let n = genesis.n_nodes();
-        let mut sorted: Vec<(NodeId, u32)> = genesis
-            .initial_ids()
-            .iter()
-            .enumerate()
-            .map(|(slot, id)| (*id, slot as u32))
-            .collect();
-        sorted.sort_unstable();
+        let index = SortedIdIndex::build(genesis.initial_ids());
         AnalyticSubstrate {
             config,
             seed,
             genesis,
             timelines: (0..n).map(|_| OnceCell::new()).collect(),
-            sorted,
+            index,
             stores: HashMap::new(),
             now: SimTime::ZERO,
         }
@@ -151,51 +146,12 @@ impl AnalyticSubstrate {
     /// `Overlay::closest_slots`, computed by descending the implicit
     /// binary trie over the sorted ID index.
     pub fn closest_slots(&self, target: &NodeId, count: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(count.min(self.sorted.len()));
-        self.visit_closest(0, self.sorted.len(), 0, target, count, &mut out);
-        out
+        self.index.closest_slots(target, count)
     }
 
     /// The slot responsible for `target` (XOR-closest generation-0 ID).
     pub fn resolve_holder(&self, target: &NodeId) -> usize {
-        self.closest_slots(target, 1)[0]
-    }
-
-    /// In-order traversal of the ID trie, target-side subtree first: every
-    /// ID in the subtree sharing `target`'s bit at the split level is
-    /// XOR-closer than any ID in the sibling subtree, so appending in
-    /// visit order enumerates slots in increasing XOR distance.
-    fn visit_closest(
-        &self,
-        lo: usize,
-        hi: usize,
-        bit: usize,
-        target: &NodeId,
-        count: usize,
-        out: &mut Vec<usize>,
-    ) {
-        if lo >= hi || out.len() >= count {
-            return;
-        }
-        if hi - lo == 1 || bit >= ID_BITS {
-            // Leaf range: a multi-element range at bit 160 means duplicate
-            // IDs — append in sorted order, matching the overlay's sort.
-            for &(_, slot) in &self.sorted[lo..hi] {
-                if out.len() >= count {
-                    return;
-                }
-                out.push(slot as usize);
-            }
-            return;
-        }
-        let split = lo + self.sorted[lo..hi].partition_point(|(id, _)| !id.bit(bit));
-        if target.bit(bit) {
-            self.visit_closest(split, hi, bit + 1, target, count, out);
-            self.visit_closest(lo, split, bit + 1, target, count, out);
-        } else {
-            self.visit_closest(lo, split, bit + 1, target, count, out);
-            self.visit_closest(split, hi, bit + 1, target, count, out);
-        }
+        self.index.resolve(target)
     }
 
     /// Samples `count` distinct slots uniformly (same stream contract as
@@ -345,6 +301,25 @@ mod tests {
             assert_eq!(
                 overlay.closest_slots(&target, 5),
                 sub.closest_slots(&target, 5)
+            );
+        }
+    }
+
+    #[test]
+    fn fast_resolve_matches_general_traversal() {
+        let sub = AnalyticSubstrate::build(config(257), 13);
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..200 {
+            let target = if i % 3 == 0 {
+                NodeId::random(&mut rng)
+            } else {
+                // Also probe exact member IDs (distance-zero hits).
+                sub.initial(i % 257).id
+            };
+            assert_eq!(
+                sub.resolve_holder(&target),
+                sub.closest_slots(&target, 1)[0],
+                "target {target:?}"
             );
         }
     }

@@ -1,0 +1,226 @@
+//! The sorted generation-0 ID index shared by every DHT substrate.
+//!
+//! Resolving a pseudo-random holder address to the XOR-closest node is
+//! the innermost loop of path construction; at the paper's 10 000-node
+//! scale a linear selection costs ~200 µs per address and dominated the
+//! full overlay's Monte-Carlo trials. This index keeps `(id, slot)` pairs
+//! in ascending ID order and resolves by descending the implicit binary
+//! trie over that order — `O(log² n)` per query, identical output to the
+//! brute-force XOR sort (pinned by the analytic substrate's tests and the
+//! overlay/analytic parity suites).
+//!
+//! [`crate::analytic::AnalyticSubstrate`] builds one at construction;
+//! [`crate::overlay::Overlay`] additionally mutates it when a node
+//! [`join`](crate::overlay::Overlay::join)s (the "lookup invalidation"
+//! the lazy world-build needs — joins extend the ID space, so the index
+//! learns the newcomer immediately; `leave` marks a death but never
+//! changes generation-0 responsibility, so it needs no index update).
+
+use crate::id::{NodeId, ID_BITS};
+
+/// `(id, slot)` pairs in ascending ID order, with closest-slot queries.
+#[derive(Debug, Clone)]
+pub struct SortedIdIndex {
+    sorted: Vec<(NodeId, u32)>,
+}
+
+impl SortedIdIndex {
+    /// Builds the index over `ids`, where position `i` is slot `i`.
+    ///
+    /// Uses a decorated sort: comparing 20-byte IDs byte-wise is the
+    /// dominant cost of world construction at 10 000 slots, and almost
+    /// every comparison is already decided by the first eight bytes.
+    /// Sorting `(u64 prefix, id, slot)` tuples resolves those with one
+    /// integer compare and falls back to the full ID only on prefix ties
+    /// — the tuple order equals the plain `(id, slot)` order, so the
+    /// index (and every resolution built on it) is unchanged.
+    pub fn build(ids: &[NodeId]) -> Self {
+        let mut decorated: Vec<(u64, NodeId, u32)> = ids
+            .iter()
+            .enumerate()
+            .map(|(slot, id)| (prefix64(id), *id, slot as u32))
+            .collect();
+        decorated.sort_unstable();
+        SortedIdIndex {
+            sorted: decorated
+                .into_iter()
+                .map(|(_, id, slot)| (id, slot))
+                .collect(),
+        }
+    }
+
+    /// Number of indexed IDs.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `(id, slot)` pairs in ascending ID order — for consumers that
+    /// need a sorted walk of the ID space (e.g. the overlay's
+    /// prefix-range routing-table construction) without re-sorting what
+    /// the index already maintains.
+    pub fn entries(&self) -> &[(NodeId, u32)] {
+        &self.sorted
+    }
+
+    /// Registers a newly joined `slot` under `id`, keeping the order
+    /// invariant (binary-search insert).
+    pub fn insert(&mut self, id: NodeId, slot: usize) {
+        let pos = self
+            .sorted
+            .partition_point(|(i, s)| (*i, *s) < (id, slot as u32));
+        self.sorted.insert(pos, (id, slot as u32));
+    }
+
+    /// The `count` slots whose IDs are XOR-closest to `target`, closest
+    /// first — identical output to brute-force XOR sorting, computed by
+    /// descending the implicit binary trie over the sorted order.
+    pub fn closest_slots(&self, target: &NodeId, count: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(count.min(self.sorted.len()));
+        self.visit_closest(0, self.sorted.len(), 0, target, count, &mut out);
+        out
+    }
+
+    /// The slot responsible for `target` (XOR-closest ID).
+    ///
+    /// Allocation-free specialization of `closest_slots(target, 1)`: the
+    /// single closest ID never requires visiting a sibling subtree, so
+    /// the descent keeps narrowing one range — choosing the target-side
+    /// half whenever it is non-empty — until a leaf remains. Identical
+    /// result to the general traversal (on duplicate-ID leaves both
+    /// return the first slot in sorted order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is empty.
+    pub fn resolve(&self, target: &NodeId) -> usize {
+        let (mut lo, mut hi) = (0usize, self.sorted.len());
+        let mut bit = 0usize;
+        while hi - lo > 1 && bit < ID_BITS {
+            let split = lo + self.sorted[lo..hi].partition_point(|(id, _)| !id.bit(bit));
+            if target.bit(bit) {
+                if split < hi {
+                    lo = split;
+                } else {
+                    hi = split;
+                }
+            } else if split > lo {
+                hi = split;
+            } else {
+                lo = split;
+            }
+            bit += 1;
+        }
+        self.sorted[lo].1 as usize
+    }
+
+    /// In-order traversal of the ID trie, target-side subtree first: every
+    /// ID in the subtree sharing `target`'s bit at the split level is
+    /// XOR-closer than any ID in the sibling subtree, so appending in
+    /// visit order enumerates slots in increasing XOR distance.
+    fn visit_closest(
+        &self,
+        lo: usize,
+        hi: usize,
+        bit: usize,
+        target: &NodeId,
+        count: usize,
+        out: &mut Vec<usize>,
+    ) {
+        if lo >= hi || out.len() >= count {
+            return;
+        }
+        if hi - lo == 1 || bit >= ID_BITS {
+            // Leaf range: a multi-element range at bit 160 means duplicate
+            // IDs — append in sorted order, matching a stable XOR sort.
+            for &(_, slot) in &self.sorted[lo..hi] {
+                if out.len() >= count {
+                    return;
+                }
+                out.push(slot as usize);
+            }
+            return;
+        }
+        let split = lo + self.sorted[lo..hi].partition_point(|(id, _)| !id.bit(bit));
+        if target.bit(bit) {
+            self.visit_closest(split, hi, bit + 1, target, count, out);
+            self.visit_closest(lo, split, bit + 1, target, count, out);
+        } else {
+            self.visit_closest(lo, split, bit + 1, target, count, out);
+            self.visit_closest(split, hi, bit + 1, target, count, out);
+        }
+    }
+}
+
+fn prefix64(id: &NodeId) -> u64 {
+    u64::from_be_bytes(id.as_bytes()[..8].try_into().expect("8-byte prefix"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::sort_by_distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_ids(n: usize, seed: u64) -> Vec<NodeId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| NodeId::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn closest_matches_brute_force() {
+        let ids = random_ids(257, 3);
+        let index = SortedIdIndex::build(&ids);
+        let mut rng = StdRng::seed_from_u64(17);
+        for i in 0..40 {
+            let target = if i % 4 == 0 {
+                ids[i * 5 % ids.len()]
+            } else {
+                NodeId::random(&mut rng)
+            };
+            let got = index.closest_slots(&target, 9);
+            let mut expect = ids.clone();
+            sort_by_distance(&mut expect, &target);
+            for (rank, slot) in got.iter().enumerate() {
+                assert_eq!(ids[*slot], expect[rank], "rank {rank}");
+            }
+            assert_eq!(index.resolve(&target), got[0]);
+        }
+    }
+
+    #[test]
+    fn insert_keeps_resolution_exact() {
+        let mut ids = random_ids(64, 5);
+        let mut index = SortedIdIndex::build(&ids);
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..32 {
+            let id = NodeId::random(&mut rng);
+            index.insert(id, ids.len());
+            ids.push(id);
+            let target = NodeId::random(&mut rng);
+            let got = index.closest_slots(&target, 5);
+            let mut expect = ids.clone();
+            sort_by_distance(&mut expect, &target);
+            for (rank, slot) in got.iter().enumerate() {
+                assert_eq!(ids[*slot], expect[rank]);
+            }
+        }
+        assert_eq!(index.len(), 96);
+    }
+
+    #[test]
+    fn edge_counts() {
+        let ids = random_ids(16, 7);
+        let index = SortedIdIndex::build(&ids);
+        let target = NodeId::from_name(b"x");
+        assert!(index.closest_slots(&target, 0).is_empty());
+        assert_eq!(index.closest_slots(&target, 16).len(), 16);
+        assert_eq!(index.closest_slots(&target, 100).len(), 16);
+        assert!(!index.is_empty());
+    }
+}

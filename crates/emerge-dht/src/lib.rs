@@ -47,6 +47,7 @@
 pub mod analytic;
 pub mod bucket;
 pub mod id;
+pub mod index;
 pub mod lookup;
 pub mod network;
 pub mod node;

@@ -17,15 +17,17 @@
 //! churn analysis worries about (Section III-D).
 
 use crate::bucket::DEFAULT_K;
-use crate::id::{cmp_distance, NodeId};
+use crate::id::NodeId;
+use crate::index::SortedIdIndex;
 use crate::lookup::{iterative_find_node, LookupOutcome, NodeQuery};
 use crate::network::{Network, NetworkConfig};
-use crate::population::{self, Population, PopulationConfig};
+use crate::population::{self, Genesis, PopulationConfig};
 use crate::storage::Store;
 use crate::table::RoutingTable;
 use emerge_sim::rng::SeedSource;
 use emerge_sim::time::{SimDuration, SimTime};
 use rand::Rng;
+use std::cell::OnceCell;
 use std::collections::HashMap;
 
 pub use crate::population::NodeInfo;
@@ -68,7 +70,8 @@ impl Default for OverlayConfig {
 }
 
 impl OverlayConfig {
-    /// The churn-relevant subset, for [`Population::build`].
+    /// The churn-relevant subset, for [`Genesis::sample`] (and the eager
+    /// [`crate::population::Population::build`]).
     pub fn population(&self) -> PopulationConfig {
         PopulationConfig {
             n_nodes: self.n_nodes,
@@ -79,10 +82,39 @@ impl OverlayConfig {
     }
 }
 
-/// A population slot and its succession of node generations.
-#[derive(Debug, Clone)]
+/// A population slot and its succession of node generations, materialized
+/// from the shared [`Genesis`] on first access.
+///
+/// World construction at the paper's 10 000-node scale used to spend
+/// milliseconds eagerly sampling every slot's churn timeline; a protocol
+/// run touches a few dozen slots, so the overlay now adopts the analytic
+/// substrate's per-slot lazy sampling (bit-identical timelines — both
+/// sample the same per-slot `Genesis` stream). Slots created by
+/// [`Overlay::join`] or mutated by [`Overlay::leave`] hold their
+/// timelines directly in the cell.
+#[derive(Debug)]
 struct Slot {
-    generations: Vec<NodeInfo>,
+    generations: OnceCell<Vec<NodeInfo>>,
+}
+
+impl Slot {
+    fn lazy() -> Self {
+        Slot {
+            generations: OnceCell::new(),
+        }
+    }
+
+    fn with(generations: Vec<NodeInfo>) -> Self {
+        let cell = OnceCell::new();
+        cell.set(generations).expect("fresh cell accepts a value");
+        Slot { generations: cell }
+    }
+
+    /// The timeline, sampling it from `genesis` on first access.
+    fn materialize(&self, slot: usize, genesis: &Genesis) -> &[NodeInfo] {
+        self.generations
+            .get_or_init(|| genesis.slot_generations(slot))
+    }
 }
 
 /// Result of a value lookup.
@@ -101,6 +133,18 @@ pub struct FoundValue {
 pub struct Overlay {
     config: OverlayConfig,
     seed: SeedSource,
+    /// The deterministic population seed state; slot churn timelines are
+    /// sampled from it lazily.
+    genesis: Genesis,
+    /// Per-slot generation-0 IDs (genesis slots, then joined nodes).
+    /// Holder resolution and routing-table construction read these, so
+    /// neither materializes a single churn timeline.
+    initial_ids: Vec<NodeId>,
+    /// Per-slot generation-0 malicious flags (same layout).
+    initial_malicious: Vec<bool>,
+    /// Sorted generation-0 ID index for closest-slot resolution (shared
+    /// machinery with the analytic substrate); updated on `join`.
+    index: SortedIdIndex,
     slots: Vec<Slot>,
     /// Generation-0 ID → slot index.
     id_index: HashMap<NodeId, usize>,
@@ -114,21 +158,26 @@ pub struct Overlay {
 impl Overlay {
     /// Builds an overlay with `config`, deterministically from `seed`.
     ///
+    /// Only generation-0 identities and the malicious marking are sampled
+    /// here; each slot's churn timeline materializes on first query
+    /// (bit-identical to the eager build — same per-slot streams).
+    ///
     /// # Panics
     ///
     /// Panics if `n_nodes == 0` or `malicious_fraction ∉ [0, 1]`.
     pub fn build(config: OverlayConfig, seed: u64) -> Self {
         let seed = SeedSource::new(seed);
-        let population = Population::build(&config.population(), &seed);
-        let Population {
-            generations,
-            id_index,
-        } = population;
-        let n = generations.len();
-        let slots: Vec<Slot> = generations
-            .into_iter()
-            .map(|generations| Slot { generations })
+        let genesis = Genesis::sample(&config.population(), &seed);
+        let n = genesis.n_nodes();
+        let initial_ids = genesis.initial_ids().to_vec();
+        let initial_malicious: Vec<bool> = (0..n).map(|s| genesis.initial_malicious(s)).collect();
+        let id_index = initial_ids
+            .iter()
+            .enumerate()
+            .map(|(slot, id)| (*id, slot))
             .collect();
+        let index = SortedIdIndex::build(&initial_ids);
+        let slots: Vec<Slot> = (0..n).map(|_| Slot::lazy()).collect();
 
         let network = Network::new(config.network, seed.stream("network"));
         let stores = (0..n).map(|_| Store::new()).collect();
@@ -136,6 +185,10 @@ impl Overlay {
         Overlay {
             config,
             seed,
+            genesis,
+            initial_ids,
+            initial_malicious,
+            index,
             slots,
             id_index,
             tables: None,
@@ -172,23 +225,32 @@ impl Overlay {
 
     /// The initial (generation-0) node of a slot.
     pub fn initial(&self, slot: usize) -> &NodeInfo {
-        &self.slots[slot].generations[0]
+        &self.generations(slot)[0]
     }
 
-    /// All generations of a slot, in order.
+    /// All generations of a slot, in order (sampled on first access).
     pub fn generations(&self, slot: usize) -> &[NodeInfo] {
-        &self.slots[slot].generations
+        self.slots[slot].materialize(slot, &self.genesis)
+    }
+
+    /// How many slot timelines have been materialized so far (diagnostic
+    /// for the lazy world-build).
+    pub fn materialized_timelines(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.generations.get().is_some())
+            .count()
     }
 
     /// The generation occupying `slot` at time `t`.
     pub fn generation_at(&self, slot: usize, t: SimTime) -> &NodeInfo {
-        population::tenant_at(&self.slots[slot].generations, t)
+        population::tenant_at(self.generations(slot), t)
     }
 
     /// Whether the generation-0 node of `slot` is still the occupant and
     /// alive at `t`.
     pub fn initial_alive_at(&self, slot: usize, t: SimTime) -> bool {
-        self.slots[slot].generations[0].alive_at(t)
+        self.generations(slot)[0].alive_at(t)
     }
 
     /// Number of distinct node generations whose tenancy overlaps the
@@ -196,13 +258,13 @@ impl Overlay {
     /// by the churn analysis: each overlapping generation saw whatever
     /// the slot stored.
     pub fn exposures_during(&self, slot: usize, from: SimTime, to: SimTime) -> usize {
-        population::exposures_during(&self.slots[slot].generations, from, to)
+        population::exposures_during(self.generations(slot), from, to)
     }
 
     /// Whether any generation of `slot` overlapping the half-open window `[from, to)` is
     /// malicious.
     pub fn any_malicious_exposure(&self, slot: usize, from: SimTime, to: SimTime) -> bool {
-        population::any_malicious_exposure(&self.slots[slot].generations, from, to)
+        population::any_malicious_exposure(self.generations(slot), from, to)
     }
 
     /// Slot index of a generation-0 node ID.
@@ -211,35 +273,20 @@ impl Overlay {
     }
 
     /// The `count` slots whose generation-0 IDs are XOR-closest to
-    /// `target`, sorted closest-first. Exact: a linear selection
-    /// (`select_nth_unstable`) followed by a sort of only the `count`
-    /// survivors, so resolving holders is `O(n)` instead of
-    /// `O(n log n)` per call.
+    /// `target`, sorted closest-first — exact, via the shared
+    /// [`SortedIdIndex`] trie descent (`O(log² n)` instead of the old
+    /// `O(n)` selection scan, which dominated full-overlay Monte-Carlo
+    /// trials at 10 000 nodes). Reads only generation-0 IDs — no churn
+    /// materialization.
     pub fn closest_slots(&self, target: &NodeId, count: usize) -> Vec<usize> {
-        let cmp = |a: &usize, b: &usize| {
-            cmp_distance(
-                &self.slots[*a].generations[0].id,
-                &self.slots[*b].generations[0].id,
-                target,
-            )
-        };
-        let mut order: Vec<usize> = (0..self.slots.len()).collect();
-        if count == 0 {
-            return Vec::new();
-        }
-        if count < order.len() {
-            order.select_nth_unstable_by(count - 1, cmp);
-            order.truncate(count);
-        }
-        order.sort_unstable_by(cmp);
-        order
+        self.index.closest_slots(target, count)
     }
 
     /// The slot responsible for `target` (closest generation-0 ID). This is
     /// how the key-routing schemes resolve a pseudo-random holder address
     /// to an actual node.
     pub fn resolve_holder(&self, target: &NodeId) -> usize {
-        self.closest_slots(target, 1)[0]
+        self.index.resolve(target)
     }
 
     /// Samples `count` distinct slots uniformly.
@@ -262,18 +309,20 @@ impl Overlay {
     /// the sorted ID space, so it is practical even at the paper's 10000
     /// node scale.
     pub fn build_routing_tables(&mut self) {
-        let mut sorted: Vec<(NodeId, usize)> = self
-            .slots
+        // The closest-slot index already maintains every generation-0
+        // `(id, slot)` pair in ascending ID order (kept consistent on
+        // `join`), so the prefix-range walk reuses it instead of
+        // re-sorting the ID space.
+        let sorted: Vec<(NodeId, usize)> = self
+            .index
+            .entries()
             .iter()
-            .enumerate()
-            .map(|(i, s)| (s.generations[0].id, i))
+            .map(|&(id, slot)| (id, slot as usize))
             .collect();
-        sorted.sort();
 
         let k = self.config.bucket_k;
         let mut tables = Vec::with_capacity(self.slots.len());
-        for slot in &self.slots {
-            let own = slot.generations[0].id;
+        for own in self.initial_ids.iter().copied() {
             let mut rt = RoutingTable::new(own, k);
             // Bucket for prefix length L covers IDs that share exactly L
             // leading bits with `own`: a contiguous range in sorted order.
@@ -321,6 +370,7 @@ impl Overlay {
         let mut adapter = QueryAdapter {
             tables,
             id_index: &self.id_index,
+            genesis: &self.genesis,
             slots: &self.slots,
             network: &mut self.network,
             now: self.now,
@@ -398,12 +448,10 @@ impl Overlay {
         self.seed
     }
 
-    /// Count of initially malicious nodes (generation 0).
+    /// Count of initially malicious nodes (generation 0; reads the eager
+    /// marking, no timeline sampling).
     pub fn initial_malicious_count(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| s.generations[0].malicious)
-            .count()
+        self.initial_malicious.iter().filter(|&&m| m).count()
     }
 
     /// Adds a brand-new node at the current time via the Kademlia join
@@ -417,15 +465,20 @@ impl Overlay {
     /// [`Overlay::build_routing_tables`] runs.
     pub fn join(&mut self, id: NodeId, malicious: bool) -> usize {
         let slot = self.slots.len();
-        self.slots.push(Slot {
-            generations: vec![NodeInfo {
-                id,
-                malicious,
-                spawn: self.now,
-                death: SimTime::MAX,
-            }],
-        });
+        // Joined slots carry their timeline directly (they are beyond the
+        // genesis population, so there is no stream to sample them from),
+        // and every lookup index — IDs, marking, id_index, stores —
+        // learns about them here so the lazy build stays consistent.
+        self.slots.push(Slot::with(vec![NodeInfo {
+            id,
+            malicious,
+            spawn: self.now,
+            death: SimTime::MAX,
+        }]));
+        self.initial_ids.push(id);
+        self.initial_malicious.push(malicious);
         self.id_index.insert(id, slot);
+        self.index.insert(id, slot);
         self.stores.push(Store::new());
 
         if self.tables.is_some() {
@@ -437,7 +490,7 @@ impl Overlay {
                 table.insert(*contact, self.now, false);
             }
             // The bootstrap node itself is always learned.
-            table.insert(self.slots[0].generations[0].id, self.now, false);
+            table.insert(self.initial_ids[0], self.now, false);
             tables.push(table);
             // Passive learning at the answering side.
             for contact in &outcome.closest {
@@ -455,7 +508,15 @@ impl Overlay {
     /// unresponsive entries.
     pub fn leave(&mut self, slot: usize) {
         let now = self.now;
-        let gens = &mut self.slots[slot].generations;
+        // Materialize before mutating: once a timeline is edited it can
+        // never be (re)sampled from the genesis stream, and the OnceCell
+        // guarantees exactly that — the edited value is the one every
+        // later query sees.
+        self.generations(slot);
+        let gens = self.slots[slot]
+            .generations
+            .get_mut()
+            .expect("just materialized");
         let current = gens
             .iter_mut()
             .find(|g| g.alive_at(now) || g.death == SimTime::MAX)
@@ -489,6 +550,7 @@ fn prefix_range(own: &NodeId, prefix_len: usize) -> (NodeId, NodeId) {
 struct QueryAdapter<'a> {
     tables: &'a [RoutingTable],
     id_index: &'a HashMap<NodeId, usize>,
+    genesis: &'a Genesis,
     slots: &'a [Slot],
     network: &'a mut Network,
     now: SimTime,
@@ -497,8 +559,10 @@ struct QueryAdapter<'a> {
 impl NodeQuery for QueryAdapter<'_> {
     fn closest_of(&mut self, node: NodeId, target: NodeId, count: usize) -> Option<Vec<NodeId>> {
         let &slot = self.id_index.get(&node)?;
-        // The generation-0 node must still be alive to answer for its ID.
-        if !self.slots[slot].generations[0].alive_at(self.now) {
+        // The generation-0 node must still be alive to answer for its ID
+        // (this is the liveness check, so it does materialize the queried
+        // slot's timeline).
+        if !self.slots[slot].materialize(slot, self.genesis)[0].alive_at(self.now) {
             // A dead node never answers; the (lost) request still costs a
             // message.
             self.network.transmit(64);
@@ -544,6 +608,80 @@ mod tests {
         }
         let c = Overlay::build(small_config(50), 8);
         assert_ne!(a.initial(0).id, c.initial(0).id);
+    }
+
+    #[test]
+    fn world_build_and_resolution_are_lazy() {
+        let config = OverlayConfig {
+            n_nodes: 1_000,
+            malicious_fraction: 0.2,
+            mean_lifetime: Some(1_000),
+            horizon: 100_000,
+            ..OverlayConfig::default()
+        };
+        let mut overlay = Overlay::build(config, 9);
+        assert_eq!(overlay.materialized_timelines(), 0, "build samples none");
+        assert_eq!(overlay.initial_malicious_count(), 200);
+        let target = NodeId::from_name(b"one-holder");
+        let slot = overlay.resolve_holder(&target);
+        let _ = overlay.closest_slots(&target, 8);
+        assert_eq!(
+            overlay.materialized_timelines(),
+            0,
+            "resolution needs no churn"
+        );
+        overlay.build_routing_tables();
+        assert_eq!(
+            overlay.materialized_timelines(),
+            0,
+            "routing tables are generation-0 only"
+        );
+        let _ = overlay.generation_at(slot, SimTime::from_ticks(500));
+        assert_eq!(overlay.materialized_timelines(), 1);
+    }
+
+    #[test]
+    fn lazy_overlay_matches_eagerly_sampled_population() {
+        // The lazy overlay must produce the exact timelines the eager
+        // Population build would have: same per-slot streams, any access
+        // order.
+        let config = OverlayConfig {
+            n_nodes: 120,
+            malicious_fraction: 0.3,
+            mean_lifetime: Some(700),
+            horizon: 30_000,
+            ..OverlayConfig::default()
+        };
+        let overlay = Overlay::build(config, 77);
+        let population =
+            crate::population::Population::build(&config.population(), &SeedSource::new(77));
+        for slot in [119usize, 0, 55, 55, 7] {
+            assert_eq!(
+                overlay.generations(slot),
+                population.generations[slot],
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn leave_after_lazy_build_edits_the_materialized_timeline() {
+        let config = OverlayConfig {
+            n_nodes: 64,
+            mean_lifetime: Some(5_000),
+            horizon: 100_000,
+            ..OverlayConfig::default()
+        };
+        let mut overlay = Overlay::build(config, 31);
+        overlay.advance_to(SimTime::from_ticks(10));
+        overlay.leave(5);
+        // The departure sticks: later queries see the edited timeline,
+        // not a fresh sample.
+        assert!(!overlay.initial_alive_at(5, SimTime::from_ticks(11)));
+        assert!(overlay
+            .generations(5)
+            .iter()
+            .any(|g| g.death == SimTime::from_ticks(10)));
     }
 
     #[test]

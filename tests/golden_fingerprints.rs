@@ -11,6 +11,17 @@
 //!
 //! If a change is *supposed* to alter the wire format, re-record the
 //! constants in the same commit and say so in the commit message.
+//!
+//! **Share format v2** (the flat segment table that replaced the nested
+//! column bundles): re-pinned on all three substrates and confirmed
+//! *unchanged*. The trial digest covers holder slots and the protocol
+//! report — released secret/time, failure, adversary reconstruction,
+//! message counts — and the flattening alters only the sealing topology
+//! of the package, not one byte of delivered key material or one message
+//! of executor behaviour (the `format_oracle` suite in
+//! `emerge_core::protocol` proves v1 and v2 reports equal field by
+//! field). A fingerprint change here after a packaging edit therefore
+//! still means real protocol behaviour drifted.
 
 use self_emerging_data::contract::substrate::{ContractConfig, ContractSubstrate};
 use self_emerging_data::core::config::SchemeParams;
