@@ -49,9 +49,11 @@
 //! ```
 //!
 //! Environment: `EMERGE_BASELINE_TRIALS` (default 1000),
-//! `EMERGE_BASELINE_OVERLAY_TRIALS` (default 20) and `EMERGE_MC_THREADS`.
+//! `EMERGE_BASELINE_OVERLAY_TRIALS` (default 200) and `EMERGE_MC_THREADS`.
 
-use emerge_bench::mc::{run_bonded_trials_threaded, run_protocol_trials_threaded};
+use emerge_bench::mc::{
+    run_bonded_trials_threaded, run_protocol_trials_pooled_threaded, run_protocol_trials_threaded,
+};
 use emerge_bench::parallel::mc_threads;
 use emerge_bench::report::{render_montecarlo_report, validate_json, McMeasurement};
 use emerge_contract::economy::HolderStrategy;
@@ -319,7 +321,7 @@ fn main() {
         }
     };
     let analytic_trials = env_usize("EMERGE_BASELINE_TRIALS", 1_000);
-    let overlay_trials = env_usize("EMERGE_BASELINE_OVERLAY_TRIALS", 20);
+    let overlay_trials = env_usize("EMERGE_BASELINE_OVERLAY_TRIALS", 200);
     let threads = mc_threads();
 
     // Cross-check first: all substrates must agree trial for trial on a
@@ -364,16 +366,34 @@ fn main() {
             continue;
         }
         if args.wants_substrate("analytic") {
+            // Share cells run the pooled (zero-allocation) pipeline:
+            // per-shard substrate rebuilt in place plus a recycled
+            // TrialWorkspace. Bit-identical fingerprints to the
+            // allocating driver (pinned by the emerge-bench test suite),
+            // so the parity gate above still covers it.
+            let pooled = matches!(spec.params, SchemeParams::Share { .. });
             measurements.push(measure(
                 cell,
                 "analytic",
                 threads,
                 analytic_trials,
                 |trials, threads| {
-                    run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
-                        AnalyticSubstrate::build(config, ws)
-                    })
-                    .expect("analytic trials")
+                    if pooled {
+                        run_protocol_trials_pooled_threaded(
+                            &spec,
+                            trials,
+                            SEED,
+                            threads,
+                            || AnalyticSubstrate::build(config, 0),
+                            |s, ws| s.rebuild(ws),
+                        )
+                        .expect("analytic trials")
+                    } else {
+                        run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
+                            AnalyticSubstrate::build(config, ws)
+                        })
+                        .expect("analytic trials")
+                    }
                 },
             ));
         }

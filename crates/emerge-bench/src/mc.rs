@@ -23,7 +23,8 @@ use emerge_contract::release::BondedSpec;
 use emerge_contract::substrate::ContractSubstrate;
 use emerge_core::error::EmergeError;
 use emerge_core::montecarlo::{
-    run_protocol_trial_range, shard_ranges, ProtocolMcResults, ProtocolTrialSpec,
+    run_protocol_trial_range, run_protocol_trial_range_pooled, shard_ranges, ProtocolMcResults,
+    ProtocolTrialSpec, TrialWorkspace,
 };
 use emerge_core::substrate::HolderSubstrate;
 
@@ -82,6 +83,53 @@ where
     F: Fn(u64) -> S + Sync,
 {
     run_protocol_trials_threaded(spec, trials, seed, mc_threads(), substrate_factory)
+}
+
+/// Pooled form of [`run_protocol_trials_threaded`] for share-scheme
+/// cells: each worker thread builds one substrate (`make_substrate`) and
+/// one [`TrialWorkspace`] for its whole shard, re-seeds the substrate in
+/// place per trial (`reseed`, e.g. `AnalyticSubstrate::rebuild`) and runs
+/// the zero-allocation trial pipeline. Bit-identical results and
+/// fingerprint to the allocating driver for any thread count; after each
+/// shard's first trial the steady state never touches the allocator.
+///
+/// # Errors
+///
+/// Propagates the first shard failure in shard order, including
+/// `InvalidParameters` for non-share schemes (those keep the allocating
+/// driver).
+pub fn run_protocol_trials_pooled_threaded<S, M, R>(
+    spec: &ProtocolTrialSpec,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    make_substrate: M,
+    reseed: R,
+) -> Result<ProtocolMcResults, EmergeError>
+where
+    S: HolderSubstrate,
+    M: Fn() -> S + Sync,
+    R: Fn(&mut S, u64) + Sync,
+{
+    let ranges = shard_ranges(trials, threads);
+    let partials = parallel_map_workers(&ranges, threads, |&(first_trial, count)| {
+        let mut substrate = make_substrate();
+        let mut ws = TrialWorkspace::new();
+        run_protocol_trial_range_pooled(
+            spec,
+            first_trial,
+            count,
+            seed,
+            &mut substrate,
+            &reseed,
+            &mut ws,
+        )
+    });
+    let mut results = ProtocolMcResults::default();
+    for partial in partials {
+        results.merge(&partial?);
+    }
+    Ok(results)
 }
 
 /// Runs `trials` bonded-release trials (the contract-native emergence
@@ -160,6 +208,33 @@ mod tests {
             assert_eq!(threaded.clean, serial.clean);
             assert_eq!(threaded.reconstructed_early, serial.reconstructed_early);
             assert_eq!(threaded.messages.count(), serial.messages.count());
+        }
+    }
+
+    #[test]
+    fn pooled_threaded_runs_match_allocating_for_any_thread_count() {
+        let spec = spec(SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 6,
+            m: vec![3, 3],
+        });
+        let serial = run_protocol_trials(&spec, 12, 5, factory).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let pooled = run_protocol_trials_pooled_threaded(
+                &spec,
+                12,
+                5,
+                threads,
+                || factory(0),
+                |s, seed| s.rebuild(seed),
+            )
+            .unwrap();
+            assert_eq!(pooled.fingerprint, serial.fingerprint, "{threads} threads");
+            assert_eq!(pooled.released, serial.released);
+            assert_eq!(pooled.clean, serial.clean);
+            assert_eq!(pooled.reconstructed_early, serial.reconstructed_early);
+            assert_eq!(pooled.messages.count(), serial.messages.count());
         }
     }
 

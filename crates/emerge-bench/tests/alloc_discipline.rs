@@ -1,0 +1,120 @@
+//! Steady-state allocation discipline of the pooled trial loop.
+//!
+//! The pooled Monte-Carlo pipeline (substrate rebuild + `TrialWorkspace`)
+//! promises that after a warm-up pass every trial runs without touching
+//! the allocator. This test installs a counting `#[global_allocator]`
+//! shim (legal here: integration tests are their own crate roots) and
+//! asserts the promise literally: a second, identical pass over the
+//! share_8x3 analytic cell performs **zero** heap allocations.
+//!
+//! Warm-up is an identical pass over the same trial range, so every
+//! pooled buffer reaches the exact capacity the measured pass needs —
+//! the same steady state a bench shard reaches after its first trials.
+
+use emerge_core::config::SchemeParams;
+use emerge_core::montecarlo::{
+    run_protocol_trial_range_pooled, ProtocolMcResults, ProtocolTrialSpec, TrialWorkspace,
+};
+use emerge_core::protocol::AttackMode;
+use emerge_core::substrate::{AnalyticSubstrate, OverlayConfig};
+use emerge_sim::time::SimDuration;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation-path call (alloc, alloc_zeroed, realloc);
+/// frees are uncounted — releasing warm capacity is not the regression
+/// this test guards against, acquiring it per trial is.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_share_trials_allocate_nothing() {
+    const TRIALS: usize = 20;
+    let spec = ProtocolTrialSpec {
+        params: SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 8,
+            m: vec![4, 4],
+        },
+        emerging_period: SimDuration::from_ticks(8_000),
+        attack: AttackMode::ReleaseAhead,
+    };
+    let config = OverlayConfig {
+        n_nodes: 2_000,
+        malicious_fraction: 0.2,
+        mean_lifetime: Some(40_000),
+        horizon: 200_000,
+        ..OverlayConfig::default()
+    };
+    let mut substrate = AnalyticSubstrate::build(config, 0);
+    let mut ws = TrialWorkspace::new();
+
+    // Two warm-up passes: the first grows the workspace buffers and fills
+    // the substrate's timeline pool; the second runs with the pool's
+    // stationary hand-out cycle (a cold pool serves trials in a slightly
+    // different order than a seeded one), topping up the last capacities.
+    // From the third pass on, the buffer-demand mapping repeats exactly.
+    let mut warm = ProtocolMcResults::default();
+    for _ in 0..2 {
+        warm = run_protocol_trial_range_pooled(
+            &spec,
+            0,
+            TRIALS,
+            0xB45E,
+            &mut substrate,
+            |s, seed| s.rebuild(seed),
+            &mut ws,
+        )
+        .expect("warm-up trials");
+    }
+
+    // Measured pass: identical trials, zero allocations allowed.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let steady = run_protocol_trial_range_pooled(
+        &spec,
+        0,
+        TRIALS,
+        0xB45E,
+        &mut substrate,
+        |s, seed| s.rebuild(seed),
+        &mut ws,
+    )
+    .expect("steady-state trials");
+    let allocations = ALLOCS.load(Ordering::SeqCst) - before;
+
+    assert_eq!(
+        steady.fingerprint, warm.fingerprint,
+        "the measured pass must rerun the exact warm-up trials"
+    );
+    assert_eq!(
+        allocations, 0,
+        "steady-state pooled trials must not touch the allocator \
+         ({allocations} allocation(s) across {TRIALS} trials)"
+    );
+}

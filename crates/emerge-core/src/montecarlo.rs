@@ -19,10 +19,14 @@
 use crate::adversary::{CentralTrial, HolderTimeline, KeyedTrial, ShareTrial};
 use crate::config::SchemeParams;
 use crate::error::EmergeError;
-use crate::package::{build_keyed_packages, build_share_packages, KeySchedule};
-use crate::path::construct_paths;
+use crate::package::{
+    build_keyed_packages, build_share_packages, build_share_packages_into, KeySchedule,
+    PackageScratch, SharePackages,
+};
+use crate::path::{construct_paths, construct_paths_into, PathPlan};
 use crate::protocol::{
-    execute_central, execute_keyed, execute_share, AttackMode, RunConfig, RunReport,
+    execute_central, execute_keyed, execute_share, execute_share_pooled, AttackMode,
+    PooledRunReport, RunConfig, RunReport, ShareExecScratch,
 };
 use crate::substrate::HolderSubstrate;
 use emerge_crypto::keys::SymmetricKey;
@@ -396,6 +400,132 @@ where
     Ok(results)
 }
 
+/// Every reusable buffer one Monte-Carlo shard needs to run share-scheme
+/// wire-protocol trials without touching the allocator: the path plan,
+/// the key schedule, the package build output and scratch, the pooled
+/// executor scratch, the pooled report and the per-trial secret buffer.
+/// Build one per shard, reuse it across every trial of every cell; the
+/// first trial of each scheme shape warms the capacities and subsequent
+/// trials allocate nothing.
+#[derive(Debug)]
+pub struct TrialWorkspace {
+    plan: PathPlan,
+    schedule: KeySchedule,
+    packages: SharePackages,
+    pkg_scratch: PackageScratch,
+    exec_scratch: ShareExecScratch,
+    report: PooledRunReport,
+    secret: Vec<u8>,
+}
+
+impl TrialWorkspace {
+    /// An empty (cold) workspace. The placeholder key schedule is
+    /// replaced by each trial's sender seed before any derivation.
+    pub fn new() -> Self {
+        TrialWorkspace {
+            plan: PathPlan::default(),
+            schedule: KeySchedule::new(SymmetricKey::from_bytes([0u8; 32])),
+            packages: SharePackages::default(),
+            pkg_scratch: PackageScratch::new(),
+            exec_scratch: ShareExecScratch::default(),
+            report: PooledRunReport::default(),
+            secret: Vec::new(),
+        }
+    }
+}
+
+impl Default for TrialWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pooled form of [`run_protocol_trial_range`] for the share scheme: the
+/// caller supplies a substrate that is *re-seeded in place* per trial
+/// (e.g. `AnalyticSubstrate::rebuild`) and a [`TrialWorkspace`] of
+/// recycled buffers, and every trial runs through the pooled
+/// path/builder/executor pipeline. Results — including the fingerprint —
+/// are bit-identical to the allocating loop with a fresh
+/// `build(config, world_seed)` substrate per trial (pinned by test and by
+/// the recorded baseline fingerprints); after the first trial of a scheme
+/// shape, a trial performs zero heap allocations.
+///
+/// # Errors
+///
+/// Returns [`EmergeError::InvalidParameters`] for non-share parameters
+/// (the other schemes keep the allocating loop) and propagates
+/// construction failures such as [`EmergeError::InsufficientNodes`].
+pub fn run_protocol_trial_range_pooled<S, R>(
+    spec: &ProtocolTrialSpec,
+    first_trial: usize,
+    count: usize,
+    seed: u64,
+    substrate: &mut S,
+    mut reseed: R,
+    ws: &mut TrialWorkspace,
+) -> Result<ProtocolMcResults, EmergeError>
+where
+    S: HolderSubstrate,
+    R: FnMut(&mut S, u64),
+{
+    spec.params.validate()?;
+    if !matches!(spec.params, SchemeParams::Share { .. }) {
+        return Err(EmergeError::InvalidParameters(
+            "the pooled trial loop supports share parameters only".into(),
+        ));
+    }
+    let seeds = SeedSource::new(seed);
+    let mut results = ProtocolMcResults::default();
+    for trial_idx in first_trial..first_trial + count {
+        let mut trial_rng = seeds.stream_n("protocol-trial", trial_idx as u64);
+        let world_seed = trial_rng.next_u64();
+        reseed(substrate, world_seed);
+        let sender_seed = SymmetricKey::generate(&mut trial_rng);
+        let message_key = sender_seed.derive(b"message-secret-key");
+        ws.secret.clear();
+        ws.secret.extend_from_slice(message_key.as_bytes());
+
+        construct_paths_into(&*substrate, &spec.params, &sender_seed, &mut ws.plan)?;
+        let config = RunConfig {
+            ts: substrate.now(),
+            emerging_period: spec.emerging_period,
+            attack: spec.attack,
+        };
+        ws.schedule.reset(sender_seed);
+        build_share_packages_into(
+            &ws.plan,
+            &spec.params,
+            &ws.schedule,
+            &ws.secret,
+            &mut ws.packages,
+            &mut ws.pkg_scratch,
+        )?;
+        execute_share_pooled(
+            substrate,
+            &ws.plan,
+            &spec.params,
+            &ws.packages,
+            &config,
+            &mut ws.exec_scratch,
+            &mut ws.report,
+        )?;
+
+        let tr = config.ts + config.emerging_period;
+        results.released.record(ws.report.released_at.is_some());
+        results.clean.record(ws.report.clean_emergence(tr));
+        results
+            .reconstructed_early
+            .record(ws.report.adversary_at.is_some());
+        results.messages.record(ws.report.messages_sent as f64);
+        results.fingerprint = results.fingerprint.wrapping_add(pooled_trial_digest(
+            trial_idx as u64,
+            &ws.plan.slots,
+            &ws.report,
+        ));
+    }
+    Ok(results)
+}
+
 pub use emerge_sim::shard::shard_ranges;
 
 /// Runs `trials` wire-protocol trials split over `shards` contiguous
@@ -461,6 +591,40 @@ fn trial_digest(trial_idx: u64, slots: &[usize], report: &RunReport) -> u64 {
         None => d.eat(&[0]),
     }
     if let Some(reason) = &report.failure {
+        d.eat(reason.as_bytes());
+    }
+    d.eat(&report.messages_sent.to_le_bytes());
+    d.finish()
+}
+
+/// [`trial_digest`] over a [`PooledRunReport`]: identical byte stream
+/// (the pooled report's secret buffers and `&'static str` failure reasons
+/// serialize to the same bytes as the allocating report's owned copies),
+/// so pooled and allocating runs of the same trials share one
+/// fingerprint.
+fn pooled_trial_digest(trial_idx: u64, slots: &[usize], report: &PooledRunReport) -> u64 {
+    let mut d = emerge_sim::shard::TrialDigest::new();
+    d.eat(&trial_idx.to_le_bytes());
+    for &slot in slots {
+        d.eat(&(slot as u64).to_le_bytes());
+    }
+    match report.released_at {
+        Some(at) => {
+            d.eat(&[1]);
+            d.eat(&at.ticks().to_le_bytes());
+            d.eat(&report.released_secret);
+        }
+        None => d.eat(&[0]),
+    }
+    match report.adversary_at {
+        Some(at) => {
+            d.eat(&[1]);
+            d.eat(&at.ticks().to_le_bytes());
+            d.eat(&report.adversary_secret);
+        }
+        None => d.eat(&[0]),
+    }
+    if let Some(reason) = report.failure {
         d.eat(reason.as_bytes());
     }
     d.eat(&report.messages_sent.to_le_bytes());
@@ -601,6 +765,216 @@ mod tests {
         assert_eq!(a.messages.max(), b.messages.max(), "message max");
         assert!((a.messages.mean() - b.messages.mean()).abs() < 1e-9);
         assert!((a.messages.variance() - b.messages.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pooled_trial_loop_matches_allocating_loop() {
+        // One workspace and one rebuilt substrate reused across every
+        // shape, attack and trial — the exact steady-state reuse pattern
+        // of a bench shard — must reproduce the allocating loop's results
+        // (fingerprint included) bit for bit.
+        let mut ws = TrialWorkspace::new();
+        for (params, attack) in [
+            (
+                SchemeParams::Share {
+                    k: 2,
+                    l: 3,
+                    n: 5,
+                    m: vec![3, 3],
+                },
+                AttackMode::ReleaseAhead,
+            ),
+            (
+                SchemeParams::Share {
+                    k: 3,
+                    l: 4,
+                    n: 9,
+                    m: vec![4, 5, 5],
+                },
+                AttackMode::Drop,
+            ),
+            (
+                SchemeParams::Share {
+                    k: 2,
+                    l: 2,
+                    n: 6,
+                    m: vec![3],
+                },
+                AttackMode::Passive,
+            ),
+        ] {
+            for cfg in [
+                world_config(150, 0.4),
+                OverlayConfig {
+                    n_nodes: 150,
+                    malicious_fraction: 0.3,
+                    mean_lifetime: Some(2_500),
+                    horizon: 100_000,
+                    ..OverlayConfig::default()
+                },
+            ] {
+                let spec = protocol_spec(params.clone(), attack);
+                let serial =
+                    run_protocol_trials(&spec, 10, 5, |s| AnalyticSubstrate::build(cfg, s))
+                        .unwrap();
+                let mut substrate = AnalyticSubstrate::build(cfg, 0);
+                let pooled = run_protocol_trial_range_pooled(
+                    &spec,
+                    0,
+                    10,
+                    5,
+                    &mut substrate,
+                    |s, seed| s.rebuild(seed),
+                    &mut ws,
+                )
+                .unwrap();
+                assert_results_identical(&serial, &pooled);
+                // Range splits must also merge to the serial result.
+                let head = run_protocol_trial_range_pooled(
+                    &spec,
+                    0,
+                    4,
+                    5,
+                    &mut substrate,
+                    |s, seed| s.rebuild(seed),
+                    &mut ws,
+                )
+                .unwrap();
+                let tail = run_protocol_trial_range_pooled(
+                    &spec,
+                    4,
+                    6,
+                    5,
+                    &mut substrate,
+                    |s, seed| s.rebuild(seed),
+                    &mut ws,
+                )
+                .unwrap();
+                let mut merged = head;
+                merged.merge(&tail);
+                assert_results_identical(&serial, &merged);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_100_trials_matches_fresh_runs() {
+        // One workspace and one in-place-rebuilt substrate carried across
+        // 100 trials (run as several ranges, like a long-lived bench
+        // shard) must be indistinguishable from 100 fresh allocating
+        // runs.
+        let spec = protocol_spec(
+            SchemeParams::Share {
+                k: 2,
+                l: 3,
+                n: 8,
+                m: vec![4, 4],
+            },
+            AttackMode::ReleaseAhead,
+        );
+        let cfg = OverlayConfig {
+            n_nodes: 200,
+            malicious_fraction: 0.2,
+            mean_lifetime: Some(40_000),
+            horizon: 200_000,
+            ..OverlayConfig::default()
+        };
+        let fresh =
+            run_protocol_trials(&spec, 100, 0xB45E, |s| AnalyticSubstrate::build(cfg, s)).unwrap();
+        let mut substrate = AnalyticSubstrate::build(cfg, 0);
+        let mut ws = TrialWorkspace::new();
+        let mut reused = ProtocolMcResults::default();
+        for (first, count) in [(0usize, 40usize), (40, 25), (65, 35)] {
+            let part = run_protocol_trial_range_pooled(
+                &spec,
+                first,
+                count,
+                0xB45E,
+                &mut substrate,
+                |s, seed| s.rebuild(seed),
+                &mut ws,
+            )
+            .unwrap();
+            reused.merge(&part);
+        }
+        assert_results_identical(&fresh, &reused);
+    }
+
+    mod pooled_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Any small share shape, attack mode and trial batch: the
+            /// pooled loop (reused workspace, rebuilt substrate) and the
+            /// allocating loop (fresh everything per trial) agree bit for
+            /// bit.
+            #[test]
+            fn pooled_loop_matches_allocating_loop_for_any_shape(
+                k in 1usize..=3,
+                l in 1usize..=4,
+                extra in 0usize..=4,
+                m_seed in 0u64..u64::MAX,
+                attack_idx in 0usize..3,
+                trials in 1usize..=5,
+            ) {
+                let n = k + extra;
+                // Thresholds in [1, n], varied but deterministic per case.
+                let m: Vec<usize> = (0..l.saturating_sub(1))
+                    .map(|c| 1 + ((m_seed >> (8 * c)) as usize % n))
+                    .collect();
+                let params = SchemeParams::Share { k, l, n, m };
+                prop_assert!(params.validate().is_ok());
+                let attack = [AttackMode::Passive, AttackMode::ReleaseAhead, AttackMode::Drop]
+                    [attack_idx];
+                let spec = protocol_spec(params, attack);
+                let cfg = OverlayConfig {
+                    n_nodes: 120,
+                    malicious_fraction: 0.3,
+                    mean_lifetime: Some(3_000),
+                    horizon: 100_000,
+                    ..OverlayConfig::default()
+                };
+                let fresh = run_protocol_trials(&spec, trials, 7, |s| {
+                    AnalyticSubstrate::build(cfg, s)
+                })
+                .unwrap();
+                let mut substrate = AnalyticSubstrate::build(cfg, 0);
+                let mut ws = TrialWorkspace::new();
+                let pooled = run_protocol_trial_range_pooled(
+                    &spec,
+                    0,
+                    trials,
+                    7,
+                    &mut substrate,
+                    |s, seed| s.rebuild(seed),
+                    &mut ws,
+                )
+                .unwrap();
+                prop_assert_eq!(fresh.fingerprint, pooled.fingerprint);
+                prop_assert_eq!(fresh.released, pooled.released);
+                prop_assert_eq!(fresh.clean, pooled.clean);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_trial_loop_rejects_non_share_schemes() {
+        let spec = protocol_spec(SchemeParams::Joint { k: 2, l: 3 }, AttackMode::Passive);
+        let mut substrate = AnalyticSubstrate::build(world_config(100, 0.0), 0);
+        let err = run_protocol_trial_range_pooled(
+            &spec,
+            0,
+            1,
+            1,
+            &mut substrate,
+            |s, seed| s.rebuild(seed),
+            &mut TrialWorkspace::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EmergeError::InvalidParameters(_)));
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!     core-key share, and the bundle key C_j that opens segment j+1.
 //! ```
 //!
-//! The predecessor format (v1, kept as the [`legacy`] test/bench oracle)
+//! The predecessor format (v1, kept as the `legacy` test/bench oracle)
 //! nested the columns: column `j`'s bundle contained the *sealed* bundle
 //! of column `j+1`, so sealing the package re-encrypted every deeper
 //! column's bytes once per enclosing column — `O(l²·n)` AEAD byte volume
@@ -246,6 +246,16 @@ impl KeySchedule {
     /// Deterministic RNG for the Shamir polynomials.
     fn shamir_rng(&self) -> StdRng {
         StdRng::from_seed(self.seed.derive(b"shamir-polynomials").into_bytes())
+    }
+
+    /// Rebinds the schedule to a new seed, reusing the memo table's
+    /// storage: equivalent to `*self = KeySchedule::new(seed)` but the
+    /// map keeps its capacity, so a warm per-shard schedule re-derives
+    /// without allocating.
+    pub fn reset(&mut self, seed: SymmetricKey) {
+        self.hk = Hkdf::from_prk(*seed.as_bytes());
+        self.seed = seed;
+        self.cache.borrow_mut().keys.clear();
     }
 }
 
@@ -592,6 +602,20 @@ pub struct SharePackages {
     pub col0_core_key: SymmetricKey,
 }
 
+impl Default for SharePackages {
+    /// An empty package set, as the reusable output slot of
+    /// [`build_share_packages_into`] (the zero key is overwritten by
+    /// every build).
+    fn default() -> Self {
+        SharePackages {
+            package: Vec::new(),
+            core_onion: Vec::new(),
+            col0_row_keys: Vec::new(),
+            col0_core_key: SymmetricKey::from_bytes([0u8; 32]),
+        }
+    }
+}
+
 /// Domain-separation label for format-v2 header seals.
 const HEADER_AAD: &[u8] = b"emerge-share-header-v2";
 /// Domain-separation label for format-v2 segment seals.
@@ -723,7 +747,7 @@ pub fn decode_segment(bytes: &[u8]) -> Result<Vec<Vec<u8>>, CryptoError> {
 /// are spans into `blob` instead of per-header copies. This is what the
 /// protocol executor holds and forwards — decoding a 40-row segment costs
 /// two allocations, not forty-two.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SegmentHeaders {
     blob: Vec<u8>,
     /// `(offset, len)` of each header inside `blob`.
@@ -785,6 +809,154 @@ pub fn open_segment_headers(
     decode_segment_headers(plain)
 }
 
+/// Parses the outer segment table of a serialized [`SharePackage`] into
+/// `(offset, len)` spans over `bytes`, reusing `spans`' capacity.
+///
+/// Pooled counterpart of [`SharePackage::from_bytes`] for the executor
+/// hot path: the segments stay in the caller's buffer instead of being
+/// copied into per-segment `Vec`s.
+///
+/// # Errors
+///
+/// Identical to [`SharePackage::from_bytes`].
+pub fn parse_share_segment_spans(
+    bytes: &[u8],
+    spans: &mut Vec<(u32, u32)>,
+) -> Result<(), CryptoError> {
+    spans.clear();
+    let mut r = Reader::new(bytes);
+    if r.get_u8()? != SHARE_FORMAT_VERSION {
+        return Err(CryptoError::Malformed("unsupported share-package version"));
+    }
+    let count = r.get_u16()? as usize;
+    for _ in 0..count {
+        let len = r.get_u32()?;
+        let start = r.position() as u32;
+        r.get_raw(len as usize)?;
+        spans.push((start, len));
+    }
+    if spans.is_empty() {
+        return Err(CryptoError::Malformed("share package with no segments"));
+    }
+    r.expect_end()?;
+    Ok(())
+}
+
+/// Parses `blob` as a header table, writing spans into `spans`.
+fn parse_header_spans(blob: &[u8], spans: &mut Vec<(u32, u32)>) -> Result<(), CryptoError> {
+    spans.clear();
+    let mut r = Reader::new(blob);
+    let count = r.get_u16()? as usize;
+    for _ in 0..count {
+        let len = r.get_u32()?;
+        let start = r.position() as u32;
+        r.get_raw(len as usize)?;
+        spans.push((start, len));
+    }
+    r.expect_end()?;
+    Ok(())
+}
+
+/// Decodes a plaintext header table into a reusable [`SegmentHeaders`],
+/// recycling both its blob and span buffers.
+///
+/// # Errors
+///
+/// Identical to [`decode_segment_headers`].
+pub fn decode_segment_headers_into(
+    bytes: &[u8],
+    out: &mut SegmentHeaders,
+) -> Result<(), CryptoError> {
+    out.blob.clear();
+    out.blob.extend_from_slice(bytes);
+    parse_header_spans(&out.blob, &mut out.spans)
+}
+
+/// Opens a sealed column segment into a reusable [`SegmentHeaders`] —
+/// the allocation-free counterpart of [`open_segment_headers`].
+///
+/// # Errors
+///
+/// Identical to [`open_segment_headers`]. On error `out` is left with an
+/// empty span table.
+pub fn open_segment_headers_into(
+    key: &SymmetricKey,
+    sealed: &[u8],
+    out: &mut SegmentHeaders,
+) -> Result<(), CryptoError> {
+    out.spans.clear();
+    out.blob.clear();
+    out.blob.extend_from_slice(sealed);
+    emerge_crypto::aead::open_in_place(key, &SEGMENT_NONCE, &mut out.blob, SEGMENT_AAD)?;
+    parse_header_spans(&out.blob, &mut out.spans)
+}
+
+/// Opens a sealed header into a reusable plaintext buffer (the pooled
+/// counterpart of the decrypt step inside [`open_header_for_executor`]);
+/// parse the result with [`visit_executor_payload`].
+///
+/// # Errors
+///
+/// Returns a [`CryptoError`] for a wrong key or tampered header.
+pub fn open_header_into(
+    key: &SymmetricKey,
+    header: &[u8],
+    plain: &mut Vec<u8>,
+) -> Result<(), CryptoError> {
+    plain.clear();
+    plain.extend_from_slice(header);
+    emerge_crypto::aead::open_in_place(key, &HEADER_NONCE, plain, HEADER_AAD)
+}
+
+/// The non-share fields of an executor payload: the core-key share (as
+/// `(index, bytes)`) and the next column's bundle key.
+pub type ExecutorPayloadTail<'a> = (Option<(u8, &'a [u8])>, Option<SymmetricKey>);
+
+/// Walks an opened executor payload without copying: `on_share` is called
+/// once per next-column row-key share, in target-row order, with
+/// `(target_row, share_index, share_bytes)`. Returns the core-key share
+/// and the bundle key, mirroring [`open_header_for_executor`]'s
+/// projection field for field.
+///
+/// # Errors
+///
+/// Identical to the parse step of [`open_header_for_executor`].
+pub fn visit_executor_payload<'a>(
+    plain: &'a [u8],
+    mut on_share: impl FnMut(usize, u8, &'a [u8]),
+) -> Result<ExecutorPayloadTail<'a>, CryptoError> {
+    let mut r = Reader::new(plain);
+    let hop_count = r.get_u16()? as usize;
+    r.get_raw(hop_count * ID_LEN)?;
+    let share_count = r.get_u16()? as usize;
+    for target in 0..share_count {
+        let index = r.get_u8()?;
+        let data = r.get_bytes()?;
+        on_share(target, index, data);
+    }
+    let core_key_share = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let index = r.get_u8()?;
+            let data = r.get_bytes()?;
+            Some((index, data))
+        }
+        _ => return Err(CryptoError::Malformed("bad core-share flag")),
+    };
+    let bundle_key = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let raw = r.get_raw(32)?;
+            let mut kb = [0u8; 32];
+            kb.copy_from_slice(raw);
+            Some(SymmetricKey::from_bytes(kb))
+        }
+        _ => return Err(CryptoError::Malformed("bad bundle-key flag")),
+    };
+    r.expect_end()?;
+    Ok((core_key_share, bundle_key))
+}
+
 /// Seals a column's header table under its bundle key.
 fn seal_segment(key: &SymmetricKey, headers: &[Vec<u8>]) -> Vec<u8> {
     let plain = encode_segment(headers);
@@ -815,7 +987,7 @@ pub fn open_segment(key: &SymmetricKey, sealed: &[u8]) -> Result<Vec<Vec<u8>>, C
 ///
 /// Total AEAD seal volume is `Θ(l·n)` — each column's bytes are sealed
 /// exactly once — versus the nested v1 format's `O(l²·n)`
-/// (see [`legacy::build_share_packages_v1`], the retained oracle).
+/// (see `legacy::build_share_packages_v1`, the retained oracle).
 /// Decrypted header payloads, share values and the key schedule are
 /// bit-identical to v1's.
 ///
@@ -940,6 +1112,206 @@ pub fn build_share_packages(
         col0_row_keys: (0..n).map(|r| schedule.row_key(r, 0)).collect(),
         col0_core_key: schedule.core_key(0),
     })
+}
+
+/// Writes the wire form of a non-terminal header payload straight from a
+/// share slab — the pooled twin of [`encode_payload_borrowed`]. Share
+/// `row` of every split carries index `row + 1`, so the encoded bytes
+/// are identical to the `Vec<KeyShare>` path (pinned by the pooled
+/// builder equivalence test).
+fn encode_payload_slab(
+    w: &mut Writer,
+    next_hops: &[NodeId],
+    row_shares: &shamir::ShareSlab,
+    row: usize,
+    core_share: &[u8],
+    bundle_key: &SymmetricKey,
+) {
+    w.put_u16(next_hops.len() as u16);
+    for id in next_hops {
+        w.put_raw(id.as_bytes());
+    }
+    let x = (row + 1) as u8;
+    w.put_u16(row_shares.count() as u16);
+    for target in 0..row_shares.count() {
+        w.put_u8(x);
+        w.put_bytes(row_shares.share(target, x));
+    }
+    w.put_u8(1).put_u8(x);
+    w.put_bytes(core_share);
+    w.put_u8(1).put_raw(bundle_key.as_bytes());
+}
+
+/// Reusable scratch for [`build_share_packages_into`]: the share slabs,
+/// serialization buffers and key lists live here across trials, so a
+/// warm builder performs zero heap allocations.
+#[derive(Debug, Default)]
+pub struct PackageScratch {
+    /// Per-column row-key share slabs (columns `1..l`).
+    row_slabs: Vec<shamir::ShareSlab>,
+    /// Per-column core-key share slabs (columns `1..l`).
+    core_slabs: Vec<shamir::ShareSlab>,
+    /// Concatenated next-column row keys fed to the slab split.
+    keys_flat: Vec<u8>,
+    /// Header payload serialization scratch.
+    payload: Writer,
+    /// One sealed header.
+    header: Vec<u8>,
+    /// One column segment being assembled (and sealed in place).
+    segment: Vec<u8>,
+    /// Next-column hop addresses of the current column.
+    next_hops: Vec<NodeId>,
+    /// The per-column core keys for the core onion.
+    core_keys: Vec<SymmetricKey>,
+    /// Onion layer ping-pong buffer.
+    onion_scratch: Vec<u8>,
+}
+
+impl PackageScratch {
+    /// Creates an empty scratch; every buffer grows to its steady-state
+    /// size on the first build and is then recycled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`build_share_packages`] into caller-owned output and scratch
+/// buffers: byte-identical packages (same key schedule, same Shamir RNG
+/// stream, same seals — pinned by test), but a warm call allocates
+/// nothing. This is the Monte-Carlo trial loop's builder; the allocating
+/// form remains the public one-shot API and the equivalence oracle.
+///
+/// # Errors
+///
+/// Identical to [`build_share_packages`].
+pub fn build_share_packages_into(
+    plan: &PathPlan,
+    params: &SchemeParams,
+    schedule: &KeySchedule,
+    secret: &[u8],
+    out: &mut SharePackages,
+    scratch: &mut PackageScratch,
+) -> Result<(), EmergeError> {
+    let (_k, l, n, m) = match params {
+        SchemeParams::Share { k, l, n, m } => (*k, *l, *n, m),
+        _ => {
+            return Err(EmergeError::InvalidParameters(
+                "share packages require the share scheme".into(),
+            ))
+        }
+    };
+    if n > shamir::MAX_SHARES {
+        return Err(EmergeError::InvalidParameters(format!(
+            "wire-level GF(256) sharing supports at most {} rows, got {n} \
+             (the analysis/Monte-Carlo engines have no such limit)",
+            shamir::MAX_SHARES
+        )));
+    }
+    debug_assert_eq!(plan.rows, n);
+    debug_assert_eq!(plan.cols, l);
+
+    let mut rng = schedule.shamir_rng();
+
+    // Shares of every column's keys (columns 1..l), split into recycled
+    // slabs with the exact RNG draw order of `split_many` + `split`.
+    while scratch.row_slabs.len() < l - 1 {
+        scratch.row_slabs.push(shamir::ShareSlab::new());
+        scratch.core_slabs.push(shamir::ShareSlab::new());
+    }
+    for col in 1..l {
+        let threshold = m[col - 1];
+        scratch.keys_flat.clear();
+        for r in 0..n {
+            scratch
+                .keys_flat
+                .extend_from_slice(schedule.row_key(r, col).as_bytes());
+        }
+        scratch.row_slabs[col - 1].split_flat(&scratch.keys_flat, 32, threshold, n, &mut rng)?;
+        let core = schedule.core_key(col);
+        scratch.core_slabs[col - 1].split_flat(core.as_bytes(), 32, threshold, n, &mut rng)?;
+    }
+
+    // Assemble the package wire form directly: version byte, u16 segment
+    // count, then each column segment length-prefixed — identical to
+    // `SharePackage::to_bytes` over per-column `encode_segment` /
+    // `seal_segment` results.
+    out.package.clear();
+    out.package.push(SHARE_FORMAT_VERSION);
+    out.package.extend_from_slice(&(l as u16).to_le_bytes());
+    for col in 0..l {
+        let last = col + 1 == l;
+        let bundle_key = (!last).then(|| schedule.bundle_key(col));
+        scratch.next_hops.clear();
+        if !last {
+            scratch
+                .next_hops
+                .extend((0..n).map(|r| plan.targets[r * l + col + 1]));
+        }
+        let segment = &mut scratch.segment;
+        segment.clear();
+        segment.extend_from_slice(&(n as u16).to_le_bytes());
+        for row in 0..n {
+            scratch.payload.clear();
+            if let Some(bk) = &bundle_key {
+                // Column `col`'s headers deliver shares of column
+                // `col + 1`'s keys: slab `col` (slabs are indexed by
+                // target column minus one).
+                encode_payload_slab(
+                    &mut scratch.payload,
+                    &scratch.next_hops,
+                    &scratch.row_slabs[col],
+                    row,
+                    scratch.core_slabs[col].share(0, (row + 1) as u8),
+                    bk,
+                );
+            } else {
+                encode_terminal_payload(&mut scratch.payload);
+            }
+            record_sealed(scratch.payload.len());
+            scratch.header.clear();
+            scratch.header.extend_from_slice(scratch.payload.as_slice());
+            emerge_crypto::aead::seal_in_place(
+                &schedule.row_key(row, col),
+                &HEADER_NONCE,
+                &mut scratch.header,
+                HEADER_AAD,
+            );
+            segment.extend_from_slice(&(scratch.header.len() as u32).to_le_bytes());
+            segment.extend_from_slice(&scratch.header);
+        }
+        if col != 0 {
+            // Sealed once, under the key the previous column's headers
+            // release one hop ahead (column 0 travels unsealed).
+            record_sealed(segment.len());
+            emerge_crypto::aead::seal_in_place(
+                &schedule.bundle_key(col - 1),
+                &SEGMENT_NONCE,
+                segment,
+                SEGMENT_AAD,
+            );
+        }
+        out.package
+            .extend_from_slice(&(segment.len() as u32).to_le_bytes());
+        out.package.extend_from_slice(segment);
+    }
+
+    // Core onion: sealed with the per-column core keys; payloads empty.
+    scratch.core_keys.clear();
+    scratch
+        .core_keys
+        .extend((0..l).map(|c| schedule.core_key(c)));
+    emerge_crypto::onion::build_onion_empty_into(
+        &scratch.core_keys,
+        secret,
+        &mut out.core_onion,
+        &mut scratch.onion_scratch,
+    );
+
+    out.col0_row_keys.clear();
+    out.col0_row_keys
+        .extend((0..n).map(|r| schedule.row_key(r, 0)));
+    out.col0_core_key = schedule.core_key(0);
+    Ok(())
 }
 
 /// The nested column-bundle format **v1**, retained verbatim as the
@@ -1199,6 +1571,7 @@ mod tests {
     use crate::path::construct_paths;
     use emerge_crypto::onion::{peel, peel_core, Peeled};
     use emerge_dht::overlay::{Overlay, OverlayConfig};
+    use rand::RngCore;
 
     fn overlay(n: usize) -> Overlay {
         Overlay::build(
@@ -1515,6 +1888,69 @@ mod tests {
         assert!(payload2.next_hops.is_empty());
         assert!(payload2.row_key_shares.is_empty());
         assert!(payload2.bundle_key.is_none());
+    }
+
+    #[test]
+    fn pooled_builder_matches_allocating_builder_across_reuse() {
+        // One scratch and output set serves builds of different shapes
+        // and seeds; every build must be byte-identical to a fresh
+        // allocating build (packages, onion, delivered col-0 keys) and
+        // report the same sealed-byte volume.
+        let ov = overlay(120);
+        let shapes = [
+            (2usize, 3usize, 4usize, vec![2usize, 2]),
+            (1, 2, 5, vec![3]),
+            (2, 3, 4, vec![2, 3]),
+            (2, 3, 4, vec![2, 2]), // repeat of shape 0, different seed below
+        ];
+        let mut out = SharePackages::default();
+        let mut scratch = PackageScratch::new();
+        for (i, (k, l, n, m)) in shapes.iter().enumerate() {
+            let params = SchemeParams::Share {
+                k: *k,
+                l: *l,
+                n: *n,
+                m: m.clone(),
+            };
+            let sender = SymmetricKey::from_bytes([10 + i as u8; 32]);
+            let plan = construct_paths(&ov, &params, &sender).unwrap();
+            let sched = KeySchedule::new(sender);
+
+            take_sealed_byte_count();
+            let reference = build_share_packages(&plan, &params, &sched, b"CORE").unwrap();
+            let ref_sealed = take_sealed_byte_count();
+            build_share_packages_into(&plan, &params, &sched, b"CORE", &mut out, &mut scratch)
+                .unwrap();
+            let pooled_sealed = take_sealed_byte_count();
+
+            assert_eq!(out.package, reference.package);
+            assert_eq!(out.core_onion, reference.core_onion);
+            assert_eq!(out.col0_row_keys, reference.col0_row_keys);
+            assert_eq!(
+                out.col0_core_key.as_bytes(),
+                reference.col0_core_key.as_bytes()
+            );
+            assert_eq!(pooled_sealed, ref_sealed);
+        }
+    }
+
+    #[test]
+    fn key_schedule_reset_matches_fresh_schedule() {
+        let mut warm = KeySchedule::new(SymmetricKey::from_bytes([1; 32]));
+        // Populate the memo table under the first seed.
+        let _ = warm.row_key(3, 2);
+        let _ = warm.bundle_key(1);
+        warm.reset(SymmetricKey::from_bytes([9; 32]));
+        let fresh = KeySchedule::new(SymmetricKey::from_bytes([9; 32]));
+        assert_eq!(
+            warm.row_key(3, 2).into_bytes(),
+            fresh.row_key(3, 2).into_bytes()
+        );
+        assert_eq!(
+            warm.core_key(0).into_bytes(),
+            fresh.core_key(0).into_bytes()
+        );
+        assert_eq!(warm.shamir_rng().next_u64(), fresh.shamir_rng().next_u64());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use emerge_dht::id::NodeId;
 use std::collections::HashSet;
 
 /// A fully resolved holder grid.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PathPlan {
     /// Rows in the grid (k for keyed schemes, n for the share scheme).
     pub rows: usize,
@@ -59,13 +59,44 @@ pub fn holder_address(seed: &SymmetricKey, row: usize, col: usize, attempt: u32)
 /// [`holder_address`] against a prepared expander, so the grid loop pays
 /// the HMAC keying of the seed once instead of once per address.
 /// `Hkdf::from_prk(seed).expand(label)` *is* `seed.derive(label)`, so the
-/// addresses are unchanged.
+/// addresses are unchanged. The label is composed on the stack — the
+/// per-address `format!` was one of the last heap touches on the trial
+/// hot path.
 fn holder_address_with(hk: &Hkdf, row: usize, col: usize, attempt: u32) -> NodeId {
-    let label = format!("holder-addr/{row}/{col}/{attempt}");
-    let bytes = hk.expand_key(label.as_bytes());
+    // "holder-addr/" + three u64 decimals + two slashes fits easily.
+    let mut label = [0u8; 80];
+    const PREFIX: &[u8] = b"holder-addr/";
+    label[..PREFIX.len()].copy_from_slice(PREFIX);
+    let mut at = PREFIX.len();
+    at = push_decimal(&mut label, at, row as u64);
+    label[at] = b'/';
+    at += 1;
+    at = push_decimal(&mut label, at, col as u64);
+    label[at] = b'/';
+    at += 1;
+    at = push_decimal(&mut label, at, u64::from(attempt));
+    let bytes = hk.expand_key(&label[..at]);
     let mut id = [0u8; 20];
     id.copy_from_slice(&bytes[..20]);
     NodeId::from_bytes(id)
+}
+
+/// Writes `v` in decimal at `buf[at..]`, returning the new cursor.
+/// Byte-identical to `format!("{v}")`.
+fn push_decimal(buf: &mut [u8; 80], at: usize, mut v: u64) -> usize {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    let digits = tmp.len() - i;
+    buf[at..at + digits].copy_from_slice(&tmp[i..]);
+    at + digits
 }
 
 /// Constructs the holder grid for `params` on any [`HolderSubstrate`],
@@ -133,6 +164,69 @@ pub fn construct_paths<S: HolderSubstrate + ?Sized>(
     })
 }
 
+/// Constructs the same holder grid as [`construct_paths`] into a
+/// reusable plan: `plan`'s vectors are cleared and refilled, so a warm
+/// caller allocates nothing. The distinctness set is replaced by a
+/// linear scan of the slots gathered so far — quadratic in grid size,
+/// but grids are small (hundreds) and the scan is branch-cheap, while
+/// the oracle's `HashSet` costs an allocation per trial.
+///
+/// Pinned equal to [`construct_paths`] by test.
+///
+/// # Errors
+///
+/// Identical to [`construct_paths`].
+pub fn construct_paths_into<S: HolderSubstrate + ?Sized>(
+    substrate: &S,
+    params: &SchemeParams,
+    seed: &SymmetricKey,
+    plan: &mut PathPlan,
+) -> Result<(), EmergeError> {
+    params
+        .validate()
+        .map_err(|e| EmergeError::InvalidParameters(e.to_string()))?;
+    let (rows, cols) = match params {
+        SchemeParams::Central => (1, 1),
+        SchemeParams::Disjoint { k, l } | SchemeParams::Joint { k, l } => (*k, *l),
+        SchemeParams::Share { l, n, .. } => (*n, *l),
+    };
+    let needed = rows * cols;
+    if needed > substrate.n_nodes() {
+        return Err(EmergeError::InsufficientNodes {
+            required: needed,
+            available: substrate.n_nodes(),
+        });
+    }
+
+    plan.rows = rows;
+    plan.cols = cols;
+    plan.slots.clear();
+    plan.targets.clear();
+
+    let hk = Hkdf::from_prk(*seed.as_bytes());
+    for row in 0..rows {
+        for col in 0..cols {
+            let mut attempt = 0u32;
+            let (slot, target) = loop {
+                let target = holder_address_with(&hk, row, col, attempt);
+                let slot = substrate.resolve_holder(&target);
+                if !plan.slots.contains(&slot) {
+                    break (slot, target);
+                }
+                attempt += 1;
+                if attempt > 10_000 {
+                    return Err(EmergeError::InvalidParameters(
+                        "holder selection failed to find distinct nodes".into(),
+                    ));
+                }
+            };
+            plan.slots.push(slot);
+            plan.targets.push(target);
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +284,32 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 12);
+    }
+
+    #[test]
+    fn pooled_path_construction_matches_allocating_form() {
+        let ov = overlay(150);
+        let mut plan = PathPlan::default();
+        // Reuse one plan across shapes (shrinking and growing) so stale
+        // contents must be fully overwritten.
+        for (params, s) in [
+            (
+                SchemeParams::Share {
+                    k: 2,
+                    l: 4,
+                    n: 10,
+                    m: vec![5, 5, 6],
+                },
+                11u8,
+            ),
+            (SchemeParams::Central, 12),
+            (SchemeParams::Joint { k: 4, l: 6 }, 13),
+            (SchemeParams::Disjoint { k: 2, l: 3 }, 14),
+        ] {
+            let oracle = construct_paths(&ov, &params, &seed(s)).unwrap();
+            construct_paths_into(&ov, &params, &seed(s), &mut plan).unwrap();
+            assert_eq!(plan, oracle);
+        }
     }
 
     #[test]

@@ -15,14 +15,16 @@
 use crate::config::SchemeParams;
 use crate::error::EmergeError;
 use crate::package::{
-    decode_segment_headers, open_header_for_executor, open_segment_headers, KeyedPackages,
-    SegmentHeaders, SharePackage, SharePackages,
+    decode_segment_headers, decode_segment_headers_into, open_header_for_executor,
+    open_header_into, open_segment_headers, open_segment_headers_into, parse_share_segment_spans,
+    visit_executor_payload, KeyedPackages, SegmentHeaders, SharePackage, SharePackages,
 };
 use crate::path::PathPlan;
 use crate::substrate::HolderSubstrate;
 use emerge_crypto::keys::{KeyShare, SymmetricKey};
-use emerge_crypto::onion::{peel, peel_core, Peeled};
+use emerge_crypto::onion::{peel, peel_core, peel_in_place, LayerKind, Peeled};
 use emerge_crypto::shamir;
+use emerge_crypto::CryptoError;
 use emerge_sim::engine::Engine;
 use emerge_sim::time::{SimDuration, SimTime};
 use std::rc::Rc;
@@ -685,6 +687,501 @@ fn combine_key_cached(
     }
 }
 
+/// The outcome of one pooled protocol run: the same facts as
+/// [`RunReport`], held in reusable buffers instead of per-run
+/// allocations. The secret buffers are only meaningful when the matching
+/// `_at` field is `Some`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PooledRunReport {
+    /// Instant of legitimate release, if it happened.
+    pub released_at: Option<SimTime>,
+    /// The released secret (valid when `released_at` is `Some`).
+    pub released_secret: Vec<u8>,
+    /// Why the key failed to emerge, if it did not.
+    pub failure: Option<&'static str>,
+    /// Instant of early adversary reconstruction, if the attack won.
+    pub adversary_at: Option<SimTime>,
+    /// The adversary's bytes (valid when `adversary_at` is `Some`).
+    pub adversary_secret: Vec<u8>,
+    /// Messages the run pushed through the simulated network.
+    pub messages_sent: u64,
+}
+
+impl PooledRunReport {
+    /// Whether the key emerged exactly as intended (see
+    /// [`RunReport::clean_emergence`]).
+    pub fn clean_emergence(&self, tr: SimTime) -> bool {
+        self.released_at == Some(tr) && self.adversary_at.is_none()
+    }
+
+    /// Copies out an allocating [`RunReport`] — for oracle comparisons
+    /// and cold callers.
+    pub fn to_report(&self) -> RunReport {
+        RunReport {
+            released: self
+                .released_at
+                .map(|at| (at, self.released_secret.clone())),
+            failure: self.failure.map(String::from),
+            adversary_reconstruction: self
+                .adversary_at
+                .map(|at| (at, self.adversary_secret.clone())),
+            messages_sent: self.messages_sent,
+        }
+    }
+}
+
+/// Fixed-stride slab of 32-byte key shares: `buckets` rows, each holding
+/// up to `stride` `(index, share)` pairs in arrival order. Replaces the
+/// per-inbox `Vec<KeyShare>` of the allocating executor; reset is an
+/// `O(buckets)` count clear, never a free.
+#[derive(Debug, Default)]
+struct ShareBank {
+    counts: Vec<u16>,
+    idx: Vec<u8>,
+    data: Vec<u8>,
+    stride: usize,
+}
+
+impl ShareBank {
+    fn reset(&mut self, buckets: usize, stride: usize) {
+        self.stride = stride;
+        self.counts.clear();
+        self.counts.resize(buckets, 0);
+        let need = buckets * stride;
+        if self.idx.len() < need {
+            self.idx.resize(need, 0);
+        }
+        if self.data.len() < need * 32 {
+            self.data.resize(need * 32, 0);
+        }
+    }
+
+    fn push(&mut self, bucket: usize, index: u8, share: &[u8]) {
+        debug_assert_eq!(share.len(), 32);
+        let c = self.counts[bucket] as usize;
+        debug_assert!(c < self.stride, "share bank bucket overflow");
+        let at = bucket * self.stride + c;
+        self.idx[at] = index;
+        self.data[at * 32..at * 32 + 32].copy_from_slice(share);
+        self.counts[bucket] = (c + 1) as u16;
+    }
+
+    /// `(indices, data)` of one bucket, in push order.
+    fn bucket(&self, bucket: usize) -> (&[u8], &[u8]) {
+        let c = self.counts[bucket] as usize;
+        let at = bucket * self.stride;
+        (&self.idx[at..at + c], &self.data[at * 32..(at + c) * 32])
+    }
+}
+
+/// Reusable buffers for [`execute_share_pooled`]: held per shard and
+/// recycled across trials. After a per-shape warmup trial, a run touches
+/// none of the allocator.
+#[derive(Debug, Default)]
+pub struct ShareExecScratch {
+    /// Segment spans over the serialized package.
+    seg_spans: Vec<(u32, u32)>,
+    /// The current column's opened header table.
+    cur_headers: SegmentHeaders,
+    /// The next column's opened header table.
+    next_headers: SegmentHeaders,
+    /// Row-key shares held by the current column's rows.
+    cur_key: ShareBank,
+    /// Row-key shares being delivered to the next column.
+    next_key: ShareBank,
+    /// Core-key shares held by the current column's onion rows.
+    cur_core: ShareBank,
+    /// Core-key shares being delivered to the next column.
+    next_core: ShareBank,
+    /// The core onion as held by the current column's onion rows.
+    cur_core_onion: Vec<u8>,
+    /// The peeled core onion being forwarded to the next column.
+    next_core_onion: Vec<u8>,
+    /// Per-hop onion payload sink (validated, discarded).
+    onion_payload: Vec<u8>,
+    /// Opened header payload plaintext.
+    plain: Vec<u8>,
+    /// Reconstructed 32-byte key output.
+    key_out: Vec<u8>,
+    /// First terminal core secret of the run.
+    terminal_secret: Vec<u8>,
+    /// Adversary core-share ledger, bucketed by column.
+    adv_core: ShareBank,
+    /// Adversary's copy of the column-0 core onion (peeled in place
+    /// during reconstruction).
+    adv_onion: Vec<u8>,
+    /// Lagrange-weight memo shared by every reconstruction of the run.
+    weight_cache: shamir::WeightCache,
+}
+
+/// Combines a `ShareBank` bucket into a 32-byte symmetric key —
+/// [`combine_key_cached`] over slab storage, with identical outcome
+/// mapping.
+fn combine_key_slab(
+    indices: &[u8],
+    data: &[u8],
+    m: usize,
+    cache: &mut shamir::WeightCache,
+    out: &mut Vec<u8>,
+) -> Result<Option<SymmetricKey>, EmergeError> {
+    match shamir::combine_slab_cached_into(indices, data, 32, m, cache, out) {
+        Ok(()) => {
+            let mut kb = [0u8; 32];
+            kb.copy_from_slice(out);
+            Ok(Some(SymmetricKey::from_bytes(kb)))
+        }
+        Err(CryptoError::NotEnoughShares { .. }) => Ok(None),
+        Err(e) => Err(EmergeError::Crypto(e)),
+    }
+}
+
+/// Executes a key-share routing run into reusable buffers.
+///
+/// Semantically identical to [`execute_share`] (the retained oracle):
+/// same substrate query sequence, message accounting, adversary ledger,
+/// failure strings and secrets — pinned equal by test across substrates,
+/// attack modes and churn. The differences are purely representational:
+///
+/// - the package is parsed as spans over `packages.package` instead of
+///   per-segment copies;
+/// - in-flight shares live in fixed-stride `ShareBank` slabs instead
+///   of per-inbox `Vec<KeyShare>`s;
+/// - per-column state (header table, core onion) is held once per
+///   column — the allocating executor's per-row `Rc`s and option flags
+///   always carry column-uniform values, a consequence of the uniform
+///   forwarding loops — and the redundant per-row core-onion peels
+///   (identical inputs, identical outputs) collapse to one peel per
+///   column;
+/// - the trivially sequential event schedule (arrive columns `0..l`,
+///   then release at `tr`) is a plain loop instead of an [`Engine`].
+///
+/// One scope restriction: this path requires the 32-byte shares that
+/// [`crate::package::build_share_packages`] emits and rejects others
+/// with [`EmergeError::InvalidParameters`]; foreign packages with
+/// exotic share lengths must go through [`execute_share`]. (The unused
+/// witness ledger of row-0 key shares kept by the oracle is dropped —
+/// it is never read.)
+///
+/// # Errors
+///
+/// Returns [`EmergeError::InvalidParameters`] for mismatched parameters
+/// and propagates crypto failures exactly as [`execute_share`] does.
+pub fn execute_share_pooled<S: HolderSubstrate + ?Sized>(
+    substrate: &mut S,
+    plan: &PathPlan,
+    params: &SchemeParams,
+    packages: &SharePackages,
+    config: &RunConfig,
+    scratch: &mut ShareExecScratch,
+    out: &mut PooledRunReport,
+) -> Result<(), EmergeError> {
+    let (k, l, n, m) = match params {
+        SchemeParams::Share { k, l, n, m } => (*k, *l, *n, m),
+        _ => {
+            return Err(EmergeError::InvalidParameters(
+                "execute_share requires share parameters".into(),
+            ))
+        }
+    };
+    let th = config.emerging_period / l as u64;
+    let ts = config.ts;
+    let tr = ts + config.emerging_period;
+
+    parse_share_segment_spans(&packages.package, &mut scratch.seg_spans)?;
+    if scratch.seg_spans.len() != l {
+        return Err(EmergeError::InvalidParameters(format!(
+            "share package has {} segments for an l = {l} run",
+            scratch.seg_spans.len()
+        )));
+    }
+    let (off0, len0) = scratch.seg_spans[0];
+    decode_segment_headers_into(
+        &packages.package[off0 as usize..(off0 + len0) as usize],
+        &mut scratch.cur_headers,
+    )?;
+
+    // Column-0 state: every row holds the header table and its direct
+    // row key; rows `0..k` additionally hold the core onion and core key.
+    let mut cur_has_headers = true;
+    let mut cur_has_core_onion = true;
+    scratch.cur_core_onion.clear();
+    scratch
+        .cur_core_onion
+        .extend_from_slice(&packages.core_onion);
+    scratch.cur_key.reset(n, n);
+    scratch.cur_core.reset(n, n);
+    scratch.adv_core.reset(l, n);
+
+    out.released_at = None;
+    out.released_secret.clear();
+    out.failure = None;
+    out.adversary_at = None;
+    out.adversary_secret.clear();
+
+    let mut messages = n as u64;
+    let mut terminal_count: u64 = 0;
+    let mut adv_has_onion0 = false;
+    let mut adv_direct_core_key: Option<SymmetricKey> = None;
+
+    let mut now = ts;
+    for col in 0..l {
+        let depart = now + th;
+        let forwarding = col + 1 < l;
+        if forwarding {
+            scratch.next_key.reset(n, n);
+            scratch.next_core.reset(n, n);
+        }
+        let mut next_has_headers = false;
+        let mut next_has_core_onion = false;
+        // Per-column memo of the opened next segment (the oracle's
+        // `unwrap_memo`: table identity is constant within a column, so
+        // the memo key reduces to the bundle key).
+        let mut opened_next_key: Option<SymmetricKey> = None;
+        // Per-column memo of the core-onion peel: every acting onion row
+        // reconstructs the same core key and holds the same onion bytes,
+        // so one peel serves the column.
+        let mut core_kind: Option<LayerKind> = None;
+
+        for row in 0..n {
+            let slot = plan.slot(row, col);
+            let tenant = *substrate.generation_at(slot, now);
+
+            // Reconstruct this holder's row key.
+            let row_key = if col == 0 {
+                Some(packages.col0_row_keys[row].clone())
+            } else {
+                let (idx, data) = scratch.cur_key.bucket(row);
+                if idx.len() >= m[col - 1] {
+                    combine_key_slab(
+                        idx,
+                        data,
+                        m[col - 1],
+                        &mut scratch.weight_cache,
+                        &mut scratch.key_out,
+                    )?
+                } else {
+                    None
+                }
+            };
+            let Some(row_key) = row_key else {
+                continue; // starved: cannot act this hop
+            };
+            if !cur_has_headers {
+                continue; // no honest forwarder upstream delivered
+            }
+            if scratch.cur_headers.get(row).is_none() {
+                return Err(EmergeError::InvalidParameters(
+                    "segment is missing this row's header".into(),
+                ));
+            }
+
+            // Malicious receiver leaks its direct material.
+            if config.attack == AttackMode::ReleaseAhead && tenant.malicious && col == 0 && row < k
+            {
+                scratch.adv_onion.clear();
+                scratch.adv_onion.extend_from_slice(&scratch.cur_core_onion);
+                adv_has_onion0 = true;
+                adv_direct_core_key = Some(packages.col0_core_key.clone());
+            }
+
+            // Drop attack: malicious tenants withhold everything.
+            if config.attack == AttackMode::Drop && tenant.malicious {
+                continue;
+            }
+            // Churn: a dying tenant takes its *shares* with it; opaque
+            // package/onion blobs are re-homed by replication and move.
+            let survivor = substrate.generation_at(slot, depart).spawn == tenant.spawn;
+
+            // Open this row's header and fan its shares straight into
+            // the next column's slab.
+            let header = scratch.cur_headers.get(row).expect("checked above");
+            open_header_into(&row_key, header, &mut scratch.plain).map_err(EmergeError::Crypto)?;
+            let mut bad_share = false;
+            let next_key = &mut scratch.next_key;
+            let (core_share, bundle_key) =
+                visit_executor_payload(&scratch.plain, |target, index, share| {
+                    if share.len() != 32 {
+                        bad_share = true;
+                    } else if survivor && forwarding && target < n {
+                        next_key.push(target, index, share);
+                        messages += 1;
+                    }
+                })
+                .map_err(EmergeError::Crypto)?;
+            if bad_share || core_share.is_some_and(|(_, s)| s.len() != 32) {
+                return Err(EmergeError::InvalidParameters(
+                    "pooled executor requires 32-byte key shares".into(),
+                ));
+            }
+            if survivor && forwarding {
+                if let Some((index, share)) = core_share {
+                    for bucket in 0..k {
+                        scratch.next_core.push(bucket, index, share);
+                    }
+                }
+            }
+
+            // Adversary copies the payload's onward core share.
+            if config.attack == AttackMode::ReleaseAhead && tenant.malicious && col + 1 < l {
+                if let Some((index, share)) = core_share {
+                    scratch.adv_core.push(col + 1, index, share);
+                }
+            }
+
+            // Open the next column's segment for relay (once per column).
+            let forwards_headers = match &bundle_key {
+                Some(bk) if col + 1 < l => {
+                    if opened_next_key.as_ref() != Some(bk) {
+                        let (off, len) = scratch.seg_spans[col + 1];
+                        open_segment_headers_into(
+                            bk,
+                            &packages.package[off as usize..(off + len) as usize],
+                            &mut scratch.next_headers,
+                        )
+                        .map_err(EmergeError::Crypto)?;
+                        opened_next_key = Some(bk.clone());
+                    }
+                    true
+                }
+                _ => false,
+            };
+
+            // Onion rows also process the core onion.
+            let mut has_inner = false;
+            let mut has_core_secret = false;
+            if row < k && cur_has_core_onion {
+                let core_key = if col == 0 {
+                    Some(packages.col0_core_key.clone())
+                } else {
+                    let (idx, data) = scratch.cur_core.bucket(row);
+                    if idx.len() >= m[col - 1] {
+                        combine_key_slab(
+                            idx,
+                            data,
+                            m[col - 1],
+                            &mut scratch.weight_cache,
+                            &mut scratch.key_out,
+                        )?
+                    } else {
+                        None
+                    }
+                };
+                if let Some(core_key) = core_key {
+                    if core_kind.is_none() {
+                        scratch.next_core_onion.clear();
+                        scratch
+                            .next_core_onion
+                            .extend_from_slice(&scratch.cur_core_onion);
+                        let kind = peel_in_place(
+                            &core_key,
+                            &mut scratch.next_core_onion,
+                            &mut scratch.onion_payload,
+                        )
+                        .map_err(EmergeError::Crypto)?;
+                        core_kind = Some(kind);
+                        if kind == LayerKind::Core {
+                            scratch.terminal_secret.clear();
+                            scratch
+                                .terminal_secret
+                                .extend_from_slice(&scratch.next_core_onion);
+                        }
+                    }
+                    match core_kind {
+                        Some(LayerKind::Intermediate) => has_inner = true,
+                        Some(LayerKind::Core) => has_core_secret = true,
+                        None => {}
+                    }
+                }
+            }
+
+            if col + 1 == l {
+                if has_core_secret {
+                    terminal_count += 1;
+                }
+                continue;
+            }
+
+            // Forward the column-uniform material (shares were already
+            // fanned out above).
+            if forwards_headers && !next_has_headers {
+                next_has_headers = true;
+                messages += n as u64;
+            }
+            if has_inner && !next_has_core_onion {
+                next_has_core_onion = true;
+                messages += k as u64;
+            }
+        }
+
+        if forwarding {
+            std::mem::swap(&mut scratch.cur_key, &mut scratch.next_key);
+            std::mem::swap(&mut scratch.cur_core, &mut scratch.next_core);
+            std::mem::swap(&mut scratch.cur_headers, &mut scratch.next_headers);
+            std::mem::swap(&mut scratch.cur_core_onion, &mut scratch.next_core_onion);
+            cur_has_headers = next_has_headers;
+            cur_has_core_onion = next_has_core_onion;
+            now = depart;
+        }
+    }
+
+    // Release at `tr`.
+    if terminal_count > 0 {
+        out.released_at = Some(tr);
+        out.released_secret
+            .extend_from_slice(&scratch.terminal_secret);
+        messages += terminal_count;
+    } else {
+        out.failure = Some("no terminal onion row reconstructed the secret");
+    }
+
+    // Adversary reconstruction (strict quorum chain, real crypto).
+    if config.attack == AttackMode::ReleaseAhead && adv_has_onion0 {
+        if let Some(core_key0) = adv_direct_core_key {
+            let mut when = ts;
+            for col in 0..l {
+                let key = if col == 0 {
+                    Some(core_key0.clone())
+                } else {
+                    let (idx, data) = scratch.adv_core.bucket(col);
+                    if idx.len() >= m[col - 1] {
+                        when =
+                            when.max(ts + (config.emerging_period / l as u64) * (col as u64 - 1));
+                        combine_key_slab(
+                            idx,
+                            data,
+                            m[col - 1],
+                            &mut scratch.weight_cache,
+                            &mut scratch.key_out,
+                        )?
+                    } else {
+                        None
+                    }
+                };
+                let Some(key) = key else {
+                    break;
+                };
+                let kind = peel_in_place(&key, &mut scratch.adv_onion, &mut scratch.onion_payload)
+                    .map_err(EmergeError::Crypto)?;
+                if col + 1 == l && kind != LayerKind::Core {
+                    return Err(EmergeError::Crypto(CryptoError::Malformed(
+                        "expected core onion layer, found intermediate",
+                    )));
+                }
+                if kind == LayerKind::Core {
+                    if when < tr {
+                        out.adversary_at = Some(when);
+                        out.adversary_secret.extend_from_slice(&scratch.adv_onion);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    out.messages_sent = messages;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -869,6 +1366,68 @@ mod tests {
         )
         .unwrap();
         assert!(drop.released.is_none());
+    }
+
+    #[test]
+    fn pooled_share_executor_matches_allocating_executor() {
+        // One scratch/report pair reused across every shape, malicious
+        // fraction, churn level and attack mode: the pooled executor must
+        // reproduce the oracle bit for bit even on dirty buffers.
+        let mut scratch = ShareExecScratch::default();
+        let mut pooled = PooledRunReport::default();
+        let shapes = [
+            (2usize, 3usize, 5usize, vec![3usize, 3]),
+            (3, 4, 9, vec![4, 5, 5]),
+            (2, 2, 6, vec![3]),
+            (1, 1, 4, vec![]),
+        ];
+        let mut case = 0u64;
+        for (k, l, n, m) in shapes {
+            let params = SchemeParams::Share { k, l, n, m };
+            for fraction in [0.0, 0.3, 1.0] {
+                for lifetime in [None, Some(2_000u64)] {
+                    case += 1;
+                    let mut overlay = Overlay::build(
+                        OverlayConfig {
+                            n_nodes: 80,
+                            malicious_fraction: fraction,
+                            mean_lifetime: lifetime,
+                            horizon: 100_000,
+                            ..OverlayConfig::default()
+                        },
+                        case,
+                    );
+                    let sender_seed = SymmetricKey::from_bytes([case as u8; 32]);
+                    let plan = construct_paths(&overlay, &params, &sender_seed).unwrap();
+                    let schedule = KeySchedule::new(sender_seed);
+                    let pkgs = build_share_packages(&plan, &params, &schedule, SECRET).unwrap();
+                    for attack in [
+                        AttackMode::Passive,
+                        AttackMode::ReleaseAhead,
+                        AttackMode::Drop,
+                    ] {
+                        let config = run_config(attack);
+                        let oracle =
+                            execute_share(&mut overlay, &plan, &params, &pkgs, &config).unwrap();
+                        execute_share_pooled(
+                            &mut overlay,
+                            &plan,
+                            &params,
+                            &pkgs,
+                            &config,
+                            &mut scratch,
+                            &mut pooled,
+                        )
+                        .unwrap();
+                        assert_eq!(
+                            pooled.to_report(),
+                            oracle,
+                            "pooled/oracle divergence: case {case} attack {attack:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -38,10 +38,19 @@ pub fn seal(key: &SymmetricKey, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: 
     // hundreds-of-KB-per-trial seal volume.
     let mut out = Vec::with_capacity(plaintext.len() + OVERHEAD);
     out.extend_from_slice(plaintext);
-    ChaCha20::new(key.as_bytes(), nonce, 1).apply_keystream(&mut out);
-    let tag = compute_tag(key, nonce, &out, aad);
-    out.extend_from_slice(&tag);
+    seal_in_place(key, nonce, &mut out, aad);
     out
+}
+
+/// Encrypts the plaintext already sitting in `buf` and appends the 16-byte
+/// tag, leaving `buf` exactly as [`seal`] would have returned it.
+///
+/// The in-place form lets pooled callers reuse one buffer across trials:
+/// once `buf`'s capacity covers `len + OVERHEAD` no allocation occurs.
+pub fn seal_in_place(key: &SymmetricKey, nonce: &[u8; NONCE_LEN], buf: &mut Vec<u8>, aad: &[u8]) {
+    ChaCha20::new(key.as_bytes(), nonce, 1).apply_keystream(buf);
+    let tag = compute_tag(key, nonce, buf, aad);
+    buf.extend_from_slice(&tag);
 }
 
 /// Decrypts and verifies `ciphertext` (as produced by [`seal`]).
@@ -71,6 +80,38 @@ pub fn open(
     let mut out = body.to_vec();
     ChaCha20::new(key.as_bytes(), nonce, 1).apply_keystream(&mut out);
     Ok(out)
+}
+
+/// Verifies and decrypts the ciphertext sitting in `buf` in place,
+/// truncating the tag, so `buf` ends up holding the plaintext.
+///
+/// Allocation-free counterpart of [`open`] for pooled buffers; the tag is
+/// still verified *before* any decryption touches the bytes.
+///
+/// # Errors
+///
+/// Same contract as [`open`]. On error `buf` is left unmodified.
+pub fn open_in_place(
+    key: &SymmetricKey,
+    nonce: &[u8; NONCE_LEN],
+    buf: &mut Vec<u8>,
+    aad: &[u8],
+) -> Result<(), CryptoError> {
+    if buf.len() < TAG_LEN {
+        return Err(CryptoError::InvalidLength {
+            context: "AEAD ciphertext",
+            expected: TAG_LEN,
+            actual: buf.len(),
+        });
+    }
+    let body_len = buf.len() - TAG_LEN;
+    let expected = compute_tag(key, nonce, &buf[..body_len], aad);
+    if !verify_tag(&expected, &buf[body_len..]) {
+        return Err(CryptoError::AuthenticationFailed);
+    }
+    buf.truncate(body_len);
+    ChaCha20::new(key.as_bytes(), nonce, 1).apply_keystream(buf);
+    Ok(())
 }
 
 /// RFC 8439 Poly1305 message framing: aad, ciphertext (both zero-padded to
@@ -198,6 +239,30 @@ only one tip for the future, sunscreen would be it.";
         let sealed = seal(&key, &nonce, b"", b"just-aad");
         assert_eq!(sealed.len(), TAG_LEN);
         assert_eq!(open(&key, &nonce, &sealed, b"just-aad").unwrap(), b"");
+    }
+
+    #[test]
+    fn in_place_forms_match_allocating_forms() {
+        let key = SymmetricKey::from_bytes([8u8; 32]);
+        let nonce = [4u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 333, 4096] {
+            let plain: Vec<u8> = (0..len).map(|i| (i * 11 + 5) as u8).collect();
+            let sealed = seal(&key, &nonce, &plain, b"aad");
+            let mut buf = plain.clone();
+            seal_in_place(&key, &nonce, &mut buf, b"aad");
+            assert_eq!(buf, sealed);
+            open_in_place(&key, &nonce, &mut buf, b"aad").unwrap();
+            assert_eq!(buf, plain);
+        }
+        // A failed in-place open leaves the buffer untouched.
+        let mut tampered = seal(&key, &nonce, b"payload", b"aad");
+        tampered[0] ^= 1;
+        let before = tampered.clone();
+        assert_eq!(
+            open_in_place(&key, &nonce, &mut tampered, b"aad"),
+            Err(CryptoError::AuthenticationFailed)
+        );
+        assert_eq!(tampered, before);
     }
 
     #[test]

@@ -100,21 +100,39 @@ fn mul_acc_chunk(acc: &mut [u8; GF_CHUNK], cur: &mut [u8; GF_CHUNK], scalar: u8)
 /// Multiplies every byte of `dst` by `scalar` in place.
 ///
 /// Slice form of [`mul`]: `dst[i] = mul(dst[i], scalar)` for all `i`, via
-/// the vector-friendly branchless xtime ladder (see `mul_acc_chunk`).
+/// the GFNI `gf2p8mul` instruction where the CPU has it (this field uses
+/// the AES polynomial `0x11b` — exactly the reduction GFNI implements in
+/// hardware) and the vector-friendly branchless xtime ladder otherwise
+/// (see `mul_acc_chunk`).
 pub fn mul_slice_assign(dst: &mut [u8], scalar: u8) {
     match scalar {
         0 => dst.fill(0),
         1 => {}
         _ => {
-            for chunk in dst.chunks_mut(GF_CHUNK) {
-                let n = chunk.len();
-                let mut cur = [0u8; GF_CHUNK];
-                cur[..n].copy_from_slice(chunk);
-                let mut acc = [0u8; GF_CHUNK];
-                mul_acc_chunk(&mut acc, &mut cur, scalar);
-                chunk.copy_from_slice(&acc[..n]);
+            #[cfg(target_arch = "x86_64")]
+            if gfni::available() {
+                // SAFETY: `available()` verified gfni/avx512f/avx512bw.
+                #[allow(unsafe_code)]
+                unsafe {
+                    gfni::mul_slice_assign(dst, scalar)
+                };
+                return;
             }
+            mul_slice_assign_ladder(dst, scalar);
         }
+    }
+}
+
+/// Portable chunk-ladder body of [`mul_slice_assign`] — the fallback on
+/// CPUs without GFNI and the bit-identity oracle for the GFNI path.
+fn mul_slice_assign_ladder(dst: &mut [u8], scalar: u8) {
+    for chunk in dst.chunks_mut(GF_CHUNK) {
+        let n = chunk.len();
+        let mut cur = [0u8; GF_CHUNK];
+        cur[..n].copy_from_slice(chunk);
+        let mut acc = [0u8; GF_CHUNK];
+        mul_acc_chunk(&mut acc, &mut cur, scalar);
+        chunk.copy_from_slice(&acc[..n]);
     }
 }
 
@@ -136,16 +154,31 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], scalar: u8) {
         0 => {}
         1 => add_slice_assign(dst, src),
         _ => {
-            for (dchunk, schunk) in dst.chunks_mut(GF_CHUNK).zip(src.chunks(GF_CHUNK)) {
-                let n = dchunk.len();
-                let mut cur = [0u8; GF_CHUNK];
-                cur[..n].copy_from_slice(schunk);
-                let mut acc = [0u8; GF_CHUNK];
-                mul_acc_chunk(&mut acc, &mut cur, scalar);
-                for (d, a) in dchunk.iter_mut().zip(acc.iter()) {
-                    *d ^= a;
-                }
+            #[cfg(target_arch = "x86_64")]
+            if gfni::available() {
+                // SAFETY: `available()` verified gfni/avx512f/avx512bw.
+                #[allow(unsafe_code)]
+                unsafe {
+                    gfni::mul_acc_slice(dst, src, scalar)
+                };
+                return;
             }
+            mul_acc_slice_ladder(dst, src, scalar);
+        }
+    }
+}
+
+/// Portable chunk-ladder body of [`mul_acc_slice`] — the fallback on CPUs
+/// without GFNI and the bit-identity oracle for the GFNI path.
+fn mul_acc_slice_ladder(dst: &mut [u8], src: &[u8], scalar: u8) {
+    for (dchunk, schunk) in dst.chunks_mut(GF_CHUNK).zip(src.chunks(GF_CHUNK)) {
+        let n = dchunk.len();
+        let mut cur = [0u8; GF_CHUNK];
+        cur[..n].copy_from_slice(schunk);
+        let mut acc = [0u8; GF_CHUNK];
+        mul_acc_chunk(&mut acc, &mut cur, scalar);
+        for (d, a) in dchunk.iter_mut().zip(acc.iter()) {
+            *d ^= a;
         }
     }
 }
@@ -172,16 +205,31 @@ pub fn horner_step_slice(acc: &mut [u8], row: &[u8], scalar: u8) {
         0 => acc.copy_from_slice(row),
         1 => add_slice_assign(acc, row),
         _ => {
-            for (achunk, rchunk) in acc.chunks_mut(GF_CHUNK).zip(row.chunks(GF_CHUNK)) {
-                let n = achunk.len();
-                let mut cur = [0u8; GF_CHUNK];
-                cur[..n].copy_from_slice(achunk);
-                let mut out = [0u8; GF_CHUNK];
-                out[..n].copy_from_slice(rchunk);
-                mul_acc_chunk(&mut out, &mut cur, scalar);
-                achunk.copy_from_slice(&out[..n]);
+            #[cfg(target_arch = "x86_64")]
+            if gfni::available() {
+                // SAFETY: `available()` verified gfni/avx512f/avx512bw.
+                #[allow(unsafe_code)]
+                unsafe {
+                    gfni::horner_step_slice(acc, row, scalar)
+                };
+                return;
             }
+            horner_step_slice_ladder(acc, row, scalar);
         }
+    }
+}
+
+/// Portable chunk-ladder body of [`horner_step_slice`] — the fallback on
+/// CPUs without GFNI and the bit-identity oracle for the GFNI path.
+fn horner_step_slice_ladder(acc: &mut [u8], row: &[u8], scalar: u8) {
+    for (achunk, rchunk) in acc.chunks_mut(GF_CHUNK).zip(row.chunks(GF_CHUNK)) {
+        let n = achunk.len();
+        let mut cur = [0u8; GF_CHUNK];
+        cur[..n].copy_from_slice(achunk);
+        let mut out = [0u8; GF_CHUNK];
+        out[..n].copy_from_slice(rchunk);
+        mul_acc_chunk(&mut out, &mut cur, scalar);
+        achunk.copy_from_slice(&out[..n]);
     }
 }
 
@@ -215,6 +263,20 @@ pub fn add_slice_assign(dst: &mut [u8], src: &[u8]) {
 /// Panics if any `x_i` is repeated (division by zero).
 pub fn lagrange_weights_at_zero(xs: &[u8]) -> Vec<u8> {
     let mut weights = Vec::with_capacity(xs.len());
+    lagrange_weights_at_zero_into(xs, &mut weights);
+    weights
+}
+
+/// [`lagrange_weights_at_zero`] into a caller-held buffer (cleared first)
+/// — the reconstruction hot loop's form, which reuses one weights vector
+/// across every share set of a run.
+///
+/// # Panics
+///
+/// Panics if any `x_i` is repeated (division by zero).
+pub fn lagrange_weights_at_zero_into(xs: &[u8], weights: &mut Vec<u8>) {
+    weights.clear();
+    weights.reserve(xs.len());
     for (i, &xi) in xs.iter().enumerate() {
         let mut num = 1u8;
         let mut den = 1u8;
@@ -227,7 +289,119 @@ pub fn lagrange_weights_at_zero(xs: &[u8]) -> Vec<u8> {
         }
         weights.push(div(num, den));
     }
-    weights
+}
+
+/// The GF(2^8) slice kernels on the x86 GFNI extension.
+///
+/// `gf2p8mul` multiplies bytes in GF(2^8) reduced by the AES polynomial
+/// `x^8 + x^4 + x^3 + x + 1` (0x11b) — precisely this module's field — so
+/// one 512-bit instruction replaces the eight-iteration xtime ladder over
+/// a 64-byte chunk. Tails shorter than a vector use AVX-512BW byte masks,
+/// keeping every load and store in bounds. The ladder kernels stay as the
+/// portable fallback and the bit-identity oracles
+/// (`gfni_matches_ladder_kernels`).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // hardware intrinsics; bit-identity pinned by test
+mod gfni {
+    use std::arch::x86_64::*;
+
+    /// Whether the running CPU has GFNI plus the AVX-512 F/BW width and
+    /// byte-masking this path compiles against. Each
+    /// `is_x86_feature_detected!` answer is cached by std.
+    #[inline]
+    pub fn available() -> bool {
+        is_x86_feature_detected!("gfni")
+            && is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512bw")
+    }
+
+    /// `dst[i] = dst[i] * scalar` over the field.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have confirmed [`available`] on this CPU.
+    #[target_feature(enable = "gfni,avx512f,avx512bw")]
+    pub unsafe fn mul_slice_assign(dst: &mut [u8], scalar: u8) {
+        let vs = _mm512_set1_epi8(scalar as i8);
+        let mut i = 0;
+        while i + 64 <= dst.len() {
+            let p = dst.as_mut_ptr().add(i);
+            let v = _mm512_loadu_epi8(p.cast());
+            _mm512_storeu_epi8(p.cast(), _mm512_gf2p8mul_epi8(v, vs));
+            i += 64;
+        }
+        let rem = dst.len() - i;
+        if rem > 0 {
+            let mask: __mmask64 = (1u64 << rem) - 1;
+            let p = dst.as_mut_ptr().add(i);
+            let v = _mm512_maskz_loadu_epi8(mask, p.cast());
+            _mm512_mask_storeu_epi8(p.cast(), mask, _mm512_gf2p8mul_epi8(v, vs));
+        }
+    }
+
+    /// `dst[i] ^= src[i] * scalar` over the field. Lengths must match
+    /// (checked by the safe dispatcher).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have confirmed [`available`] on this CPU.
+    #[target_feature(enable = "gfni,avx512f,avx512bw")]
+    pub unsafe fn mul_acc_slice(dst: &mut [u8], src: &[u8], scalar: u8) {
+        debug_assert_eq!(dst.len(), src.len());
+        let vs = _mm512_set1_epi8(scalar as i8);
+        let mut i = 0;
+        while i + 64 <= dst.len() {
+            let d = dst.as_mut_ptr().add(i);
+            let s = src.as_ptr().add(i);
+            let prod = _mm512_gf2p8mul_epi8(_mm512_loadu_epi8(s.cast()), vs);
+            _mm512_storeu_epi8(
+                d.cast(),
+                _mm512_xor_si512(_mm512_loadu_epi8(d.cast()), prod),
+            );
+            i += 64;
+        }
+        let rem = dst.len() - i;
+        if rem > 0 {
+            let mask: __mmask64 = (1u64 << rem) - 1;
+            let d = dst.as_mut_ptr().add(i);
+            let s = src.as_ptr().add(i);
+            let prod = _mm512_gf2p8mul_epi8(_mm512_maskz_loadu_epi8(mask, s.cast()), vs);
+            let acc = _mm512_xor_si512(_mm512_maskz_loadu_epi8(mask, d.cast()), prod);
+            _mm512_mask_storeu_epi8(d.cast(), mask, acc);
+        }
+    }
+
+    /// `acc[i] = row[i] ^ acc[i] * scalar` over the field (the fused
+    /// Horner step). Lengths must match (checked by the safe dispatcher).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have confirmed [`available`] on this CPU.
+    #[target_feature(enable = "gfni,avx512f,avx512bw")]
+    pub unsafe fn horner_step_slice(acc: &mut [u8], row: &[u8], scalar: u8) {
+        debug_assert_eq!(acc.len(), row.len());
+        let vs = _mm512_set1_epi8(scalar as i8);
+        let mut i = 0;
+        while i + 64 <= acc.len() {
+            let a = acc.as_mut_ptr().add(i);
+            let r = row.as_ptr().add(i);
+            let prod = _mm512_gf2p8mul_epi8(_mm512_loadu_epi8(a.cast()), vs);
+            _mm512_storeu_epi8(
+                a.cast(),
+                _mm512_xor_si512(_mm512_loadu_epi8(r.cast()), prod),
+            );
+            i += 64;
+        }
+        let rem = acc.len() - i;
+        if rem > 0 {
+            let mask: __mmask64 = (1u64 << rem) - 1;
+            let a = acc.as_mut_ptr().add(i);
+            let r = row.as_ptr().add(i);
+            let prod = _mm512_gf2p8mul_epi8(_mm512_maskz_loadu_epi8(mask, a.cast()), vs);
+            let out = _mm512_xor_si512(_mm512_maskz_loadu_epi8(mask, r.cast()), prod);
+            _mm512_mask_storeu_epi8(a.cast(), mask, out);
+        }
+    }
 }
 
 /// Adds two field elements (XOR).
@@ -492,6 +666,39 @@ mod tests {
                     .fold(0u8, |acc, (&(_, y), &w)| add(acc, mul(y, w)));
                 prop_assert_eq!(batched, scalar);
             }
+        }
+
+        /// The ladder bodies match the public dispatchers (which pick the
+        /// GFNI kernels where the CPU has them) across chunk-spanning
+        /// lengths and ragged tails — this is the test that keeps both
+        /// the hardware path and the portable oracle honest on one host.
+        #[test]
+        fn gfni_matches_ladder_kernels(
+            data in proptest::collection::vec(any::<u8>(), 0..200),
+            other_seed: u8,
+            scalar in 2u8.., // 0/1 short-circuit before either kernel
+        ) {
+            let other: Vec<u8> = (0..data.len())
+                .map(|i| (i as u8).wrapping_mul(97).wrapping_add(other_seed))
+                .collect();
+
+            let mut a = data.clone();
+            mul_slice_assign(&mut a, scalar);
+            let mut b = data.clone();
+            mul_slice_assign_ladder(&mut b, scalar);
+            prop_assert_eq!(&a, &b);
+
+            let mut a = data.clone();
+            mul_acc_slice(&mut a, &other, scalar);
+            let mut b = data.clone();
+            mul_acc_slice_ladder(&mut b, &other, scalar);
+            prop_assert_eq!(&a, &b);
+
+            let mut a = data.clone();
+            horner_step_slice(&mut a, &other, scalar);
+            let mut b = data;
+            horner_step_slice_ladder(&mut b, &other, scalar);
+            prop_assert_eq!(&a, &b);
         }
 
         #[test]

@@ -40,7 +40,12 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide; the only exemptions are the
+// runtime-dispatched hardware kernels (`sha256::shani`, `gf256::gfni`,
+// `chacha20::avx512`), which carry scoped `allow(unsafe_code)` and are
+// each pinned bit-identical to their portable safe implementation by a
+// property test.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aead;

@@ -153,6 +153,149 @@ fn seal_layer(key: &SymmetricKey, plaintext: &[u8]) -> Vec<u8> {
     aead::seal(key, &nonce, plaintext, ONION_AAD)
 }
 
+/// Which kind of layer [`peel_in_place`] uncovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// An intermediate layer; the buffer now holds the inner onion.
+    Intermediate,
+    /// The innermost layer; the buffer now holds the core payload.
+    Core,
+}
+
+/// Peels one layer of the onion in `onion` in place.
+///
+/// On success the hop payload is copied into `payload` (cleared first) and
+/// `onion` is rewritten to hold the inner onion (for
+/// [`LayerKind::Intermediate`]) or the core payload (for
+/// [`LayerKind::Core`]) — so repeated calls walk the whole path with two
+/// reused buffers and no allocation once their capacities are warm.
+/// Byte-for-byte equivalent to [`peel`] / [`peel_core`].
+///
+/// # Errors
+///
+/// Same contract as [`peel`]; on an authentication error `onion` is left
+/// unmodified.
+pub fn peel_in_place(
+    key: &SymmetricKey,
+    onion: &mut Vec<u8>,
+    payload: &mut Vec<u8>,
+) -> Result<LayerKind, CryptoError> {
+    let nonce = key.derive_nonce(b"onion-layer");
+    aead::open_in_place(key, &nonce, onion, ONION_AAD)?;
+    // Parse spans first, then rearrange the buffer; layout is
+    // tag(1) | len(4) payload | len(4) inner-or-core.
+    let (kind, payload_span, rest_span) = {
+        let mut r = Reader::new(onion);
+        let tag = r.get_u8()?;
+        let kind = match tag {
+            TAG_CORE => LayerKind::Core,
+            TAG_INTERMEDIATE => LayerKind::Intermediate,
+            _ => return Err(CryptoError::Malformed("unknown onion layer tag")),
+        };
+        let p_len = r.get_u32()? as usize;
+        let p_start = r.position();
+        r.get_raw(p_len)?;
+        let rest_len = r.get_u32()? as usize;
+        let rest_start = r.position();
+        r.get_raw(rest_len)?;
+        r.expect_end()?;
+        (
+            kind,
+            p_start..p_start + p_len,
+            rest_start..rest_start + rest_len,
+        )
+    };
+    payload.clear();
+    payload.extend_from_slice(&onion[payload_span]);
+    let rest_len = rest_span.len();
+    onion.copy_within(rest_span, 0);
+    onion.truncate(rest_len);
+    Ok(kind)
+}
+
+/// Builds the same onion as [`build_onion`] into a caller-owned buffer.
+///
+/// `onion` receives the finished onion; `scratch` is layer plaintext
+/// scratch. Both are cleared and reused, so a warm caller allocates
+/// nothing.
+pub fn build_onion_into(
+    layers: &[(&SymmetricKey, &[u8])],
+    core: &[u8],
+    onion: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+) {
+    assert!(
+        !layers.is_empty(),
+        "an onion needs at least one layer key; refusing to emit plaintext"
+    );
+    // Innermost layer: the last key wraps the core with the last payload.
+    let (last_key, last_payload) = layers[layers.len() - 1];
+    onion.clear();
+    onion.push(TAG_CORE);
+    onion.extend_from_slice(&(last_payload.len() as u32).to_le_bytes());
+    onion.extend_from_slice(last_payload);
+    onion.extend_from_slice(&(core.len() as u32).to_le_bytes());
+    onion.extend_from_slice(core);
+    let nonce = last_key.derive_nonce(b"onion-layer");
+    aead::seal_in_place(last_key, &nonce, onion, ONION_AAD);
+
+    // Wrap outward, ping-ponging plaintext through `scratch`.
+    for &(key, payload) in layers[..layers.len() - 1].iter().rev() {
+        scratch.clear();
+        scratch.push(TAG_INTERMEDIATE);
+        scratch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        scratch.extend_from_slice(payload);
+        scratch.extend_from_slice(&(onion.len() as u32).to_le_bytes());
+        scratch.extend_from_slice(onion);
+        let nonce = key.derive_nonce(b"onion-layer");
+        aead::seal_in_place(key, &nonce, scratch, ONION_AAD);
+        std::mem::swap(onion, scratch);
+    }
+}
+
+/// Builds an onion whose per-hop payloads are all empty, into
+/// caller-owned buffers — byte-identical to
+/// `build_onion(&[(k_0, b""), ...], core)` (pinned by test).
+///
+/// This is the share scheme's core-onion shape: the hop data travels in
+/// the segment table, so the onion carries only the layered core. Taking
+/// the keys as a plain slice lets a pooled caller avoid materializing
+/// the `&[(&SymmetricKey, &[u8])]` layer list every trial.
+///
+/// # Panics
+///
+/// Panics if `keys` is empty, like [`build_onion`].
+pub fn build_onion_empty_into(
+    keys: &[SymmetricKey],
+    core: &[u8],
+    onion: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+) {
+    assert!(
+        !keys.is_empty(),
+        "an onion needs at least one layer key; refusing to emit plaintext"
+    );
+    let last_key = &keys[keys.len() - 1];
+    onion.clear();
+    onion.push(TAG_CORE);
+    onion.extend_from_slice(&0u32.to_le_bytes());
+    onion.extend_from_slice(&(core.len() as u32).to_le_bytes());
+    onion.extend_from_slice(core);
+    let nonce = last_key.derive_nonce(b"onion-layer");
+    aead::seal_in_place(last_key, &nonce, onion, ONION_AAD);
+
+    for key in keys[..keys.len() - 1].iter().rev() {
+        scratch.clear();
+        scratch.push(TAG_INTERMEDIATE);
+        scratch.extend_from_slice(&0u32.to_le_bytes());
+        scratch.extend_from_slice(&(onion.len() as u32).to_le_bytes());
+        scratch.extend_from_slice(onion);
+        let nonce = key.derive_nonce(b"onion-layer");
+        aead::seal_in_place(key, &nonce, scratch, ONION_AAD);
+        std::mem::swap(onion, scratch);
+    }
+}
+
 /// Computes the serialized size of an onion with the given per-layer
 /// payload sizes (outermost first) and core size, without building it.
 ///
@@ -280,6 +423,62 @@ mod tests {
             b"0123456789",
         );
         assert_eq!(onion.len(), onion_size(&[2, 4, 6], 10));
+    }
+
+    #[test]
+    fn in_place_build_and_peel_match_allocating_forms() {
+        let keys = [key(1), key(2), key(3)];
+        let layer_refs: [(&SymmetricKey, &[u8]); 3] = [
+            (&keys[0], b"to hop 1"),
+            (&keys[1], b"to hop 2"),
+            (&keys[2], b"to hop 3"),
+        ];
+        let reference = build_onion(&layer_refs, b"core secret");
+        let mut onion = Vec::new();
+        let mut scratch = Vec::new();
+        build_onion_into(&layer_refs, b"core secret", &mut onion, &mut scratch);
+        assert_eq!(onion, reference);
+
+        let mut payload = Vec::new();
+        assert_eq!(
+            peel_in_place(&keys[0], &mut onion, &mut payload).unwrap(),
+            LayerKind::Intermediate
+        );
+        assert_eq!(payload, b"to hop 1");
+        assert_eq!(
+            peel_in_place(&keys[1], &mut onion, &mut payload).unwrap(),
+            LayerKind::Intermediate
+        );
+        assert_eq!(payload, b"to hop 2");
+        assert_eq!(
+            peel_in_place(&keys[2], &mut onion, &mut payload).unwrap(),
+            LayerKind::Core
+        );
+        assert_eq!(payload, b"to hop 3");
+        assert_eq!(onion, b"core secret");
+
+        // Wrong key leaves the onion untouched.
+        let mut sealed = build_onion(&layer_refs, b"core secret");
+        let before = sealed.clone();
+        assert!(peel_in_place(&keys[1], &mut sealed, &mut payload).is_err());
+        assert_eq!(sealed, before);
+    }
+
+    #[test]
+    fn empty_payload_builder_matches_general_builder() {
+        let keys = [key(1), key(2), key(3)];
+        let reference = build_onion(
+            &[(&keys[0], b""), (&keys[1], b""), (&keys[2], b"")],
+            b"the core",
+        );
+        let mut onion = Vec::new();
+        let mut scratch = Vec::new();
+        build_onion_empty_into(&keys, b"the core", &mut onion, &mut scratch);
+        assert_eq!(onion, reference);
+        // Single-layer degenerate case too.
+        let single_ref = build_onion(&[(&keys[0], b"")], b"x");
+        build_onion_empty_into(&keys[..1], b"x", &mut onion, &mut scratch);
+        assert_eq!(onion, single_ref);
     }
 
     #[test]

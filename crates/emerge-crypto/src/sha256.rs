@@ -136,7 +136,22 @@ impl Sha256 {
         }
     }
 
+    #[allow(unsafe_code)] // feature-checked dispatch into the SHA-NI kernel
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        #[cfg(target_arch = "x86_64")]
+        if shani::available() {
+            // SAFETY: `available()` verified the sha/ssse3/sse4.1 features
+            // the accelerated path compiles against.
+            unsafe { shani::compress(&mut self.state, block) };
+            return;
+        }
+        Self::compress_scalar(&mut self.state, block);
+    }
+
+    /// The portable FIPS 180-4 compression function — the fallback on
+    /// CPUs without the SHA extensions and the bit-identity oracle for
+    /// the accelerated path.
+    fn compress_scalar(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -155,7 +170,7 @@ impl Sha256 {
                 .wrapping_add(s1);
         }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
 
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
@@ -179,14 +194,97 @@ impl Sha256 {
             a = temp1.wrapping_add(temp2);
         }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
+    }
+}
+
+/// SHA-256 compression on the x86 SHA extensions (`sha256rnds2` /
+/// `sha256msg1` / `sha256msg2`), following Intel's published schedule.
+///
+/// Every HKDF derivation in the workspace funnels through
+/// [`Sha256::compress`], so this one function accelerates the key
+/// schedule, nonce derivation and holder-address derivation together.
+/// The scalar path stays as the oracle (`shani_matches_scalar_compress`)
+/// and as the fallback on the portable CI target.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // hardware intrinsics; bit-identity pinned by test
+mod shani {
+    use super::{BLOCK_LEN, K};
+    use std::arch::x86_64::*;
+
+    /// Whether the running CPU has the SHA extensions plus the SSSE3 /
+    /// SSE4.1 shuffles the state permutation uses.
+    /// `is_x86_feature_detected!` caches each answer, so the steady-state
+    /// cost is one relaxed atomic load per feature.
+    #[inline]
+    pub fn available() -> bool {
+        is_x86_feature_detected!("sha")
+            && is_x86_feature_detected!("ssse3")
+            && is_x86_feature_detected!("sse4.1")
+    }
+
+    /// One compression round over `block`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have confirmed [`available`] on this CPU.
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+        // Big-endian word loads: lane `i` becomes be32(block[4i..4i+4]).
+        let be_mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
+
+        // Repack {a..d}{e..h} into the ABEF/CDGH lane order the
+        // instructions operate on.
+        let tmp = _mm_loadu_si128(state.as_ptr().cast()); // a b c d
+        let st1 = _mm_loadu_si128(state.as_ptr().add(4).cast()); // e f g h
+        let tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
+        let st1 = _mm_shuffle_epi32(st1, 0x1B); // EFGH
+        let mut state0 = _mm_alignr_epi8(tmp, st1, 8); // ABEF
+        let mut state1 = _mm_blend_epi16(st1, tmp, 0xF0); // CDGH
+
+        let abef_save = state0;
+        let cdgh_save = state1;
+
+        // Sixteen groups of four rounds. Groups 0-3 load message words;
+        // groups 1-12 run msg1 and groups 3-14 run the alignr + msg2 step
+        // of the on-the-fly message schedule (Intel's reference ordering).
+        let mut w = [_mm_setzero_si128(); 4];
+        for g in 0..16 {
+            if g < 4 {
+                let raw = _mm_loadu_si128(block.as_ptr().add(16 * g).cast());
+                w[g] = _mm_shuffle_epi8(raw, be_mask);
+            }
+            let mut msg = _mm_add_epi32(w[g % 4], _mm_loadu_si128(K.as_ptr().add(4 * g).cast()));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            if (3..=14).contains(&g) {
+                let tmp = _mm_alignr_epi8(w[g % 4], w[(g + 3) % 4], 4);
+                w[(g + 1) % 4] = _mm_add_epi32(w[(g + 1) % 4], tmp);
+                w[(g + 1) % 4] = _mm_sha256msg2_epu32(w[(g + 1) % 4], w[g % 4]);
+            }
+            msg = _mm_shuffle_epi32(msg, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+            if (1..=12).contains(&g) {
+                w[(g + 3) % 4] = _mm_sha256msg1_epu32(w[(g + 3) % 4], w[g % 4]);
+            }
+        }
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+
+        // Permute ABEF/CDGH back to {a..d}{e..h}.
+        let tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+        let state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+        let out0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+        let out1 = _mm_alignr_epi8(state1, tmp, 8); // HGFE
+        _mm_storeu_si128(state.as_mut_ptr().cast(), out0);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), out1);
     }
 }
 
@@ -275,5 +373,36 @@ mod tests {
         h1.update(b"input");
         h2.update(b"input");
         assert_eq!(h1.finalize(), h2.finalize());
+    }
+
+    /// The SHA-NI compression is bit-identical to the scalar oracle on
+    /// random states and blocks (vacuous on CPUs without the extension —
+    /// there the dispatcher runs the scalar path everywhere anyway).
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)] // feature-checked call into the SHA-NI kernel
+    fn shani_matches_scalar_compress() {
+        use super::shani;
+        if !shani::available() {
+            return;
+        }
+        use rand::rngs::StdRng;
+        use rand::{RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5A25_6E15);
+        for _ in 0..500 {
+            let mut state = [0u32; 8];
+            for word in state.iter_mut() {
+                *word = rng.next_u32();
+            }
+            let mut block = [0u8; BLOCK_LEN];
+            rng.fill_bytes(&mut block);
+
+            let mut accel = state;
+            // SAFETY: `available()` confirmed the required CPU features.
+            unsafe { shani::compress(&mut accel, &block) };
+            let mut scalar = state;
+            Sha256::compress_scalar(&mut scalar, &block);
+            assert_eq!(accel, scalar);
+        }
     }
 }

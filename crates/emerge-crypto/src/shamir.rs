@@ -199,6 +199,217 @@ pub fn split_many<R: RngCore>(
     Ok(out)
 }
 
+/// A reusable share slab: the allocation-free counterpart of
+/// [`split_many`] for pooled hot loops.
+///
+/// [`ShareSlab::split_flat`] takes the secrets as one concatenated byte
+/// string and writes every share into an internal slab that is recycled
+/// across calls — after the first call at a given shape, splitting
+/// allocates nothing. Share bytes are bit-identical to [`split_many`]
+/// (and therefore to sequential [`split`] calls), and the RNG is left at
+/// the same stream position; the property suite pins both.
+#[derive(Debug, Default, Clone)]
+pub struct ShareSlab {
+    /// Share-major slab: share `x` of secret `s` lives at
+    /// `[(x-1)·count·len + s·len ..][..len]`.
+    data: Vec<u8>,
+    /// Coefficient rows, reused across calls (grown to the largest `m`).
+    rows: Vec<Vec<u8>>,
+    /// Per-byte coefficient draw scratch.
+    coeffs: Vec<u8>,
+    count: usize,
+    len: usize,
+    n: usize,
+}
+
+impl ShareSlab {
+    /// Creates an empty slab; buffers grow on first use and are then
+    /// recycled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splits the `secrets.len() / len` concatenated `len`-byte secrets
+    /// in `secrets` into `n` shares each with threshold `m`, replacing
+    /// the slab's previous contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameters`] under the same
+    /// conditions as [`split`], or when `secrets` is not a whole number
+    /// of `len`-byte secrets.
+    pub fn split_flat<R: RngCore>(
+        &mut self,
+        secrets: &[u8],
+        len: usize,
+        m: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<(), CryptoError> {
+        if m == 0 {
+            return Err(CryptoError::InvalidParameters("threshold m must be >= 1"));
+        }
+        if m > n {
+            return Err(CryptoError::InvalidParameters(
+                "threshold m cannot exceed share count n",
+            ));
+        }
+        if n > MAX_SHARES {
+            return Err(CryptoError::InvalidParameters(
+                "GF(256) sharing supports at most 255 shares",
+            ));
+        }
+        if len == 0 {
+            if !secrets.is_empty() {
+                return Err(CryptoError::InvalidParameters(
+                    "zero-length secrets cannot carry bytes",
+                ));
+            }
+        } else if !secrets.len().is_multiple_of(len) {
+            return Err(CryptoError::InvalidParameters(
+                "flat secrets must be a whole number of len-byte secrets",
+            ));
+        }
+        let count = secrets.len().checked_div(len).unwrap_or(0);
+        let total = secrets.len();
+        self.count = count;
+        self.len = len;
+        self.n = n;
+
+        // Coefficient rows, identical layout and draw order to
+        // `split_many`: `rows[j][s*len + i]` is coefficient `j` of byte
+        // `i` of secret `s`, drawn per-secret, per-byte.
+        while self.rows.len() < m {
+            self.rows.push(Vec::new());
+        }
+        for row in &mut self.rows[..m] {
+            row.clear();
+            row.resize(total, 0);
+        }
+        self.rows[0].copy_from_slice(secrets);
+        if m > 1 {
+            self.coeffs.clear();
+            self.coeffs.resize(m - 1, 0);
+            for s in 0..count {
+                for i in 0..len {
+                    rng.fill_bytes(&mut self.coeffs);
+                    while self.coeffs[m - 2] == 0 {
+                        let mut b = [0u8; 1];
+                        rng.fill_bytes(&mut b);
+                        self.coeffs[m - 2] = b[0];
+                    }
+                    for (row, &c) in self.rows[1..m].iter_mut().zip(self.coeffs.iter()) {
+                        row[s * len + i] = c;
+                    }
+                }
+            }
+        }
+
+        // One slab-wide Horner per share point, evaluated directly into
+        // the share region so no per-share vectors exist at all.
+        self.data.clear();
+        self.data.resize(n * total, 0);
+        let rows = &self.rows;
+        for x in 1..=n as u8 {
+            let region = &mut self.data[(x as usize - 1) * total..x as usize * total];
+            region.copy_from_slice(&rows[m - 1]);
+            for row in rows[..m - 1].iter().rev() {
+                gf256::horner_step_slice(region, row, x);
+            }
+        }
+        Ok(())
+    }
+
+    /// The bytes of share `x` (1-based) of secret `secret_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secret_idx` or `x` is out of range for the last split.
+    pub fn share(&self, secret_idx: usize, x: u8) -> &[u8] {
+        assert!(secret_idx < self.count && x >= 1 && x as usize <= self.n);
+        let base = (x as usize - 1) * self.count * self.len + secret_idx * self.len;
+        &self.data[base..base + self.len]
+    }
+
+    /// Number of secrets in the last split.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Byte length of each secret in the last split.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab currently holds no shares.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Share count `n` of the last split.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// Reconstructs a secret from shares stored in a flat slab, writing into
+/// a caller-owned buffer: the allocation-free counterpart of
+/// [`combine_cached`].
+///
+/// `indices[i]` is the share index of the `len`-byte share at
+/// `data[i*len..][..len]`. The first `m` distinct-index shares are used,
+/// exactly as [`combine`] selects them, and the output bytes are
+/// bit-identical. `out` is cleared and overwritten.
+///
+/// # Errors
+///
+/// Same contract as [`combine`] (uniform lengths are structural here).
+pub fn combine_slab_cached_into(
+    indices: &[u8],
+    data: &[u8],
+    len: usize,
+    m: usize,
+    cache: &mut WeightCache,
+    out: &mut Vec<u8>,
+) -> Result<(), CryptoError> {
+    if m == 0 {
+        return Err(CryptoError::InvalidParameters("threshold m must be >= 1"));
+    }
+    debug_assert_eq!(data.len(), indices.len() * len);
+    let mut seen = [false; 256];
+    let mut chosen = [0u16; MAX_SHARES];
+    let mut xs = [0u8; MAX_SHARES];
+    let mut picked = 0usize;
+    for (pos, &x) in indices.iter().enumerate() {
+        if x == 0 {
+            return Err(CryptoError::MalformedShare("share index 0 is reserved"));
+        }
+        if !seen[x as usize] {
+            seen[x as usize] = true;
+            chosen[picked] = pos as u16;
+            xs[picked] = x;
+            picked += 1;
+            if picked == m {
+                break;
+            }
+        }
+    }
+    if picked < m {
+        return Err(CryptoError::NotEnoughShares {
+            threshold: m,
+            supplied: picked,
+        });
+    }
+    let weights = cache.weights_for(&xs[..m]);
+    out.clear();
+    out.resize(len, 0);
+    for (&pos, &w) in chosen[..m].iter().zip(weights.iter()) {
+        let share = &data[pos as usize * len..(pos as usize + 1) * len];
+        gf256::mul_acc_slice(out, share, w);
+    }
+    Ok(())
+}
+
 /// Reconstructs the secret from at least `m` shares.
 ///
 /// Extra shares beyond `m` are ignored (the first `m` distinct indices are
@@ -235,7 +446,10 @@ impl WeightCache {
     /// previous call's.
     fn weights_for(&mut self, xs: &[u8]) -> &[u8] {
         if self.xs != xs {
-            self.weights = gf256::lagrange_weights_at_zero(xs);
+            // The `_into` form recomputes into the retained buffer, so a
+            // warm cache stays allocation-free even across index-set
+            // changes (different trials see different survivor sets).
+            gf256::lagrange_weights_at_zero_into(xs, &mut self.weights);
             self.xs.clear();
             self.xs.extend_from_slice(xs);
         }
@@ -589,6 +803,78 @@ mod tests {
                 combine(&shares, m).unwrap(),
                 reference::combine(&shares, m).unwrap()
             );
+        }
+
+        /// The pooled slab split is bit-identical to `split_many` — same
+        /// share bytes AND same RNG stream position — and a reused slab
+        /// behaves exactly like a fresh one.
+        #[test]
+        fn share_slab_matches_split_many(
+            count in 0usize..6,
+            len in 1usize..40,
+            m in 1usize..8,
+            extra in 0usize..6,
+            seed: u64,
+        ) {
+            let n = m + extra;
+            let secrets: Vec<Vec<u8>> = (0..count)
+                .map(|s| (0..len).map(|i| (s * 131 + i * 7 + 1) as u8).collect())
+                .collect();
+            let views: Vec<&[u8]> = secrets.iter().map(|s| s.as_slice()).collect();
+            let flat: Vec<u8> = secrets.concat();
+
+            let mut vec_rng = StdRng::seed_from_u64(seed);
+            let reference = split_many(&views, m, n, &mut vec_rng).unwrap();
+
+            // Dirty the slab with a different shape first: reuse must not
+            // leak state between splits.
+            let mut slab = ShareSlab::new();
+            let mut warm_rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+            slab.split_flat(&[7u8; 24], 8, 2.min(n), 3.max(n), &mut warm_rng).unwrap();
+
+            let mut slab_rng = StdRng::seed_from_u64(seed);
+            slab.split_flat(&flat, len, m, n, &mut slab_rng).unwrap();
+            prop_assert_eq!(slab.count(), count);
+            for (s, shares) in reference.iter().enumerate() {
+                for share in shares {
+                    prop_assert_eq!(slab.share(s, share.index), &share.data[..]);
+                }
+            }
+            prop_assert_eq!(slab_rng.next_u64(), vec_rng.next_u64());
+        }
+
+        /// The slab combine is bit-identical to `combine`, including its
+        /// duplicate-index handling and first-m-distinct selection.
+        #[test]
+        fn combine_slab_matches_vec_combine(
+            secret in proptest::collection::vec(any::<u8>(), 1..48),
+            m in 1usize..8,
+            extra in 0usize..6,
+            dup_first: bool,
+            seed: u64,
+        ) {
+            let n = m + extra;
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut shares = split(&secret, m, n, &mut r).unwrap();
+            if dup_first {
+                shares.insert(0, shares[0].clone());
+            }
+            let indices: Vec<u8> = shares.iter().map(|s| s.index).collect();
+            let data: Vec<u8> = shares.iter().flat_map(|s| s.data.clone()).collect();
+            let mut cache = WeightCache::default();
+            let mut out = Vec::new();
+            combine_slab_cached_into(&indices, &data, secret.len(), m, &mut cache, &mut out)
+                .unwrap();
+            prop_assert_eq!(&out, &combine(&shares, m).unwrap());
+            // Under-threshold errors match too.
+            if m > 1 {
+                let short = m - 1;
+                let e_slab = combine_slab_cached_into(
+                    &indices[..short], &data[..short * secret.len()],
+                    secret.len(), m, &mut cache, &mut out,
+                );
+                prop_assert_eq!(e_slab.unwrap_err(), combine(&shares[..short], m).unwrap_err());
+            }
         }
 
         #[test]

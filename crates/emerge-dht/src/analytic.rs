@@ -24,14 +24,14 @@
 //! enforces this for all four schemes.
 
 use crate::id::NodeId;
-use crate::index::SortedIdIndex;
+use crate::index::{IndexScratch, SortedIdIndex};
 use crate::overlay::OverlayConfig;
 use crate::population::{self, Genesis, NodeInfo};
 use crate::storage::Store;
 use emerge_sim::rng::SeedSource;
 use emerge_sim::time::{SimDuration, SimTime};
 use rand::Rng;
-use std::cell::OnceCell;
+use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
 
 /// The analytic (routing-free, lazily churned) DHT substrate.
@@ -42,9 +42,17 @@ pub struct AnalyticSubstrate {
     genesis: Genesis,
     /// Per-slot generation timelines, materialized on first access.
     timelines: Vec<OnceCell<Vec<NodeInfo>>>,
+    /// Timeline buffers recovered by [`rebuild`](Self::rebuild), handed
+    /// back out as later worlds materialize slots — the recycling that
+    /// makes a warm rebuilt world allocation-free.
+    timeline_pool: RefCell<Vec<Vec<NodeInfo>>>,
     /// The sorted generation-0 ID index behind closest-slot resolution
     /// (shared machinery with the full overlay).
     index: SortedIdIndex,
+    /// Decoration scratch for warm index rebuilds.
+    index_scratch: IndexScratch,
+    /// Shuffle scratch for warm genesis re-marking.
+    marking_scratch: Vec<usize>,
     /// Slot-local stores, created on first write.
     stores: HashMap<usize, Store>,
     now: SimTime,
@@ -67,10 +75,37 @@ impl AnalyticSubstrate {
             seed,
             genesis,
             timelines: (0..n).map(|_| OnceCell::new()).collect(),
+            timeline_pool: RefCell::new(Vec::new()),
             index,
+            index_scratch: IndexScratch::default(),
+            marking_scratch: Vec::new(),
             stores: HashMap::new(),
             now: SimTime::ZERO,
         }
+    }
+
+    /// Re-seeds the substrate in place: bit-identical observable state to
+    /// `AnalyticSubstrate::build(config, seed)` with the retained config,
+    /// but recycling every buffer the previous world owned — genesis
+    /// identity/marking vectors, the sorted ID index (plus its sort
+    /// scratch) and the materialized slot timelines, which return to a
+    /// pool and are reissued as the new world's slots are first queried.
+    /// After a warm-up world of the same shape, a rebuild plus a trial's
+    /// worth of queries performs no heap allocation.
+    pub fn rebuild(&mut self, seed: u64) {
+        let seed = SeedSource::new(seed);
+        self.seed = seed;
+        self.genesis.resample(&seed, &mut self.marking_scratch);
+        self.index
+            .rebuild(self.genesis.initial_ids(), &mut self.index_scratch);
+        let pool = self.timeline_pool.get_mut();
+        for cell in &mut self.timelines {
+            if let Some(buf) = cell.take() {
+                pool.push(buf);
+            }
+        }
+        self.stores.clear();
+        self.now = SimTime::ZERO;
     }
 
     /// The configuration this substrate was built with.
@@ -103,9 +138,14 @@ impl AnalyticSubstrate {
         &self.generations(slot)[0]
     }
 
-    /// All generations of a slot, in order (sampled on first access).
+    /// All generations of a slot, in order (sampled on first access into
+    /// a pooled buffer when one is available).
     pub fn generations(&self, slot: usize) -> &[NodeInfo] {
-        self.timelines[slot].get_or_init(|| self.genesis.slot_generations(slot))
+        self.timelines[slot].get_or_init(|| {
+            let mut buf = self.timeline_pool.borrow_mut().pop().unwrap_or_default();
+            self.genesis.slot_generations_into(slot, &mut buf);
+            buf
+        })
     }
 
     /// How many slot timelines have been materialized so far (diagnostic
@@ -249,6 +289,54 @@ mod tests {
             overlay.initial_malicious_count(),
             analytic.initial_malicious_count()
         );
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_bit_for_bit() {
+        let cfg = OverlayConfig {
+            n_nodes: 300,
+            malicious_fraction: 0.25,
+            mean_lifetime: Some(1_500),
+            horizon: 40_000,
+            ..OverlayConfig::default()
+        };
+        let mut warm = AnalyticSubstrate::build(cfg, 100);
+        // Materialize a spread of timelines and dirty the clock/stores so
+        // the rebuild has real state to recycle.
+        for slot in [0usize, 7, 42, 199, 299] {
+            let _ = warm.generations(slot);
+        }
+        warm.advance_to(SimTime::from_ticks(123));
+        warm.store(NodeId::from_name(b"k"), b"v".to_vec());
+
+        for seed in [100u64, 7, 0xDEAD] {
+            warm.rebuild(seed);
+            let fresh = AnalyticSubstrate::build(cfg, seed);
+            assert_eq!(warm.now(), SimTime::ZERO);
+            assert_eq!(warm.materialized_timelines(), 0);
+            assert_eq!(
+                warm.initial_malicious_count(),
+                fresh.initial_malicious_count(),
+                "seed {seed}"
+            );
+            for i in 0..50 {
+                let target = NodeId::from_name(format!("probe-{i}").as_bytes());
+                assert_eq!(warm.resolve_holder(&target), fresh.resolve_holder(&target));
+                assert_eq!(
+                    warm.closest_slots(&target, 6),
+                    fresh.closest_slots(&target, 6)
+                );
+            }
+            // Query out of order so rebuilt worlds hand out pooled buffers.
+            for slot in [299usize, 0, 42, 7, 150, 42] {
+                assert_eq!(
+                    warm.generations(slot),
+                    fresh.generations(slot),
+                    "slot {slot}"
+                );
+            }
+            assert_eq!(warm.find_value(NodeId::from_name(b"k")), None);
+        }
     }
 
     #[test]

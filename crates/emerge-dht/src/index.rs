@@ -24,6 +24,13 @@ pub struct SortedIdIndex {
     sorted: Vec<(NodeId, u32)>,
 }
 
+/// Reusable decoration buffer for [`SortedIdIndex::rebuild`], so repeated
+/// world builds sort without reallocating the tuple staging area.
+#[derive(Debug, Default)]
+pub struct IndexScratch {
+    decorated: Vec<(u64, NodeId, u32)>,
+}
+
 impl SortedIdIndex {
     /// Builds the index over `ids`, where position `i` is slot `i`.
     ///
@@ -47,6 +54,23 @@ impl SortedIdIndex {
                 .map(|(_, id, slot)| (id, slot))
                 .collect(),
         }
+    }
+
+    /// Rebuilds the index over `ids` in place — identical order and
+    /// content to [`SortedIdIndex::build`], but reusing both the sorted
+    /// storage and the caller's decoration scratch. `sort_unstable` is
+    /// in-place, so a warm rebuild performs no heap allocation.
+    pub fn rebuild(&mut self, ids: &[NodeId], scratch: &mut IndexScratch) {
+        scratch.decorated.clear();
+        scratch.decorated.extend(
+            ids.iter()
+                .enumerate()
+                .map(|(slot, id)| (prefix64(id), *id, slot as u32)),
+        );
+        scratch.decorated.sort_unstable();
+        self.sorted.clear();
+        self.sorted
+            .extend(scratch.decorated.iter().map(|&(_, id, slot)| (id, slot)));
     }
 
     /// Number of indexed IDs.

@@ -160,6 +160,17 @@ impl Genesis {
     /// `"slot-churn"` stream. Identical output every call; independent of
     /// every other slot.
     pub fn slot_generations(&self, slot: usize) -> Vec<NodeInfo> {
+        let mut generations = Vec::with_capacity(1);
+        self.slot_generations_into(slot, &mut generations);
+        generations
+    }
+
+    /// [`slot_generations`](Self::slot_generations) into a caller-owned
+    /// buffer (cleared first) — the form pooled trial loops use to recycle
+    /// timeline storage across worlds without changing a single sampled
+    /// byte.
+    pub fn slot_generations_into(&self, slot: usize, out: &mut Vec<NodeInfo>) {
+        out.clear();
         let lifetime = self
             .config
             .mean_lifetime
@@ -167,7 +178,6 @@ impl Genesis {
         let horizon = SimTime::from_ticks(self.config.horizon);
         let mut churn_rng = self.seed.stream_n("slot-churn", slot as u64);
 
-        let mut generations = Vec::with_capacity(1);
         let mut spawn = SimTime::ZERO;
         let mut gen_malicious = self.initial_malicious[slot];
         let mut gen_id = self.initial_ids[slot];
@@ -184,7 +194,7 @@ impl Genesis {
                 }
                 None => SimTime::MAX,
             };
-            generations.push(NodeInfo {
+            out.push(NodeInfo {
                 id: gen_id,
                 malicious: gen_malicious,
                 spawn,
@@ -200,7 +210,30 @@ impl Genesis {
             gen_id = NodeId::random(&mut churn_rng);
             gen_malicious = churn_rng.gen::<f64>() < self.config.malicious_fraction;
         }
-        generations
+    }
+
+    /// Re-samples generation-0 state in place from a new `seed`, reusing
+    /// the identity and marking buffers (and the caller's shuffle
+    /// scratch). Bit-identical to [`Genesis::sample`] with the same
+    /// config; the structural [`PopulationConfig`] is retained.
+    pub fn resample(&mut self, seed: &SeedSource, shuffle_scratch: &mut Vec<usize>) {
+        let n = self.config.n_nodes;
+        self.seed = *seed;
+        let mut id_rng = seed.stream("node-ids");
+        self.initial_ids.clear();
+        self.initial_ids
+            .extend((0..n).map(|_| NodeId::random(&mut id_rng)));
+
+        let mut mark_rng = seed.stream("malicious-marking");
+        let malicious_count = (self.config.malicious_fraction * n as f64).floor() as usize;
+        shuffle_scratch.clear();
+        shuffle_scratch.extend(0..n);
+        shuffle_scratch.shuffle(&mut mark_rng);
+        self.initial_malicious.clear();
+        self.initial_malicious.resize(n, false);
+        for &i in shuffle_scratch.iter().take(malicious_count) {
+            self.initial_malicious[i] = true;
+        }
     }
 }
 
