@@ -33,7 +33,7 @@ fn bench_gf256(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mul_scalar_loop", size), &src, |b, src| {
             let mut buf = src.clone();
             b.iter(|| {
-                for byte in buf.iter_mut() {
+                for byte in &mut buf {
                     *byte = gf256::mul(black_box(*byte), 0x53);
                 }
             });

@@ -47,6 +47,7 @@ fn ablation_thresholds(ps: &[f64], trials: usize) {
                 alpha: Some(alpha),
                 unavailability: 0.0,
             };
+            // LINT-WAIVER(panic): hardcoded ablation spec is valid and trials are clamped >= 1 at the env boundary
             run_trials(&spec, trials, 0xA1 ^ salt).unwrap().r_min()
         };
         let balanced = analysis::algorithm1(k, l, POPULATION, alpha, p).m;
@@ -72,6 +73,7 @@ fn ablation_release_metric(ps: &[f64], trials: usize) {
             alpha: None,
             unavailability: 0.0,
         };
+        // LINT-WAIVER(panic): hardcoded ablation spec is valid and trials are clamped >= 1 at the env boundary
         let r = run_trials(&spec, trials, 0xB1).unwrap();
         (
             p,
@@ -97,12 +99,14 @@ fn ablation_topology(ps: &[f64], trials: usize) {
             trials,
             0xC1,
         )
+        // LINT-WAIVER(panic): hardcoded spec is valid by construction; run_trials cannot reject it
         .expect("valid ablation spec");
         let disjoint = run_trials(
             &TrialSpec::new(SchemeParams::Disjoint { k, l }, POPULATION, p),
             trials,
             0xC2,
         )
+        // LINT-WAIVER(panic): hardcoded spec is valid by construction; run_trials cannot reject it
         .expect("valid ablation spec");
         (
             p,
@@ -135,6 +139,7 @@ fn ablation_alpha_misestimation(ps: &[f64], trials: usize) {
                 alpha: Some(world_alpha),
                 unavailability: 0.0,
             };
+            // LINT-WAIVER(panic): hardcoded ablation spec is valid and trials are clamped >= 1 at the env boundary
             vals[i] = run_trials(&spec, trials, 0xD1 + i as u64).unwrap().r_min();
         }
         (p, vals)
@@ -164,6 +169,7 @@ fn ablation_unavailability(trials: usize) {
                 unavailability: u,
             };
             run_trials(&spec, trials, 0xE1 ^ salt)
+                // LINT-WAIVER(panic): hardcoded ablation spec is valid and trials are clamped >= 1 at the env boundary
                 .unwrap()
                 .drop_resilience
                 .value()

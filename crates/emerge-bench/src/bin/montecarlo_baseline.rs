@@ -251,16 +251,17 @@ impl Args {
     }
 }
 
-fn measure<R, F>(
+fn measure<R, E, F>(
     cell: &'static str,
     substrate: &'static str,
     threads: usize,
     trials: usize,
     run: F,
-) -> McMeasurement
+) -> Result<McMeasurement, String>
 where
-    F: FnOnce(usize, usize) -> R,
+    F: FnOnce(usize, usize) -> Result<R, E>,
     R: CellRates,
+    E: std::fmt::Display,
 {
     eprintln!(
         "measuring {cell} on {substrate} ({trials} trials at N={POPULATION}, {threads} threads)..."
@@ -268,7 +269,7 @@ where
     let start = Instant::now();
     // The recorded trials/threads and the executed ones cannot drift: the
     // closure receives exactly what the report will claim.
-    let results = run(trials, threads);
+    let results = run(trials, threads).map_err(|e| format!("{cell} on {substrate}: {e}"))?;
     let seconds = start.elapsed().as_secs_f64();
     let m = McMeasurement {
         cell: cell.into(),
@@ -285,7 +286,7 @@ where
         m.clean,
         m.released
     );
-    m
+    Ok(m)
 }
 
 /// The two rates every cell kind reports, whatever engine produced them.
@@ -313,6 +314,13 @@ impl CellRates for emerge_contract::mc::BondedMcResults {
 }
 
 fn main() {
+    if let Err(msg) = run() {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {
@@ -334,23 +342,27 @@ fn main() {
         let full = run_protocol_trials_threaded(check_spec, 10, SEED, threads, |s| {
             Overlay::build(check_cfg, s)
         })
-        .expect("overlay check trials");
+        .map_err(|e| format!("overlay parity check: {e}"))?;
         let fast = run_protocol_trials_threaded(check_spec, 10, SEED, 1, |s| {
             AnalyticSubstrate::build(check_cfg, s)
         })
-        .expect("analytic check trials");
+        .map_err(|e| format!("analytic parity check: {e}"))?;
         let chained = run_protocol_trials_threaded(check_spec, 10, SEED, threads, |s| {
             ContractSubstrate::build(ContractConfig::over(check_cfg), s)
         })
-        .expect("contract check trials");
-        assert_eq!(
-            full.fingerprint, fast.fingerprint,
-            "overlay/analytic parity violated; refusing to record a baseline"
-        );
-        assert_eq!(
-            fast.fingerprint, chained.fingerprint,
-            "analytic/contract parity violated; refusing to record a baseline"
-        );
+        .map_err(|e| format!("contract parity check: {e}"))?;
+        if full.fingerprint != fast.fingerprint {
+            return Err(format!(
+                "overlay/analytic parity violated ({:#018x} vs {:#018x}); refusing to record a baseline",
+                full.fingerprint, fast.fingerprint
+            ));
+        }
+        if fast.fingerprint != chained.fingerprint {
+            return Err(format!(
+                "analytic/contract parity violated ({:#018x} vs {:#018x}); refusing to record a baseline",
+                fast.fingerprint, chained.fingerprint
+            ));
+        }
         eprintln!(
             "parity check passed across 3 substrates (fingerprint {:#018x})",
             full.fingerprint
@@ -387,15 +399,13 @@ fn main() {
                             || AnalyticSubstrate::build(config, 0),
                             |s, ws| s.rebuild(ws),
                         )
-                        .expect("analytic trials")
                     } else {
                         run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
                             AnalyticSubstrate::build(config, ws)
                         })
-                        .expect("analytic trials")
                     }
                 },
-            ));
+            )?);
         }
         if args.wants_substrate("overlay") {
             measurements.push(measure(
@@ -407,9 +417,8 @@ fn main() {
                     run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
                         Overlay::build(config, ws)
                     })
-                    .expect("overlay trials")
                 },
-            ));
+            )?);
         }
         if args.wants_substrate("contract") {
             measurements.push(measure(
@@ -421,9 +430,8 @@ fn main() {
                     run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
                         ContractSubstrate::build(ContractConfig::over(config), ws)
                     })
-                    .expect("contract trials")
                 },
-            ));
+            )?);
         }
     }
     let (bonded_name, bonded_spec) = bonded_cell();
@@ -437,9 +445,8 @@ fn main() {
                 run_bonded_trials_threaded(&bonded_spec, trials, SEED, threads, |ws| {
                     ContractSubstrate::build(ContractConfig::over(config), ws)
                 })
-                .expect("bonded trials")
             },
-        ));
+        )?);
     }
 
     if measurements.is_empty() {
@@ -512,4 +519,5 @@ fn main() {
             o.trials_per_sec(),
         );
     }
+    Ok(())
 }

@@ -19,11 +19,7 @@ pub fn mc_threads() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 
 /// Applies `f` to every item, in parallel, preserving input order in the
@@ -39,9 +35,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get());
     parallel_map_workers(items, workers, f)
 }
 
@@ -75,6 +69,7 @@ where
                     break;
                 }
                 let r = f(&items[i]);
+                // LINT-WAIVER(panic): a poisoned slot means a worker panicked, and that panic propagates via join first
                 *results[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
@@ -84,7 +79,9 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // LINT-WAIVER(panic): a poisoned slot means a worker panicked, and that panic propagates via join first
                 .expect("result slot poisoned")
+                // LINT-WAIVER(panic): the worker loop fills every slot before the threads are joined
                 .expect("every slot filled")
         })
         .collect()

@@ -30,6 +30,7 @@ impl BlockClock {
     ///
     /// Panics if `interval` is zero.
     pub fn new(interval: SimDuration) -> Self {
+        // LINT-WAIVER(panic): documented # Panics contract: a zero block interval is a caller bug
         assert!(
             interval.ticks() > 0,
             "block interval must be at least one tick"
@@ -56,6 +57,7 @@ impl BlockClock {
         SimTime::from_ticks(
             height
                 .checked_mul(self.interval.ticks())
+                // LINT-WAIVER(panic): documented # Panics contract: heights beyond the u64 tick line must abort loudly
                 .expect("block height overflows the tick line"),
         )
     }

@@ -328,6 +328,7 @@ pub fn run_bonded_release(
             report.rewards_paid += economy.reveal_reward;
         }
     }
+    // LINT-WAIVER(panic): supply conservation is the ledger's core invariant; silent imbalance must abort
     assert_eq!(
         substrate.ledger().total_supply(),
         supply_before,

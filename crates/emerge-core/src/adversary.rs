@@ -58,6 +58,7 @@ impl HolderTimeline {
     /// Panics if lengths disagree or renewals are not strictly increasing
     /// and positive.
     pub fn with_renewals(renewals: Vec<f64>, statuses: Vec<bool>) -> Self {
+        // LINT-WAIVER(panic): documented # Panics contract: renewal and status vectors must align
         assert_eq!(
             statuses.len(),
             renewals.len() + 1,
@@ -67,6 +68,7 @@ impl HolderTimeline {
         );
         let mut prev = 0.0;
         for &r in &renewals {
+            // LINT-WAIVER(panic): documented # Panics contract: renewal times must be ordered and positive
             assert!(
                 r > prev,
                 "renewals must be strictly increasing and positive"
@@ -106,6 +108,7 @@ impl HolderTimeline {
     /// — the churn *re-exposure* predicate: every overlapping tenant saw
     /// whatever the position stored during that window.
     pub fn malicious_exposure_in(&self, from: f64, to: f64) -> bool {
+        // LINT-WAIVER(panic): documented # Panics contract: the exposure window must be ordered
         assert!(from <= to, "exposure window must be ordered");
         let first = self.renewals.partition_point(|&r| r <= from);
         let last = self.renewals.partition_point(|&r| r <= to);
@@ -116,6 +119,7 @@ impl HolderTimeline {
     /// `to` (no replacement in between) — i.e. the holder "survives" the
     /// holding period without dying.
     pub fn same_tenant_through(&self, from: f64, to: f64) -> bool {
+        // LINT-WAIVER(panic): documented # Panics contract: the holding window must be ordered
         assert!(from <= to);
         let a = self.renewals.partition_point(|&r| r <= from);
         let b = self.renewals.partition_point(|&r| r <= to);
@@ -363,7 +367,7 @@ mod tests {
         // flags[row][col]
         let mut v = Vec::new();
         for row in flags {
-            for &m in row.iter() {
+            for &m in *row {
                 v.push(HolderTimeline::stable(m));
             }
         }

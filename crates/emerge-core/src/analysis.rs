@@ -131,13 +131,16 @@ pub fn algorithm1(
 ) -> ShareAnalysis {
     assert_p(p);
     assert_kl(k, l);
+    // LINT-WAIVER(panic): documented precondition on the (k, l) grid arguments
     assert!(
         t_over_lambda >= 0.0 && t_over_lambda.is_finite(),
         "T/λ must be nonnegative"
     );
     // Line 1: uniform node assignment across columns.
     let n = n_available / l;
+    // LINT-WAIVER(panic): documented precondition: the node budget must fill every column
     assert!(n >= 1, "node budget {n_available} cannot fill {l} columns");
+    // LINT-WAIVER(panic): documented precondition: k cannot exceed the per-column row count
     assert!(k <= n, "onion rows k={k} exceed share rows n={n}");
 
     // Line 2-3: dead shares per holding period th = T / l.
@@ -203,6 +206,7 @@ pub fn algorithm1(
 /// `qd(m) = P(Bin(n−d, p) ≥ n−d−m+1)` rises, so the difference
 /// `qr − qd` is monotone and a binary search finds the crossing.
 pub fn select_threshold(n: usize, d: usize, p: f64) -> usize {
+    // LINT-WAIVER(panic): documented precondition: threshold selection needs n >= 1
     assert!(n >= 1);
     let alive = n.saturating_sub(d);
     let diff = |m: usize| -> f64 {
@@ -250,6 +254,7 @@ pub fn select_threshold(n: usize, d: usize, p: f64) -> usize {
 /// up in the mechanistic Monte-Carlo. See EXPERIMENTS.md for the
 /// comparison.
 pub fn share_flow_survival(n: usize, m: &[usize], p: f64, t_over_lambda: f64, l: usize) -> f64 {
+    // LINT-WAIVER(panic): documented precondition: share flow needs at least one column
     assert!(l >= 1);
     let survive = (-t_over_lambda / l as f64).exp();
     let q = (1.0 - p) * survive;
@@ -288,7 +293,9 @@ pub fn solve_disjoint(p: f64, target: f64, budget: usize) -> Solution {
 
 fn solve_multipath(p: f64, target: f64, budget: usize, joint_topology: bool) -> Solution {
     assert_p(p);
+    // LINT-WAIVER(panic): documented precondition on the resilience target range
     assert!((0.0..1.0).contains(&target), "target must be in [0, 1)");
+    // LINT-WAIVER(panic): documented precondition: the solver needs a node budget
     assert!(budget >= 1, "budget must be at least one node");
 
     let eval = |k: usize, l: usize| -> Resilience {
@@ -369,11 +376,13 @@ fn solve_multipath(p: f64, target: f64, budget: usize, joint_topology: bool) -> 
 /// degenerate for a share grid), falls back to a direct search over
 /// `(k, l)` maximizing Algorithm 1's predicted `min(Rr, Rd)`.
 pub fn solve_share(p: f64, target: f64, budget: usize, t_over_lambda: f64) -> Solution {
+    // LINT-WAIVER(panic): documented precondition: the solver needs a node budget
     assert!(budget >= 1);
     let joint_sol = solve_joint(p, target, budget);
     let (jk, jl) = joint_sol
         .params
         .grid()
+        // LINT-WAIVER(panic): the joint solver always returns grid-shaped params by construction
         .expect("joint solver returns a grid");
     let candidate = |k: usize, l: usize| -> Option<(SchemeParams, Resilience)> {
         let n = budget / l;
@@ -432,6 +441,7 @@ pub fn solve_share(p: f64, target: f64, budget: usize, t_over_lambda: f64) -> So
             }
         }
     }
+    // LINT-WAIVER(panic): l = 1 always enters the candidate loop, so best is never None
     let (score, params, predicted) = best.expect("l = 1 is always a candidate");
     Solution {
         params,
@@ -472,6 +482,7 @@ pub struct FrontierPoint {
 /// Points are returned sorted by increasing `Rr`.
 pub fn joint_frontier(p: f64, cost: usize) -> Vec<FrontierPoint> {
     assert_p(p);
+    // LINT-WAIVER(panic): documented precondition: the frontier needs a positive cost
     assert!(cost >= 1);
     let mut points = Vec::new();
     for k in 1..=cost {
@@ -507,6 +518,7 @@ pub fn joint_frontier(p: f64, cost: usize) -> Vec<FrontierPoint> {
         a.resilience
             .release
             .partial_cmp(&b.resilience.release)
+            // LINT-WAIVER(panic): resiliences are probabilities computed from finite inputs, never NaN
             .expect("resiliences are finite")
     });
     frontier
@@ -523,6 +535,7 @@ pub fn frontier_extremes(frontier: &[FrontierPoint]) -> Option<(&FrontierPoint, 
 }
 
 fn assert_p(p: f64) {
+    // LINT-WAIVER(panic): this is the documented probability-range guard itself
     assert!(
         (0.0..=1.0).contains(&p) && p.is_finite(),
         "malicious rate p must be in [0, 1], got {p}"
@@ -530,6 +543,7 @@ fn assert_p(p: f64) {
 }
 
 fn assert_kl(k: usize, l: usize) {
+    // LINT-WAIVER(panic): this is the documented grid-shape guard itself
     assert!(k >= 1 && l >= 1, "k and l must be >= 1 (k={k}, l={l})");
 }
 

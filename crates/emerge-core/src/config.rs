@@ -172,8 +172,9 @@ impl SchemeParams {
     pub fn grid(&self) -> Option<(usize, usize)> {
         match self {
             SchemeParams::Central => None,
-            SchemeParams::Disjoint { k, l } | SchemeParams::Joint { k, l } => Some((*k, *l)),
-            SchemeParams::Share { k, l, .. } => Some((*k, *l)),
+            SchemeParams::Disjoint { k, l }
+            | SchemeParams::Joint { k, l }
+            | SchemeParams::Share { k, l, .. } => Some((*k, *l)),
         }
     }
 }

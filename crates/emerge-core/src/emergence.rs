@@ -251,6 +251,7 @@ impl<S: HolderSubstrate> SelfEmergingSystem<S> {
             }
             SchemeParams::Disjoint { .. } | SchemeParams::Joint { .. } => {
                 let pkgs = build_keyed_packages(&handle.plan, &handle.params, &schedule, &secret)
+                    // LINT-WAIVER(panic): the plan was validated at construction, so the package build cannot fail
                     .expect("planned parameters build packages");
                 execute_keyed(
                     &mut self.substrate,
@@ -262,6 +263,7 @@ impl<S: HolderSubstrate> SelfEmergingSystem<S> {
             }
             SchemeParams::Share { .. } => {
                 let pkgs = build_share_packages(&handle.plan, &handle.params, &schedule, &secret)
+                    // LINT-WAIVER(panic): the plan was validated at construction, so the package build cannot fail
                     .expect("planned parameters build packages");
                 execute_share(
                     &mut self.substrate,
@@ -272,6 +274,7 @@ impl<S: HolderSubstrate> SelfEmergingSystem<S> {
                 )
             }
         }
+        // LINT-WAIVER(panic): protocol execution over packages built in this function is infallible
         .expect("protocol execution is infallible for valid packages");
         handle.report = Some(report);
         self.substrate.advance_to(handle.release_time);
@@ -289,13 +292,10 @@ impl<S: HolderSubstrate> SelfEmergingSystem<S> {
     ///   decryption failures.
     pub fn receive(&mut self, handle: &SendHandle) -> Result<Vec<u8>, EmergeError> {
         let now = self.substrate.now();
-        let report = match &handle.report {
-            Some(r) => r,
-            None => {
-                return Err(EmergeError::NotYetReleased {
-                    remaining_ticks: handle.release_time.since(now).ticks(),
-                })
-            }
+        let Some(report) = &handle.report else {
+            return Err(EmergeError::NotYetReleased {
+                remaining_ticks: handle.release_time.since(now).ticks(),
+            });
         };
         let (released_at, key_bytes) =
             report

@@ -10,6 +10,7 @@
 ///
 /// Accurate to ~1e-13 over the range used here.
 pub fn ln_gamma(x: f64) -> f64 {
+    // LINT-WAIVER(panic): documented mathematical domain precondition
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     // g = 7, n = 9 Lanczos coefficients.
     const COEFFS: [f64; 9] = [
@@ -39,6 +40,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 
 /// `ln C(n, k)` via log-gamma.
 pub fn ln_choose(n: u64, k: u64) -> f64 {
+    // LINT-WAIVER(panic): documented mathematical domain precondition
     assert!(k <= n, "ln_choose requires k <= n");
     if k == 0 || k == n {
         return 0.0;
@@ -48,6 +50,7 @@ pub fn ln_choose(n: u64, k: u64) -> f64 {
 
 /// Binomial pmf `P(Bin(n, p) = k)`.
 pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    // LINT-WAIVER(panic): documented mathematical domain precondition
     assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
     if k > n {
         return 0.0;
@@ -68,6 +71,7 @@ pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
 /// otherwise (with an incremental pmf recurrence to avoid re-evaluating
 /// log-gamma per term).
 pub fn binomial_tail_ge(n: u64, p: f64, m: u64) -> f64 {
+    // LINT-WAIVER(panic): documented mathematical domain precondition
     assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
     if m == 0 {
         return 1.0;

@@ -179,6 +179,7 @@ fn run_one_trial(spec: &TrialSpec, rng: &mut StdRng) -> TrialOutcome {
 
     match &spec.params {
         SchemeParams::Central => {
+            // LINT-WAIVER(panic): the flag iterator was sized to the holder count computed above
             let holder = sampler.sample(initial_flags.next().expect("one holder"), t_total);
             let trial = CentralTrial { holder, t_total };
             TrialOutcome {
@@ -196,6 +197,7 @@ fn run_one_trial(spec: &TrialSpec, rng: &mut StdRng) -> TrialOutcome {
                     // leaves it at t_{col+1}.
                     let window = (col as f64 + 1.0) * th;
                     holders
+                        // LINT-WAIVER(panic): the flag iterator was sized to the holder count computed above
                         .push(sampler.sample(initial_flags.next().expect("enough flags"), window));
                 }
             }
@@ -221,6 +223,7 @@ fn run_one_trial(spec: &TrialSpec, rng: &mut StdRng) -> TrialOutcome {
                 for col in 0..*l {
                     let window = (col as f64 + 1.0) * th;
                     holders
+                        // LINT-WAIVER(panic): the flag iterator was sized to the holder count computed above
                         .push(sampler.sample(initial_flags.next().expect("enough flags"), window));
                 }
             }

@@ -158,6 +158,7 @@ impl LabelWriter {
         let mut v = value;
         loop {
             i -= 1;
+            // LINT-WAIVER(wire): v % 10 is always a single decimal digit
             digits[i] = b'0' + (v % 10) as u8;
             v /= 10;
             if v == 0 {
@@ -271,6 +272,7 @@ impl KeyedLayerPayload {
     /// Serializes the payload.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
+        // LINT-WAIVER(wire): hop counts are bounded by MAX_SHARES = 255, far below u16::MAX
         w.put_u16(self.next_hops.len() as u16);
         for id in &self.next_hops {
             w.put_raw(id.as_bytes());
@@ -410,10 +412,12 @@ impl ShareLayerPayload {
     /// Serializes the payload into `w` (a reusable scratch buffer in the
     /// package builder's hot loop).
     fn encode_into(&self, w: &mut Writer) {
+        // LINT-WAIVER(wire): hop counts are bounded by MAX_SHARES = 255, far below u16::MAX
         w.put_u16(self.next_hops.len() as u16);
         for id in &self.next_hops {
             w.put_raw(id.as_bytes());
         }
+        // LINT-WAIVER(wire): share counts are bounded by MAX_SHARES = 255, far below u16::MAX
         w.put_u16(self.row_key_shares.len() as u16);
         for s in &self.row_key_shares {
             w.put_u8(s.index);
@@ -515,10 +519,12 @@ fn encode_payload_borrowed(
     core_share: &KeyShare,
     bundle_key: &SymmetricKey,
 ) {
+    // LINT-WAIVER(wire): hop counts are bounded by MAX_SHARES = 255, far below u16::MAX
     w.put_u16(next_hops.len() as u16);
     for id in next_hops {
         w.put_raw(id.as_bytes());
     }
+    // LINT-WAIVER(wire): share counts are bounded by MAX_SHARES = 255, far below u16::MAX
     w.put_u16(row_shares.len() as u16);
     for per_target in row_shares {
         let s = &per_target[row];
@@ -785,6 +791,7 @@ pub fn decode_segment_headers(bytes: Vec<u8>) -> Result<SegmentHeaders, CryptoEr
         let mut spans = Vec::with_capacity(count.min(r.remaining() / 4 + 1));
         for _ in 0..count {
             let len = r.get_u32()?;
+            // LINT-WAIVER(wire): the reader position is bounded by the u32-framed package length
             let start = r.position() as u32;
             r.get_raw(len as usize)?;
             spans.push((start, len));
@@ -831,6 +838,7 @@ pub fn parse_share_segment_spans(
     let count = r.get_u16()? as usize;
     for _ in 0..count {
         let len = r.get_u32()?;
+        // LINT-WAIVER(wire): the reader position is bounded by the u32-framed package length
         let start = r.position() as u32;
         r.get_raw(len as usize)?;
         spans.push((start, len));
@@ -849,6 +857,7 @@ fn parse_header_spans(blob: &[u8], spans: &mut Vec<(u32, u32)>) -> Result<(), Cr
     let count = r.get_u16()? as usize;
     for _ in 0..count {
         let len = r.get_u32()?;
+        // LINT-WAIVER(wire): the reader position is bounded by the u32-framed package length
         let start = r.position() as u32;
         r.get_raw(len as usize)?;
         spans.push((start, len));
@@ -1127,11 +1136,14 @@ fn encode_payload_slab(
     core_share: &[u8],
     bundle_key: &SymmetricKey,
 ) {
+    // LINT-WAIVER(wire): hop counts are bounded by MAX_SHARES = 255, far below u16::MAX
     w.put_u16(next_hops.len() as u16);
     for id in next_hops {
         w.put_raw(id.as_bytes());
     }
+    // LINT-WAIVER(wire): row < n <= MAX_SHARES = 255, so row + 1 fits a u8
     let x = (row + 1) as u8;
+    // LINT-WAIVER(wire): share counts are bounded by MAX_SHARES = 255, far below u16::MAX
     w.put_u16(row_shares.count() as u16);
     for target in 0..row_shares.count() {
         w.put_u8(x);
@@ -1201,6 +1213,7 @@ pub fn build_share_packages_into(
         }
     };
     if n > shamir::MAX_SHARES {
+        // LINT-WAIVER(alloc): error construction is a cold path outside the per-trial loop
         return Err(EmergeError::InvalidParameters(format!(
             "wire-level GF(256) sharing supports at most {} rows, got {n} \
              (the analysis/Monte-Carlo engines have no such limit)",
@@ -1237,6 +1250,7 @@ pub fn build_share_packages_into(
     // `seal_segment` results.
     out.package.clear();
     out.package.push(SHARE_FORMAT_VERSION);
+    // LINT-WAIVER(wire): l was validated against MAX_SHARES = 255, far below u16::MAX
     out.package.extend_from_slice(&(l as u16).to_le_bytes());
     for col in 0..l {
         let last = col + 1 == l;
@@ -1249,6 +1263,7 @@ pub fn build_share_packages_into(
         }
         let segment = &mut scratch.segment;
         segment.clear();
+        // LINT-WAIVER(wire): n was validated against MAX_SHARES = 255, far below u16::MAX
         segment.extend_from_slice(&(n as u16).to_le_bytes());
         for row in 0..n {
             scratch.payload.clear();
@@ -1261,6 +1276,7 @@ pub fn build_share_packages_into(
                     &scratch.next_hops,
                     &scratch.row_slabs[col],
                     row,
+                    // LINT-WAIVER(wire): row < n <= MAX_SHARES = 255, so row + 1 fits a u8
                     scratch.core_slabs[col].share(0, (row + 1) as u8),
                     bk,
                 );
@@ -1276,6 +1292,7 @@ pub fn build_share_packages_into(
                 &mut scratch.header,
                 HEADER_AAD,
             );
+            // LINT-WAIVER(wire): a sealed header spans at most 255 shares, orders of magnitude below u32::MAX
             segment.extend_from_slice(&(scratch.header.len() as u32).to_le_bytes());
             segment.extend_from_slice(&scratch.header);
         }
@@ -1291,6 +1308,7 @@ pub fn build_share_packages_into(
             );
         }
         out.package
+            // LINT-WAIVER(wire): a segment holds at most 255 bounded rows, far below u32::MAX
             .extend_from_slice(&(segment.len() as u32).to_le_bytes());
         out.package.extend_from_slice(segment);
     }

@@ -32,6 +32,7 @@ pub struct PathPlan {
 impl PathPlan {
     /// The slot of holder `(row, col)`.
     pub fn slot(&self, row: usize, col: usize) -> usize {
+        // LINT-WAIVER(panic): documented # Panics contract: slot coordinates must lie in the grid
         assert!(
             row < self.rows && col < self.cols,
             "holder index out of grid"
@@ -184,6 +185,7 @@ pub fn construct_paths_into<S: HolderSubstrate + ?Sized>(
 ) -> Result<(), EmergeError> {
     params
         .validate()
+        // LINT-WAIVER(alloc): validation failure is a cold error path, not the pooled hot loop
         .map_err(|e| EmergeError::InvalidParameters(e.to_string()))?;
     let (rows, cols) = match params {
         SchemeParams::Central => (1, 1),

@@ -109,7 +109,7 @@ impl HolderSubstrate for Overlay {
     }
 
     fn advance_to(&mut self, t: SimTime) {
-        Overlay::advance_to(self, t)
+        Overlay::advance_to(self, t);
     }
 
     fn resolve_holder(&self, target: &NodeId) -> usize {
@@ -167,7 +167,7 @@ impl HolderSubstrate for AnalyticSubstrate {
     }
 
     fn advance_to(&mut self, t: SimTime) {
-        AnalyticSubstrate::advance_to(self, t)
+        AnalyticSubstrate::advance_to(self, t);
     }
 
     fn resolve_holder(&self, target: &NodeId) -> usize {
@@ -220,7 +220,7 @@ impl HolderSubstrate for ContractSubstrate {
     }
 
     fn advance_to(&mut self, t: SimTime) {
-        ContractSubstrate::advance_to(self, t)
+        ContractSubstrate::advance_to(self, t);
     }
 
     fn resolve_holder(&self, target: &NodeId) -> usize {

@@ -222,58 +222,66 @@ mod avx512 {
     /// The caller must have confirmed [`available`] on this CPU.
     #[target_feature(enable = "avx512f,avx512bw")]
     pub unsafe fn xor_blocks(state: &[u32; 16], data: &mut [u8]) {
-        debug_assert_eq!(data.len(), WIDE_BLOCKS * BLOCK_LEN);
-        let mut x = [_mm512_setzero_si512(); 16];
-        for (xi, &word) in x.iter_mut().zip(state.iter()) {
-            *xi = _mm512_set1_epi32(word as i32);
-        }
-        // Per-lane block counters: lane `l` runs counter `state[12] + l`.
-        x[12] = _mm512_add_epi32(
-            x[12],
-            _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
-        );
-        let init = x;
+        // SAFETY: caller upholds the `available()` contract (AVX-512 F/BW confirmed
+        // by cpuid), so every 512-bit intrinsic here is supported. The only memory
+        // the kernel touches is `data`, via unaligned `loadu`/`storeu` on sixteen
+        // 64-byte blocks — exactly `WIDE_BLOCKS * BLOCK_LEN` bytes, which the
+        // dispatcher guarantees (debug-asserted on entry).
+        unsafe {
+            debug_assert_eq!(data.len(), WIDE_BLOCKS * BLOCK_LEN);
+            let mut x = [_mm512_setzero_si512(); 16];
+            for (xi, &word) in x.iter_mut().zip(state.iter()) {
+                *xi = _mm512_set1_epi32(word as i32);
+            }
+            // Per-lane block counters: lane `l` runs counter `state[12] + l`.
+            x[12] = _mm512_add_epi32(
+                x[12],
+                _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+            );
+            let init = x;
 
-        macro_rules! qr {
-            ($a:expr, $b:expr, $c:expr, $d:expr) => {
-                x[$a] = _mm512_add_epi32(x[$a], x[$b]);
-                x[$d] = _mm512_rol_epi32(_mm512_xor_si512(x[$d], x[$a]), 16);
-                x[$c] = _mm512_add_epi32(x[$c], x[$d]);
-                x[$b] = _mm512_rol_epi32(_mm512_xor_si512(x[$b], x[$c]), 12);
-                x[$a] = _mm512_add_epi32(x[$a], x[$b]);
-                x[$d] = _mm512_rol_epi32(_mm512_xor_si512(x[$d], x[$a]), 8);
-                x[$c] = _mm512_add_epi32(x[$c], x[$d]);
-                x[$b] = _mm512_rol_epi32(_mm512_xor_si512(x[$b], x[$c]), 7);
-            };
-        }
-        for _ in 0..10 {
-            // Column rounds.
-            qr!(0, 4, 8, 12);
-            qr!(1, 5, 9, 13);
-            qr!(2, 6, 10, 14);
-            qr!(3, 7, 11, 15);
-            // Diagonal rounds.
-            qr!(0, 5, 10, 15);
-            qr!(1, 6, 11, 12);
-            qr!(2, 7, 8, 13);
-            qr!(3, 4, 9, 14);
-        }
-        for (xi, i) in x.iter_mut().zip(init.iter()) {
-            *xi = _mm512_add_epi32(*xi, *i);
-        }
+            macro_rules! qr {
+                ($a:expr, $b:expr, $c:expr, $d:expr) => {
+                    x[$a] = _mm512_add_epi32(x[$a], x[$b]);
+                    x[$d] = _mm512_rol_epi32(_mm512_xor_si512(x[$d], x[$a]), 16);
+                    x[$c] = _mm512_add_epi32(x[$c], x[$d]);
+                    x[$b] = _mm512_rol_epi32(_mm512_xor_si512(x[$b], x[$c]), 12);
+                    x[$a] = _mm512_add_epi32(x[$a], x[$b]);
+                    x[$d] = _mm512_rol_epi32(_mm512_xor_si512(x[$d], x[$a]), 8);
+                    x[$c] = _mm512_add_epi32(x[$c], x[$d]);
+                    x[$b] = _mm512_rol_epi32(_mm512_xor_si512(x[$b], x[$c]), 7);
+                };
+            }
+            for _ in 0..10 {
+                // Column rounds.
+                qr!(0, 4, 8, 12);
+                qr!(1, 5, 9, 13);
+                qr!(2, 6, 10, 14);
+                qr!(3, 7, 11, 15);
+                // Diagonal rounds.
+                qr!(0, 5, 10, 15);
+                qr!(1, 6, 11, 12);
+                qr!(2, 7, 8, 13);
+                qr!(3, 4, 9, 14);
+            }
+            for (xi, i) in x.iter_mut().zip(init.iter()) {
+                *xi = _mm512_add_epi32(*xi, *i);
+            }
 
-        // Spill word-major (register `i` holds word `i` of every block),
-        // then XOR block-major: block `b`'s word `w` is `scratch[16w + b]`.
-        // x86 u32 lanes are little-endian, matching ChaCha serialization.
-        let mut scratch = [0u32; WIDE_BLOCKS * 16];
-        for (i, xi) in x.iter().enumerate() {
-            _mm512_storeu_si512(scratch.as_mut_ptr().add(16 * i).cast(), *xi);
-        }
-        for (b, block) in data.chunks_exact_mut(BLOCK_LEN).enumerate() {
-            for (w, word_bytes) in block.chunks_exact_mut(4).enumerate() {
-                let ks = scratch[16 * w + b];
-                let v = u32::from_le_bytes(word_bytes.try_into().expect("4-byte chunk")) ^ ks;
-                word_bytes.copy_from_slice(&v.to_le_bytes());
+            // Spill word-major (register `i` holds word `i` of every block),
+            // then XOR block-major: block `b`'s word `w` is `scratch[16w + b]`.
+            // x86 u32 lanes are little-endian, matching ChaCha serialization.
+            let mut scratch = [0u32; WIDE_BLOCKS * 16];
+            for (i, xi) in x.iter().enumerate() {
+                _mm512_storeu_si512(scratch.as_mut_ptr().add(16 * i).cast(), *xi);
+            }
+            for (b, block) in data.chunks_exact_mut(BLOCK_LEN).enumerate() {
+                for (w, word_bytes) in block.chunks_exact_mut(4).enumerate() {
+                    let ks = scratch[16 * w + b];
+                    // LINT-WAIVER(panic): chunks_exact(4) yields exactly 4-byte slices
+                    let v = u32::from_le_bytes(word_bytes.try_into().expect("4-byte chunk")) ^ ks;
+                    word_bytes.copy_from_slice(&v.to_le_bytes());
+                }
             }
         }
     }
@@ -357,7 +365,7 @@ impl ChaCha20 {
                 // SAFETY: `avx512::available()` confirmed AVX-512 F/BW.
                 #[allow(unsafe_code)]
                 unsafe {
-                    avx512::xor_blocks(&self.state, chunk)
+                    avx512::xor_blocks(&self.state, chunk);
                 };
                 self.state[12] = self.state[12].wrapping_add(avx512::WIDE_BLOCKS as u32);
                 data = rest;
@@ -372,6 +380,7 @@ impl ChaCha20 {
             for (lane, block) in chunk.chunks_exact_mut(BLOCK_LEN).enumerate() {
                 for (pair, words) in block.chunks_exact_mut(8).zip(wide.chunks_exact(2)) {
                     let ks = (words[0][lane] as u64) | ((words[1][lane] as u64) << 32);
+                    // LINT-WAIVER(panic): chunks_exact(8) yields exactly 8-byte slices
                     let x = u64::from_le_bytes(pair.try_into().expect("8-byte chunk")) ^ ks;
                     pair.copy_from_slice(&x.to_le_bytes());
                 }
@@ -385,6 +394,7 @@ impl ChaCha20 {
             let (block, rest) = std::mem::take(&mut data).split_at_mut(BLOCK_LEN);
             for (chunk, pair) in block.chunks_exact_mut(8).zip(words.chunks_exact(2)) {
                 let ks = (pair[0] as u64) | ((pair[1] as u64) << 32);
+                // LINT-WAIVER(panic): chunks_exact(8) yields exactly 8-byte slices
                 let x = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")) ^ ks;
                 chunk.copy_from_slice(&x.to_le_bytes());
             }

@@ -55,6 +55,7 @@ impl ShareCommitments {
             .iter()
             .enumerate()
             .map(|(i, share)| {
+                // LINT-WAIVER(panic): documented # Panics contract: shares must be consecutively indexed from 1
                 assert_eq!(
                     share.index as usize,
                     i + 1,
@@ -77,12 +78,17 @@ impl ShareCommitments {
     }
 
     /// Verifies one share against its commitment.
+    ///
+    /// The comparison goes through the constant-time `verify_tag` path:
+    /// commitments are public, but the digest of a candidate share is
+    /// derived from (possibly secret) share bytes, and an early-exit
+    /// comparison would leak how many digest bytes matched.
     pub fn verify(&self, share: &KeyShare) -> bool {
         let idx = share.index as usize;
         if idx == 0 || idx > self.digests.len() {
             return false;
         }
-        self.digests[idx - 1] == digest_share(share)
+        crate::hmac::verify_tag(&self.digests[idx - 1], &digest_share(share))
     }
 
     /// Returns the subset of `shares` that match their commitments,

@@ -111,10 +111,13 @@ pub fn mul_slice_assign(dst: &mut [u8], scalar: u8) {
         _ => {
             #[cfg(target_arch = "x86_64")]
             if gfni::available() {
-                // SAFETY: `available()` verified gfni/avx512f/avx512bw.
+                // SAFETY: `available()` just confirmed via cpuid the GFNI and
+                // AVX-512 F/BW features the kernel's `#[target_feature]`
+                // requires; slices pass through unchanged, so the kernel's
+                // bounds contract is the safe signature's own.
                 #[allow(unsafe_code)]
                 unsafe {
-                    gfni::mul_slice_assign(dst, scalar)
+                    gfni::mul_slice_assign(dst, scalar);
                 };
                 return;
             }
@@ -145,6 +148,7 @@ fn mul_slice_assign_ladder(dst: &mut [u8], scalar: u8) {
 ///
 /// Panics if the slice lengths differ.
 pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], scalar: u8) {
+    // LINT-WAIVER(panic): documented # Panics contract: slice lengths must match
     assert_eq!(
         dst.len(),
         src.len(),
@@ -156,10 +160,13 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], scalar: u8) {
         _ => {
             #[cfg(target_arch = "x86_64")]
             if gfni::available() {
-                // SAFETY: `available()` verified gfni/avx512f/avx512bw.
+                // SAFETY: `available()` just confirmed via cpuid the GFNI and
+                // AVX-512 F/BW features the kernel's `#[target_feature]`
+                // requires; slices pass through unchanged, so the kernel's
+                // bounds contract is the safe signature's own.
                 #[allow(unsafe_code)]
                 unsafe {
-                    gfni::mul_acc_slice(dst, src, scalar)
+                    gfni::mul_acc_slice(dst, src, scalar);
                 };
                 return;
             }
@@ -196,6 +203,7 @@ fn mul_acc_slice_ladder(dst: &mut [u8], src: &[u8], scalar: u8) {
 ///
 /// Panics if the slice lengths differ.
 pub fn horner_step_slice(acc: &mut [u8], row: &[u8], scalar: u8) {
+    // LINT-WAIVER(panic): documented # Panics contract: slice lengths must match
     assert_eq!(
         acc.len(),
         row.len(),
@@ -207,10 +215,13 @@ pub fn horner_step_slice(acc: &mut [u8], row: &[u8], scalar: u8) {
         _ => {
             #[cfg(target_arch = "x86_64")]
             if gfni::available() {
-                // SAFETY: `available()` verified gfni/avx512f/avx512bw.
+                // SAFETY: `available()` just confirmed via cpuid the GFNI and
+                // AVX-512 F/BW features the kernel's `#[target_feature]`
+                // requires; slices pass through unchanged, so the kernel's
+                // bounds contract is the safe signature's own.
                 #[allow(unsafe_code)]
                 unsafe {
-                    gfni::horner_step_slice(acc, row, scalar)
+                    gfni::horner_step_slice(acc, row, scalar);
                 };
                 return;
             }
@@ -239,6 +250,7 @@ fn horner_step_slice_ladder(acc: &mut [u8], row: &[u8], scalar: u8) {
 ///
 /// Panics if the slice lengths differ.
 pub fn add_slice_assign(dst: &mut [u8], src: &[u8]) {
+    // LINT-WAIVER(panic): documented # Panics contract: slice lengths must match
     assert_eq!(
         dst.len(),
         src.len(),
@@ -322,20 +334,28 @@ mod gfni {
     /// The caller must have confirmed [`available`] on this CPU.
     #[target_feature(enable = "gfni,avx512f,avx512bw")]
     pub unsafe fn mul_slice_assign(dst: &mut [u8], scalar: u8) {
-        let vs = _mm512_set1_epi8(scalar as i8);
-        let mut i = 0;
-        while i + 64 <= dst.len() {
-            let p = dst.as_mut_ptr().add(i);
-            let v = _mm512_loadu_epi8(p.cast());
-            _mm512_storeu_epi8(p.cast(), _mm512_gf2p8mul_epi8(v, vs));
-            i += 64;
-        }
-        let rem = dst.len() - i;
-        if rem > 0 {
-            let mask: __mmask64 = (1u64 << rem) - 1;
-            let p = dst.as_mut_ptr().add(i);
-            let v = _mm512_maskz_loadu_epi8(mask, p.cast());
-            _mm512_mask_storeu_epi8(p.cast(), mask, _mm512_gf2p8mul_epi8(v, vs));
+        // SAFETY: caller upholds the `available()` contract (GFNI + AVX-512 F/BW
+        // confirmed by cpuid), so every intrinsic here is supported. All loads and
+        // stores are the explicitly unaligned `loadu`/`storeu` forms (no alignment
+        // precondition), and the 64-lane pointer arithmetic stays in bounds: full
+        // vectors only while `i + 64 <= dst.len()`, and the tail uses a
+        // `(1 << rem) - 1` byte mask so masked lanes never touch memory.
+        unsafe {
+            let vs = _mm512_set1_epi8(scalar as i8);
+            let mut i = 0;
+            while i + 64 <= dst.len() {
+                let p = dst.as_mut_ptr().add(i);
+                let v = _mm512_loadu_epi8(p.cast());
+                _mm512_storeu_epi8(p.cast(), _mm512_gf2p8mul_epi8(v, vs));
+                i += 64;
+            }
+            let rem = dst.len() - i;
+            if rem > 0 {
+                let mask: __mmask64 = (1u64 << rem) - 1;
+                let p = dst.as_mut_ptr().add(i);
+                let v = _mm512_maskz_loadu_epi8(mask, p.cast());
+                _mm512_mask_storeu_epi8(p.cast(), mask, _mm512_gf2p8mul_epi8(v, vs));
+            }
         }
     }
 
@@ -347,27 +367,34 @@ mod gfni {
     /// The caller must have confirmed [`available`] on this CPU.
     #[target_feature(enable = "gfni,avx512f,avx512bw")]
     pub unsafe fn mul_acc_slice(dst: &mut [u8], src: &[u8], scalar: u8) {
-        debug_assert_eq!(dst.len(), src.len());
-        let vs = _mm512_set1_epi8(scalar as i8);
-        let mut i = 0;
-        while i + 64 <= dst.len() {
-            let d = dst.as_mut_ptr().add(i);
-            let s = src.as_ptr().add(i);
-            let prod = _mm512_gf2p8mul_epi8(_mm512_loadu_epi8(s.cast()), vs);
-            _mm512_storeu_epi8(
-                d.cast(),
-                _mm512_xor_si512(_mm512_loadu_epi8(d.cast()), prod),
-            );
-            i += 64;
-        }
-        let rem = dst.len() - i;
-        if rem > 0 {
-            let mask: __mmask64 = (1u64 << rem) - 1;
-            let d = dst.as_mut_ptr().add(i);
-            let s = src.as_ptr().add(i);
-            let prod = _mm512_gf2p8mul_epi8(_mm512_maskz_loadu_epi8(mask, s.cast()), vs);
-            let acc = _mm512_xor_si512(_mm512_maskz_loadu_epi8(mask, d.cast()), prod);
-            _mm512_mask_storeu_epi8(d.cast(), mask, acc);
+        // SAFETY: caller upholds the `available()` contract (GFNI + AVX-512 F/BW
+        // confirmed by cpuid) and the safe dispatcher checked `dst.len() == src.len()`.
+        // Unaligned `loadu`/`storeu` forms throughout; 64-lane full vectors only
+        // while `i + 64 <= dst.len()`, and the tail's `(1 << rem) - 1` mask keeps
+        // every masked lane from touching memory past either slice.
+        unsafe {
+            debug_assert_eq!(dst.len(), src.len());
+            let vs = _mm512_set1_epi8(scalar as i8);
+            let mut i = 0;
+            while i + 64 <= dst.len() {
+                let d = dst.as_mut_ptr().add(i);
+                let s = src.as_ptr().add(i);
+                let prod = _mm512_gf2p8mul_epi8(_mm512_loadu_epi8(s.cast()), vs);
+                _mm512_storeu_epi8(
+                    d.cast(),
+                    _mm512_xor_si512(_mm512_loadu_epi8(d.cast()), prod),
+                );
+                i += 64;
+            }
+            let rem = dst.len() - i;
+            if rem > 0 {
+                let mask: __mmask64 = (1u64 << rem) - 1;
+                let d = dst.as_mut_ptr().add(i);
+                let s = src.as_ptr().add(i);
+                let prod = _mm512_gf2p8mul_epi8(_mm512_maskz_loadu_epi8(mask, s.cast()), vs);
+                let acc = _mm512_xor_si512(_mm512_maskz_loadu_epi8(mask, d.cast()), prod);
+                _mm512_mask_storeu_epi8(d.cast(), mask, acc);
+            }
         }
     }
 
@@ -379,27 +406,34 @@ mod gfni {
     /// The caller must have confirmed [`available`] on this CPU.
     #[target_feature(enable = "gfni,avx512f,avx512bw")]
     pub unsafe fn horner_step_slice(acc: &mut [u8], row: &[u8], scalar: u8) {
-        debug_assert_eq!(acc.len(), row.len());
-        let vs = _mm512_set1_epi8(scalar as i8);
-        let mut i = 0;
-        while i + 64 <= acc.len() {
-            let a = acc.as_mut_ptr().add(i);
-            let r = row.as_ptr().add(i);
-            let prod = _mm512_gf2p8mul_epi8(_mm512_loadu_epi8(a.cast()), vs);
-            _mm512_storeu_epi8(
-                a.cast(),
-                _mm512_xor_si512(_mm512_loadu_epi8(r.cast()), prod),
-            );
-            i += 64;
-        }
-        let rem = acc.len() - i;
-        if rem > 0 {
-            let mask: __mmask64 = (1u64 << rem) - 1;
-            let a = acc.as_mut_ptr().add(i);
-            let r = row.as_ptr().add(i);
-            let prod = _mm512_gf2p8mul_epi8(_mm512_maskz_loadu_epi8(mask, a.cast()), vs);
-            let out = _mm512_xor_si512(_mm512_maskz_loadu_epi8(mask, r.cast()), prod);
-            _mm512_mask_storeu_epi8(a.cast(), mask, out);
+        // SAFETY: caller upholds the `available()` contract (GFNI + AVX-512 F/BW
+        // confirmed by cpuid) and the safe dispatcher checked `acc.len() == row.len()`.
+        // Unaligned `loadu`/`storeu` forms throughout; 64-lane full vectors only
+        // while `i + 64 <= acc.len()`, and the tail's `(1 << rem) - 1` mask keeps
+        // every masked lane from touching memory past either slice.
+        unsafe {
+            debug_assert_eq!(acc.len(), row.len());
+            let vs = _mm512_set1_epi8(scalar as i8);
+            let mut i = 0;
+            while i + 64 <= acc.len() {
+                let a = acc.as_mut_ptr().add(i);
+                let r = row.as_ptr().add(i);
+                let prod = _mm512_gf2p8mul_epi8(_mm512_loadu_epi8(a.cast()), vs);
+                _mm512_storeu_epi8(
+                    a.cast(),
+                    _mm512_xor_si512(_mm512_loadu_epi8(r.cast()), prod),
+                );
+                i += 64;
+            }
+            let rem = acc.len() - i;
+            if rem > 0 {
+                let mask: __mmask64 = (1u64 << rem) - 1;
+                let a = acc.as_mut_ptr().add(i);
+                let r = row.as_ptr().add(i);
+                let prod = _mm512_gf2p8mul_epi8(_mm512_maskz_loadu_epi8(mask, a.cast()), vs);
+                let out = _mm512_xor_si512(_mm512_maskz_loadu_epi8(mask, r.cast()), prod);
+                _mm512_mask_storeu_epi8(a.cast(), mask, out);
+            }
         }
     }
 }
@@ -433,6 +467,7 @@ pub fn mul(a: u8, b: u8) -> u8 {
 /// Panics if `a == 0`; zero has no inverse.
 #[inline]
 pub fn inv(a: u8) -> u8 {
+    // LINT-WAIVER(panic): documented # Panics contract: zero has no inverse in the field
     assert!(a != 0, "zero has no multiplicative inverse in GF(256)");
     let t = tables();
     t.exp[255 - t.log[a as usize] as usize]
@@ -445,6 +480,7 @@ pub fn inv(a: u8) -> u8 {
 /// Panics if `b == 0`.
 #[inline]
 pub fn div(a: u8, b: u8) -> u8 {
+    // LINT-WAIVER(panic): documented # Panics contract: division by zero is a caller bug
     assert!(b != 0, "division by zero in GF(256)");
     if a == 0 {
         return 0;

@@ -77,6 +77,7 @@ impl Hkdf {
     /// Panics if `out.len() > 255 * 32` (the RFC 5869 limit).
     pub fn expand_into(&self, info: &[u8], out: &mut [u8]) {
         let len = out.len();
+        // LINT-WAIVER(panic): documented # Panics contract: RFC 5869 caps expand output at 255 blocks
         assert!(
             len <= 255 * DIGEST_LEN,
             "HKDF-Expand output length {len} exceeds RFC 5869 limit"
@@ -85,6 +86,7 @@ impl Hkdf {
         let mut counter = 1u8;
         let mut filled = 0;
         while filled < len {
+            // LINT-WAIVER(alloc): HmacSha256 holds only fixed-size digest state, so clone is a stack copy
             let mut mac = self.mac.clone();
             if let Some(prev) = previous {
                 mac.update(&prev);

@@ -46,6 +46,10 @@
 // each pinned bit-identical to their portable safe implementation by a
 // property test.
 #![deny(unsafe_code)]
+// Inside those kernels, every unsafe operation must sit in an explicit
+// `unsafe {}` block with its own `// SAFETY:` justification — an
+// `unsafe fn` signature alone does not discharge the obligation.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod aead;

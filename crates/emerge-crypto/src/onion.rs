@@ -75,6 +75,7 @@ pub enum Peeled {
 ///
 /// Panics if `layers` is empty.
 pub fn build_onion(layers: &[(&SymmetricKey, &[u8])], core: &[u8]) -> Vec<u8> {
+    // LINT-WAIVER(panic): documented # Panics contract: an onion needs at least one layer
     assert!(
         !layers.is_empty(),
         "an onion needs at least one layer key; refusing to emit plaintext"
@@ -137,6 +138,7 @@ pub fn peel_core(key: &SymmetricKey, onion: &[u8]) -> Result<(Vec<u8>, Vec<u8>),
     let plain = aead::open(key, &nonce, onion, ONION_AAD)?;
     let mut r = Reader::new(&plain);
     let tag = r.get_u8()?;
+    // LINT-WAIVER(ct): the layer tag is a public wire discriminant, not secret data; its value is implied by the message shape
     if tag != TAG_CORE {
         return Err(CryptoError::Malformed(
             "expected core onion layer, found intermediate",
@@ -224,6 +226,7 @@ pub fn build_onion_into(
     onion: &mut Vec<u8>,
     scratch: &mut Vec<u8>,
 ) {
+    // LINT-WAIVER(panic): documented # Panics precondition on the onion layer arguments
     assert!(
         !layers.is_empty(),
         "an onion needs at least one layer key; refusing to emit plaintext"
@@ -271,6 +274,7 @@ pub fn build_onion_empty_into(
     onion: &mut Vec<u8>,
     scratch: &mut Vec<u8>,
 ) {
+    // LINT-WAIVER(panic): documented # Panics precondition on the onion layer arguments
     assert!(
         !keys.is_empty(),
         "an onion needs at least one layer key; refusing to emit plaintext"
@@ -302,6 +306,7 @@ pub fn build_onion_empty_into(
 /// Useful for capacity planning in the schemes and asserted against real
 /// onions in tests.
 pub fn onion_size(payload_sizes: &[usize], core_size: usize) -> usize {
+    // LINT-WAIVER(panic): documented # Panics contract: the size formula needs at least one layer
     assert!(!payload_sizes.is_empty());
     // Innermost: tag(1) + len(4) + payload + len(4) + core, plus AEAD tag.
     let last = payload_sizes[payload_sizes.len() - 1];

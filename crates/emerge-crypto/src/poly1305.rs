@@ -15,6 +15,20 @@ pub const KEY_LEN: usize = 32;
 /// Poly1305 tag length in bytes.
 pub const TAG_LEN: usize = 16;
 
+/// Little-endian u64 from an 8-byte subrange of a fixed-size block.
+#[inline(always)]
+fn le64(bytes: &[u8]) -> u64 {
+    // LINT-WAIVER(panic): every caller passes a constant 8-byte subrange of a fixed-size block
+    u64::from_le_bytes(bytes.try_into().expect("8-byte subrange"))
+}
+
+/// Fixed 16-byte view of a half of a 32-byte block pair.
+#[inline(always)]
+fn block16(bytes: &[u8]) -> &[u8; 16] {
+    // LINT-WAIVER(panic): every caller passes a constant 16-byte half of a split_at(32) pair
+    bytes.try_into().expect("16-byte block")
+}
+
 /// Low 44 bits.
 const MASK44: u64 = (1 << 44) - 1;
 /// Low 42 bits (the top limb of a 130-bit value).
@@ -45,16 +59,12 @@ impl Poly1305 {
     pub fn new(key: &[u8; KEY_LEN]) -> Self {
         // Clamp r per RFC 8439 (mask 0x0ffffffc0ffffffc0ffffffc0fffffff,
         // applied here to the two little-endian 64-bit words).
-        let t0 = u64::from_le_bytes(key[0..8].try_into().expect("8 bytes")) & 0x0FFF_FFFC_0FFF_FFFF;
-        let t1 =
-            u64::from_le_bytes(key[8..16].try_into().expect("8 bytes")) & 0x0FFF_FFFC_0FFF_FFFC;
+        let t0 = le64(&key[0..8]) & 0x0FFF_FFFC_0FFF_FFFF;
+        let t1 = le64(&key[8..16]) & 0x0FFF_FFFC_0FFF_FFFC;
 
         let r = [t0 & MASK44, ((t0 >> 44) | (t1 << 20)) & MASK44, t1 >> 24];
 
-        let s = [
-            u64::from_le_bytes(key[16..24].try_into().expect("8 bytes")),
-            u64::from_le_bytes(key[24..32].try_into().expect("8 bytes")),
-        ];
+        let s = [le64(&key[16..24]), le64(&key[24..32])];
 
         Poly1305 {
             r,
@@ -82,10 +92,7 @@ impl Poly1305 {
         }
         while data.len() >= 32 {
             let (pair, rest) = data.split_at(32);
-            self.process_block_pair(
-                pair[..16].try_into().expect("16 bytes"),
-                pair[16..].try_into().expect("16 bytes"),
-            );
+            self.process_block_pair(block16(&pair[..16]), block16(&pair[16..]));
             data = rest;
         }
         while data.len() >= 16 {
@@ -164,8 +171,8 @@ impl Poly1305 {
     }
 
     fn process_block(&mut self, block: &[u8; 16], hibit: u64) {
-        let t0 = u64::from_le_bytes(block[0..8].try_into().expect("8 bytes"));
-        let t1 = u64::from_le_bytes(block[8..16].try_into().expect("8 bytes"));
+        let t0 = le64(&block[0..8]);
+        let t1 = le64(&block[8..16]);
 
         // h += message block (with the high bit per RFC 8439 at 2^128 =
         // 2^88 · 2^40).
@@ -207,10 +214,10 @@ impl Poly1305 {
     /// products carry no data dependencies between them, so they
     /// pipeline where the one-block path serialises on the reduction.
     fn process_block_pair(&mut self, b0: &[u8; 16], b1: &[u8; 16]) {
-        let t0 = u64::from_le_bytes(b0[0..8].try_into().expect("8 bytes"));
-        let t1 = u64::from_le_bytes(b0[8..16].try_into().expect("8 bytes"));
-        let u0 = u64::from_le_bytes(b1[0..8].try_into().expect("8 bytes"));
-        let u1 = u64::from_le_bytes(b1[8..16].try_into().expect("8 bytes"));
+        let t0 = le64(&b0[0..8]);
+        let t1 = le64(&b0[8..16]);
+        let u0 = le64(&b1[0..8]);
+        let u1 = le64(&b1[8..16]);
 
         // a = h + m0, b = m1, both with the 2^128 high bit set.
         let a0 = self.h[0] + (t0 & MASK44);

@@ -237,54 +237,62 @@ mod shani {
     /// The caller must have confirmed [`available`] on this CPU.
     #[target_feature(enable = "sha,ssse3,sse4.1")]
     pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
-        // Big-endian word loads: lane `i` becomes be32(block[4i..4i+4]).
-        let be_mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
+        // SAFETY: caller upholds the `available()` contract (SHA-NI + SSSE3 +
+        // SSE4.1 confirmed by cpuid), so every intrinsic here is supported. Memory
+        // access is unaligned `loadu`/`storeu` over `state` (8 u32s = two 128-bit
+        // vectors) and 16-byte word loads within the 64-byte `block` array — all
+        // bounds are fixed by the array types.
+        unsafe {
+            // Big-endian word loads: lane `i` becomes be32(block[4i..4i+4]).
+            let be_mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
 
-        // Repack {a..d}{e..h} into the ABEF/CDGH lane order the
-        // instructions operate on.
-        let tmp = _mm_loadu_si128(state.as_ptr().cast()); // a b c d
-        let st1 = _mm_loadu_si128(state.as_ptr().add(4).cast()); // e f g h
-        let tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
-        let st1 = _mm_shuffle_epi32(st1, 0x1B); // EFGH
-        let mut state0 = _mm_alignr_epi8(tmp, st1, 8); // ABEF
-        let mut state1 = _mm_blend_epi16(st1, tmp, 0xF0); // CDGH
+            // Repack {a..d}{e..h} into the ABEF/CDGH lane order the
+            // instructions operate on.
+            let tmp = _mm_loadu_si128(state.as_ptr().cast()); // a b c d
+            let st1 = _mm_loadu_si128(state.as_ptr().add(4).cast()); // e f g h
+            let tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
+            let st1 = _mm_shuffle_epi32(st1, 0x1B); // EFGH
+            let mut state0 = _mm_alignr_epi8(tmp, st1, 8); // ABEF
+            let mut state1 = _mm_blend_epi16(st1, tmp, 0xF0); // CDGH
 
-        let abef_save = state0;
-        let cdgh_save = state1;
+            let abef_save = state0;
+            let cdgh_save = state1;
 
-        // Sixteen groups of four rounds. Groups 0-3 load message words;
-        // groups 1-12 run msg1 and groups 3-14 run the alignr + msg2 step
-        // of the on-the-fly message schedule (Intel's reference ordering).
-        let mut w = [_mm_setzero_si128(); 4];
-        for g in 0..16 {
-            if g < 4 {
-                let raw = _mm_loadu_si128(block.as_ptr().add(16 * g).cast());
-                w[g] = _mm_shuffle_epi8(raw, be_mask);
+            // Sixteen groups of four rounds. Groups 0-3 load message words;
+            // groups 1-12 run msg1 and groups 3-14 run the alignr + msg2 step
+            // of the on-the-fly message schedule (Intel's reference ordering).
+            let mut w = [_mm_setzero_si128(); 4];
+            for g in 0..16 {
+                if g < 4 {
+                    let raw = _mm_loadu_si128(block.as_ptr().add(16 * g).cast());
+                    w[g] = _mm_shuffle_epi8(raw, be_mask);
+                }
+                let mut msg =
+                    _mm_add_epi32(w[g % 4], _mm_loadu_si128(K.as_ptr().add(4 * g).cast()));
+                state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+                if (3..=14).contains(&g) {
+                    let tmp = _mm_alignr_epi8(w[g % 4], w[(g + 3) % 4], 4);
+                    w[(g + 1) % 4] = _mm_add_epi32(w[(g + 1) % 4], tmp);
+                    w[(g + 1) % 4] = _mm_sha256msg2_epu32(w[(g + 1) % 4], w[g % 4]);
+                }
+                msg = _mm_shuffle_epi32(msg, 0x0E);
+                state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+                if (1..=12).contains(&g) {
+                    w[(g + 3) % 4] = _mm_sha256msg1_epu32(w[(g + 3) % 4], w[g % 4]);
+                }
             }
-            let mut msg = _mm_add_epi32(w[g % 4], _mm_loadu_si128(K.as_ptr().add(4 * g).cast()));
-            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
-            if (3..=14).contains(&g) {
-                let tmp = _mm_alignr_epi8(w[g % 4], w[(g + 3) % 4], 4);
-                w[(g + 1) % 4] = _mm_add_epi32(w[(g + 1) % 4], tmp);
-                w[(g + 1) % 4] = _mm_sha256msg2_epu32(w[(g + 1) % 4], w[g % 4]);
-            }
-            msg = _mm_shuffle_epi32(msg, 0x0E);
-            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
-            if (1..=12).contains(&g) {
-                w[(g + 3) % 4] = _mm_sha256msg1_epu32(w[(g + 3) % 4], w[g % 4]);
-            }
+
+            state0 = _mm_add_epi32(state0, abef_save);
+            state1 = _mm_add_epi32(state1, cdgh_save);
+
+            // Permute ABEF/CDGH back to {a..d}{e..h}.
+            let tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+            let state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+            let out0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+            let out1 = _mm_alignr_epi8(state1, tmp, 8); // HGFE
+            _mm_storeu_si128(state.as_mut_ptr().cast(), out0);
+            _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), out1);
         }
-
-        state0 = _mm_add_epi32(state0, abef_save);
-        state1 = _mm_add_epi32(state1, cdgh_save);
-
-        // Permute ABEF/CDGH back to {a..d}{e..h}.
-        let tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
-        let state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
-        let out0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
-        let out1 = _mm_alignr_epi8(state1, tmp, 8); // HGFE
-        _mm_storeu_si128(state.as_mut_ptr().cast(), out0);
-        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), out1);
     }
 }
 
@@ -391,7 +399,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0x5A25_6E15);
         for _ in 0..500 {
             let mut state = [0u32; 8];
-            for word in state.iter_mut() {
+            for word in &mut state {
                 *word = rng.next_u32();
             }
             let mut block = [0u8; BLOCK_LEN];

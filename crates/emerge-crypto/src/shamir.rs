@@ -326,6 +326,7 @@ impl ShareSlab {
     ///
     /// Panics if `secret_idx` or `x` is out of range for the last split.
     pub fn share(&self, secret_idx: usize, x: u8) -> &[u8] {
+        // LINT-WAIVER(panic): documented # Panics contract: share coordinates must be in range for the split
         assert!(secret_idx < self.count && x >= 1 && x as usize <= self.n);
         let base = (x as usize - 1) * self.count * self.len + secret_idx * self.len;
         &self.data[base..base + self.len]
@@ -550,7 +551,7 @@ mod reference {
                     tail[m - 2] = b[0];
                 }
             }
-            for share in shares.iter_mut() {
+            for share in &mut shares {
                 share.data.push(gf256::poly_eval(&coeffs, share.index));
             }
         }

@@ -57,8 +57,15 @@ impl Writer {
     }
 
     /// Appends bytes with a u32 length prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the u32 frame limit (4 GiB): a frame
+    /// that cannot be length-prefixed must fail loudly, never truncate.
     pub fn put_bytes(&mut self, bytes: &[u8]) -> &mut Self {
-        self.put_u32(bytes.len() as u32);
+        // LINT-WAIVER(panic): an unencodable >4 GiB frame must abort; silent truncation would corrupt the wire format
+        let len = u32::try_from(bytes.len()).expect("frame exceeds the u32 wire limit");
+        self.put_u32(len);
         self.buf.extend_from_slice(bytes);
         self
     }
@@ -66,8 +73,15 @@ impl Writer {
     /// Appends a length-prefixed table of byte strings: a u16 entry count
     /// followed by each entry as u32-length-prefixed bytes. This is the
     /// framing of the share scheme's flat segment table (format v2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than `u16::MAX` entries — beyond the
+    /// format's table limit, failing loud beats silent truncation.
     pub fn put_table(&mut self, entries: &[Vec<u8>]) -> &mut Self {
-        self.put_u16(entries.len() as u16);
+        // LINT-WAIVER(panic): an unencodable >65535-entry table must abort; silent truncation would corrupt the wire format
+        let count = u16::try_from(entries.len()).expect("table exceeds the u16 entry limit");
+        self.put_u16(count);
         for entry in entries {
             self.put_bytes(entry);
         }

@@ -129,6 +129,7 @@ impl AnalyticSubstrate {
     ///
     /// Panics if `t` is earlier than the current time.
     pub fn advance_to(&mut self, t: SimTime) {
+        // LINT-WAIVER(panic): documented # Panics contract: the substrate clock is monotone
         assert!(t >= self.now, "substrate clock cannot go backwards");
         self.now = t;
     }
@@ -201,6 +202,7 @@ impl AnalyticSubstrate {
     ///
     /// Panics if `count > n_nodes`.
     pub fn sample_distinct_slots<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<usize> {
+        // LINT-WAIVER(panic): documented # Panics contract: cannot sample more slots than nodes
         assert!(
             count <= self.n_nodes(),
             "cannot sample more slots than exist"

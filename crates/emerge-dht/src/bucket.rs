@@ -50,6 +50,7 @@ impl KBucket {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        // LINT-WAIVER(panic): documented # Panics contract: a zero-capacity bucket is a caller bug
         assert!(capacity > 0, "bucket capacity must be positive");
         KBucket {
             capacity,

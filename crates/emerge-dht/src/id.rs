@@ -86,6 +86,7 @@ impl NodeId {
     /// Flips bit `bit` (0 = most significant) returning a new ID. Used to
     /// construct bucket range endpoints.
     pub fn with_flipped_bit(&self, bit: usize) -> NodeId {
+        // LINT-WAIVER(panic): documented contract: the bit index is bounded by ID_BITS
         assert!(bit < ID_BITS);
         let mut bytes = self.0;
         bytes[bit / 8] ^= 0x80 >> (bit % 8);
@@ -94,6 +95,7 @@ impl NodeId {
 
     /// Returns the value of bit `bit` (0 = most significant).
     pub fn bit(&self, bit: usize) -> bool {
+        // LINT-WAIVER(panic): documented contract: the bit index is bounded by ID_BITS
         assert!(bit < ID_BITS);
         self.0[bit / 8] & (0x80 >> (bit % 8)) != 0
     }

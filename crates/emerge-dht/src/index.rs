@@ -181,6 +181,7 @@ impl SortedIdIndex {
 }
 
 fn prefix64(id: &NodeId) -> u64 {
+    // LINT-WAIVER(panic): a NodeId is 32 bytes, so the 8-byte prefix slice always converts
     u64::from_be_bytes(id.as_bytes()[..8].try_into().expect("8-byte prefix"))
 }
 

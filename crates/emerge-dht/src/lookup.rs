@@ -47,7 +47,9 @@ pub fn iterative_find_node(
     alpha: usize,
     query: &mut impl NodeQuery,
 ) -> LookupOutcome {
+    // LINT-WAIVER(panic): documented precondition on the Kademlia lookup parameters
     assert!(k > 0, "lookup needs k >= 1");
+    // LINT-WAIVER(panic): documented precondition on the Kademlia lookup parameters
     assert!(alpha > 0, "lookup needs alpha >= 1");
 
     let mut shortlist: Vec<NodeId> = seeds.to_vec();

@@ -48,10 +48,12 @@ impl Network {
     /// Panics if `latency_min > latency_max` or the drop probability is
     /// outside `[0, 1]`.
     pub fn new(config: NetworkConfig, rng: StdRng) -> Self {
+        // LINT-WAIVER(panic): documented # Panics contract on the latency configuration
         assert!(
             config.latency_min <= config.latency_max,
             "latency_min must not exceed latency_max"
         );
+        // LINT-WAIVER(panic): documented # Panics contract on the latency configuration
         assert!(
             (0.0..=1.0).contains(&config.drop_probability),
             "drop probability must be in [0, 1]"

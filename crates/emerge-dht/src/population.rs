@@ -99,7 +99,9 @@ impl Genesis {
     ///
     /// Panics if `n_nodes == 0` or `malicious_fraction ∉ [0, 1]`.
     pub fn sample(config: &PopulationConfig, seed: &SeedSource) -> Self {
+        // LINT-WAIVER(panic): documented # Panics contract on the population configuration
         assert!(config.n_nodes > 0, "population needs at least one node");
+        // LINT-WAIVER(panic): documented # Panics contract on the population configuration
         assert!(
             (0.0..=1.0).contains(&config.malicious_fraction),
             "malicious fraction must be in [0, 1]"
@@ -263,6 +265,7 @@ pub fn tenant_at(generations: &[NodeInfo], t: SimTime) -> &NodeInfo {
     }
     match generations.last() {
         Some(last) if last.death == SimTime::MAX && last.spawn <= t => last,
+        // LINT-WAIVER(panic): documented contract: callers only query slots occupied at t
         _ => panic!("no generation occupies the slot at t = {t:?}"),
     }
 }
@@ -275,6 +278,7 @@ pub fn tenant_at(generations: &[NodeInfo], t: SimTime) -> &NodeInfo {
 ///
 /// Panics if `from > to`.
 pub fn exposures_during(generations: &[NodeInfo], from: SimTime, to: SimTime) -> usize {
+    // LINT-WAIVER(panic): documented # Panics contract: the window must be ordered
     assert!(from <= to);
     generations
         .iter()

@@ -68,8 +68,7 @@ impl RoutingTable {
     pub fn contains(&self, id: &NodeId) -> bool {
         self.owner
             .bucket_index(id)
-            .map(|idx| self.buckets[idx].get(id).is_some())
-            .unwrap_or(false)
+            .is_some_and(|idx| self.buckets[idx].get(id).is_some())
     }
 
     /// Returns up to `count` known contacts closest to `target`, sorted by

@@ -1,0 +1,394 @@
+//! Structure recovery over the flat token stream: which token ranges are
+//! test-gated, where function bodies begin and end, and which
+//! `LINT-WAIVER` comments are in force.
+
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+
+/// Rule identifiers accepted in `LINT-WAIVER(<rule>)` comments.
+/// `unsafe` findings are deliberately absent: the fix for a missing
+/// `SAFETY:` justification is to write the justification, not to waive it.
+pub const WAIVABLE_RULES: &[&str] = &["panic", "ct", "alloc", "wire"];
+
+/// Minimum length of a waiver reason. Short "reasons" like `ok` defeat
+/// the point of a machine-checked audit trail.
+pub const MIN_WAIVER_REASON: usize = 10;
+
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    pub name: String,
+    pub name_line: u32,
+    /// Token index range `[body_start, body_end]` of the `{` ... `}`
+    /// delimiters, inclusive. `None` for bodyless declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Per-file structural facts shared by every rule.
+pub struct FileModel<'a> {
+    pub tokens: &'a [Token],
+    pub comments: &'a [Comment],
+    /// Sorted, disjoint token-index ranges (inclusive) gated behind a
+    /// `test` cfg or `#[test]`-style attribute.
+    pub test_ranges: Vec<(usize, usize)>,
+    pub fns: Vec<FnInfo>,
+    pub waivers: Vec<Waiver>,
+    /// Lines (1-based) that contain at least one token — used to decide
+    /// whether a waiver comment is "directly above" a finding.
+    pub code_lines: Vec<bool>,
+}
+
+impl<'a> FileModel<'a> {
+    pub fn build(lexed: &'a Lexed) -> FileModel<'a> {
+        let tokens = &lexed.tokens[..];
+        let mut model = FileModel {
+            tokens,
+            comments: &lexed.comments,
+            test_ranges: mark_test_ranges(tokens),
+            fns: extract_fns(tokens),
+            waivers: parse_waivers(&lexed.comments),
+            code_lines: Vec::new(),
+        };
+        let max_line = tokens.last().map_or(0, |t| t.line) as usize;
+        model.code_lines = vec![false; max_line + 2];
+        for t in tokens {
+            model.code_lines[t.line as usize] = true;
+        }
+        model
+    }
+
+    pub fn is_test(&self, token_idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| token_idx >= a && token_idx <= b)
+    }
+
+    /// True when some comment within `lines_above` lines at or above
+    /// `line` contains `needle` (used for the `SAFETY:` audit).
+    pub fn comment_near_above(&self, line: u32, lines_above: u32, needles: &[&str]) -> bool {
+        let lo = line.saturating_sub(lines_above);
+        self.comments.iter().any(|c| {
+            c.line_end >= lo && c.line_end <= line && needles.iter().any(|n| c.text.contains(n))
+        })
+    }
+
+    /// Find a waiver for `rule` covering a finding on `line`: either a
+    /// trailing comment on the same line, or a comment line directly
+    /// above (with only further comment lines in between, up to 3 lines
+    /// so a wrapped reason still counts).
+    pub fn waiver_for(&self, rule: &str, line: u32) -> Option<usize> {
+        for (i, w) in self.waivers.iter().enumerate() {
+            if w.rule != rule {
+                continue;
+            }
+            if w.line == line {
+                return Some(i);
+            }
+            if w.line < line && line - w.line <= 3 {
+                let gap_is_comments = (w.line + 1..line)
+                    .all(|l| !self.code_lines.get(l as usize).copied().unwrap_or(false));
+                if gap_is_comments {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Parse `// LINT-WAIVER(rule): reason` comments. Malformed variants are
+/// still returned (with whatever rule/reason text was present) so the
+/// waiver-audit rule can reject them loudly instead of silently ignoring
+/// a typo like `LINT-WAIVER(panics)`.
+fn parse_waivers(comments: &[Comment]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Waivers live in plain `//` comments only. Rustdoc (`///`,
+        // `//!`, `/**`, `/*!`) is documentation *about* the waiver
+        // syntax, not a waiver — the lint's own docs must not waive.
+        let doc = c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!");
+        if doc {
+            continue;
+        }
+        let mut rest = c.text.as_str();
+        while let Some(at) = rest.find("LINT-WAIVER(") {
+            rest = &rest[at + "LINT-WAIVER(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rule = rest[..close].trim().to_string();
+            let after = &rest[close + 1..];
+            let reason = after.strip_prefix(':').map_or("", |r| r.trim()).to_string();
+            out.push(Waiver {
+                line: c.line_start,
+                rule,
+                reason,
+            });
+            rest = after;
+        }
+    }
+    out
+}
+
+/// True when an attribute token sequence (the tokens between `[` and `]`)
+/// gates its item to test builds: `#[test]`, `#[cfg(test)]`,
+/// `#[cfg(any(test, ...))]`, or a path attribute ending in `::test`.
+/// `cfg(not(test))` and `cfg_attr(test, ...)` do NOT gate compilation to
+/// tests and are excluded.
+fn attr_is_test_gated(attr: &[Token]) -> bool {
+    let first_ident = attr.iter().find(|t| t.kind == TokKind::Ident);
+    let Some(first) = first_ident else {
+        return false;
+    };
+    match first.text.as_str() {
+        "test" => true,
+        "cfg" => {
+            // Look for a `test` ident not nested inside `not(...)`.
+            let mut group_stack: Vec<String> = Vec::new();
+            let mut prev_ident: Option<&str> = None;
+            for t in attr {
+                match (t.kind, t.text.as_str()) {
+                    (TokKind::Punct, "(") => {
+                        group_stack.push(prev_ident.unwrap_or("").to_string());
+                        prev_ident = None;
+                    }
+                    (TokKind::Punct, ")") => {
+                        group_stack.pop();
+                        prev_ident = None;
+                    }
+                    (TokKind::Ident, "test") => {
+                        if !group_stack.iter().any(|g| g == "not") {
+                            return true;
+                        }
+                        prev_ident = Some("test");
+                    }
+                    (TokKind::Ident, name) => prev_ident = Some(name),
+                    _ => prev_ident = None,
+                }
+            }
+            false
+        }
+        // e.g. `#[tokio::test]`, `#[proptest]`-style custom test attrs.
+        _ => attr
+            .iter()
+            .rfind(|t| t.kind == TokKind::Ident)
+            .is_some_and(|t| t.text == "test" || t.text.ends_with("test")),
+    }
+}
+
+/// Scan for `#[...]` / `#![...]` attributes; when one is test-gating,
+/// mark the token range of the item it applies to (or the whole file for
+/// an inner attribute).
+fn mark_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind != TokKind::Punct || tokens[i].text != "#" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = j < tokens.len() && tokens[j].text == "!";
+        if inner {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].text != "[" {
+            i += 1;
+            continue;
+        }
+        // Collect the balanced attribute body.
+        let attr_open = j;
+        let mut depth = 0usize;
+        let mut k = attr_open;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let attr_body = &tokens[attr_open + 1..k.min(tokens.len())];
+        if attr_is_test_gated(attr_body) {
+            if inner {
+                // `#![cfg(test)]`: the entire file is test-gated.
+                ranges.push((0, tokens.len().saturating_sub(1)));
+                break;
+            }
+            if let Some(end) = item_end(tokens, k + 1) {
+                ranges.push((i, end));
+                i = end + 1;
+                continue;
+            }
+        }
+        i = k + 1;
+    }
+    ranges
+}
+
+/// Given the token index just after an attribute, find the inclusive end
+/// of the item the attribute decorates: the matching `}` of the first
+/// top-level brace, or the first top-level `;` for bodyless items.
+/// Further attributes on the same item are skipped over.
+fn item_end(tokens: &[Token], mut start: usize) -> Option<usize> {
+    // Skip stacked attributes.
+    while start + 1 < tokens.len() && tokens[start].text == "#" && tokens[start + 1].text == "[" {
+        let mut depth = 0usize;
+        let mut k = start + 1;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        start = k + 1;
+    }
+    let mut depth = 0i64;
+    let mut saw_brace = false;
+    for (off, t) in tokens[start..].iter().enumerate() {
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") | (TokKind::Punct, "(") | (TokKind::Punct, "[") => {
+                if t.text == "{" {
+                    saw_brace = true;
+                }
+                depth += 1;
+            }
+            (TokKind::Punct, "}") | (TokKind::Punct, ")") | (TokKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 && t.text == "}" && saw_brace {
+                    return Some(start + off);
+                }
+            }
+            (TokKind::Punct, ";") if depth == 0 => return Some(start + off),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extract every `fn` item (including nested ones) with its body token
+/// range. The signature scanner walks generics (`<...>`, including
+/// parenthesized `Fn(...)` bounds), the parameter list, return type and
+/// `where` clause without being confused by `->` (a compound token).
+fn extract_fns(tokens: &[Token]) -> Vec<FnInfo> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokKind::Ident && tokens[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        // `fn` in a fn-pointer type has no following identifier.
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let name_line = name_tok.line;
+        let mut j = i + 2;
+
+        // Generics: count `<`/`>` individually (no `<<`/`>>` compounds),
+        // skipping balanced ()/[] groups such as `F: Fn(T) -> U` bounds.
+        if tokens.get(j).is_some_and(|t| t.text == "<") {
+            let mut angle = 0i64;
+            let mut group = 0i64;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "<" if group == 0 => angle += 1,
+                    ">" if group == 0 => {
+                        angle -= 1;
+                        if angle == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    "(" | "[" => group += 1,
+                    ")" | "]" => group -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+
+        // Parameter list.
+        if tokens.get(j).is_none_or(|t| t.text != "(") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+
+        // Return type / where clause until the body `{` or a `;`.
+        let mut body = None;
+        let mut depth = 0i64;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => break,
+                "{" if depth == 0 => {
+                    let open = j;
+                    let mut braces = 0i64;
+                    while j < tokens.len() {
+                        match tokens[j].text.as_str() {
+                            "{" => braces += 1,
+                            "}" => {
+                                braces -= 1;
+                                if braces == 0 {
+                                    body = Some((open, j));
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        fns.push(FnInfo {
+            name,
+            name_line,
+            body,
+        });
+        i += 2; // continue from after the name; nested fns are re-found
+    }
+    fns
+}

@@ -1,0 +1,105 @@
+//! Workspace walking and the lint driver.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::analyze::FileModel;
+use crate::lexer;
+use crate::rules::{self, Finding, RuleCtx};
+
+/// The scan covers non-test library and binary sources: `src/` of the
+/// root package and of every crate under `crates/`. Vendor shims,
+/// integration-test trees, examples and benches are out of scope — the
+/// rules target shipping code (unsafe-audit still applies to in-file
+/// `#[cfg(test)]` modules, which live under `src/`).
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk_rs(&root_src, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for krate in entries {
+            let src = krate.join("src");
+            if src.is_dir() {
+                walk_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    pub waivers_honored: usize,
+}
+
+/// Lint a single source text. `rel_path` is the `/`-separated
+/// workspace-relative path that rules use for crate and module scoping.
+pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
+    let krate = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    let lexed = lexer::lex(src);
+    let model = FileModel::build(&lexed);
+    let total_waivers = model.waivers.len();
+    let ctx = RuleCtx {
+        path: rel_path,
+        krate,
+    };
+    let findings = rules::run_all(&ctx, &model);
+    // Waivers that produced findings (malformed/unused) were not honored.
+    let rejected = findings.iter().filter(|f| f.rule == "waiver").count();
+    (findings, total_waivers.saturating_sub(rejected))
+}
+
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&path)?;
+        let (findings, honored) = lint_source(&rel, &src);
+        report.findings.extend(findings);
+        report.waivers_honored += honored;
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}

@@ -1,0 +1,387 @@
+//! A hand-rolled Rust token lexer.
+//!
+//! The workspace is air-gapped (no `syn`), so the lint rules run over a
+//! flat token stream instead of a real AST. The lexer only needs to be
+//! faithful about the things that would otherwise corrupt a token-level
+//! analysis: comments (line, doc, *nested* block), string/char/byte/raw
+//! string literals (so an `unwrap()` inside a string is not a finding),
+//! lifetimes vs char literals, and the handful of compound operators the
+//! rules and the signature scanner care about (`==` `!=` `->` `::` ...).
+//!
+//! Everything else — numbers, single-char punctuation — is passed through
+//! with just enough care not to mis-tokenize its neighbours.
+
+/// Token classification. `Literal` covers string/char/number literals;
+/// rules never look inside them, they only need to be skipped atomically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    Literal,
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// A comment, kept out of the token stream but retained for the
+/// `SAFETY:` audit and `LINT-WAIVER` machinery.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line_start: u32,
+    pub line_end: u32,
+    pub text: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Compound operators emitted as single tokens. Order matters: longest
+/// match first. `<<`/`>>` are deliberately *not* compound so the generic
+/// signature scanner can count every `>` individually.
+const COMPOUND: &[&str] = &["..=", "...", "==", "!=", "<=", ">=", "::", "->", "=>", ".."];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    // Shebang line, if any, reads as a comment.
+    if c.starts_with("#!") && !c.starts_with("#![") {
+        while let Some(b) = c.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            c.bump();
+        }
+    }
+
+    while let Some(b) = c.peek(0) {
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+
+        // Comments -------------------------------------------------------
+        if c.starts_with("//") {
+            let line = c.line;
+            let start = c.pos;
+            while let Some(b) = c.peek(0) {
+                if b == b'\n' {
+                    break;
+                }
+                c.bump();
+            }
+            out.comments.push(Comment {
+                line_start: line,
+                line_end: line,
+                text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+            });
+            continue;
+        }
+        if c.starts_with("/*") {
+            let line = c.line;
+            let start = c.pos;
+            c.bump();
+            c.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                if c.starts_with("/*") {
+                    depth += 1;
+                    c.bump();
+                    c.bump();
+                } else if c.starts_with("*/") {
+                    depth -= 1;
+                    c.bump();
+                    c.bump();
+                } else if c.bump().is_none() {
+                    break;
+                }
+            }
+            out.comments.push(Comment {
+                line_start: line,
+                line_end: c.line,
+                text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+            });
+            continue;
+        }
+
+        // String-ish literals --------------------------------------------
+        // Raw / byte prefixes: r" r#" br" br#" b" rb is not valid Rust.
+        if (b == b'r' || b == b'b') && lex_maybe_prefixed_string(&mut c, &mut out) {
+            continue;
+        }
+        if b == b'"' {
+            let line = c.line;
+            c.bump();
+            lex_string_body(&mut c);
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: "\"str\"".into(),
+                line,
+            });
+            continue;
+        }
+        if b == b'\'' {
+            let line = c.line;
+            // Lifetime: 'ident not closed by a quote right after one char.
+            let is_lifetime = c
+                .peek(1)
+                .is_some_and(|n| is_ident_start(n) && c.peek(2) != Some(b'\''));
+            if is_lifetime {
+                c.bump(); // '
+                let start = c.pos;
+                while let Some(n) = c.peek(0) {
+                    if !is_ident_continue(n) {
+                        break;
+                    }
+                    c.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                });
+            } else {
+                c.bump(); // opening '
+                if c.peek(0) == Some(b'\\') {
+                    c.bump();
+                    c.bump(); // escaped char (\u{..} handled by the loop below)
+                    while c.peek(0).is_some() && c.peek(0) != Some(b'\'') {
+                        c.bump();
+                    }
+                } else {
+                    // May be multi-byte UTF-8; consume until the close quote.
+                    while c.peek(0).is_some() && c.peek(0) != Some(b'\'') {
+                        c.bump();
+                    }
+                }
+                c.bump(); // closing '
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: "'c'".into(),
+                    line,
+                });
+            }
+            continue;
+        }
+
+        // Identifiers / keywords ------------------------------------------
+        if is_ident_start(b) {
+            let line = c.line;
+            let start = c.pos;
+            while let Some(n) = c.peek(0) {
+                if !is_ident_continue(n) {
+                    break;
+                }
+                c.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                line,
+            });
+            continue;
+        }
+
+        // Numbers ---------------------------------------------------------
+        if b.is_ascii_digit() {
+            let line = c.line;
+            lex_number(&mut c);
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: "0".into(),
+                line,
+            });
+            continue;
+        }
+
+        // Punctuation ------------------------------------------------------
+        let line = c.line;
+        let mut matched = false;
+        for op in COMPOUND {
+            if c.starts_with(op) {
+                for _ in 0..op.len() {
+                    c.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (*op).into(),
+                    line,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            c.bump();
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: (b as char).to_string(),
+                line,
+            });
+        }
+    }
+
+    out
+}
+
+/// Consume a `"..."` body (opening quote already consumed), honouring
+/// backslash escapes and counting embedded newlines.
+fn lex_string_body(c: &mut Cursor<'_>) {
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` starting at an `r`
+/// or `b`. Returns false (consuming nothing) when it's just an identifier
+/// that happens to start with those letters.
+fn lex_maybe_prefixed_string(c: &mut Cursor<'_>, out: &mut Lexed) -> bool {
+    let line = c.line;
+    let mut ahead = 1usize; // past the first r/b
+    let mut raw = c.peek(0) == Some(b'r');
+    if c.peek(0) == Some(b'b') && c.peek(1) == Some(b'r') {
+        raw = true;
+        ahead = 2;
+    }
+    if c.peek(0) == Some(b'b') && c.peek(1) == Some(b'\'') {
+        // Byte char literal b'x'.
+        c.bump(); // b
+        c.bump(); // '
+        if c.peek(0) == Some(b'\\') {
+            c.bump();
+        }
+        while c.peek(0).is_some() && c.peek(0) != Some(b'\'') {
+            c.bump();
+        }
+        c.bump();
+        out.tokens.push(Token {
+            kind: TokKind::Literal,
+            text: "b'c'".into(),
+            line,
+        });
+        return true;
+    }
+
+    let mut hashes = 0usize;
+    if raw {
+        while c.peek(ahead + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+    }
+    if c.peek(ahead + hashes) != Some(b'"') {
+        return false;
+    }
+    // Consume prefix, hashes and the opening quote.
+    for _ in 0..(ahead + hashes + 1) {
+        c.bump();
+    }
+    if raw {
+        // Scan for `"` followed by `hashes` hash marks; no escapes.
+        loop {
+            match c.bump() {
+                None => break,
+                Some(b'"') => {
+                    let mut n = 0;
+                    while n < hashes && c.peek(n) == Some(b'#') {
+                        n += 1;
+                    }
+                    if n == hashes {
+                        for _ in 0..hashes {
+                            c.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    } else {
+        lex_string_body(c);
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Literal,
+        text: "\"str\"".into(),
+        line,
+    });
+    true
+}
+
+/// Consume a numeric literal: integers with base prefixes and suffixes,
+/// floats with fraction and signed exponents. Precision only matters for
+/// not swallowing a `..` range after an integer.
+fn lex_number(c: &mut Cursor<'_>) {
+    let consume_digits = |c: &mut Cursor<'_>| {
+        while let Some(n) = c.peek(0) {
+            if is_ident_continue(n) {
+                let at_exp = (n == b'e' || n == b'E')
+                    && matches!(c.peek(1), Some(b'+') | Some(b'-'))
+                    && c.peek(2).is_some_and(|d| d.is_ascii_digit());
+                c.bump();
+                if at_exp {
+                    c.bump(); // the sign
+                }
+            } else {
+                break;
+            }
+        }
+    };
+    consume_digits(c);
+    // Fractional part only when the dot is followed by a digit (so `0..n`
+    // stays a range and `1.max(2)` stays a method call).
+    if c.peek(0) == Some(b'.') && c.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+        c.bump();
+        consume_digits(c);
+    }
+}

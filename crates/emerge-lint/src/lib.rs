@@ -1,0 +1,38 @@
+//! `emerge-lint` — workspace-native static analysis for the
+//! self-emerging-data workspace.
+//!
+//! The paper's guarantee is only as strong as the crypto floor backing
+//! it: a tag check that branches on secret bytes or an unaudited
+//! `unsafe` SIMD kernel leaks exactly what the protocol withholds. This
+//! crate enforces those invariants *structurally*, at CI time, with five
+//! rule families over a hand-rolled token lexer (the build is air-gapped,
+//! so no `syn`):
+//!
+//! | rule     | scope                    | requirement |
+//! |----------|--------------------------|-------------|
+//! | `unsafe` | everywhere (incl. tests) | every `unsafe` carries `// SAFETY:` (or `# Safety` rustdoc); not waivable |
+//! | `panic`  | non-test code            | no `unwrap`/`expect`/`panic!`/`assert!` family (`debug_assert*` allowed) |
+//! | `ct`     | `emerge-crypto`          | no `==`/`!=` on secret-named operands outside `verify_tag`/`ct_eq`; no value-derived lookup-table indexing |
+//! | `alloc`  | `*_into`/`*_pooled`/hot-list fns | no allocating constructors on the pooled pipeline |
+//! | `wire`   | `wire`/`package` modules | no truncating `as` casts; use `try_from` |
+//!
+//! Findings are suppressed site-by-site with a machine-checked comment:
+//!
+//! ```text
+//! // LINT-WAIVER(panic): slot index bounded by the loop over self.slots
+//! let slot = self.slots.last().unwrap();
+//! ```
+//!
+//! The waiver rule name must be one of `panic`/`ct`/`alloc`/`wire`, the
+//! reason must be substantive (>= 10 chars), and a waiver that no longer
+//! suppresses anything is itself a finding — stale waivers cannot rot in
+//! place. Run with `cargo run -p emerge-lint -- --check`.
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{lint_source, lint_workspace, Report};
+pub use rules::Finding;

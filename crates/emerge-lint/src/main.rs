@@ -1,0 +1,87 @@
+//! CLI entry point: `cargo run -p emerge-lint -- --check`.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: emerge-lint [--check] [--root <workspace-root>]\n\
+         \n\
+         Walks crates/*/src and src/ enforcing the five rule families\n\
+         (unsafe-audit, panic-freedom, constant-time, hot-path alloc,\n\
+         wire hygiene). Exit 0 when clean, 1 on findings, 2 on error."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {} // the default (and only) mode
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    // Default root: the workspace the binary was built from, so
+    // `cargo run -p emerge-lint -- --check` needs no arguments.
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let report = match emerge_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("emerge-lint: error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if report.files_scanned == 0 {
+        eprintln!(
+            "emerge-lint: no .rs sources under {} — wrong --root? (a scan of nothing is not a pass)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if report.findings.is_empty() {
+        println!(
+            "emerge-lint: clean — {} files scanned, {} waivers honored",
+            report.files_scanned, report.waivers_honored
+        );
+        ExitCode::SUCCESS
+    } else {
+        let mut by_rule: Vec<(&str, usize)> = Vec::new();
+        for f in &report.findings {
+            match by_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+                Some((_, n)) => *n += 1,
+                None => by_rule.push((f.rule, 1)),
+            }
+        }
+        let summary = by_rule
+            .iter()
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "emerge-lint: {} findings ({summary}) across {} files",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: allocations inside pooled hot-path functions.
+
+/// `*_into` naming convention puts this on the pooled pipeline.
+pub fn digest_into(out: &mut Vec<u8>, data: &[u8]) {
+    let copy = data.to_vec();
+    out.extend_from_slice(&copy);
+}
+
+/// `rebuild` is on the hot-path list by name.
+pub fn rebuild(n: usize) -> Vec<u8> {
+    let mut scratch = Vec::with_capacity(n);
+    scratch.resize(n, 0);
+    scratch
+}

@@ -1,0 +1,12 @@
+//! Fixture: hot-path fn reusing caller buffers; allocation elsewhere is fine.
+
+/// On the pooled pipeline: writes into the caller's buffer.
+pub fn digest_into(out: &mut Vec<u8>, data: &[u8]) {
+    out.clear();
+    out.extend_from_slice(data);
+}
+
+/// Not a hot-path name: allocating here is allowed.
+pub fn assemble(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}

@@ -1,0 +1,14 @@
+//! Fixture: timing leaks the constant-time rule must flag.
+
+/// Early-exit slice compare on secret-named operands: the mismatch
+/// position leaks through timing.
+pub fn tags_match(tag: &[u8], expected: &[u8]) -> bool {
+    tag == expected
+}
+
+/// A value-derived lookup-table load leaks the operand through the cache.
+const SBOX: [u8; 256] = [0; 256];
+
+pub fn substitute(b: u8) -> u8 {
+    SBOX[b as usize]
+}

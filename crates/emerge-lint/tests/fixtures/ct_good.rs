@@ -1,0 +1,15 @@
+//! Fixture: the designated constant-time comparison shape.
+
+/// Accumulator equality: the loop touches every byte regardless of where
+/// the first difference sits, and the final compare is over the all-public
+/// difference accumulator, not secret bytes.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}

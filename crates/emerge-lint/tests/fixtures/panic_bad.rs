@@ -1,0 +1,13 @@
+//! Fixture: naked panics in non-test library code.
+
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+pub fn checked(flag: bool) {
+    assert!(flag, "flag must be set");
+}
+
+pub fn never() -> u8 {
+    unreachable!("but the lint cannot know that")
+}

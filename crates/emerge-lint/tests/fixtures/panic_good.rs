@@ -1,0 +1,21 @@
+//! Fixture: panic sites confined to tests or carrying waivers.
+
+/// Fallible accessor instead of an unwrap.
+pub fn first(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+/// Invariant-backed unwrap, waived with a reason.
+pub fn half(x: u64) -> u64 {
+    // LINT-WAIVER(panic): the divisor is the constant two, never zero
+    x.checked_div(2).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        assert_eq!(super::first(&[3]).unwrap(), 3);
+        assert_eq!(super::half(8), 4);
+    }
+}

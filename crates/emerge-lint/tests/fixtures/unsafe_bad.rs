@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` block with no SAFETY comment.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,10 @@
+//! Fixture: `unsafe` with a SAFETY justification directly above.
+
+/// First byte of a non-empty slice.
+pub fn peek(v: &[u8]) -> u8 {
+    // LINT-WAIVER(panic): documented precondition; peeking an empty slice is a caller bug
+    assert!(!v.is_empty(), "peek needs at least one byte");
+    // SAFETY: the assert above guarantees the slice is non-empty, so the
+    // pointer read stays in bounds.
+    unsafe { *v.as_ptr() }
+}

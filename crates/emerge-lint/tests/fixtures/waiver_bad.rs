@@ -1,0 +1,10 @@
+//! Fixture: malformed and stale waivers are findings themselves.
+
+// LINT-WAIVER(panic): too short
+pub fn short_reason() {}
+
+// LINT-WAIVER(frobnicate): this rule name does not exist anywhere
+pub fn unknown_rule() {}
+
+// LINT-WAIVER(alloc): perfectly well formed but suppresses nothing below
+pub fn stale() {}

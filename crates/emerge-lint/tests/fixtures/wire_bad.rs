@@ -1,0 +1,5 @@
+//! Fixture: a silently truncating cast on a wire length.
+
+pub fn frame_len(payload: &[u8]) -> u16 {
+    payload.len() as u16
+}

@@ -1,0 +1,9 @@
+//! Fixture: checked conversions and literal casts in a wire module.
+
+/// Checked length conversion surfaces the error.
+pub fn frame_len(payload: &[u8]) -> Option<u16> {
+    u16::try_from(payload.len()).ok()
+}
+
+/// Casting a literal cannot truncate at runtime.
+pub const VERSION: u8 = 2u16 as u8;

@@ -1,0 +1,7 @@
+//! A trivially clean fixture workspace: `emerge-lint --root` over this
+//! tree must exit 0.
+
+/// Adds without panicking, allocating, casting or unsafe.
+pub fn add(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}

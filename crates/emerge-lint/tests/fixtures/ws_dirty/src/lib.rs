@@ -1,0 +1,7 @@
+//! A dirty fixture workspace: `emerge-lint --root` over this tree must
+//! exit 1 with a panic-freedom finding.
+
+/// Panics on empty input with no waiver.
+pub fn boom(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,119 @@
+//! Fixture-based self-tests: one passing and one failing fixture per
+//! rule family, plus the waiver audit.
+
+use emerge_lint::lint_source;
+
+fn rules_of(findings: &[emerge_lint::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn unsafe_fixtures() {
+    let (findings, _) = lint_source("crates/x/src/a.rs", include_str!("fixtures/unsafe_good.rs"));
+    assert!(findings.is_empty(), "good fixture flagged: {findings:?}");
+
+    let (findings, _) = lint_source("crates/x/src/a.rs", include_str!("fixtures/unsafe_bad.rs"));
+    assert_eq!(rules_of(&findings), ["unsafe"], "{findings:?}");
+    assert_eq!(findings[0].line, 4);
+}
+
+#[test]
+fn unsafe_rule_is_not_waivable() {
+    let src = "// LINT-WAIVER(unsafe): waivers must not silence the audit\n\
+               pub fn f(v: &[u8]) -> u8 { unsafe { *v.as_ptr() } }\n";
+    let (findings, honored) = lint_source("crates/x/src/a.rs", src);
+    // The unsafe finding survives and the waiver itself is rejected.
+    assert!(findings.iter().any(|f| f.rule == "unsafe"), "{findings:?}");
+    assert!(findings.iter().any(|f| f.rule == "waiver"), "{findings:?}");
+    assert_eq!(honored, 0);
+}
+
+#[test]
+fn panic_fixtures() {
+    let (findings, honored) =
+        lint_source("crates/x/src/a.rs", include_str!("fixtures/panic_good.rs"));
+    assert!(findings.is_empty(), "good fixture flagged: {findings:?}");
+    assert_eq!(honored, 1, "the invariant-backed waiver must be consumed");
+
+    let (findings, _) = lint_source("crates/x/src/a.rs", include_str!("fixtures/panic_bad.rs"));
+    assert_eq!(
+        rules_of(&findings),
+        ["panic", "panic", "panic"],
+        "{findings:?}"
+    );
+    assert!(findings[0].message.contains(".unwrap()"));
+    assert!(findings[1].message.contains("assert!"));
+    assert!(findings[2].message.contains("unreachable!"));
+}
+
+#[test]
+fn ct_fixtures() {
+    let path = "crates/emerge-crypto/src/compare.rs";
+    let (findings, _) = lint_source(path, include_str!("fixtures/ct_good.rs"));
+    assert!(findings.is_empty(), "good fixture flagged: {findings:?}");
+
+    let (findings, _) = lint_source(path, include_str!("fixtures/ct_bad.rs"));
+    assert_eq!(rules_of(&findings), ["ct", "ct"], "{findings:?}");
+    assert!(findings[0].message.contains("tag"));
+    assert!(findings[1].message.contains("SBOX"));
+}
+
+#[test]
+fn ct_rule_is_scoped_to_the_crypto_crate() {
+    // The same early-exit compare outside emerge-crypto is fine: `tag`
+    // there is a wire discriminant, not key material.
+    let (findings, _) = lint_source(
+        "crates/emerge-core/src/a.rs",
+        include_str!("fixtures/ct_bad.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn alloc_fixtures() {
+    let (findings, _) = lint_source("crates/x/src/a.rs", include_str!("fixtures/alloc_good.rs"));
+    assert!(findings.is_empty(), "good fixture flagged: {findings:?}");
+
+    let (findings, _) = lint_source("crates/x/src/a.rs", include_str!("fixtures/alloc_bad.rs"));
+    assert_eq!(rules_of(&findings), ["alloc", "alloc"], "{findings:?}");
+    assert!(findings[0].message.contains("digest_into"));
+    assert!(findings[1].message.contains("rebuild"));
+}
+
+#[test]
+fn wire_fixtures() {
+    // The rule keys on the module stem: wire.rs / package.rs.
+    let (findings, _) = lint_source(
+        "crates/emerge-core/src/wire.rs",
+        include_str!("fixtures/wire_good.rs"),
+    );
+    assert!(findings.is_empty(), "good fixture flagged: {findings:?}");
+
+    let (findings, _) = lint_source(
+        "crates/emerge-core/src/wire.rs",
+        include_str!("fixtures/wire_bad.rs"),
+    );
+    assert_eq!(rules_of(&findings), ["wire"], "{findings:?}");
+
+    // Outside a wire/package module the cast is not this rule's business.
+    let (findings, _) = lint_source(
+        "crates/emerge-core/src/other.rs",
+        include_str!("fixtures/wire_bad.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn waiver_audit_fixtures() {
+    let (findings, honored) =
+        lint_source("crates/x/src/a.rs", include_str!("fixtures/waiver_bad.rs"));
+    assert_eq!(
+        rules_of(&findings),
+        ["waiver", "waiver", "waiver"],
+        "{findings:?}"
+    );
+    assert!(findings[0].message.contains("too short"), "{findings:?}");
+    assert!(findings[1].message.contains("frobnicate"), "{findings:?}");
+    assert!(findings[2].message.contains("unused"), "{findings:?}");
+    assert_eq!(honored, 0);
+}

@@ -33,6 +33,7 @@ impl Exponential {
     ///
     /// Panics if `mean` is not strictly positive and finite.
     pub fn with_mean(mean: f64) -> Self {
+        // LINT-WAIVER(panic): documented # Panics contract: the churn mean must be positive and finite
         assert!(
             mean.is_finite() && mean > 0.0,
             "exponential mean must be positive and finite, got {mean}"

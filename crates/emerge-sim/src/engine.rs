@@ -111,6 +111,7 @@ impl<E> Engine<E> {
     ///
     /// Panics if `at` is in the past — events cannot rewrite history.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        // LINT-WAIVER(panic): documented # Panics contract: events cannot be scheduled in the past
         assert!(
             at >= self.clock,
             "cannot schedule event in the past: now={}, requested={}",

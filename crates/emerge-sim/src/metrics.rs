@@ -223,6 +223,7 @@ impl SeriesTable {
     ///
     /// Panics if the number of values differs from the number of series.
     pub fn push_row(&mut self, x: f64, values: &[f64]) {
+        // LINT-WAIVER(panic): documented # Panics contract: row width must match the series count
         assert_eq!(
             values.len(),
             self.columns.len() - 1,

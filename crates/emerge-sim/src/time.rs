@@ -40,6 +40,7 @@ impl SimTime {
     ///
     /// Panics if `earlier` is later than `self`.
     pub fn since(self, earlier: SimTime) -> SimDuration {
+        // LINT-WAIVER(panic): documented # Panics contract: since requires an earlier timestamp
         assert!(
             earlier.0 <= self.0,
             "SimTime::since: earlier ({}) is after self ({})",
@@ -77,6 +78,7 @@ impl SimDuration {
     ///
     /// Panics if `n == 0`.
     pub fn div_exactly(self, n: u64) -> SimDuration {
+        // LINT-WAIVER(panic): documented # Panics contract: cannot divide into zero parts
         assert!(n > 0, "cannot divide a duration into zero parts");
         SimDuration(self.0 / n)
     }
@@ -84,6 +86,7 @@ impl SimDuration {
     /// The ratio of two durations as an `f64` (used for churn math like
     /// `th / tlife`).
     pub fn ratio(self, other: SimDuration) -> f64 {
+        // LINT-WAIVER(panic): documented # Panics contract: the ratio denominator must be positive
         assert!(other.0 > 0, "ratio denominator must be positive");
         self.0 as f64 / other.0 as f64
     }
@@ -95,6 +98,7 @@ impl Add<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.0)
+                // LINT-WAIVER(panic): tick-line overflow means the schedule horizon is broken and must abort loudly
                 .expect("SimTime overflow: schedule horizon exceeded u64 ticks"),
         )
     }
@@ -112,6 +116,7 @@ impl Sub<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.0)
+                // LINT-WAIVER(panic): tick-line underflow means the schedule horizon is broken and must abort loudly
                 .expect("SimTime underflow: subtracted past time zero"),
         )
     }
@@ -120,6 +125,7 @@ impl Sub<SimDuration> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // LINT-WAIVER(panic): tick-line overflow means the schedule horizon is broken and must abort loudly
         SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
     }
 }
@@ -127,6 +133,7 @@ impl Add for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
+        // LINT-WAIVER(panic): tick-line underflow means the schedule horizon is broken and must abort loudly
         SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
     }
 }
@@ -134,6 +141,7 @@ impl Sub for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
+        // LINT-WAIVER(panic): tick-line overflow means the schedule horizon is broken and must abort loudly
         SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
     }
 }

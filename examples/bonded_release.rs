@@ -72,8 +72,7 @@ fn run(label: &str, strategy: HolderStrategy) -> Result<(), ContractError> {
             report
                 .failure
                 .as_ref()
-                .map(ToString::to_string)
-                .unwrap_or_else(|| "unknown".into())
+                .map_or_else(|| "unknown".into(), ToString::to_string)
         ),
     }
     if let Some((at, _)) = &report.early_leak {

@@ -75,7 +75,7 @@ fn main() -> Result<(), EmergeError> {
 
     println!();
     // Releases happen in ladder order; each run advances the shared clock.
-    for (label, handle) in handles.iter_mut() {
+    for (label, handle) in &mut handles {
         system.run_to_release(handle);
         match system.receive(handle) {
             Ok(record) => println!(

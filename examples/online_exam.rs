@@ -63,8 +63,7 @@ fn main() {
             .report
             .as_ref()
             .and_then(|r| r.adversary_reconstruction.as_ref())
-            .map(|(at, _)| format!("yes, at {at}"))
-            .unwrap_or_else(|| "no".into());
+            .map_or_else(|| "no".into(), |(at, _)| format!("yes, at {at}"));
 
         // Drop attempt: saboteurs try to destroy the exam.
         let (mut sys_d, handle_d) = build(1, AttackMode::Drop);

@@ -62,7 +62,7 @@ fn main() -> Result<(), EmergeError> {
 
     // Poll closes: the keys emerge and the tally happens.
     let mut tally = std::collections::BTreeMap::new();
-    for handle in handles.iter_mut() {
+    for handle in &mut handles {
         system.run_to_release(handle);
     }
     for handle in &handles {

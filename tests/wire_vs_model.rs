@@ -229,8 +229,7 @@ fn share_strict_release_matches_quorum_chain() {
         let wire = report
             .adversary_reconstruction
             .as_ref()
-            .map(|(_, s)| s == SECRET)
-            .unwrap_or(false);
+            .is_some_and(|(_, s)| s == SECRET);
         assert_eq!(wire, model, "world seed {seed}");
         hits += wire as u32;
     }
