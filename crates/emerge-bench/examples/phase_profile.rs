@@ -1,30 +1,39 @@
 //! Phase-timing probe for the pooled share_40x5 analytic trial loop.
 //!
-//! Times each phase of the zero-allocation pipeline (world rebuild, path
-//! construction, package build, pooled execution) over the same trial
-//! stream the recorded baseline runs, so a perf session can see where a
-//! trial's budget goes before reaching for `perf record`.
+//! The zero-allocation pipeline is instrumented with `emerge-obs` spans
+//! (world rebuild, path construction, package build, pooled execution);
+//! this example installs a collector around the public pooled runner and
+//! prints the per-phase breakdown those spans record — the same
+//! collection and extraction path `montecarlo_baseline --profile` uses,
+//! so a perf session can see where a trial's budget goes before reaching
+//! for `perf record`.
+//!
+//! The `allocs` column is live because this binary installs the counting
+//! allocator: after the pool's cold first pass, the steady state should
+//! attribute (close to) zero allocations to every phase.
 
+use emerge_bench::profile::{collected, phase_stats, render_phase_table};
 use emerge_core::config::SchemeParams;
 use emerge_core::montecarlo::{run_protocol_trial_range_pooled, ProtocolTrialSpec, TrialWorkspace};
-use emerge_core::package::{build_share_packages_into, KeySchedule, PackageScratch, SharePackages};
-use emerge_core::path::{construct_paths_into, PathPlan};
-use emerge_core::protocol::{
-    execute_share_pooled, AttackMode, PooledRunReport, RunConfig, ShareExecScratch,
-};
+use emerge_core::protocol::AttackMode;
 use emerge_core::substrate::{AnalyticSubstrate, OverlayConfig};
-use emerge_crypto::keys::SymmetricKey;
-use emerge_sim::rng::SeedSource;
+use emerge_obs::alloccount::CountingAllocator;
+use emerge_obs::Stopwatch;
 use emerge_sim::time::SimDuration;
-use rand::RngCore;
-use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() {
-    let params = SchemeParams::Share {
-        k: 3,
-        l: 5,
-        n: 40,
-        m: vec![18, 18, 18, 20],
+    let spec = ProtocolTrialSpec {
+        params: SchemeParams::Share {
+            k: 3,
+            l: 5,
+            n: 40,
+            m: vec![18, 18, 18, 20],
+        },
+        emerging_period: SimDuration::from_ticks(8_000),
+        attack: AttackMode::ReleaseAhead,
     };
     let config = OverlayConfig {
         n_nodes: 10_000,
@@ -33,123 +42,32 @@ fn main() {
         horizon: 200_000,
         ..OverlayConfig::default()
     };
-    let seeds = SeedSource::new(0xB45E);
     let trials = 1000usize;
 
     let mut substrate = AnalyticSubstrate::build(config, 0);
-    let mut plan = PathPlan::default();
-    let mut schedule = KeySchedule::new(SymmetricKey::from_bytes([0u8; 32]));
-    let mut packages = SharePackages::default();
-    let mut pkg_scratch = PackageScratch::new();
-    let mut exec_scratch = ShareExecScratch::default();
-    let mut report = PooledRunReport::default();
-    let mut secret = Vec::new();
-
-    let mut t_world = 0.0f64;
-    let mut t_paths = 0.0f64;
-    let mut t_build = 0.0f64;
-    let mut t_exec = 0.0f64;
-    let total = Instant::now();
-    for trial_idx in 0..trials {
-        let mut trial_rng = seeds.stream_n("protocol-trial", trial_idx as u64);
-        let world_seed = trial_rng.next_u64();
-        let t0 = Instant::now();
-        substrate.rebuild(world_seed);
-        t_world += t0.elapsed().as_secs_f64();
-        let sender_seed = SymmetricKey::generate(&mut trial_rng);
-        let message_key = sender_seed.derive(b"message-secret-key");
-        secret.clear();
-        secret.extend_from_slice(message_key.as_bytes());
-        let t1 = Instant::now();
-        construct_paths_into(&substrate, &params, &sender_seed, &mut plan).unwrap();
-        t_paths += t1.elapsed().as_secs_f64();
-        let run = RunConfig {
-            ts: substrate.now(),
-            emerging_period: SimDuration::from_ticks(8_000),
-            attack: AttackMode::ReleaseAhead,
-        };
-        schedule.reset(sender_seed);
-        let t2 = Instant::now();
-        build_share_packages_into(
-            &plan,
-            &params,
-            &schedule,
-            &secret,
-            &mut packages,
-            &mut pkg_scratch,
-        )
-        .unwrap();
-        t_build += t2.elapsed().as_secs_f64();
-        let t3 = Instant::now();
-        execute_share_pooled(
+    let mut ws = TrialWorkspace::new();
+    let watch = Stopwatch::start();
+    let (result, telemetry) = collected(|| {
+        run_protocol_trial_range_pooled(
+            &spec,
+            0,
+            trials,
+            0xB45E,
             &mut substrate,
-            &plan,
-            &params,
-            &packages,
-            &run,
-            &mut exec_scratch,
-            &mut report,
+            |s, seed| s.rebuild(seed),
+            &mut ws,
         )
-        .unwrap();
-        t_exec += t3.elapsed().as_secs_f64();
-        std::hint::black_box(&report);
-    }
-    let tt = total.elapsed().as_secs_f64();
-    let per = |x: f64| x / trials as f64 * 1e3;
+    });
+    let wall = watch.elapsed_secs();
+    let results = result.expect("share_40x5 pooled run");
+
     println!("trials        {trials}");
     println!(
-        "total         {:.3} s  ({:.1} trials/s)",
-        tt,
-        trials as f64 / tt
+        "total         {:.3} s  ({:.1} trials/s, fingerprint {:#018x})",
+        wall,
+        trials as f64 / wall,
+        results.fingerprint
     );
-    println!(
-        "world rebuild {:.3} ms/trial ({:.0}%)",
-        per(t_world),
-        t_world / tt * 100.0
-    );
-    println!(
-        "paths         {:.3} ms/trial ({:.0}%)",
-        per(t_paths),
-        t_paths / tt * 100.0
-    );
-    println!(
-        "pkg build     {:.3} ms/trial ({:.0}%)",
-        per(t_build),
-        t_build / tt * 100.0
-    );
-    println!(
-        "execute       {:.3} ms/trial ({:.0}%)",
-        per(t_exec),
-        t_exec / tt * 100.0
-    );
-    println!(
-        "other         {:.3} ms/trial",
-        per(tt - t_world - t_paths - t_build - t_exec)
-    );
-
-    // End-to-end through the public pooled range runner, for the number
-    // the baseline records.
-    let spec = ProtocolTrialSpec {
-        params,
-        emerging_period: SimDuration::from_ticks(8_000),
-        attack: AttackMode::ReleaseAhead,
-    };
-    let mut ws = TrialWorkspace::new();
-    let t = Instant::now();
-    let r = run_protocol_trial_range_pooled(
-        &spec,
-        0,
-        trials,
-        0xB45E,
-        &mut substrate,
-        |s, seed| s.rebuild(seed),
-        &mut ws,
-    )
-    .unwrap();
-    let dt = t.elapsed().as_secs_f64();
-    println!(
-        "pooled runner {:.1} trials/s (fingerprint {:#018x})",
-        trials as f64 / dt,
-        r.fingerprint
-    );
+    println!();
+    print!("{}", render_phase_table(&phase_stats(&telemetry), wall));
 }

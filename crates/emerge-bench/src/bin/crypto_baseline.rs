@@ -24,8 +24,8 @@ use emerge_crypto::keys::SymmetricKey;
 use emerge_crypto::{aead, shamir};
 use emerge_dht::analytic::AnalyticSubstrate;
 use emerge_dht::overlay::OverlayConfig;
+use emerge_obs::{Collector, Stopwatch};
 use emerge_sim::rng::SeedSource;
-use std::time::Instant;
 
 fn sample_ms() -> u64 {
     std::env::var("EMERGE_CRYPTO_SAMPLE_MS")
@@ -43,14 +43,14 @@ fn measure<F: FnMut()>(
 ) {
     // Warm up lazily built tables outside the timed window.
     f();
-    let window = std::time::Duration::from_millis(sample_ms());
-    let start = Instant::now();
+    let window_secs = sample_ms() as f64 / 1e3;
+    let watch = Stopwatch::start();
     let mut iters = 0usize;
     // Check the clock once per batch, not per iteration: a clock read
     // costs tens of nanoseconds and would otherwise be billed to the
     // nanosecond-scale kernels.
     const BATCH: usize = 64;
-    while start.elapsed() < window {
+    while watch.elapsed_secs() < window_secs {
         for _ in 0..BATCH {
             f();
         }
@@ -59,7 +59,7 @@ fn measure<F: FnMut()>(
     let m = CryptoMeasurement {
         op: op.into(),
         iters,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: watch.elapsed_secs(),
         bytes_per_iter,
     };
     if bytes_per_iter > 0 {
@@ -75,6 +75,11 @@ fn measure<F: FnMut()>(
 }
 
 fn main() {
+    // The seal-volume counter (`package.seal.bytes`) records into the
+    // thread's telemetry collector; without one installed,
+    // `take_sealed_byte_count` would read 0 and the
+    // `share_package_seal_bytes_*` ops below would record no volume.
+    emerge_obs::collector::install(Collector::new());
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_crypto.json".into());

@@ -12,6 +12,7 @@
 
 use emerge_bench::figures::{fig6_attack_and_cost, render_and_save};
 use emerge_bench::{p_step_from_env, p_sweep, trials_from_env};
+use emerge_obs::Stopwatch;
 
 fn main() {
     let trials = trials_from_env();
@@ -20,7 +21,7 @@ fn main() {
     println!("# trials per cell: {trials}; p sweep: {} points", ps.len());
 
     for (population, tag_r, tag_c) in [(10_000usize, "fig6a", "fig6b"), (100, "fig6c", "fig6d")] {
-        let started = std::time::Instant::now();
+        let watch = Stopwatch::start();
         let (r, c) = fig6_attack_and_cost(population, &ps, trials, 0x6A);
         println!();
         println!("## Figure 6 ({tag_r}): attack resilience R, {population} nodes");
@@ -28,6 +29,9 @@ fn main() {
         println!();
         println!("## Figure 6 ({tag_c}): required nodes C, {population} nodes (log scale)");
         println!("{}", render_and_save(&c, tag_c));
-        eprintln!("# {population}-node sweep took {:.1?}", started.elapsed());
+        eprintln!(
+            "# {population}-node sweep took {:.1} s",
+            watch.elapsed_secs()
+        );
     }
 }

@@ -10,6 +10,7 @@
 
 use emerge_bench::figures::{fig7_churn_resilience, render_and_save};
 use emerge_bench::{p_step_from_env, p_sweep, trials_from_env};
+use emerge_obs::Stopwatch;
 
 fn main() {
     let trials = trials_from_env();
@@ -19,11 +20,11 @@ fn main() {
     println!("# trials per cell: {trials}; p sweep: {} points", ps.len());
 
     for (panel, alpha) in [("a", 1.0f64), ("b", 2.0), ("c", 3.0), ("d", 5.0)] {
-        let started = std::time::Instant::now();
+        let watch = Stopwatch::start();
         let table = fig7_churn_resilience(population, alpha, &ps, trials, 0x70 + alpha as u64);
         println!();
         println!("## Figure 7({panel}): α = {alpha}");
         println!("{}", render_and_save(&table, &format!("fig7{panel}")));
-        eprintln!("# α = {alpha} sweep took {:.1?}", started.elapsed());
+        eprintln!("# α = {alpha} sweep took {:.1} s", watch.elapsed_secs());
     }
 }

@@ -11,6 +11,7 @@
 
 use emerge_bench::figures::{fig8_share_cost, render_and_save};
 use emerge_bench::{p_step_from_env, p_sweep, trials_from_env};
+use emerge_obs::Stopwatch;
 
 fn main() {
     let trials = trials_from_env();
@@ -23,9 +24,9 @@ fn main() {
     println!("# population {population}, α = {alpha}, budgets {budgets:?}");
     println!("# trials per cell: {trials}; p sweep: {} points", ps.len());
 
-    let started = std::time::Instant::now();
+    let watch = Stopwatch::start();
     let table = fig8_share_cost(population, &budgets, alpha, &ps, trials, 0x80);
     println!();
     println!("{}", render_and_save(&table, "fig8"));
-    eprintln!("# sweep took {:.1?}", started.elapsed());
+    eprintln!("# sweep took {:.1} s", watch.elapsed_secs());
 }

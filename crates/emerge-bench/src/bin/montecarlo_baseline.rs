@@ -8,12 +8,12 @@
 //! `BENCH_montecarlo.json` (first non-flag CLI arg overrides the path).
 //! Later PRs diff against the committed numbers.
 //!
-//! Trials run through the sharded engine
-//! (`emerge_bench::mc::run_protocol_trials_threaded` and
-//! `run_bonded_trials_threaded`): contiguous trial ranges spread over
-//! `EMERGE_MC_THREADS` worker threads (default: the machine's available
-//! parallelism). Results are bit-identical to a serial run for any
-//! thread count; threads only change the wall clock.
+//! Trials run through the profiled sharded engine
+//! (`emerge_bench::mc::run_protocol_trials_profiled` and friends):
+//! contiguous trial ranges spread over `EMERGE_MC_THREADS` worker
+//! threads (default: the machine's available parallelism), each under a
+//! per-worker `emerge-obs` collector. Results are bit-identical to a
+//! serial run for any thread count; threads only change the wall clock.
 //!
 //! The overlay is measured over fewer trials (it is orders of magnitude
 //! slower at this population; throughput is what matters), after a
@@ -48,13 +48,25 @@
 //! montecarlo_baseline --cell share_8x3 --substrate analytic --floor 120 /tmp/perf.json
 //! ```
 //!
+//! ## Phase profiling
+//!
+//! `--profile` adds a `"phases"` array to every cell's report entry: the
+//! per-phase time/allocation/seal-volume breakdown collected from the
+//! trial pipeline's `emerge-obs` spans (world rebuild, path
+//! construction, package build, share execution — plus the bonded
+//! engine's phases on the contract cell). The binary installs the
+//! counting allocator, so the `allocs` column is live; on the pooled
+//! share cells it shows the steady state holding at zero.
+//!
 //! Environment: `EMERGE_BASELINE_TRIALS` (default 1000),
 //! `EMERGE_BASELINE_OVERLAY_TRIALS` (default 200) and `EMERGE_MC_THREADS`.
 
 use emerge_bench::mc::{
-    run_bonded_trials_threaded, run_protocol_trials_pooled_threaded, run_protocol_trials_threaded,
+    run_bonded_trials_profiled, run_protocol_trials_pooled_profiled, run_protocol_trials_profiled,
+    run_protocol_trials_threaded,
 };
 use emerge_bench::parallel::mc_threads;
+use emerge_bench::profile::phase_stats;
 use emerge_bench::report::{render_montecarlo_report, validate_json, McMeasurement};
 use emerge_contract::economy::HolderStrategy;
 use emerge_contract::release::BondedSpec;
@@ -64,8 +76,15 @@ use emerge_core::montecarlo::ProtocolTrialSpec;
 use emerge_core::protocol::AttackMode;
 use emerge_dht::analytic::AnalyticSubstrate;
 use emerge_dht::overlay::{Overlay, OverlayConfig};
+use emerge_obs::alloccount::CountingAllocator;
+use emerge_obs::{MetricsSnapshot, Stopwatch};
 use emerge_sim::time::SimDuration;
-use std::time::Instant;
+
+/// Counting delegate around the system allocator, so the `--profile`
+/// breakdown can attribute heap allocations to pipeline phases (and so a
+/// profiled run can see the pooled pipeline's steady state stay at zero).
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 const POPULATION: usize = 10_000;
 const SEED: u64 = 0xB45E;
@@ -177,6 +196,9 @@ struct Args {
     /// CI-sized cell, so a future change cannot silently undo the
     /// share-packaging win.
     floor: Option<f64>,
+    /// Include the per-phase time/alloc/seal-volume breakdown (from the
+    /// pipeline's `emerge-obs` spans) in each cell's report entry.
+    profile: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -185,6 +207,7 @@ fn parse_args() -> Result<Args, String> {
         scheme: None,
         substrate: None,
         floor: None,
+        profile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -201,6 +224,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.floor = Some(parsed);
             }
+            "--profile" => args.profile = true,
             // --cell and --scheme are the same filter (a case-insensitive
             // substring match on the cell name); --cell reads better for
             // full names like `share_8x3_release_ahead`, --scheme for
@@ -224,7 +248,7 @@ fn parse_args() -> Result<Args, String> {
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unknown flag {flag}; supported: --cell <substr>, --scheme <substr>, \
-                     --substrate <substr>, --floor <trials/sec>"
+                     --substrate <substr>, --floor <trials/sec>, --profile"
                 ));
             }
             path => args.out_path = path.to_string(),
@@ -256,21 +280,23 @@ fn measure<R, E, F>(
     substrate: &'static str,
     threads: usize,
     trials: usize,
+    profile: bool,
     run: F,
 ) -> Result<McMeasurement, String>
 where
-    F: FnOnce(usize, usize) -> Result<R, E>,
+    F: FnOnce(usize, usize) -> Result<(R, MetricsSnapshot), E>,
     R: CellRates,
     E: std::fmt::Display,
 {
     eprintln!(
         "measuring {cell} on {substrate} ({trials} trials at N={POPULATION}, {threads} threads)..."
     );
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     // The recorded trials/threads and the executed ones cannot drift: the
     // closure receives exactly what the report will claim.
-    let results = run(trials, threads).map_err(|e| format!("{cell} on {substrate}: {e}"))?;
-    let seconds = start.elapsed().as_secs_f64();
+    let (results, telemetry) =
+        run(trials, threads).map_err(|e| format!("{cell} on {substrate}: {e}"))?;
+    let seconds = watch.elapsed_secs();
     let m = McMeasurement {
         cell: cell.into(),
         substrate: substrate.into(),
@@ -279,6 +305,11 @@ where
         seconds,
         clean: results.clean_rate(),
         released: results.released_rate(),
+        phases: if profile {
+            phase_stats(&telemetry)
+        } else {
+            Vec::new()
+        },
     };
     eprintln!(
         "  {:.2} trials/sec (clean {:.3}, released {:.3})",
@@ -286,6 +317,15 @@ where
         m.clean,
         m.released
     );
+    for p in &m.phases {
+        eprintln!(
+            "    {:<24} {:>8.1} us/call  allocs {:<8} sealed {} B",
+            p.phase,
+            p.mean_nanos as f64 / 1e3,
+            p.allocs,
+            p.sealed_bytes
+        );
+    }
     Ok(m)
 }
 
@@ -389,9 +429,10 @@ fn run() -> Result<(), String> {
                 "analytic",
                 threads,
                 analytic_trials,
+                args.profile,
                 |trials, threads| {
                     if pooled {
-                        run_protocol_trials_pooled_threaded(
+                        run_protocol_trials_pooled_profiled(
                             &spec,
                             trials,
                             SEED,
@@ -400,7 +441,7 @@ fn run() -> Result<(), String> {
                             |s, ws| s.rebuild(ws),
                         )
                     } else {
-                        run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
+                        run_protocol_trials_profiled(&spec, trials, SEED, threads, |ws| {
                             AnalyticSubstrate::build(config, ws)
                         })
                     }
@@ -413,8 +454,9 @@ fn run() -> Result<(), String> {
                 "overlay",
                 threads,
                 overlay_trials,
+                args.profile,
                 |trials, threads| {
-                    run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
+                    run_protocol_trials_profiled(&spec, trials, SEED, threads, |ws| {
                         Overlay::build(config, ws)
                     })
                 },
@@ -426,8 +468,9 @@ fn run() -> Result<(), String> {
                 "contract",
                 threads,
                 analytic_trials,
+                args.profile,
                 |trials, threads| {
-                    run_protocol_trials_threaded(&spec, trials, SEED, threads, |ws| {
+                    run_protocol_trials_profiled(&spec, trials, SEED, threads, |ws| {
                         ContractSubstrate::build(ContractConfig::over(config), ws)
                     })
                 },
@@ -441,8 +484,9 @@ fn run() -> Result<(), String> {
             "contract",
             threads,
             analytic_trials,
+            args.profile,
             |trials, threads| {
-                run_bonded_trials_threaded(&bonded_spec, trials, SEED, threads, |ws| {
+                run_bonded_trials_profiled(&bonded_spec, trials, SEED, threads, |ws| {
                     ContractSubstrate::build(ContractConfig::over(config), ws)
                 })
             },

@@ -23,6 +23,7 @@
 pub mod figures;
 pub mod mc;
 pub mod parallel;
+pub mod profile;
 pub mod report;
 
 /// Number of Monte-Carlo trials per experiment cell (the paper runs 1000).

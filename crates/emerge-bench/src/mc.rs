@@ -17,6 +17,7 @@
 //! parallelism (see [`mc_threads`]).
 
 use crate::parallel::{mc_threads, parallel_map_workers};
+use crate::profile::collected;
 use emerge_contract::error::ContractError;
 use emerge_contract::mc::{run_bonded_trial_range, BondedMcResults};
 use emerge_contract::release::BondedSpec;
@@ -27,6 +28,24 @@ use emerge_core::montecarlo::{
     ProtocolTrialSpec, TrialWorkspace,
 };
 use emerge_core::substrate::HolderSubstrate;
+use emerge_obs::MetricsSnapshot;
+
+/// Merges per-shard `(result, telemetry)` pairs in shard order: results
+/// through `merge`, telemetry through [`MetricsSnapshot::merge`] (both
+/// associative, so the outcome is shard-count-independent for the
+/// counter-valued parts).
+fn merge_profiled<P, M, E>(
+    partials: Vec<(Result<P, E>, MetricsSnapshot)>,
+    mut results: M,
+    merge: impl Fn(&mut M, &P),
+) -> Result<(M, MetricsSnapshot), E> {
+    let mut telemetry = MetricsSnapshot::default();
+    for (partial, snapshot) in partials {
+        merge(&mut results, &partial?);
+        telemetry.merge(&snapshot);
+    }
+    Ok((results, telemetry))
+}
 
 /// Runs `trials` wire-protocol trials of `spec` across `threads` worker
 /// threads (one contiguous trial range per shard), merging the partial
@@ -85,6 +104,37 @@ where
     run_protocol_trials_threaded(spec, trials, seed, mc_threads(), substrate_factory)
 }
 
+/// Profiled form of [`run_protocol_trials_threaded`]: every worker shard
+/// runs under its own fresh `emerge-obs` collector (installed on the
+/// worker thread, or save/restored around the caller's collector when
+/// `threads <= 1` runs inline), and the per-shard telemetry snapshots
+/// merge in shard order next to the results. The trial outcomes stay
+/// bit-identical to the unprofiled runner; the second return value adds
+/// the span/counter telemetry the trial pipeline recorded.
+///
+/// # Errors
+///
+/// See [`run_protocol_trials_threaded`].
+pub fn run_protocol_trials_profiled<S, F>(
+    spec: &ProtocolTrialSpec,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    substrate_factory: F,
+) -> Result<(ProtocolMcResults, MetricsSnapshot), EmergeError>
+where
+    S: HolderSubstrate,
+    F: Fn(u64) -> S + Sync,
+{
+    let ranges = shard_ranges(trials, threads);
+    let partials = parallel_map_workers(&ranges, threads, |&(first_trial, count)| {
+        collected(|| run_protocol_trial_range(spec, first_trial, count, seed, &substrate_factory))
+    });
+    merge_profiled(partials, ProtocolMcResults::default(), |acc, p| {
+        acc.merge(p);
+    })
+}
+
 /// Pooled form of [`run_protocol_trials_threaded`] for share-scheme
 /// cells: each worker thread builds one substrate (`make_substrate`) and
 /// one [`TrialWorkspace`] for its whole shard, re-seeds the substrate in
@@ -132,6 +182,50 @@ where
     Ok(results)
 }
 
+/// Profiled form of [`run_protocol_trials_pooled_threaded`]: same
+/// per-worker collectors and shard-order telemetry merge as
+/// [`run_protocol_trials_profiled`], over the zero-allocation pooled
+/// pipeline. With a collector installed the pipeline's span guards time
+/// each phase into preallocated registry slots, so the steady state
+/// still never touches the allocator.
+///
+/// # Errors
+///
+/// See [`run_protocol_trials_pooled_threaded`].
+pub fn run_protocol_trials_pooled_profiled<S, M, R>(
+    spec: &ProtocolTrialSpec,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    make_substrate: M,
+    reseed: R,
+) -> Result<(ProtocolMcResults, MetricsSnapshot), EmergeError>
+where
+    S: HolderSubstrate,
+    M: Fn() -> S + Sync,
+    R: Fn(&mut S, u64) + Sync,
+{
+    let ranges = shard_ranges(trials, threads);
+    let partials = parallel_map_workers(&ranges, threads, |&(first_trial, count)| {
+        collected(|| {
+            let mut substrate = make_substrate();
+            let mut ws = TrialWorkspace::new();
+            run_protocol_trial_range_pooled(
+                spec,
+                first_trial,
+                count,
+                seed,
+                &mut substrate,
+                &reseed,
+                &mut ws,
+            )
+        })
+    });
+    merge_profiled(partials, ProtocolMcResults::default(), |acc, p| {
+        acc.merge(p);
+    })
+}
+
 /// Runs `trials` bonded-release trials (the contract-native emergence
 /// mode) across `threads` worker threads, one contiguous trial range per
 /// shard, merging the partials in shard order.
@@ -164,6 +258,33 @@ where
         results.merge(&partial?);
     }
     Ok(results)
+}
+
+/// Profiled form of [`run_bonded_trials_threaded`]: per-worker
+/// collectors, telemetry merged in shard order — the bonded engine's
+/// spans plus the contract's transition-event counters land in the
+/// returned snapshot.
+///
+/// # Errors
+///
+/// See [`run_bonded_trials_threaded`].
+pub fn run_bonded_trials_profiled<F>(
+    spec: &BondedSpec,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    substrate_factory: F,
+) -> Result<(BondedMcResults, MetricsSnapshot), ContractError>
+where
+    F: Fn(u64) -> ContractSubstrate + Sync,
+{
+    let ranges = shard_ranges(trials, threads);
+    let partials = parallel_map_workers(&ranges, threads, |&(first_trial, count)| {
+        collected(|| run_bonded_trial_range(spec, first_trial, count, seed, &substrate_factory))
+    });
+    merge_profiled(partials, BondedMcResults::default(), |acc, p| {
+        acc.merge(p);
+    })
 }
 
 #[cfg(test)]
@@ -236,6 +357,45 @@ mod tests {
             assert_eq!(pooled.reconstructed_early, serial.reconstructed_early);
             assert_eq!(pooled.messages.count(), serial.messages.count());
         }
+    }
+
+    #[test]
+    fn profiled_runs_match_serial_and_capture_phase_telemetry() {
+        let spec = spec(SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 6,
+            m: vec![3, 3],
+        });
+        let serial = run_protocol_trials(&spec, 12, 5, factory).unwrap();
+        for threads in [1usize, 3] {
+            let (pooled, telemetry) = run_protocol_trials_pooled_profiled(
+                &spec,
+                12,
+                5,
+                threads,
+                || factory(0),
+                |s, seed| s.rebuild(seed),
+            )
+            .unwrap();
+            assert_eq!(pooled.fingerprint, serial.fingerprint, "{threads} threads");
+            // One span per pipeline phase per trial, merged across shards.
+            assert_eq!(telemetry.counter("trial.execute.calls"), Some(12));
+            assert_eq!(telemetry.counter("trial.world_rebuild.calls"), Some(12));
+            assert_eq!(telemetry.counter("trial.paths.calls"), Some(12));
+            assert_eq!(telemetry.counter("trial.package_build.calls"), Some(12));
+            // The tracked seal-volume counter attributes to the build phase.
+            let sealed = telemetry
+                .counter("trial.package_build.sealed_bytes")
+                .unwrap_or(0);
+            assert!(sealed > 0, "package build seals AEAD bytes");
+            assert_eq!(telemetry.counter("package.seal.bytes"), Some(sealed));
+        }
+
+        let (allocating, telemetry) =
+            run_protocol_trials_profiled(&spec, 12, 5, 2, factory).unwrap();
+        assert_eq!(allocating.fingerprint, serial.fingerprint);
+        assert_eq!(telemetry.counter("trial.execute.calls"), Some(12));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! back through the bundled [`validate_json`] checker so an invalid
 //! report can never be written silently again.
 
+use crate::profile::PhaseStats;
 use std::fmt::Write as _;
 
 /// One Monte-Carlo throughput measurement of a `(cell, substrate)` pair.
@@ -27,6 +28,9 @@ pub struct McMeasurement {
     pub clean: f64,
     /// Release rate observed.
     pub released: f64,
+    /// Per-phase breakdown from the cell's `emerge-obs` telemetry
+    /// (`--profile` runs; empty otherwise, and omitted from the report).
+    pub phases: Vec<PhaseStats>,
 }
 
 impl McMeasurement {
@@ -86,12 +90,12 @@ pub fn render_montecarlo_report(
     let lines: Vec<String> = measurements
         .iter()
         .map(|m| {
-            format!(
+            let mut line = format!(
                 concat!(
                     "    {{\"cell\": \"{}\", \"substrate\": \"{}\", ",
                     "\"threads\": {}, \"trials\": {}, ",
                     "\"seconds\": {}, \"trials_per_sec\": {}, ",
-                    "\"clean_rate\": {}, \"released_rate\": {}}}"
+                    "\"clean_rate\": {}, \"released_rate\": {}"
                 ),
                 json_escape(&m.cell),
                 json_escape(&m.substrate),
@@ -101,12 +105,40 @@ pub fn render_montecarlo_report(
                 json_number(m.trials_per_sec(), 3),
                 json_number(m.clean, 4),
                 json_number(m.released, 4),
-            )
+            );
+            if !m.phases.is_empty() {
+                line.push_str(", \"phases\": [\n");
+                let phase_lines: Vec<String> = m.phases.iter().map(render_phase).collect();
+                line.push_str(&phase_lines.join(",\n"));
+                line.push_str("\n    ]");
+            }
+            line.push('}');
+            line
         })
         .collect();
     json.push_str(&lines.join(",\n"));
     json.push_str("\n  ]\n}\n");
     json
+}
+
+/// Renders one phase entry of a measurement's `"phases"` array. All
+/// fields are integer-valued (nanoseconds, counts, bytes) so no
+/// non-finite guard is needed.
+fn render_phase(p: &PhaseStats) -> String {
+    format!(
+        concat!(
+            "      {{\"phase\": \"{}\", \"calls\": {}, ",
+            "\"total_nanos\": {}, \"mean_nanos\": {}, \"p99_nanos\": {}, ",
+            "\"allocs\": {}, \"sealed_bytes\": {}}}"
+        ),
+        json_escape(&p.phase),
+        p.calls,
+        p.total_nanos,
+        p.mean_nanos,
+        p.p99_nanos,
+        p.allocs,
+        p.sealed_bytes,
+    )
 }
 
 /// One crypto-kernel throughput measurement (`BENCH_crypto.json`).
@@ -358,6 +390,7 @@ mod tests {
             seconds,
             clean: 1.0,
             released: 1.0,
+            phases: Vec::new(),
         }
     }
 
@@ -386,6 +419,40 @@ mod tests {
         assert!(validate_json(&json).is_ok());
         assert!(json.contains("\"population\": 10000"));
         assert!(json.contains("\"threads\": 4"));
+    }
+
+    #[test]
+    fn profiled_measurements_embed_a_valid_phases_array() {
+        let mut m = measurement(2.0);
+        m.phases = vec![
+            PhaseStats {
+                phase: "trial.package_build".into(),
+                calls: 1000,
+                total_nanos: 450_000_000,
+                mean_nanos: 450_000,
+                p99_nanos: 524_287,
+                allocs: 0,
+                sealed_bytes: 40_960_000,
+            },
+            PhaseStats {
+                phase: "trial.execute".into(),
+                calls: 1000,
+                total_nanos: 1_200_000_000,
+                mean_nanos: 1_200_000,
+                p99_nanos: 2_097_151,
+                allocs: 3,
+                sealed_bytes: 0,
+            },
+        ];
+        let json = render_montecarlo_report(10_000, 1, &[m, measurement(1.0)]);
+        validate_json(&json).unwrap_or_else(|(pos, msg)| {
+            panic!("invalid JSON at byte {pos}: {msg}\n{json}");
+        });
+        assert!(json.contains("\"phases\": ["));
+        assert!(json.contains("\"phase\": \"trial.package_build\""));
+        assert!(json.contains("\"sealed_bytes\": 40960000"));
+        // An unprofiled measurement carries no phases key at all.
+        assert_eq!(json.matches("\"phases\"").count(), 1);
     }
 
     #[test]

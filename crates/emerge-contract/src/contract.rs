@@ -27,10 +27,25 @@ use crate::clock::BlockHeight;
 use crate::error::ContractError;
 use crate::ledger::{AccountId, Ledger};
 use emerge_crypto::sha256::{Sha256, DIGEST_LEN};
+use emerge_obs::trace::{event, EventId};
 use std::collections::BTreeMap;
 
 /// Identifier of a deposit on the contract.
 pub type DepositId = usize;
+
+// Audit-trail events, one per *successful* state transition (failed
+// operations change no state and emit nothing). Each bumps a counter of
+// the same name in the thread's `emerge-obs` collector and, when the
+// collector carries a trace ring, appends a timestamped entry with the
+// fields below — the event-level audit trail that lets the bonded
+// economy's incentive claims be validated transition by transition.
+static EV_OPEN: EventId = EventId::new("contract.open");
+static EV_COMMIT: EventId = EventId::new("contract.commit");
+static EV_REVEAL: EventId = EventId::new("contract.reveal");
+static EV_REVEAL_EARLY: EventId = EventId::new("contract.reveal_early");
+static EV_FINALIZE: EventId = EventId::new("contract.finalize");
+static EV_SLASH: EventId = EventId::new("contract.slash");
+static EV_CLAIM: EventId = EventId::new("contract.claim");
 
 /// Domain separator for reveal commitments.
 const COMMIT_DOMAIN: &[u8] = b"emerge-contract-reveal-commitment-v1";
@@ -207,7 +222,16 @@ impl ReleaseContract {
             holders,
             finalized: false,
         });
-        Ok(self.deposits.len() - 1)
+        let id = self.deposits.len() - 1;
+        event(
+            &EV_OPEN,
+            &[
+                ("deposit", id as u64),
+                ("holders", holder_accounts.len() as u64),
+                ("bond", terms.bond),
+            ],
+        );
+        Ok(id)
     }
 
     /// Registers holder `holder`'s commitment. Allowed once, before the
@@ -240,6 +264,14 @@ impl ReleaseContract {
         }
         entry.committed = Some(digest);
         entry.phase = HolderPhase::Committed;
+        event(
+            &EV_COMMIT,
+            &[
+                ("deposit", deposit as u64),
+                ("holder", holder as u64),
+                ("block", now),
+            ],
+        );
         Ok(())
     }
 
@@ -293,6 +325,14 @@ impl ReleaseContract {
         } else {
             HolderPhase::Revealed(now)
         };
+        event(
+            if early { &EV_REVEAL_EARLY } else { &EV_REVEAL },
+            &[
+                ("deposit", deposit as u64),
+                ("holder", holder as u64),
+                ("block", now),
+            ],
+        );
         Ok(entry.phase.clone())
     }
 
@@ -343,6 +383,14 @@ impl ReleaseContract {
                     summary.slashed_amount += dep.terms.bond;
                     summary.refunded_rewards += dep.terms.reveal_reward;
                     entry.phase = HolderPhase::Slashed;
+                    event(
+                        &EV_SLASH,
+                        &[
+                            ("deposit", deposit as u64),
+                            ("holder", idx as u64),
+                            ("bond", dep.terms.bond),
+                        ],
+                    );
                 }
                 HolderPhase::Slashed | HolderPhase::Claimed => {
                     // LINT-WAIVER(panic): finalization runs exactly once, so terminal phases cannot re-enter this match
@@ -351,6 +399,14 @@ impl ReleaseContract {
             }
         }
         dep.finalized = true;
+        event(
+            &EV_FINALIZE,
+            &[
+                ("deposit", deposit as u64),
+                ("slashed", summary.slashed.len() as u64),
+                ("block", now),
+            ],
+        );
         Ok(summary)
     }
 
@@ -386,6 +442,14 @@ impl ReleaseContract {
             HolderPhase::Revealed(_) => {
                 ledger.release(entry.account, bond + reward)?;
                 entry.phase = HolderPhase::Claimed;
+                event(
+                    &EV_CLAIM,
+                    &[
+                        ("deposit", deposit as u64),
+                        ("holder", holder as u64),
+                        ("payout", bond + reward),
+                    ],
+                );
                 Ok(bond + reward)
             }
             HolderPhase::Claimed => Err(ContractError::AlreadyClaimed { holder }),

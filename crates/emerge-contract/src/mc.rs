@@ -12,10 +12,17 @@
 use crate::error::ContractError;
 use crate::release::{run_bonded_release, BondedReport, BondedSpec};
 use crate::substrate::ContractSubstrate;
+use emerge_obs::trace::{span, SpanId};
 use emerge_sim::metrics::{Rate, Summary};
 use emerge_sim::rng::SeedSource;
 use emerge_sim::shard::{shard_ranges, TrialDigest};
 use rand::RngCore;
+
+/// Span over the per-trial substrate world build.
+static SPAN_WORLD_REBUILD: SpanId = SpanId::new("trial.world_rebuild");
+/// Span over one bonded-release run (register → commit → reveal →
+/// finalize → claim against the block clock).
+static SPAN_BONDED_RELEASE: SpanId = SpanId::new("trial.bonded_release");
 
 /// Aggregated outcomes of a batch of bonded-release trials.
 #[derive(Debug, Clone, Default)]
@@ -77,11 +84,17 @@ where
     for trial_idx in first_trial..first_trial + count {
         let mut trial_rng = seeds.stream_n("bonded-trial", trial_idx as u64);
         let world_seed = trial_rng.next_u64();
-        let mut substrate = substrate_factory(world_seed);
+        let mut substrate = {
+            let _phase = span(&SPAN_WORLD_REBUILD);
+            substrate_factory(world_seed)
+        };
         let mut secret = [0u8; 32];
         trial_rng.fill_bytes(&mut secret);
 
-        let report = run_bonded_release(&mut substrate, spec, &secret, &mut trial_rng)?;
+        let report = {
+            let _phase = span(&SPAN_BONDED_RELEASE);
+            run_bonded_release(&mut substrate, spec, &secret, &mut trial_rng)?
+        };
         results.released.record(report.released.is_some());
         results.clean.record(report.clean_emergence());
         results.leaked_early.record(report.early_leak.is_some());

@@ -1,0 +1,188 @@
+//! Event-level audit trail of the release contract.
+//!
+//! Every successful `ReleaseContract` state transition emits an
+//! `emerge_obs` event; with a ring-buffer collector installed the full
+//! register → commit → reveal → finalize → claim/slash history of a
+//! deposit can be replayed in order, and a ring too small for the
+//! history counts exactly what it dropped instead of lying by omission.
+
+use emerge_contract::contract::{commitment, DepositTerms, ReleaseContract};
+use emerge_contract::ledger::Ledger;
+use emerge_obs::collector::{install, take};
+use emerge_obs::trace::{RingEntry, RingEntryKind};
+use emerge_obs::Collector;
+
+const BOND: u64 = 100;
+const REWARD: u64 = 10;
+
+/// Runs `f` with a fresh ring-buffer collector installed, restoring any
+/// previously installed collector afterwards, and returns the collector.
+fn with_ring_collector(capacity: usize, f: impl FnOnce()) -> Collector {
+    let previous = install(Collector::with_ring(capacity));
+    f();
+    let collector = take().expect("collector stays installed");
+    if let Some(prev) = previous {
+        install(prev);
+    }
+    collector
+}
+
+/// Ledger with `holders` holder accounts `0..holders` and a depositor
+/// account `holders`, plus an opened 3-block reveal window `[10, 13)`.
+fn open_deposit(holders: usize) -> (Ledger, ReleaseContract, usize) {
+    let mut ledger = Ledger::new(holders + 1, 1_000);
+    let mut contract = ReleaseContract::new();
+    let terms = DepositTerms {
+        depositor: holders,
+        bond: BOND,
+        reveal_reward: REWARD,
+        reveal_from: 10,
+        reveal_by: 13,
+    };
+    let accounts: Vec<usize> = (0..holders).collect();
+    let id = contract.open(&mut ledger, terms, &accounts, 0).unwrap();
+    (ledger, contract, id)
+}
+
+/// The event entries of the ring, oldest first.
+fn events(collector: &Collector) -> Vec<RingEntry> {
+    collector
+        .ring()
+        .expect("ring-buffer collector")
+        .entries()
+        .into_iter()
+        .filter(|e| e.kind == RingEntryKind::Event)
+        .collect()
+}
+
+fn field(entry: &RingEntry, name: &str) -> u64 {
+    entry
+        .fields()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("{} has no field {name}", entry.name))
+        .1
+}
+
+#[test]
+fn happy_path_replays_in_transition_order() {
+    let collector = with_ring_collector(64, || {
+        let (mut ledger, mut contract, id) = open_deposit(3);
+        for holder in 0..3 {
+            contract
+                .commit(id, holder, commitment(b"share"), 1)
+                .unwrap();
+        }
+        for holder in 0..3 {
+            contract.reveal(id, holder, b"share", 10).unwrap();
+        }
+        contract.finalize(&mut ledger, id, 13).unwrap();
+        for holder in 0..3 {
+            contract.claim(&mut ledger, id, holder).unwrap();
+        }
+    });
+
+    let trail: Vec<&'static str> = events(&collector).iter().map(|e| e.name).collect();
+    assert_eq!(
+        trail,
+        [
+            "contract.open",
+            "contract.commit",
+            "contract.commit",
+            "contract.commit",
+            "contract.reveal",
+            "contract.reveal",
+            "contract.reveal",
+            "contract.finalize",
+            "contract.claim",
+            "contract.claim",
+            "contract.claim",
+        ]
+    );
+
+    let entries = events(&collector);
+    assert_eq!(field(&entries[0], "holders"), 3);
+    assert_eq!(field(&entries[0], "bond"), BOND);
+    assert_eq!(field(&entries[4], "block"), 10);
+    assert_eq!(field(&entries[7], "slashed"), 0);
+    assert_eq!(field(&entries[8], "payout"), BOND + REWARD);
+
+    // The trail also lands in the mergeable counters, one per event.
+    let snapshot = collector.snapshot();
+    assert_eq!(snapshot.counter("contract.open"), Some(1));
+    assert_eq!(snapshot.counter("contract.commit"), Some(3));
+    assert_eq!(snapshot.counter("contract.reveal"), Some(3));
+    assert_eq!(snapshot.counter("contract.claim"), Some(3));
+    assert_eq!(snapshot.counter("contract.slash"), None);
+}
+
+#[test]
+fn misbehaviour_emits_early_reveal_and_slash_events() {
+    let collector = with_ring_collector(64, || {
+        let (mut ledger, mut contract, id) = open_deposit(2);
+        for holder in 0..2 {
+            contract
+                .commit(id, holder, commitment(b"share"), 1)
+                .unwrap();
+        }
+        // Holder 0 leaks before the window opens; holder 1 withholds.
+        contract.reveal(id, 0, b"share", 5).unwrap();
+        contract.finalize(&mut ledger, id, 13).unwrap();
+    });
+
+    let trail: Vec<&'static str> = events(&collector).iter().map(|e| e.name).collect();
+    assert_eq!(
+        trail,
+        [
+            "contract.open",
+            "contract.commit",
+            "contract.commit",
+            "contract.reveal_early",
+            "contract.slash",
+            "contract.slash",
+            "contract.finalize",
+        ]
+    );
+
+    let entries = events(&collector);
+    assert_eq!(field(&entries[3], "block"), 5);
+    assert_eq!(field(&entries[4], "bond"), BOND);
+    assert_eq!(field(&entries[6], "slashed"), 2);
+
+    let snapshot = collector.snapshot();
+    assert_eq!(snapshot.counter("contract.reveal_early"), Some(1));
+    assert_eq!(snapshot.counter("contract.slash"), Some(2));
+    assert_eq!(snapshot.counter("contract.reveal"), None);
+}
+
+#[test]
+fn overflowing_ring_counts_every_dropped_entry() {
+    let collector = with_ring_collector(2, || {
+        let (mut ledger, mut contract, id) = open_deposit(3);
+        for holder in 0..3 {
+            contract
+                .commit(id, holder, commitment(b"share"), 1)
+                .unwrap();
+        }
+        for holder in 0..3 {
+            contract.reveal(id, holder, b"share", 10).unwrap();
+        }
+        contract.finalize(&mut ledger, id, 13).unwrap();
+        for holder in 0..3 {
+            contract.claim(&mut ledger, id, holder).unwrap();
+        }
+    });
+
+    // 11 transitions pushed through a 2-slot ring: the newest 2 survive,
+    // the other 9 are accounted for in the drop counter.
+    let ring = collector.ring().unwrap();
+    assert_eq!(ring.len(), 2);
+    assert_eq!(ring.dropped(), 9);
+    let survivors: Vec<&'static str> = ring.entries().iter().map(|e| e.name).collect();
+    assert_eq!(survivors, ["contract.claim", "contract.claim"]);
+
+    // Dropping ring entries never loses counter increments.
+    let snapshot = collector.snapshot();
+    assert_eq!(snapshot.counter("contract.claim"), Some(3));
+    assert_eq!(snapshot.counter("contract.commit"), Some(3));
+}

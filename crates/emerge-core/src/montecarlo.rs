@@ -30,11 +30,29 @@ use crate::protocol::{
 };
 use crate::substrate::HolderSubstrate;
 use emerge_crypto::keys::SymmetricKey;
+use emerge_obs::trace::{span, SpanId};
 use emerge_sim::metrics::{Rate, Summary};
 use emerge_sim::rng::SeedSource;
 use emerge_sim::time::SimDuration;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
+
+/// Span over the per-trial substrate (re)build — `substrate_factory` in
+/// the allocating loop, `reseed` (e.g. `AnalyticSubstrate::rebuild`) in
+/// the pooled one.
+pub static SPAN_WORLD_REBUILD: SpanId = SpanId::new("trial.world_rebuild");
+/// Span over holder-path construction.
+pub static SPAN_PATHS: SpanId = SpanId::new("trial.paths");
+/// Span over package building; attributes the share-packaging seal
+/// volume ([`crate::package::SEALED_BYTES`]) grown inside the span to
+/// `trial.package_build.sealed_bytes`.
+pub static SPAN_PACKAGE_BUILD: SpanId = SpanId::tracking(
+    "trial.package_build",
+    &crate::package::SEALED_BYTES,
+    ".sealed_bytes",
+);
+/// Span over protocol execution (hop schedule + attack predicates).
+pub static SPAN_EXECUTE: SpanId = SpanId::new("trial.execute");
 
 /// Specification of one Monte-Carlo experiment cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -362,14 +380,20 @@ where
     for trial_idx in first_trial..first_trial + count {
         let mut trial_rng = seeds.stream_n("protocol-trial", trial_idx as u64);
         let world_seed = trial_rng.next_u64();
-        let mut substrate = substrate_factory(world_seed);
+        let mut substrate = {
+            let _phase = span(&SPAN_WORLD_REBUILD);
+            substrate_factory(world_seed)
+        };
         let sender_seed = SymmetricKey::generate(&mut trial_rng);
         let secret = sender_seed
             .derive(b"message-secret-key")
             .as_bytes()
             .to_vec();
 
-        let plan = construct_paths(&substrate, &spec.params, &sender_seed)?;
+        let plan = {
+            let _phase = span(&SPAN_PATHS);
+            construct_paths(&substrate, &spec.params, &sender_seed)?
+        };
         let config = RunConfig {
             ts: substrate.now(),
             emerging_period: spec.emerging_period,
@@ -377,13 +401,24 @@ where
         };
         let schedule = KeySchedule::new(sender_seed);
         let report = match &spec.params {
-            SchemeParams::Central => execute_central(&mut substrate, &plan, &secret, &config)?,
+            SchemeParams::Central => {
+                let _phase = span(&SPAN_EXECUTE);
+                execute_central(&mut substrate, &plan, &secret, &config)?
+            }
             SchemeParams::Disjoint { .. } | SchemeParams::Joint { .. } => {
-                let pkgs = build_keyed_packages(&plan, &spec.params, &schedule, &secret)?;
+                let pkgs = {
+                    let _phase = span(&SPAN_PACKAGE_BUILD);
+                    build_keyed_packages(&plan, &spec.params, &schedule, &secret)?
+                };
+                let _phase = span(&SPAN_EXECUTE);
                 execute_keyed(&mut substrate, &plan, &spec.params, &pkgs, &config)?
             }
             SchemeParams::Share { .. } => {
-                let pkgs = build_share_packages(&plan, &spec.params, &schedule, &secret)?;
+                let pkgs = {
+                    let _phase = span(&SPAN_PACKAGE_BUILD);
+                    build_share_packages(&plan, &spec.params, &schedule, &secret)?
+                };
+                let _phase = span(&SPAN_EXECUTE);
                 execute_share(&mut substrate, &plan, &spec.params, &pkgs, &config)?
             }
         };
@@ -482,36 +517,48 @@ where
     for trial_idx in first_trial..first_trial + count {
         let mut trial_rng = seeds.stream_n("protocol-trial", trial_idx as u64);
         let world_seed = trial_rng.next_u64();
-        reseed(substrate, world_seed);
+        {
+            let _phase = span(&SPAN_WORLD_REBUILD);
+            reseed(substrate, world_seed);
+        }
         let sender_seed = SymmetricKey::generate(&mut trial_rng);
         let message_key = sender_seed.derive(b"message-secret-key");
         ws.secret.clear();
         ws.secret.extend_from_slice(message_key.as_bytes());
 
-        construct_paths_into(&*substrate, &spec.params, &sender_seed, &mut ws.plan)?;
+        {
+            let _phase = span(&SPAN_PATHS);
+            construct_paths_into(&*substrate, &spec.params, &sender_seed, &mut ws.plan)?;
+        }
         let config = RunConfig {
             ts: substrate.now(),
             emerging_period: spec.emerging_period,
             attack: spec.attack,
         };
         ws.schedule.reset(sender_seed);
-        build_share_packages_into(
-            &ws.plan,
-            &spec.params,
-            &ws.schedule,
-            &ws.secret,
-            &mut ws.packages,
-            &mut ws.pkg_scratch,
-        )?;
-        execute_share_pooled(
-            substrate,
-            &ws.plan,
-            &spec.params,
-            &ws.packages,
-            &config,
-            &mut ws.exec_scratch,
-            &mut ws.report,
-        )?;
+        {
+            let _phase = span(&SPAN_PACKAGE_BUILD);
+            build_share_packages_into(
+                &ws.plan,
+                &spec.params,
+                &ws.schedule,
+                &ws.secret,
+                &mut ws.packages,
+                &mut ws.pkg_scratch,
+            )?;
+        }
+        {
+            let _phase = span(&SPAN_EXECUTE);
+            execute_share_pooled(
+                substrate,
+                &ws.plan,
+                &spec.params,
+                &ws.packages,
+                &config,
+                &mut ws.exec_scratch,
+                &mut ws.report,
+            )?;
+        }
 
         let tr = config.ts + config.emerging_period;
         results.released.record(ws.report.released_at.is_some());

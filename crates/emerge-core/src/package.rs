@@ -64,33 +64,37 @@ use emerge_crypto::shamir;
 use emerge_crypto::wire::{Reader, Writer};
 use emerge_crypto::CryptoError;
 use emerge_dht::id::{NodeId, ID_LEN};
+use emerge_obs::metrics::CounterId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
-thread_local! {
-    /// Instrumented seal hook: total AEAD plaintext bytes sealed by the
-    /// share-packaging code on this thread since the last
-    /// [`take_sealed_byte_count`]. Drives the seal-volume regression test
-    /// (v2 must be `Θ(l·n)`) and the `share_package_seal_bytes`
-    /// measurement in `crypto_baseline`.
-    static SEALED_BYTES: Cell<u64> = const { Cell::new(0) };
-}
+/// Instrumented seal hook: total AEAD plaintext bytes sealed by the
+/// share-packaging code (headers, segments, legacy nested bundles),
+/// recorded into the thread's `emerge-obs` collector. Drives the
+/// seal-volume regression test (v2 must be `Θ(l·n)`), the
+/// `share_package_seal_bytes` measurement in `crypto_baseline`, and the
+/// per-phase `trial.package_build.sealed_bytes` attribution of
+/// `montecarlo_baseline --profile`.
+pub static SEALED_BYTES: CounterId = CounterId::new("package.seal.bytes");
 
 /// Every AEAD seal in this module (headers, segments, legacy nested
 /// bundles) reports its plaintext length here.
 fn record_sealed(plaintext_len: usize) {
-    SEALED_BYTES.with(|c| c.set(c.get() + plaintext_len as u64));
+    SEALED_BYTES.add(plaintext_len as u64);
 }
 
-/// Returns the total AEAD plaintext bytes sealed by share packaging on
-/// this thread since the previous call, and resets the counter.
+/// Returns the total AEAD plaintext bytes sealed by share packaging
+/// since the previous call, and resets the counter — take-semantics over
+/// the [`SEALED_BYTES`] metric in the current thread's `emerge-obs`
+/// collector (always 0 when no collector is installed).
 ///
-/// Call it immediately before and read it immediately after a
-/// [`build_share_packages`] call to attribute the volume to that call.
+/// Install a collector, then call this immediately before and read it
+/// immediately after a [`build_share_packages`] call to attribute the
+/// volume to that call.
 pub fn take_sealed_byte_count() -> u64 {
-    SEALED_BYTES.with(|c| c.replace(0))
+    SEALED_BYTES.take()
 }
 
 /// Discriminates the four derived-key families in [`DerivedKeys`].
@@ -1908,6 +1912,23 @@ mod tests {
         assert!(payload2.bundle_key.is_none());
     }
 
+    /// Runs `f` with a fresh `emerge-obs` collector installed on this
+    /// thread (restoring any previous one), so the sealed-byte counter
+    /// is live and isolated from other tests.
+    fn with_obs_collector<R>(f: impl FnOnce() -> R) -> R {
+        let prev = emerge_obs::collector::install(emerge_obs::Collector::new());
+        let r = f();
+        match prev {
+            Some(p) => {
+                emerge_obs::collector::install(p);
+            }
+            None => {
+                emerge_obs::collector::take();
+            }
+        }
+        r
+    }
+
     #[test]
     fn pooled_builder_matches_allocating_builder_across_reuse() {
         // One scratch and output set serves builds of different shapes
@@ -1934,12 +1955,15 @@ mod tests {
             let plan = construct_paths(&ov, &params, &sender).unwrap();
             let sched = KeySchedule::new(sender);
 
-            take_sealed_byte_count();
-            let reference = build_share_packages(&plan, &params, &sched, b"CORE").unwrap();
-            let ref_sealed = take_sealed_byte_count();
-            build_share_packages_into(&plan, &params, &sched, b"CORE", &mut out, &mut scratch)
-                .unwrap();
-            let pooled_sealed = take_sealed_byte_count();
+            let (reference, ref_sealed, pooled_sealed) = with_obs_collector(|| {
+                take_sealed_byte_count();
+                let reference = build_share_packages(&plan, &params, &sched, b"CORE").unwrap();
+                let ref_sealed = take_sealed_byte_count();
+                build_share_packages_into(&plan, &params, &sched, b"CORE", &mut out, &mut scratch)
+                    .unwrap();
+                let pooled_sealed = take_sealed_byte_count();
+                (reference, ref_sealed, pooled_sealed)
+            });
 
             assert_eq!(out.package, reference.package);
             assert_eq!(out.core_onion, reference.core_onion);
@@ -2111,11 +2135,14 @@ mod tests {
         (params, plan, KeySchedule::new(seed))
     }
 
-    /// Seal volume attributed to one build call via the instrumented hook.
+    /// Seal volume attributed to one build call via the instrumented hook
+    /// (runs under its own obs collector; the counter reads 0 without one).
     fn sealed_bytes_of<F: FnOnce()>(build: F) -> u64 {
-        let _ = take_sealed_byte_count(); // discard other tests' residue
-        build();
-        take_sealed_byte_count()
+        with_obs_collector(|| {
+            let _ = take_sealed_byte_count(); // discard any residue
+            build();
+            take_sealed_byte_count()
+        })
     }
 
     #[test]

@@ -24,6 +24,18 @@ use crate::error::CryptoError;
 use crate::hmac::verify_tag;
 use crate::keys::SymmetricKey;
 use crate::poly1305::{Poly1305, TAG_LEN};
+use emerge_obs::metrics::CounterId;
+
+/// Number of AEAD seal operations (any caller, this thread's collector).
+pub static SEAL_CALLS: CounterId = CounterId::new("crypto.aead.seal.calls");
+/// Total plaintext bytes sealed by AEAD operations.
+pub static SEAL_BYTES: CounterId = CounterId::new("crypto.aead.seal.bytes");
+/// Number of AEAD open operations (successful verifications only).
+pub static OPEN_CALLS: CounterId = CounterId::new("crypto.aead.open.calls");
+/// Total plaintext bytes recovered by AEAD open operations.
+pub static OPEN_BYTES: CounterId = CounterId::new("crypto.aead.open.bytes");
+/// Number of AEAD opens rejected (bad tag or truncated input).
+pub static OPEN_REJECTS: CounterId = CounterId::new("crypto.aead.open.rejects");
 
 /// The ciphertext expansion added by the authentication tag.
 pub const OVERHEAD: usize = TAG_LEN;
@@ -48,6 +60,8 @@ pub fn seal(key: &SymmetricKey, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: 
 /// The in-place form lets pooled callers reuse one buffer across trials:
 /// once `buf`'s capacity covers `len + OVERHEAD` no allocation occurs.
 pub fn seal_in_place(key: &SymmetricKey, nonce: &[u8; NONCE_LEN], buf: &mut Vec<u8>, aad: &[u8]) {
+    SEAL_CALLS.incr();
+    SEAL_BYTES.add(buf.len() as u64);
     ChaCha20::new(key.as_bytes(), nonce, 1).apply_keystream(buf);
     let tag = compute_tag(key, nonce, buf, aad);
     buf.extend_from_slice(&tag);
@@ -66,6 +80,7 @@ pub fn open(
     aad: &[u8],
 ) -> Result<Vec<u8>, CryptoError> {
     if ciphertext.len() < TAG_LEN {
+        OPEN_REJECTS.incr();
         return Err(CryptoError::InvalidLength {
             context: "AEAD ciphertext",
             expected: TAG_LEN,
@@ -75,10 +90,13 @@ pub fn open(
     let (body, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
     let expected = compute_tag(key, nonce, body, aad);
     if !verify_tag(&expected, tag) {
+        OPEN_REJECTS.incr();
         return Err(CryptoError::AuthenticationFailed);
     }
     let mut out = body.to_vec();
     ChaCha20::new(key.as_bytes(), nonce, 1).apply_keystream(&mut out);
+    OPEN_CALLS.incr();
+    OPEN_BYTES.add(out.len() as u64);
     Ok(out)
 }
 
@@ -98,6 +116,7 @@ pub fn open_in_place(
     aad: &[u8],
 ) -> Result<(), CryptoError> {
     if buf.len() < TAG_LEN {
+        OPEN_REJECTS.incr();
         return Err(CryptoError::InvalidLength {
             context: "AEAD ciphertext",
             expected: TAG_LEN,
@@ -107,10 +126,13 @@ pub fn open_in_place(
     let body_len = buf.len() - TAG_LEN;
     let expected = compute_tag(key, nonce, &buf[..body_len], aad);
     if !verify_tag(&expected, &buf[body_len..]) {
+        OPEN_REJECTS.incr();
         return Err(CryptoError::AuthenticationFailed);
     }
     buf.truncate(body_len);
     ChaCha20::new(key.as_bytes(), nonce, 1).apply_keystream(buf);
+    OPEN_CALLS.incr();
+    OPEN_BYTES.add(body_len as u64);
     Ok(())
 }
 

@@ -28,11 +28,16 @@ use crate::index::{IndexScratch, SortedIdIndex};
 use crate::overlay::OverlayConfig;
 use crate::population::{self, Genesis, NodeInfo};
 use crate::storage::Store;
+use emerge_obs::metrics::CounterId;
 use emerge_sim::rng::SeedSource;
 use emerge_sim::time::{SimDuration, SimTime};
 use rand::Rng;
 use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
+
+/// Holder resolutions served by the analytic substrate's sorted-ID
+/// index (recorded into the thread's `emerge-obs` collector, if any).
+static RESOLVES: CounterId = CounterId::new("dht.analytic.resolves");
 
 /// The analytic (routing-free, lazily churned) DHT substrate.
 #[derive(Debug)]
@@ -192,6 +197,7 @@ impl AnalyticSubstrate {
 
     /// The slot responsible for `target` (XOR-closest generation-0 ID).
     pub fn resolve_holder(&self, target: &NodeId) -> usize {
+        RESOLVES.incr();
         self.index.resolve(target)
     }
 

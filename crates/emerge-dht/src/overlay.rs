@@ -24,6 +24,7 @@ use crate::network::{Network, NetworkConfig};
 use crate::population::{self, Genesis, PopulationConfig};
 use crate::storage::Store;
 use crate::table::RoutingTable;
+use emerge_obs::metrics::CounterId;
 use emerge_sim::rng::SeedSource;
 use emerge_sim::time::{SimDuration, SimTime};
 use rand::Rng;
@@ -31,6 +32,10 @@ use std::cell::OnceCell;
 use std::collections::HashMap;
 
 pub use crate::population::NodeInfo;
+
+/// Holder resolutions served by the full overlay (recorded into the
+/// thread's `emerge-obs` collector, if any).
+static RESOLVES: CounterId = CounterId::new("dht.overlay.resolves");
 
 /// Configuration of an overlay network.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -288,6 +293,7 @@ impl Overlay {
     /// how the key-routing schemes resolve a pseudo-random holder address
     /// to an actual node.
     pub fn resolve_holder(&self, target: &NodeId) -> usize {
+        RESOLVES.incr();
         self.index.resolve(target)
     }
 

@@ -1,0 +1,78 @@
+//! A counting wrapper around the system allocator.
+//!
+//! Register [`CountingAllocator`] as the `#[global_allocator]` of a
+//! binary or test to make [`allocations`] live: spans then attribute
+//! per-phase heap-allocation counts, and allocation-discipline tests
+//! can assert a steady-state count of zero. When some other global
+//! allocator is in use the counter simply never moves and every
+//! consumer sees deltas of 0.
+//!
+//! The count is *per thread* (a `const`-initialized `Cell`, so the
+//! counting path itself never allocates or synchronizes): a worker
+//! thread's spans observe only that worker's allocations, which is
+//! exactly the shard-local attribution the profiling pipeline wants.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    // No-Drop const-init cell: reachable from the allocator hook even
+    // during thread teardown (`try_with` degrades to not-counting).
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn count_one() {
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Number of heap allocations made by the *current thread* since it
+/// started, when [`CountingAllocator`] is the global allocator
+/// (otherwise constant 0). Reallocations count as one allocation;
+/// frees are not counted.
+pub fn allocations() -> u64 {
+    THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// A [`System`]-backed global allocator that counts allocations per
+/// thread. Zero-sized unit type; register with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: emerge_obs::alloccount::CountingAllocator =
+///     emerge_obs::alloccount::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// GlobalAlloc contract; the only addition is a thread-local counter
+// bump, which neither allocates nor observes the pointers involved.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        // SAFETY: the caller's layout obligations are forwarded to
+        // `System::alloc` unchanged.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from this allocator's `alloc`
+        // family, which delegated to `System`, so the pairing holds.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        // SAFETY: the caller's layout obligations are forwarded to
+        // `System::alloc_zeroed` unchanged.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        // SAFETY: `ptr`/`layout` originate from this allocator (which
+        // delegates to `System`), and `new_size` obligations pass to
+        // `System::realloc` unchanged.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

@@ -1,0 +1,148 @@
+//! The per-thread collector that owns metric and trace state.
+//!
+//! Recording APIs ([`crate::metrics`], [`crate::trace`]) write into the
+//! collector installed on the *current thread*; with no collector
+//! installed every recording call is an inert no-op. This keeps the
+//! sharded Monte-Carlo discipline intact: each worker thread installs
+//! its own [`Collector`], records into private preallocated state with
+//! no cross-thread synchronization, and the per-shard
+//! [`MetricsSnapshot`]s merge exactly afterwards — telemetry shards the
+//! same way results do.
+
+use std::cell::RefCell;
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+#[cfg(feature = "trace")]
+use crate::trace::TraceRing;
+
+/// Owns one thread's observability state: a preallocated
+/// [`MetricsRegistry`] and (optionally, `trace` feature) a ring-buffer
+/// trace sink.
+pub struct Collector {
+    pub(crate) metrics: MetricsRegistry,
+    #[cfg(feature = "trace")]
+    pub(crate) ring: Option<TraceRing>,
+}
+
+impl Collector {
+    /// A collector with all metric slots preallocated and no trace ring.
+    pub fn new() -> Self {
+        Collector {
+            metrics: MetricsRegistry::new(),
+            #[cfg(feature = "trace")]
+            ring: None,
+        }
+    }
+
+    /// A collector that additionally buffers trace events in a ring of
+    /// `capacity` slots (oldest events overwritten, with drop counting).
+    #[cfg(feature = "trace")]
+    pub fn with_ring(capacity: usize) -> Self {
+        Collector {
+            metrics: MetricsRegistry::new(),
+            ring: Some(TraceRing::new(capacity)),
+        }
+    }
+
+    /// Snapshot of every touched metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The trace ring, if this collector was built with one.
+    #[cfg(feature = "trace")]
+    pub fn ring(&self) -> Option<&TraceRing> {
+        self.ring.as_ref()
+    }
+
+    /// Zeroes all metric state (and clears the ring) without
+    /// deallocating, for reuse across measurement passes.
+    pub fn clear(&mut self) {
+        self.metrics.clear();
+        #[cfg(feature = "trace")]
+        if let Some(ring) = self.ring.as_mut() {
+            ring.clear();
+        }
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Installs `collector` on the current thread, returning the previously
+/// installed one (which the caller can later re-[`install`] to restore).
+///
+/// Must not be called from inside a recording callback (metric add,
+/// span drop); doing so aborts via `RefCell`'s reborrow check.
+pub fn install(collector: Collector) -> Option<Collector> {
+    CURRENT.with(|c| c.borrow_mut().replace(collector))
+}
+
+/// Removes and returns the current thread's collector, if any.
+pub fn take() -> Option<Collector> {
+    CURRENT.with(|c| c.borrow_mut().take())
+}
+
+/// True when a collector is installed on this thread.
+pub fn is_installed() -> bool {
+    CURRENT.with(|c| c.try_borrow().is_ok_and(|b| b.is_some()))
+}
+
+/// Snapshot of the currently installed collector without removing it.
+pub fn snapshot() -> Option<MetricsSnapshot> {
+    CURRENT.with(|c| {
+        c.try_borrow()
+            .ok()
+            .and_then(|b| b.as_ref().map(Collector::snapshot))
+    })
+}
+
+/// Runs `f` against the installed collector's metrics. Returns `None`
+/// (and skips `f`) when no collector is installed or the cell is
+/// already borrowed (re-entrant recording, e.g. from an allocator hook);
+/// recording must never fail, panic, or allocate.
+pub(crate) fn with_metrics<R>(f: impl FnOnce(&mut MetricsRegistry) -> R) -> Option<R> {
+    CURRENT.with(|c| {
+        let mut b = c.try_borrow_mut().ok()?;
+        b.as_mut().map(|col| f(&mut col.metrics))
+    })
+}
+
+/// Runs `f` against the whole installed collector (metrics + ring).
+#[cfg(feature = "trace")]
+pub(crate) fn with_collector<R>(f: impl FnOnce(&mut Collector) -> R) -> Option<R> {
+    CURRENT.with(|c| {
+        let mut b = c.try_borrow_mut().ok()?;
+        b.as_mut().map(f)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_take_roundtrip() {
+        assert!(!is_installed());
+        assert!(install(Collector::new()).is_none());
+        assert!(is_installed());
+        // Installing again displaces (and returns) the previous collector.
+        let displaced = install(Collector::new());
+        assert!(displaced.is_some());
+        assert!(take().is_some());
+        assert!(take().is_none());
+        assert!(!is_installed());
+    }
+
+    #[test]
+    fn snapshot_without_collector_is_none() {
+        assert!(snapshot().is_none());
+    }
+}

@@ -1,0 +1,404 @@
+//! Lightweight span/event tracing with a ring-buffer sink.
+//!
+//! Spans time a scope (RAII guard) into a log-bucketed nanosecond
+//! histogram, and additionally record the scope's heap-allocation count
+//! (via [`crate::alloccount`], when the counting allocator is the
+//! global allocator) and an optional *tracked counter* delta — the hook
+//! that attributes e.g. `crypto.seal.bytes` to the package-build phase.
+//!
+//! Events are point occurrences: a `&'static str` name, up to
+//! [`MAX_EVENT_FIELDS`] named `u64` fields, a per-event counter bump,
+//! and (with a ring-equipped collector) an entry in the trace ring.
+//! The ring is fixed-capacity and overwrites its oldest entry, counting
+//! drops, so tracing never allocates or grows in steady state.
+//!
+//! Everything here arms only when a [`crate::collector::Collector`] is
+//! installed on the current thread, and the timing/ring machinery
+//! compiles out entirely without the `trace` cargo feature (leaving
+//! `event` as a bare counter bump and [`span`] as an inert guard).
+
+use crate::metrics::{CounterId, HistogramId};
+
+#[cfg(feature = "trace")]
+use crate::{alloccount, collector};
+#[cfg(feature = "trace")]
+use std::time::Instant;
+
+/// Maximum named fields carried by one ring event; extra fields are
+/// dropped (the fixed bound keeps ring slots allocation-free).
+pub const MAX_EVENT_FIELDS: usize = 3;
+
+/// Identity of a span: a static name plus the derived metric handles
+/// (`<name>` nanosecond histogram, `<name>.calls` / `<name>.allocs`
+/// counters, and optionally a tracked-counter delta routed to
+/// `<name><dst_suffix>`). Declare as a `static` so slot caching is
+/// shared by every use site.
+// Without the `trace` feature only `name` is read; the metric handles
+// stay so `SpanId::new` keeps one signature across both configurations.
+#[cfg_attr(not(feature = "trace"), allow(dead_code))]
+pub struct SpanId {
+    name: &'static str,
+    nanos: HistogramId,
+    calls: CounterId,
+    allocs: CounterId,
+    tracked: Option<(&'static CounterId, CounterId)>,
+}
+
+impl SpanId {
+    /// A span identity with the given static name.
+    pub const fn new(name: &'static str) -> Self {
+        SpanId {
+            name,
+            nanos: HistogramId::new(name),
+            calls: CounterId::suffixed(name, ".calls"),
+            allocs: CounterId::suffixed(name, ".allocs"),
+            tracked: None,
+        }
+    }
+
+    /// A span identity that additionally attributes the growth of `src`
+    /// (a workspace counter such as `crypto.seal.bytes`) across the
+    /// span's lifetime to the counter `<name><dst_suffix>`.
+    pub const fn tracking(
+        name: &'static str,
+        src: &'static CounterId,
+        dst_suffix: &'static str,
+    ) -> Self {
+        SpanId {
+            name,
+            nanos: HistogramId::new(name),
+            calls: CounterId::suffixed(name, ".calls"),
+            allocs: CounterId::suffixed(name, ".allocs"),
+            tracked: Some((src, CounterId::suffixed(name, dst_suffix))),
+        }
+    }
+
+    /// The span's static name.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(feature = "trace")]
+struct SpanState {
+    started: Instant,
+    allocs0: u64,
+    tracked0: u64,
+}
+
+/// RAII guard returned by [`span`]; records on drop. Inert (and
+/// zero-cost at drop) when no collector was installed at entry.
+pub struct Span {
+    id: &'static SpanId,
+    #[cfg(feature = "trace")]
+    state: Option<SpanState>,
+}
+
+/// Enters a span: captures the clock, the thread's allocation count,
+/// and the tracked counter's current value. The returned guard records
+/// duration/allocs/tracked-delta and bumps `<name>.calls` when dropped.
+///
+/// With no collector installed (or without the `trace` feature) the
+/// guard is inert: no clock read, nothing recorded.
+#[cfg(feature = "trace")]
+pub fn span(id: &'static SpanId) -> Span {
+    if !collector::is_installed() {
+        return Span { id, state: None };
+    }
+    ring_push(RingEntry::enter(id.name));
+    let allocs0 = alloccount::allocations();
+    let tracked0 = id.tracked.as_ref().map_or(0, |(src, _)| src.value());
+    Span {
+        id,
+        state: Some(SpanState {
+            started: Instant::now(),
+            allocs0,
+            tracked0,
+        }),
+    }
+}
+
+/// Feature-off stub: an inert guard, no clock reads, nothing recorded.
+#[cfg(not(feature = "trace"))]
+pub fn span(id: &'static SpanId) -> Span {
+    Span { id }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "trace")]
+        if let Some(state) = self.state.take() {
+            let nanos = u64::try_from(state.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.id.nanos.record(nanos);
+            self.id.calls.incr();
+            let allocs = alloccount::allocations().saturating_sub(state.allocs0);
+            if allocs > 0 {
+                self.id.allocs.add(allocs);
+            }
+            if let Some((src, dst)) = self.id.tracked.as_ref() {
+                let delta = src.value().saturating_sub(state.tracked0);
+                if delta > 0 {
+                    dst.add(delta);
+                }
+            }
+            ring_push(RingEntry::exit(self.id.name, nanos));
+        }
+        let _ = self.id;
+    }
+}
+
+/// Identity of a point event: a static name and its occurrence counter.
+pub struct EventId {
+    name: &'static str,
+    count: CounterId,
+}
+
+impl EventId {
+    /// An event identity with the given static name (its occurrence
+    /// counter is the name itself).
+    pub const fn new(name: &'static str) -> Self {
+        EventId {
+            name,
+            count: CounterId::new(name),
+        }
+    }
+
+    /// The event's static name.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Records one occurrence of `id`: bumps its counter always, and (with
+/// the `trace` feature and a ring-equipped collector) appends a
+/// timestamped ring entry carrying up to [`MAX_EVENT_FIELDS`] of
+/// `fields` (extras are dropped, keeping the slot fixed-size).
+pub fn event(id: &'static EventId, fields: &[(&'static str, u64)]) {
+    id.count.incr();
+    #[cfg(feature = "trace")]
+    ring_push(RingEntry::event(id.name, fields));
+    #[cfg(not(feature = "trace"))]
+    let _ = fields;
+}
+
+/// What a ring entry records.
+#[cfg(feature = "trace")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingEntryKind {
+    /// Span entry.
+    Enter,
+    /// Span exit; `value` carries the span's duration in nanoseconds.
+    Exit,
+    /// Point event.
+    Event,
+}
+
+/// One fixed-size slot in the trace ring.
+#[cfg(feature = "trace")]
+#[derive(Clone, Copy, Debug)]
+pub struct RingEntry {
+    /// Entry kind.
+    pub kind: RingEntryKind,
+    /// Static span/event name.
+    pub name: &'static str,
+    /// Kind-dependent value (span duration in nanoseconds for `Exit`,
+    /// 0 otherwise).
+    pub value: u64,
+    /// Named fields (events only); `fields_len` of them are valid.
+    pub fields: [(&'static str, u64); MAX_EVENT_FIELDS],
+    /// Number of valid entries in `fields`.
+    pub fields_len: usize,
+}
+
+#[cfg(feature = "trace")]
+impl RingEntry {
+    fn enter(name: &'static str) -> Self {
+        RingEntry {
+            kind: RingEntryKind::Enter,
+            name,
+            value: 0,
+            fields: [("", 0); MAX_EVENT_FIELDS],
+            fields_len: 0,
+        }
+    }
+
+    fn exit(name: &'static str, nanos: u64) -> Self {
+        RingEntry {
+            kind: RingEntryKind::Exit,
+            name,
+            value: nanos,
+            fields: [("", 0); MAX_EVENT_FIELDS],
+            fields_len: 0,
+        }
+    }
+
+    fn event(name: &'static str, raw: &[(&'static str, u64)]) -> Self {
+        let mut fields = [("", 0); MAX_EVENT_FIELDS];
+        let n = raw.len().min(MAX_EVENT_FIELDS);
+        fields[..n].copy_from_slice(&raw[..n]);
+        RingEntry {
+            kind: RingEntryKind::Event,
+            name,
+            value: 0,
+            fields,
+            fields_len: n,
+        }
+    }
+
+    /// The valid named fields of an event entry.
+    pub fn fields(&self) -> &[(&'static str, u64)] {
+        &self.fields[..self.fields_len]
+    }
+}
+
+/// A fixed-capacity overwrite-oldest buffer of trace entries. Pushing
+/// into a full ring evicts the oldest entry and increments the drop
+/// count — the sink never grows.
+#[cfg(feature = "trace")]
+pub struct TraceRing {
+    slots: Vec<Option<RingEntry>>,
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+#[cfg(feature = "trace")]
+impl TraceRing {
+    /// A ring with `capacity` slots (clamped to at least 1),
+    /// preallocated up front.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            slots: vec![None; capacity.max(1)],
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, entry: RingEntry) {
+        if self.len == self.slots.len() {
+            self.dropped = self.dropped.wrapping_add(1);
+        } else {
+            self.len += 1;
+        }
+        self.slots[self.head] = Some(entry);
+        self.head = (self.head + 1) % self.slots.len();
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// How many entries were overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The buffered entries, oldest first.
+    pub fn entries(&self) -> Vec<RingEntry> {
+        let cap = self.slots.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len)
+            .filter_map(|i| self.slots[(start + i) % cap])
+            .collect()
+    }
+
+    /// Empties the ring and resets the drop count (capacity retained).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.head = 0;
+        self.len = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(feature = "trace")]
+fn ring_push(entry: RingEntry) {
+    collector::with_collector(|col| {
+        if let Some(ring) = col.ring.as_mut() {
+            ring.push(entry);
+        }
+    });
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use crate::collector::{install, take, Collector};
+
+    #[test]
+    fn span_records_duration_and_calls() {
+        static WORK: SpanId = SpanId::new("test.trace.work");
+        assert!(install(Collector::new()).is_none());
+        for _ in 0..3 {
+            let _guard = span(&WORK);
+            std::hint::black_box(17u64.wrapping_mul(31));
+        }
+        let snap = take().expect("collector installed").snapshot();
+        let h = snap.histogram("test.trace.work").expect("span histogram");
+        assert_eq!(h.count, 3);
+        assert_eq!(snap.counter("test.trace.work.calls"), Some(3));
+    }
+
+    #[test]
+    fn tracked_counter_delta_is_attributed() {
+        static BYTES: CounterId = CounterId::new("test.trace.bytes");
+        static SEALING: SpanId = SpanId::tracking("test.trace.sealing", &BYTES, ".bytes");
+        assert!(install(Collector::new()).is_none());
+        BYTES.add(100); // pre-span growth must not be attributed
+        {
+            let _guard = span(&SEALING);
+            BYTES.add(42);
+        }
+        let snap = take().expect("collector installed").snapshot();
+        assert_eq!(snap.counter("test.trace.sealing.bytes"), Some(42));
+        assert_eq!(snap.counter("test.trace.bytes"), Some(142));
+    }
+
+    #[test]
+    fn events_count_and_buffer_with_drops() {
+        static RELEASE: EventId = EventId::new("test.trace.release");
+        assert!(install(Collector::with_ring(4)).is_none());
+        for i in 0..6u64 {
+            event(
+                &RELEASE,
+                &[
+                    ("holder", i),
+                    ("block", 10 + i),
+                    ("extra", 0),
+                    ("dropped", 1),
+                ],
+            );
+        }
+        let col = take().expect("collector installed");
+        assert_eq!(col.snapshot().counter("test.trace.release"), Some(6));
+        let ring = col.ring().expect("ring-equipped collector");
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 2);
+        let entries = ring.entries();
+        assert_eq!(entries.len(), 4);
+        // Oldest first: pushes 2..=5 survive.
+        assert_eq!(entries[0].fields()[0], ("holder", 2));
+        assert_eq!(entries[3].fields()[0], ("holder", 5));
+        // The 4th field fell off the fixed-size slot.
+        assert_eq!(entries[0].fields().len(), MAX_EVENT_FIELDS);
+    }
+
+    #[test]
+    fn span_without_collector_is_inert() {
+        static IDLE: SpanId = SpanId::new("test.trace.idle");
+        let guard = span(&IDLE);
+        drop(guard); // must not panic or record anywhere
+        assert!(install(Collector::new()).is_none());
+        let snap = take().expect("collector installed").snapshot();
+        assert!(snap.is_empty());
+    }
+}

@@ -14,6 +14,8 @@
 //!   associative, commutative operation, so any merge tree over disjoint
 //!   trial ranges reproduces the serial digest exactly.
 
+use emerge_obs::MetricsSnapshot;
+
 /// Partitions `trials` into `shards` contiguous `(first_trial, count)`
 /// ranges whose sizes differ by at most one. `shards` is clamped to
 /// `[1, max(trials, 1)]` so no range is empty (except the single range of
@@ -74,9 +76,34 @@ impl TrialDigest {
     }
 }
 
+/// Digest of a telemetry snapshot's *counter* section: the sorted
+/// `(name, value)` pairs fed through one [`TrialDigest`]. Counters merge
+/// exactly (wrapping addition of per-trial increments), so a serial
+/// run's digest equals the digest of its shards' merged snapshots for
+/// any shard count — the "sharded == serial" guarantee extended from
+/// trial outcomes to telemetry.
+///
+/// Gauges and histograms are deliberately excluded: span histograms
+/// carry wall-clock nanoseconds, which no two runs reproduce. (Counters
+/// that record environment-dependent quantities — e.g. `.allocs` from
+/// per-shard pool warm-ups under a counting allocator — are likewise
+/// shard-dependent; the digest is only as stable as the counters fed
+/// into it.)
+pub fn metrics_digest(snapshot: &MetricsSnapshot) -> u64 {
+    let mut d = TrialDigest::new();
+    for c in &snapshot.counters {
+        d.eat(c.name.as_bytes());
+        // Name terminator: ("ab", …) must not collide with ("a", …).
+        d.eat(&[0]);
+        d.eat(&c.value.to_le_bytes());
+    }
+    d.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use emerge_obs::metrics::{CounterSnap, HistogramSnap, HIST_BUCKETS};
 
     #[test]
     fn shard_ranges_partition_contiguously() {
@@ -114,6 +141,56 @@ mod tests {
         // The empty digest is the mixed offset basis, not zero.
         assert_eq!(digest_of(&[]), TrialDigest::new().finish());
         assert_ne!(digest_of(&[]), 0);
+    }
+
+    #[test]
+    fn metrics_digest_tracks_counters_and_ignores_timing() {
+        let snap = |pairs: &[(&str, u64)]| MetricsSnapshot {
+            counters: pairs
+                .iter()
+                .map(|&(name, value)| CounterSnap {
+                    name: name.into(),
+                    value,
+                })
+                .collect(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let a = snap(&[("trial.execute.calls", 12), ("package.seal.bytes", 9_000)]);
+        assert_eq!(metrics_digest(&a), metrics_digest(&a.clone()));
+        // Value-sensitive and name-sensitive.
+        assert_ne!(
+            metrics_digest(&a),
+            metrics_digest(&snap(&[
+                ("trial.execute.calls", 13),
+                ("package.seal.bytes", 9_000)
+            ]))
+        );
+        assert_ne!(
+            metrics_digest(&a),
+            metrics_digest(&snap(&[
+                ("trial.execute.call", 12),
+                ("package.seal.bytes", 9_000)
+            ]))
+        );
+        // Merging two shards reproduces the serial digest: counters add.
+        let mut merged = snap(&[("trial.execute.calls", 5), ("package.seal.bytes", 4_000)]);
+        merged.merge(&snap(&[
+            ("trial.execute.calls", 7),
+            ("package.seal.bytes", 5_000),
+        ]));
+        assert_eq!(metrics_digest(&merged), metrics_digest(&a));
+        // Histograms never perturb the digest (they hold wall-clock time).
+        let mut with_hist = a.clone();
+        with_hist.histograms = vec![HistogramSnap {
+            name: "trial.execute".into(),
+            count: 12,
+            sum: 123_456_789,
+            min: 1,
+            max: 99_999_999,
+            buckets: [0; HIST_BUCKETS],
+        }];
+        assert_eq!(metrics_digest(&with_hist), metrics_digest(&a));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`sim`] — the deterministic discrete-event engine
 //! * [`crypto`] — the from-scratch cryptographic substrate
 //! * [`cloud`] — the encrypted blob store
+//! * [`obs`] — the observability layer: mergeable metrics, span/event
+//!   tracing, profiling hooks
 //!
 //! See `examples/quickstart.rs` for a complete walk-through, and the
 //! `emerge-bench` crate for the binaries that regenerate every figure of
@@ -25,6 +27,7 @@ pub use emerge_contract as contract;
 pub use emerge_core as core;
 pub use emerge_crypto as crypto;
 pub use emerge_dht as dht;
+pub use emerge_obs as obs;
 pub use emerge_sim as sim;
 
 pub use emerge_core::emergence::{SelfEmergingSystem, SendRequest};
