@@ -37,6 +37,24 @@
 //! gate (it may not measure comparable pairs) and is meant for iteration,
 //! not for re-recording the committed baseline.
 //!
+//! ## Fault frontier
+//!
+//! `--faults <scenario|all>` replaces the throughput grid with the
+//! survival-vs-fault-intensity frontier: the CI-sized share cell runs
+//! under the named deterministic fault scenario (or, for `all`, under
+//! loss bursts, correlated outages, crash storms and churn storms, plus
+//! block-clock skew on the bonded contract cell) at three intensities,
+//! recording release/clean rates with the degraded-success rate — trials
+//! that released *despite* injected disruptions — broken out per cell:
+//!
+//! ```sh
+//! montecarlo_baseline --faults all BENCH_montecarlo_faults.json
+//! montecarlo_baseline --faults crash_storm /tmp/crash_frontier.json
+//! ```
+//!
+//! Fault injection is a pure function of `(plan, world seed)`, so the
+//! frontier is bit-identical for any `EMERGE_MC_THREADS` value.
+//!
 //! ## Perf floor
 //!
 //! `--floor <trials/sec>` turns the run into a smoke gate: if any
@@ -62,7 +80,8 @@
 //! `EMERGE_BASELINE_OVERLAY_TRIALS` (default 200) and `EMERGE_MC_THREADS`.
 
 use emerge_bench::mc::{
-    run_bonded_trials_profiled, run_protocol_trials_pooled_profiled, run_protocol_trials_profiled,
+    run_bonded_faulted_trials_profiled, run_bonded_trials_profiled, run_faulted_trials_profiled,
+    run_protocol_trials_pooled_profiled, run_protocol_trials_profiled,
     run_protocol_trials_threaded,
 };
 use emerge_bench::parallel::mc_threads;
@@ -76,6 +95,7 @@ use emerge_core::montecarlo::ProtocolTrialSpec;
 use emerge_core::protocol::AttackMode;
 use emerge_dht::analytic::AnalyticSubstrate;
 use emerge_dht::overlay::{Overlay, OverlayConfig};
+use emerge_faults::{RecoveryPolicy, Scenario};
 use emerge_obs::alloccount::CountingAllocator;
 use emerge_obs::{MetricsSnapshot, Stopwatch};
 use emerge_sim::time::SimDuration;
@@ -199,6 +219,13 @@ struct Args {
     /// Include the per-phase time/alloc/seal-volume breakdown (from the
     /// pipeline's `emerge-obs` spans) in each cell's report entry.
     profile: bool,
+    /// `--faults <scenario|all>`: instead of the throughput grid, sweep
+    /// the named fault scenario (or every frontier scenario) over an
+    /// intensity ladder on the CI-sized share cell, recording the
+    /// survival-vs-fault-intensity frontier with degraded successes
+    /// broken out from clean ones. `clock_skew` additionally runs the
+    /// contract-native bonded cell, where skew slashes missed reveals.
+    faults: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -208,6 +235,7 @@ fn parse_args() -> Result<Args, String> {
         substrate: None,
         floor: None,
         profile: false,
+        faults: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -225,6 +253,32 @@ fn parse_args() -> Result<Args, String> {
                 args.floor = Some(parsed);
             }
             "--profile" => args.profile = true,
+            "--faults" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| {
+                        format!(
+                            "--faults needs a scenario (all, {})",
+                            Scenario::all()
+                                .iter()
+                                .map(|s| s.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    })?
+                    .to_lowercase();
+                if value != "all" && Scenario::parse(&value).is_none() {
+                    return Err(format!(
+                        "unknown fault scenario {value:?}; supported: all, {}",
+                        Scenario::all()
+                            .iter()
+                            .map(|s| s.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                args.faults = Some(value);
+            }
             // --cell and --scheme are the same filter (a case-insensitive
             // substring match on the cell name); --cell reads better for
             // full names like `share_8x3_release_ahead`, --scheme for
@@ -248,7 +302,8 @@ fn parse_args() -> Result<Args, String> {
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unknown flag {flag}; supported: --cell <substr>, --scheme <substr>, \
-                     --substrate <substr>, --floor <trials/sec>, --profile"
+                     --substrate <substr>, --floor <trials/sec>, --profile, \
+                     --faults <scenario|all>"
                 ));
             }
             path => args.out_path = path.to_string(),
@@ -276,7 +331,7 @@ impl Args {
 }
 
 fn measure<R, E, F>(
-    cell: &'static str,
+    cell: &str,
     substrate: &'static str,
     threads: usize,
     trials: usize,
@@ -305,18 +360,28 @@ where
         seconds,
         clean: results.clean_rate(),
         released: results.released_rate(),
+        degraded: results.degraded_rate(),
         phases: if profile {
             phase_stats(&telemetry)
         } else {
             Vec::new()
         },
     };
-    eprintln!(
-        "  {:.2} trials/sec (clean {:.3}, released {:.3})",
-        m.trials_per_sec(),
-        m.clean,
-        m.released
-    );
+    match m.degraded {
+        Some(degraded) => eprintln!(
+            "  {:.2} trials/sec (clean {:.3}, released {:.3}, degraded {:.3})",
+            m.trials_per_sec(),
+            m.clean,
+            m.released,
+            degraded
+        ),
+        None => eprintln!(
+            "  {:.2} trials/sec (clean {:.3}, released {:.3})",
+            m.trials_per_sec(),
+            m.clean,
+            m.released
+        ),
+    }
     for p in &m.phases {
         eprintln!(
             "    {:<24} {:>8.1} us/call  allocs {:<8} sealed {} B",
@@ -329,10 +394,16 @@ where
     Ok(m)
 }
 
-/// The two rates every cell kind reports, whatever engine produced them.
+/// The rates every cell kind reports, whatever engine produced them.
+/// Fault-scenario cells additionally break out the degraded-success rate
+/// (released despite ≥1 injected disruption); faultless cells return
+/// `None` and the report omits the key.
 trait CellRates {
     fn clean_rate(&self) -> f64;
     fn released_rate(&self) -> f64;
+    fn degraded_rate(&self) -> Option<f64> {
+        None
+    }
 }
 
 impl CellRates for emerge_core::montecarlo::ProtocolMcResults {
@@ -351,6 +422,128 @@ impl CellRates for emerge_contract::mc::BondedMcResults {
     fn released_rate(&self) -> f64 {
         self.released.value()
     }
+}
+
+impl CellRates for emerge_core::faults::FaultyMcResults {
+    fn clean_rate(&self) -> f64 {
+        self.base.clean.value()
+    }
+    fn released_rate(&self) -> f64 {
+        self.base.released.value()
+    }
+    fn degraded_rate(&self) -> Option<f64> {
+        Some(self.degraded.value())
+    }
+}
+
+impl CellRates for emerge_contract::mc::FaultyBondedMcResults {
+    fn clean_rate(&self) -> f64 {
+        self.base.clean.value()
+    }
+    fn released_rate(&self) -> f64 {
+        self.base.released.value()
+    }
+    fn degraded_rate(&self) -> Option<f64> {
+        Some(self.degraded.value())
+    }
+}
+
+/// Intensity ladder for the survival-vs-fault-intensity frontier, in
+/// parts-per-million of the scenario's knob (loss probability, crash
+/// probability, outage density, skew fraction, ...).
+const FAULT_INTENSITIES_PPM: [u32; 3] = [50_000, 150_000, 400_000];
+
+/// Fault plans are compiled over the protocol's *active* window (the
+/// 8k-tick emerging period plus headroom), not the 200k-tick world
+/// horizon: `Scenario::plan` spreads its burst across the middle 80% of
+/// whatever horizon it is given, and a burst placed against the world
+/// horizon would never overlap the trials.
+const FAULT_HORIZON_TICKS: u64 = 10_000;
+
+/// The scenarios `--faults all` sweeps on the wire-protocol path. Clock
+/// skew is contract-native (it bends block clocks, not hop deadlines)
+/// and runs on the bonded cell instead.
+const FRONTIER: [Scenario; 4] = [
+    Scenario::LossBurst,
+    Scenario::CorrelatedOutage,
+    Scenario::CrashStorm,
+    Scenario::ChurnStorm,
+];
+
+/// Sweeps the selected fault scenario(s) over [`FAULT_INTENSITIES_PPM`]
+/// on the CI-sized share cell (analytic substrate, default recovery
+/// policy) and — for clock skew — on the bonded contract cell, recording
+/// one measurement per `(scenario, intensity)` with the degraded-success
+/// rate broken out.
+fn fault_frontier(
+    filter: &str,
+    config: &OverlayConfig,
+    trials: usize,
+    threads: usize,
+    profile: bool,
+    measurements: &mut Vec<McMeasurement>,
+) -> Result<(), String> {
+    let (base_cell, spec) = cells()
+        .into_iter()
+        .find(|(name, _)| *name == "share_8x3_release_ahead")
+        .ok_or("the share_8x3 cell vanished from the grid")?;
+    let protocol_scenarios: Vec<Scenario> = if filter == "all" {
+        FRONTIER.to_vec()
+    } else {
+        Scenario::parse(filter)
+            .into_iter()
+            .filter(|s| *s != Scenario::ClockSkew)
+            .collect()
+    };
+    for scenario in protocol_scenarios {
+        for ppm in FAULT_INTENSITIES_PPM {
+            let plan = scenario.plan(ppm, FAULT_HORIZON_TICKS, SEED);
+            let name = format!("{base_cell}+{}@{}ppm", scenario.name(), ppm);
+            measurements.push(measure(
+                &name,
+                "analytic",
+                threads,
+                trials,
+                profile,
+                |trials, threads| {
+                    run_faulted_trials_profiled(
+                        &spec,
+                        &plan,
+                        RecoveryPolicy::default(),
+                        trials,
+                        SEED,
+                        threads,
+                        |s| AnalyticSubstrate::build(*config, s),
+                    )
+                },
+            )?);
+        }
+    }
+    if filter == "all" || filter == "clock_skew" {
+        let (bonded_name, bonded_spec) = bonded_cell();
+        for ppm in FAULT_INTENSITIES_PPM {
+            let plan = Scenario::ClockSkew.plan(ppm, FAULT_HORIZON_TICKS, SEED);
+            let name = format!("{bonded_name}+clock_skew@{ppm}ppm");
+            measurements.push(measure(
+                &name,
+                "contract",
+                threads,
+                trials,
+                profile,
+                |trials, threads| {
+                    run_bonded_faulted_trials_profiled(
+                        &bonded_spec,
+                        &plan,
+                        trials,
+                        SEED,
+                        threads,
+                        |s| ContractSubstrate::build(ContractConfig::over(*config), s),
+                    )
+                },
+            )?);
+        }
+    }
+    Ok(())
 }
 
 fn main() {
@@ -375,8 +568,11 @@ fn run() -> Result<(), String> {
     // Cross-check first: all substrates must agree trial for trial on a
     // small shared cell — and the threaded runner must agree with itself
     // single-threaded — otherwise the throughput numbers compare
-    // different computations. Filtered dev-loop runs skip the gate.
-    if !args.filtered() {
+    // different computations. Filtered dev-loop runs skip the gate, and
+    // so does the fault frontier (it measures survival, not throughput).
+    if args.faults.is_some() {
+        eprintln!("fault frontier mode: skipping the cross-substrate parity gate");
+    } else if !args.filtered() {
         let check_spec = &cells()[0].1;
         let check_cfg = world_config(500);
         let full = run_protocol_trials_threaded(check_spec, 10, SEED, threads, |s| {
@@ -413,7 +609,20 @@ fn run() -> Result<(), String> {
 
     let config = world_config(POPULATION);
     let mut measurements = Vec::new();
+    if let Some(filter) = args.faults.as_deref() {
+        fault_frontier(
+            filter,
+            &config,
+            analytic_trials,
+            threads,
+            args.profile,
+            &mut measurements,
+        )?;
+    }
     for (cell, spec) in cells() {
+        if args.faults.is_some() {
+            break; // frontier mode replaces the throughput grid
+        }
         if !args.wants_cell(cell) {
             continue;
         }
@@ -478,7 +687,7 @@ fn run() -> Result<(), String> {
         }
     }
     let (bonded_name, bonded_spec) = bonded_cell();
-    if args.wants_cell(bonded_name) && args.wants_substrate("contract") {
+    if args.faults.is_none() && args.wants_cell(bonded_name) && args.wants_substrate("contract") {
         measurements.push(measure(
             bonded_name,
             "contract",

@@ -19,15 +19,19 @@
 use crate::parallel::{mc_threads, parallel_map_workers};
 use crate::profile::collected;
 use emerge_contract::error::ContractError;
-use emerge_contract::mc::{run_bonded_trial_range, BondedMcResults};
+use emerge_contract::mc::{
+    run_bonded_trial_range, run_bonded_trial_range_faulted, BondedMcResults, FaultyBondedMcResults,
+};
 use emerge_contract::release::BondedSpec;
 use emerge_contract::substrate::ContractSubstrate;
 use emerge_core::error::EmergeError;
+use emerge_core::faults::{run_faulted_trial_range, FaultyMcResults};
 use emerge_core::montecarlo::{
     run_protocol_trial_range, run_protocol_trial_range_pooled, shard_ranges, ProtocolMcResults,
     ProtocolTrialSpec, TrialWorkspace,
 };
 use emerge_core::substrate::HolderSubstrate;
+use emerge_faults::{FaultPlan, RecoveryPolicy};
 use emerge_obs::MetricsSnapshot;
 
 /// Merges per-shard `(result, telemetry)` pairs in shard order: results
@@ -226,6 +230,81 @@ where
     })
 }
 
+/// Faulted form of [`run_protocol_trials_profiled`]: every trial runs
+/// behind a [`FaultySubstrate`](emerge_core::faults::FaultySubstrate)
+/// wrapper armed from `plan` and recovering under `policy`, across
+/// `threads` worker shards with per-worker collectors. Bit-identical to
+/// the serial [`run_faulted_trials`](emerge_core::faults::run_faulted_trials)
+/// on every counter-valued field and both fingerprints, for any thread
+/// count — faults are pure functions of `(plan, world seed)`, never of
+/// scheduling.
+///
+/// # Errors
+///
+/// See [`run_protocol_trials_threaded`].
+pub fn run_faulted_trials_profiled<S, F>(
+    spec: &ProtocolTrialSpec,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    substrate_factory: F,
+) -> Result<(FaultyMcResults, MetricsSnapshot), EmergeError>
+where
+    S: HolderSubstrate,
+    F: Fn(u64) -> S + Sync,
+{
+    let ranges = shard_ranges(trials, threads);
+    let partials = parallel_map_workers(&ranges, threads, |&(first_trial, count)| {
+        collected(|| {
+            run_faulted_trial_range(
+                spec,
+                plan,
+                policy,
+                first_trial,
+                count,
+                seed,
+                &substrate_factory,
+            )
+        })
+    });
+    merge_profiled(partials, FaultyMcResults::default(), |acc, p| {
+        acc.merge(p);
+    })
+}
+
+/// Faulted form of [`run_bonded_trials_profiled`]: each bonded trial's
+/// holder actions pass through a [`FaultInjector`](emerge_faults::FaultInjector)
+/// armed from `plan` (crashes become slashing withholds, block-clock skew
+/// can push reveals out of their window). Per-worker collectors, shard
+/// order merges, bit-identical partials for any thread count.
+///
+/// # Errors
+///
+/// See [`run_bonded_trials_threaded`].
+pub fn run_bonded_faulted_trials_profiled<F>(
+    spec: &BondedSpec,
+    plan: &FaultPlan,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    substrate_factory: F,
+) -> Result<(FaultyBondedMcResults, MetricsSnapshot), ContractError>
+where
+    F: Fn(u64) -> ContractSubstrate + Sync,
+{
+    let ranges = shard_ranges(trials, threads);
+    let partials = parallel_map_workers(&ranges, threads, |&(first_trial, count)| {
+        collected(|| {
+            run_bonded_trial_range_faulted(spec, plan, first_trial, count, seed, &substrate_factory)
+        })
+    });
+    merge_profiled(partials, FaultyBondedMcResults::default(), |acc, p| {
+        acc.merge(p);
+    })
+}
+
 /// Runs `trials` bonded-release trials (the contract-native emergence
 /// mode) across `threads` worker threads, one contiguous trial range per
 /// shard, merging the partials in shard order.
@@ -411,6 +490,43 @@ mod tests {
         let serial = run_protocol_trials(&spec, 6, 2, factory).unwrap();
         let auto = run_protocol_trials_parallel(&spec, 6, 2, factory).unwrap();
         assert_eq!(auto.fingerprint, serial.fingerprint);
+    }
+
+    #[test]
+    fn threaded_faulted_runs_match_serial_for_any_thread_count() {
+        use emerge_core::faults::run_faulted_trials;
+        use emerge_faults::Scenario;
+
+        let spec = spec(SchemeParams::Share {
+            k: 2,
+            l: 3,
+            n: 6,
+            m: vec![3, 3],
+        });
+        // The plan horizon tracks the protocol's active window (the
+        // 3k-tick emerging period plus headroom), not the world horizon.
+        let plan = Scenario::CrashStorm.plan(300_000, 4_000, 7);
+        let policy = RecoveryPolicy::default();
+        let serial = run_faulted_trials(&spec, &plan, policy, 12, 5, factory).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let (threaded, _telemetry) =
+                run_faulted_trials_profiled(&spec, &plan, policy, 12, 5, threads, factory).unwrap();
+            assert_eq!(
+                threaded.base.fingerprint, serial.base.fingerprint,
+                "{threads} threads"
+            );
+            assert_eq!(
+                threaded.fault_fingerprint, serial.fault_fingerprint,
+                "{threads} threads fault fingerprint"
+            );
+            assert_eq!(threaded.degraded, serial.degraded);
+            assert_eq!(threaded.clean_of_faults, serial.clean_of_faults);
+            assert_eq!(threaded.disrupted, serial.disrupted);
+        }
+        assert!(
+            serial.disrupted.successes() > 0,
+            "the storm must actually disrupt"
+        );
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct McMeasurement {
     pub clean: f64,
     /// Release rate observed.
     pub released: f64,
+    /// Degraded-success rate for fault-scenario cells: the fraction of
+    /// trials that released *despite* at least one injected disruption.
+    /// `None` for faultless cells (the key is omitted from the report),
+    /// so clean success and fault-tolerant success never blur together.
+    pub degraded: Option<f64>,
     /// Per-phase breakdown from the cell's `emerge-obs` telemetry
     /// (`--profile` runs; empty otherwise, and omitted from the report).
     pub phases: Vec<PhaseStats>,
@@ -106,6 +111,9 @@ pub fn render_montecarlo_report(
                 json_number(m.clean, 4),
                 json_number(m.released, 4),
             );
+            if let Some(degraded) = m.degraded {
+                let _ = write!(line, ", \"degraded_rate\": {}", json_number(degraded, 4));
+            }
             if !m.phases.is_empty() {
                 line.push_str(", \"phases\": [\n");
                 let phase_lines: Vec<String> = m.phases.iter().map(render_phase).collect();
@@ -390,6 +398,7 @@ mod tests {
             seconds,
             clean: 1.0,
             released: 1.0,
+            degraded: None,
             phases: Vec::new(),
         }
     }
@@ -453,6 +462,19 @@ mod tests {
         assert!(json.contains("\"sealed_bytes\": 40960000"));
         // An unprofiled measurement carries no phases key at all.
         assert_eq!(json.matches("\"phases\"").count(), 1);
+    }
+
+    #[test]
+    fn fault_cells_carry_a_degraded_rate_and_plain_cells_do_not() {
+        let mut faulted = measurement(2.0);
+        faulted.cell = "share_8x3+loss_burst@100000ppm".into();
+        faulted.degraded = Some(0.125);
+        let json = render_montecarlo_report(10_000, 1, &[faulted, measurement(1.0)]);
+        validate_json(&json).unwrap_or_else(|(pos, msg)| {
+            panic!("invalid JSON at byte {pos}: {msg}\n{json}");
+        });
+        assert_eq!(json.matches("\"degraded_rate\": 0.1250").count(), 1);
+        assert_eq!(json.matches("\"degraded_rate\"").count(), 1);
     }
 
     #[test]

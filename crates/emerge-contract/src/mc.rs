@@ -10,8 +10,9 @@
 //! guarantee extends to the contract-native emergence mode unchanged.
 
 use crate::error::ContractError;
-use crate::release::{run_bonded_release, BondedReport, BondedSpec};
+use crate::release::{run_bonded_release, run_bonded_release_faulted, BondedReport, BondedSpec};
 use crate::substrate::ContractSubstrate;
+use emerge_faults::{FaultPlan, FaultStats};
 use emerge_obs::trace::{span, SpanId};
 use emerge_sim::metrics::{Rate, Summary};
 use emerge_sim::rng::SeedSource;
@@ -95,14 +96,7 @@ where
             let _phase = span(&SPAN_BONDED_RELEASE);
             run_bonded_release(&mut substrate, spec, &secret, &mut trial_rng)?
         };
-        results.released.record(report.released.is_some());
-        results.clean.record(report.clean_emergence());
-        results.leaked_early.record(report.early_leak.is_some());
-        results.withheld_quorum.record(report.failure.is_some());
-        results.slashed.record(report.slashed as f64);
-        results.fingerprint = results
-            .fingerprint
-            .wrapping_add(trial_digest(trial_idx as u64, &report));
+        record_bonded_trial(&mut results, trial_idx, &report);
     }
     Ok(results)
 }
@@ -148,6 +142,140 @@ where
         results.merge(&shard);
     }
     Ok(results)
+}
+
+/// Aggregated outcomes of a fault-plane bonded-release batch: the plain
+/// bonded results as measured under the plan, plus the degraded/clean
+/// fault-outcome taxonomy (mirrors `emerge-core`'s `FaultyMcResults`).
+#[derive(Debug, Clone, Default)]
+pub struct FaultyBondedMcResults {
+    /// The underlying bonded results, measured under the fault plan.
+    pub base: BondedMcResults,
+    /// Trials that released despite at least one injected disruption.
+    pub degraded: Rate,
+    /// Trials that released having seen no disruption at all.
+    pub clean_of_faults: Rate,
+    /// Trials that saw at least one injected disruption.
+    pub disrupted: Rate,
+    /// Per-trial injected-disruption counts.
+    pub disruptions: Summary,
+    /// Index-keyed digest over every trial's fault statistics
+    /// ([`FaultStats::digest`]); merges by wrapping addition.
+    pub fault_fingerprint: u64,
+}
+
+impl FaultyBondedMcResults {
+    /// Merges a disjoint batch; counter-valued fields and both
+    /// fingerprints merge exactly.
+    pub fn merge(&mut self, other: &FaultyBondedMcResults) {
+        self.base.merge(&other.base);
+        self.degraded.merge(&other.degraded);
+        self.clean_of_faults.merge(&other.clean_of_faults);
+        self.disrupted.merge(&other.disrupted);
+        self.disruptions.merge(&other.disruptions);
+        self.fault_fingerprint = self.fault_fingerprint.wrapping_add(other.fault_fingerprint);
+    }
+}
+
+/// Runs the contiguous trial range `[first_trial, first_trial + count)`
+/// of a bonded-release batch under `plan`. Each trial arms the plan
+/// against its own world seed — the same per-index stream as
+/// [`run_bonded_trial_range`] — so an empty plan reproduces the plain
+/// runner bit for bit and sharded runs merge exactly to serial ones.
+///
+/// # Errors
+///
+/// Propagates the first trial failure (invalid spec, contract errors).
+pub fn run_bonded_trial_range_faulted<F>(
+    spec: &BondedSpec,
+    plan: &FaultPlan,
+    first_trial: usize,
+    count: usize,
+    seed: u64,
+    mut substrate_factory: F,
+) -> Result<FaultyBondedMcResults, ContractError>
+where
+    F: FnMut(u64) -> ContractSubstrate,
+{
+    let seeds = SeedSource::new(seed);
+    let mut results = FaultyBondedMcResults::default();
+    for trial_idx in first_trial..first_trial + count {
+        let mut trial_rng = seeds.stream_n("bonded-trial", trial_idx as u64);
+        let world_seed = trial_rng.next_u64();
+        let mut substrate = {
+            let _phase = span(&SPAN_WORLD_REBUILD);
+            substrate_factory(world_seed)
+        };
+        let mut secret = [0u8; 32];
+        trial_rng.fill_bytes(&mut secret);
+
+        let injector = plan.arm(world_seed);
+        let report = {
+            let _phase = span(&SPAN_BONDED_RELEASE);
+            run_bonded_release_faulted(&mut substrate, spec, &secret, &mut trial_rng, &injector)?
+        };
+        let stats: FaultStats = injector.stats();
+        record_bonded_trial(&mut results.base, trial_idx, &report);
+        let released = report.released.is_some();
+        let disrupted = stats.disrupted();
+        results.degraded.record(released && disrupted);
+        results.clean_of_faults.record(released && !disrupted);
+        results.disrupted.record(disrupted);
+        results.disruptions.record(stats.disruptions as f64);
+        // An empty plan leaves the fault fingerprint at zero so faultless
+        // runs are trivially distinguishable from all-quiet faulted runs.
+        if !plan.is_empty() {
+            results.fault_fingerprint = results
+                .fault_fingerprint
+                .wrapping_add(stats.digest(trial_idx as u64));
+        }
+    }
+    Ok(results)
+}
+
+/// Runs `trials` faulted bonded trials split over `shards` contiguous
+/// ranges and merges the partials — bit-identical to a serial range run
+/// on every counter-valued field and both fingerprints.
+///
+/// # Errors
+///
+/// Propagates the first shard failure in shard order.
+pub fn run_bonded_trials_faulted_sharded<F>(
+    spec: &BondedSpec,
+    plan: &FaultPlan,
+    trials: usize,
+    seed: u64,
+    shards: usize,
+    mut substrate_factory: F,
+) -> Result<FaultyBondedMcResults, ContractError>
+where
+    F: FnMut(u64) -> ContractSubstrate,
+{
+    let mut results = FaultyBondedMcResults::default();
+    for (first_trial, count) in shard_ranges(trials, shards) {
+        let shard = run_bonded_trial_range_faulted(
+            spec,
+            plan,
+            first_trial,
+            count,
+            seed,
+            &mut substrate_factory,
+        )?;
+        results.merge(&shard);
+    }
+    Ok(results)
+}
+
+/// Folds one completed bonded trial into a result batch.
+fn record_bonded_trial(results: &mut BondedMcResults, trial_idx: usize, report: &BondedReport) {
+    results.released.record(report.released.is_some());
+    results.clean.record(report.clean_emergence());
+    results.leaked_early.record(report.early_leak.is_some());
+    results.withheld_quorum.record(report.failure.is_some());
+    results.slashed.record(report.slashed as f64);
+    results.fingerprint = results
+        .fingerprint
+        .wrapping_add(trial_digest(trial_idx as u64, report));
 }
 
 /// Digest of one trial, keyed by its global trial index
@@ -291,6 +419,73 @@ mod tests {
         let mut merged = empty;
         merged.merge(&run);
         assert_eq!(merged.fingerprint, run.fingerprint);
+    }
+
+    fn storm(kind: emerge_faults::FaultKind) -> FaultPlan {
+        FaultPlan::new(
+            77,
+            vec![emerge_faults::FaultEvent {
+                from: emerge_sim::time::SimTime::ZERO,
+                to: emerge_sim::time::SimTime::MAX,
+                kind,
+            }],
+        )
+    }
+
+    #[test]
+    fn empty_plan_faulted_trials_match_plain_bit_for_bit() {
+        let spec = spec(HolderStrategy::AlwaysWithhold);
+        let plain = run_bonded_trials(&spec, 12, 9, factory(0.4)).unwrap();
+        let faulted =
+            run_bonded_trial_range_faulted(&spec, &FaultPlan::none(), 0, 12, 9, factory(0.4))
+                .unwrap();
+        assert_eq!(faulted.base.fingerprint, plain.fingerprint);
+        assert_eq!(faulted.base.released, plain.released);
+        assert_eq!(faulted.fault_fingerprint, 0);
+        assert_eq!(faulted.disrupted.successes(), 0);
+    }
+
+    #[test]
+    fn faulted_sharded_matches_serial_bit_for_bit() {
+        let spec = spec(HolderStrategy::Compliant);
+        let plan = storm(emerge_faults::FaultKind::CrashRestart { crash_ppm: 250_000 });
+        let serial = run_bonded_trial_range_faulted(&spec, &plan, 0, 15, 13, factory(0.2)).unwrap();
+        for shards in [1usize, 2, 7] {
+            let sharded =
+                run_bonded_trials_faulted_sharded(&spec, &plan, 15, 13, shards, factory(0.2))
+                    .unwrap();
+            assert_eq!(
+                sharded.base.fingerprint, serial.base.fingerprint,
+                "{shards} shards"
+            );
+            assert_eq!(
+                sharded.fault_fingerprint, serial.fault_fingerprint,
+                "{shards} shards fault fingerprint"
+            );
+            assert_eq!(sharded.degraded, serial.degraded);
+            assert_eq!(sharded.clean_of_faults, serial.clean_of_faults);
+            assert_eq!(sharded.disrupted, serial.disrupted);
+            assert_eq!(sharded.disruptions.count(), serial.disruptions.count());
+        }
+        assert!(
+            serial.disrupted.successes() > 0,
+            "quarter-intensity crash storm must actually disrupt"
+        );
+    }
+
+    #[test]
+    fn degraded_and_clean_partition_the_released_trials() {
+        let spec = spec(HolderStrategy::Compliant);
+        let plan = storm(emerge_faults::FaultKind::CrashRestart { crash_ppm: 200_000 });
+        let r = run_bonded_trial_range_faulted(&spec, &plan, 0, 40, 31, factory(0.0)).unwrap();
+        assert_eq!(
+            r.degraded.successes() + r.clean_of_faults.successes(),
+            r.base.released.successes(),
+            "degraded and clean-of-faults must exactly partition releases"
+        );
+        assert!(r.degraded.successes() > 0, "some releases must be degraded");
+        // Honest world: every slashed bond corresponds to a crash.
+        assert!(r.base.slashed.mean() > 0.0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::error::ContractError;
 use crate::substrate::ContractSubstrate;
 use emerge_crypto::keys::KeyShare;
 use emerge_crypto::shamir;
+use emerge_faults::FaultInjector;
 use emerge_sim::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 
@@ -143,6 +144,39 @@ pub fn run_bonded_release(
     secret: &[u8],
     rng: &mut StdRng,
 ) -> Result<BondedReport, ContractError> {
+    run_bonded_release_inner(substrate, spec, secret, rng, None)
+}
+
+/// [`run_bonded_release`] under an armed fault plan: crash faults kill a
+/// holder's registered tenant before its reveal instant (the contract
+/// slashes exactly its bond, indistinguishable from a churn death), and
+/// block-clock skew makes a holder believe the reveal window opens
+/// `skew` blocks later than it does — when the skew exceeds the window
+/// length the holder misses it entirely and is slashed as a withholder.
+///
+/// With an injector armed from an empty plan this is bit-identical to
+/// the plain runner.
+///
+/// # Errors
+///
+/// See [`run_bonded_release`].
+pub fn run_bonded_release_faulted(
+    substrate: &mut ContractSubstrate,
+    spec: &BondedSpec,
+    secret: &[u8],
+    rng: &mut StdRng,
+    faults: &FaultInjector,
+) -> Result<BondedReport, ContractError> {
+    run_bonded_release_inner(substrate, spec, secret, rng, Some(faults))
+}
+
+fn run_bonded_release_inner(
+    substrate: &mut ContractSubstrate,
+    spec: &BondedSpec,
+    secret: &[u8],
+    rng: &mut StdRng,
+    faults: Option<&FaultInjector>,
+) -> Result<BondedReport, ContractError> {
     if spec.m == 0 || spec.m > spec.n {
         return Err(ContractError::InvalidParameters(format!(
             "threshold m must be in [1, n]: m={}, n={}",
@@ -225,7 +259,7 @@ pub fn run_bonded_release(
             } else {
                 RevealAction::OnTime
             };
-            match action {
+            let resolved = match action {
                 RevealAction::Early if early_block < reveal_from => {
                     if tenant.alive_at(clock.time_of(early_block)) {
                         ResolvedAction::Early(early_block)
@@ -241,6 +275,17 @@ pub fn run_bonded_release(
                     }
                 }
                 RevealAction::Withhold => ResolvedAction::Withhold { died: false },
+            };
+            match faults {
+                Some(injector) => apply_holder_faults(
+                    injector,
+                    slot,
+                    resolved,
+                    reveal_instant,
+                    reveal_from,
+                    reveal_by,
+                ),
+                None => resolved,
             }
         })
         .collect();
@@ -335,6 +380,47 @@ pub fn run_bonded_release(
         "bonded release must conserve the token supply"
     );
     Ok(report)
+}
+
+/// Applies crash and block-clock-skew faults to one holder's resolved
+/// action. Only actions that would have revealed are vulnerable; a
+/// withholder stays a withholder.
+fn apply_holder_faults(
+    injector: &FaultInjector,
+    slot: usize,
+    resolved: ResolvedAction,
+    reveal_instant: SimTime,
+    reveal_from: BlockHeight,
+    reveal_by: BlockHeight,
+) -> ResolvedAction {
+    if injector.is_empty() {
+        return resolved;
+    }
+    match resolved {
+        ResolvedAction::Withhold { .. } => resolved,
+        ResolvedAction::OnTime | ResolvedAction::Early(_) => {
+            // Crash + restart with state loss: the registered tenant is
+            // gone at its reveal instant and the share with it. The
+            // contract slashes a corpse, exactly as for a churn death.
+            if injector.unreachable_at(slot, reveal_instant) {
+                injector.note_disruption();
+                return ResolvedAction::Withhold { died: true };
+            }
+            // Block-clock skew: the holder believes the reveal window
+            // opens `skew` blocks later than it does. It misses the
+            // window entirely when the skewed start is at or past the
+            // close, and is slashed as an ordinary withholder.
+            let skew = injector.clock_skew_blocks(slot, reveal_instant);
+            if skew > 0 {
+                if reveal_from + skew >= reveal_by {
+                    return ResolvedAction::Withhold { died: false };
+                }
+                // The skewed submission still lands inside the window.
+                injector.note_recovery();
+            }
+            resolved
+        }
+    }
 }
 
 /// Serializes one share as its on-chain payload: index byte ‖ data.
@@ -521,6 +607,145 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    fn window_plan(kind: emerge_faults::FaultKind) -> emerge_faults::FaultPlan {
+        emerge_faults::FaultPlan::new(
+            1,
+            vec![emerge_faults::FaultEvent {
+                from: SimTime::ZERO,
+                to: SimTime::MAX,
+                kind,
+            }],
+        )
+    }
+
+    #[test]
+    fn empty_plan_faulted_run_matches_plain_bit_for_bit() {
+        let run_plain = || {
+            let mut sub = substrate(96, 0.4, 21);
+            let mut rng = StdRng::seed_from_u64(21);
+            run_bonded_release(
+                &mut sub,
+                &spec(7, 4, HolderStrategy::AlwaysWithhold),
+                SECRET,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let run_faulted = || {
+            let mut sub = substrate(96, 0.4, 21);
+            let mut rng = StdRng::seed_from_u64(21);
+            let injector = emerge_faults::FaultPlan::none().arm(21);
+            run_bonded_release_faulted(
+                &mut sub,
+                &spec(7, 4, HolderStrategy::AlwaysWithhold),
+                SECRET,
+                &mut rng,
+                &injector,
+            )
+            .unwrap()
+        };
+        assert_eq!(run_plain(), run_faulted());
+    }
+
+    #[test]
+    fn crashed_holders_slash_exactly_their_bonds() {
+        // All-honest, churn-free world under a total crash storm: every
+        // holder's registered tenant dies before its reveal instant, the
+        // quorum starves, and the contract slashes exactly one bond per
+        // crashed holder — no more, no less.
+        let plan = window_plan(emerge_faults::FaultKind::CrashRestart {
+            crash_ppm: 1_000_000,
+        });
+        let mut sub = substrate(64, 0.0, 9);
+        let mut rng = StdRng::seed_from_u64(9);
+        let injector = plan.arm(9);
+        let report = run_bonded_release_faulted(
+            &mut sub,
+            &spec(5, 3, HolderStrategy::Compliant),
+            SECRET,
+            &mut rng,
+            &injector,
+        )
+        .unwrap();
+        assert!(report.released.is_none());
+        assert_eq!(report.died, 5, "every holder crashed");
+        assert_eq!(report.slashed, 5 * EconomyParams::default().bond);
+        assert_eq!(report.rewards_paid, 0);
+
+        // Partial storm: slashed tracks the crash count exactly, and the
+        // m-of-n headroom can still release around the corpses.
+        let plan = window_plan(emerge_faults::FaultKind::CrashRestart { crash_ppm: 300_000 });
+        let mut sub = substrate(64, 0.0, 10);
+        let mut rng = StdRng::seed_from_u64(10);
+        let injector = plan.arm(10);
+        let report = run_bonded_release_faulted(
+            &mut sub,
+            &spec(9, 3, HolderStrategy::Compliant),
+            SECRET,
+            &mut rng,
+            &injector,
+        )
+        .unwrap();
+        assert_eq!(
+            report.withheld, report.died,
+            "honest world: only crashes withhold"
+        );
+        assert_eq!(
+            report.slashed,
+            report.died as u64 * EconomyParams::default().bond,
+            "a crashed holder's missed reveal slashes exactly its bond"
+        );
+        assert_eq!(report.on_time, 9 - report.died);
+    }
+
+    #[test]
+    fn clock_skew_beyond_the_window_slashes_as_withholding() {
+        // Every holder's block clock lags by far more than the one-block
+        // reveal window: all of them miss it, none of them died, and each
+        // is slashed as an ordinary withholder.
+        let plan = window_plan(emerge_faults::FaultKind::ClockSkew {
+            skew_ppm: 1_000_000,
+            blocks: 64,
+        });
+        let mut sub = substrate(64, 0.0, 11);
+        let mut rng = StdRng::seed_from_u64(11);
+        let injector = plan.arm(11);
+        let report = run_bonded_release_faulted(
+            &mut sub,
+            &spec(5, 3, HolderStrategy::Compliant),
+            SECRET,
+            &mut rng,
+            &injector,
+        )
+        .unwrap();
+        assert!(report.released.is_none());
+        assert_eq!(report.withheld, 5);
+        assert_eq!(report.died, 0, "skewed holders are alive, just late");
+        assert_eq!(report.slashed, 5 * EconomyParams::default().bond);
+
+        // A skew smaller than the window is survivable: the submission
+        // still lands inside it and nothing is slashed.
+        let plan = window_plan(emerge_faults::FaultKind::ClockSkew {
+            skew_ppm: 1_000_000,
+            blocks: 1,
+        });
+        let wide = BondedSpec {
+            reveal_window_blocks: 8,
+            ..spec(5, 3, HolderStrategy::Compliant)
+        };
+        let mut sub = substrate(64, 0.0, 12);
+        let mut rng = StdRng::seed_from_u64(12);
+        let injector = plan.arm(12);
+        let report =
+            run_bonded_release_faulted(&mut sub, &wide, SECRET, &mut rng, &injector).unwrap();
+        assert!(report.released.is_some());
+        assert_eq!(report.slashed, 0);
+        assert!(
+            injector.stats().recoveries > 0,
+            "late-but-in-window reveals count as recoveries"
+        );
     }
 
     #[test]

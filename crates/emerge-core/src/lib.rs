@@ -30,6 +30,9 @@
 //! * [`protocol`] — hop-by-hop execution with churn and attacks
 //! * [`adversary`] — trial-level attack predicates (Monte-Carlo ground
 //!   truth)
+//! * [`faults`] — the [`faults::FaultySubstrate`] wrapper applying a
+//!   seeded fault plan at the substrate boundary, with retry/hedge
+//!   recovery and fault-aware Monte-Carlo runners
 //! * [`montecarlo`] — the paper-scale experiment engine (10000 nodes ×
 //!   1000 trials), timeline-based and substrate-backed
 //! * [`emergence`] — the high-level sender/receiver API
@@ -69,6 +72,7 @@ pub mod analysis;
 pub mod config;
 pub mod emergence;
 pub mod error;
+pub mod faults;
 pub mod math;
 pub mod montecarlo;
 pub mod package;

@@ -33,7 +33,7 @@ use emerge_crypto::keys::SymmetricKey;
 use emerge_obs::trace::{span, SpanId};
 use emerge_sim::metrics::{Rate, Summary};
 use emerge_sim::rng::SeedSource;
-use emerge_sim::time::SimDuration;
+use emerge_sim::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
 
@@ -384,58 +384,90 @@ where
             let _phase = span(&SPAN_WORLD_REBUILD);
             substrate_factory(world_seed)
         };
-        let sender_seed = SymmetricKey::generate(&mut trial_rng);
-        let secret = sender_seed
-            .derive(b"message-secret-key")
-            .as_bytes()
-            .to_vec();
-
-        let plan = {
-            let _phase = span(&SPAN_PATHS);
-            construct_paths(&substrate, &spec.params, &sender_seed)?
-        };
-        let config = RunConfig {
-            ts: substrate.now(),
-            emerging_period: spec.emerging_period,
-            attack: spec.attack,
-        };
-        let schedule = KeySchedule::new(sender_seed);
-        let report = match &spec.params {
-            SchemeParams::Central => {
-                let _phase = span(&SPAN_EXECUTE);
-                execute_central(&mut substrate, &plan, &secret, &config)?
-            }
-            SchemeParams::Disjoint { .. } | SchemeParams::Joint { .. } => {
-                let pkgs = {
-                    let _phase = span(&SPAN_PACKAGE_BUILD);
-                    build_keyed_packages(&plan, &spec.params, &schedule, &secret)?
-                };
-                let _phase = span(&SPAN_EXECUTE);
-                execute_keyed(&mut substrate, &plan, &spec.params, &pkgs, &config)?
-            }
-            SchemeParams::Share { .. } => {
-                let pkgs = {
-                    let _phase = span(&SPAN_PACKAGE_BUILD);
-                    build_share_packages(&plan, &spec.params, &schedule, &secret)?
-                };
-                let _phase = span(&SPAN_EXECUTE);
-                execute_share(&mut substrate, &plan, &spec.params, &pkgs, &config)?
-            }
-        };
-
-        let tr = config.ts + config.emerging_period;
-        results.released.record(report.released.is_some());
-        results.clean.record(report.clean_emergence(tr));
-        results
-            .reconstructed_early
-            .record(report.adversary_reconstruction.is_some());
-        results.messages.record(report.messages_sent as f64);
-        results.fingerprint =
-            results
-                .fingerprint
-                .wrapping_add(trial_digest(trial_idx as u64, &plan.slots, &report));
+        let run = run_protocol_trial(spec, &mut substrate, &mut trial_rng)?;
+        record_protocol_trial(&mut results, trial_idx, &run);
     }
     Ok(results)
+}
+
+/// One completed wire-protocol trial: the path plan it ran on, the run
+/// report and the nominal release time `tr`.
+pub(crate) struct TrialRun {
+    pub(crate) plan: PathPlan,
+    pub(crate) report: RunReport,
+    pub(crate) tr: SimTime,
+}
+
+/// Runs one wire-protocol trial on an already-built substrate, drawing
+/// sender randomness from `trial_rng`. Shared verbatim by the plain trial
+/// loop and the fault-plane runner (`crate::faults`) so the two agree bit
+/// for bit whenever the fault plan is empty.
+pub(crate) fn run_protocol_trial<S: HolderSubstrate>(
+    spec: &ProtocolTrialSpec,
+    substrate: &mut S,
+    trial_rng: &mut StdRng,
+) -> Result<TrialRun, EmergeError> {
+    let sender_seed = SymmetricKey::generate(trial_rng);
+    let secret = sender_seed
+        .derive(b"message-secret-key")
+        .as_bytes()
+        .to_vec();
+
+    let plan = {
+        let _phase = span(&SPAN_PATHS);
+        construct_paths(substrate, &spec.params, &sender_seed)?
+    };
+    let config = RunConfig {
+        ts: substrate.now(),
+        emerging_period: spec.emerging_period,
+        attack: spec.attack,
+    };
+    let schedule = KeySchedule::new(sender_seed);
+    let report = match &spec.params {
+        SchemeParams::Central => {
+            let _phase = span(&SPAN_EXECUTE);
+            execute_central(substrate, &plan, &secret, &config)?
+        }
+        SchemeParams::Disjoint { .. } | SchemeParams::Joint { .. } => {
+            let pkgs = {
+                let _phase = span(&SPAN_PACKAGE_BUILD);
+                build_keyed_packages(&plan, &spec.params, &schedule, &secret)?
+            };
+            let _phase = span(&SPAN_EXECUTE);
+            execute_keyed(substrate, &plan, &spec.params, &pkgs, &config)?
+        }
+        SchemeParams::Share { .. } => {
+            let pkgs = {
+                let _phase = span(&SPAN_PACKAGE_BUILD);
+                build_share_packages(&plan, &spec.params, &schedule, &secret)?
+            };
+            let _phase = span(&SPAN_EXECUTE);
+            execute_share(substrate, &plan, &spec.params, &pkgs, &config)?
+        }
+    };
+
+    let tr = config.ts + config.emerging_period;
+    Ok(TrialRun { plan, report, tr })
+}
+
+/// Folds one completed trial into a result batch (rates, message summary
+/// and the index-keyed fingerprint contribution).
+pub(crate) fn record_protocol_trial(
+    results: &mut ProtocolMcResults,
+    trial_idx: usize,
+    run: &TrialRun,
+) {
+    results.released.record(run.report.released.is_some());
+    results.clean.record(run.report.clean_emergence(run.tr));
+    results
+        .reconstructed_early
+        .record(run.report.adversary_reconstruction.is_some());
+    results.messages.record(run.report.messages_sent as f64);
+    results.fingerprint = results.fingerprint.wrapping_add(trial_digest(
+        trial_idx as u64,
+        &run.plan.slots,
+        &run.report,
+    ));
 }
 
 /// Every reusable buffer one Monte-Carlo shard needs to run share-scheme

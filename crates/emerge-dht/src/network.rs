@@ -5,6 +5,8 @@
 //! configurable band (Overlay Weaver's emulation mode similarly assigns
 //! synthetic link delays); losses are Bernoulli per message.
 
+use std::fmt;
+
 use emerge_sim::time::SimDuration;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -30,6 +32,81 @@ impl Default for NetworkConfig {
     }
 }
 
+/// Why a [`NetworkConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkConfigError {
+    /// `latency_min` exceeds `latency_max`.
+    InvertedLatencyBand {
+        /// The configured minimum.
+        latency_min: u64,
+        /// The configured maximum.
+        latency_max: u64,
+    },
+    /// The drop probability is outside `[0, 1]` (or NaN).
+    InvalidDropProbability(
+        /// The offending value.
+        f64,
+    ),
+}
+
+impl fmt::Display for NetworkConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkConfigError::InvertedLatencyBand {
+                latency_min,
+                latency_max,
+            } => write!(
+                f,
+                "latency_min ({latency_min}) must not exceed latency_max ({latency_max})"
+            ),
+            NetworkConfigError::InvalidDropProbability(p) => {
+                write!(f, "drop probability must be in [0, 1], got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkConfigError {}
+
+impl NetworkConfig {
+    /// Checks the configuration invariants: an ordered latency band and a
+    /// drop probability in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), NetworkConfigError> {
+        if self.latency_min > self.latency_max {
+            return Err(NetworkConfigError::InvertedLatencyBand {
+                latency_min: self.latency_min,
+                latency_max: self.latency_max,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.drop_probability) {
+            return Err(NetworkConfigError::InvalidDropProbability(
+                self.drop_probability,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Returns the nearest valid configuration: orders the latency band
+    /// and clamps the drop probability into `[0, 1]` (NaN becomes `0`).
+    pub fn normalized(self) -> NetworkConfig {
+        let (latency_min, latency_max) = if self.latency_min <= self.latency_max {
+            (self.latency_min, self.latency_max)
+        } else {
+            (self.latency_max, self.latency_min)
+        };
+        let drop_probability = if self.drop_probability.is_nan() {
+            0.0
+        } else {
+            self.drop_probability.clamp(0.0, 1.0)
+        };
+        NetworkConfig {
+            latency_min,
+            latency_max,
+            drop_probability,
+        }
+    }
+}
+
 /// Mutable network state: RNG plus counters.
 #[derive(Debug)]
 pub struct Network {
@@ -41,23 +118,23 @@ pub struct Network {
 }
 
 impl Network {
-    /// Creates a network with its own RNG stream.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `latency_min > latency_max` or the drop probability is
-    /// outside `[0, 1]`.
-    pub fn new(config: NetworkConfig, rng: StdRng) -> Self {
-        // LINT-WAIVER(panic): documented # Panics contract on the latency configuration
-        assert!(
-            config.latency_min <= config.latency_max,
-            "latency_min must not exceed latency_max"
-        );
-        // LINT-WAIVER(panic): documented # Panics contract on the latency configuration
-        assert!(
-            (0.0..=1.0).contains(&config.drop_probability),
-            "drop probability must be in [0, 1]"
-        );
+    /// Creates a network with its own RNG stream, rejecting invalid
+    /// configurations (see [`NetworkConfig::validate`]).
+    pub fn try_new(config: NetworkConfig, rng: StdRng) -> Result<Self, NetworkConfigError> {
+        config.validate()?;
+        Ok(Network {
+            config,
+            rng,
+            messages_sent: 0,
+            messages_dropped: 0,
+            bytes_sent: 0,
+        })
+    }
+
+    /// Creates a network from the nearest valid form of `config` (see
+    /// [`NetworkConfig::normalized`]). Total: never panics, never fails.
+    pub fn new_normalized(config: NetworkConfig, rng: StdRng) -> Self {
+        let config = config.normalized();
         Network {
             config,
             rng,
@@ -123,7 +200,7 @@ mod tests {
     use emerge_sim::rng::SeedSource;
 
     fn net(config: NetworkConfig) -> Network {
-        Network::new(config, SeedSource::new(1).stream("net"))
+        Network::try_new(config, SeedSource::new(1).stream("net")).expect("valid test config")
     }
 
     #[test]
@@ -176,22 +253,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "latency_min")]
-    fn inverted_band_panics() {
-        let _ = net(NetworkConfig {
+    fn inverted_band_is_rejected() {
+        let config = NetworkConfig {
             latency_min: 100,
             latency_max: 10,
             drop_probability: 0.0,
-        });
+        };
+        assert_eq!(
+            config.validate(),
+            Err(NetworkConfigError::InvertedLatencyBand {
+                latency_min: 100,
+                latency_max: 10,
+            })
+        );
+        assert!(Network::try_new(config, SeedSource::new(1).stream("net")).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "drop probability")]
-    fn bad_drop_probability_panics() {
-        let _ = net(NetworkConfig {
+    fn bad_drop_probability_is_rejected() {
+        let config = NetworkConfig {
             latency_min: 1,
             latency_max: 2,
             drop_probability: 1.5,
-        });
+        };
+        assert_eq!(
+            config.validate(),
+            Err(NetworkConfigError::InvalidDropProbability(1.5))
+        );
+    }
+
+    #[test]
+    fn normalized_repairs_any_config() {
+        let fixed = NetworkConfig {
+            latency_min: 100,
+            latency_max: 10,
+            drop_probability: f64::NAN,
+        }
+        .normalized();
+        assert_eq!(fixed.latency_min, 10);
+        assert_eq!(fixed.latency_max, 100);
+        assert_eq!(fixed.drop_probability, 0.0);
+        assert!(fixed.validate().is_ok());
+        let clamped = NetworkConfig {
+            latency_min: 1,
+            latency_max: 2,
+            drop_probability: 1.5,
+        }
+        .normalized();
+        assert_eq!(clamped.drop_probability, 1.0);
+        let mut n = Network::new_normalized(
+            NetworkConfig {
+                latency_min: 9,
+                latency_max: 3,
+                drop_probability: -0.5,
+            },
+            SeedSource::new(1).stream("net"),
+        );
+        let l = n.sample_latency().ticks();
+        assert!((3..=9).contains(&l));
     }
 }

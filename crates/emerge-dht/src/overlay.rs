@@ -185,7 +185,11 @@ impl Overlay {
         let index = SortedIdIndex::build(&initial_ids);
         let slots: Vec<Slot> = (0..n).map(|_| Slot::lazy()).collect();
 
-        let network = Network::new(config.network, seed.stream("network"));
+        // Network misconfiguration is repaired rather than rejected here:
+        // overlays are built deep inside Monte-Carlo factories where a
+        // Result would poison every signature, and the nearest valid
+        // config (ordered band, clamped drop rate) is always well-defined.
+        let network = Network::new_normalized(config.network, seed.stream("network"));
         let stores = (0..n).map(|_| Store::new()).collect();
 
         Overlay {

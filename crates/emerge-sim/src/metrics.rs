@@ -6,13 +6,22 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Running summary statistics (count, mean, variance via Welford, min/max).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Same as [`Summary::new`]. A derived `Default` would zero the min/max
+/// sentinels, silently clamping `min()` to at most `0.0` for every
+/// default-constructed results struct.
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {
@@ -322,6 +331,17 @@ mod tests {
         assert_eq!(s.variance(), 0.0);
         assert!(s.min().is_nan());
         assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn default_summary_tracks_min_like_new() {
+        // The derived Default used to start min at 0.0, clamping min() to
+        // at most zero for every default-constructed results struct.
+        let mut s = Summary::default();
+        s.record(600.0);
+        s.record(700.0);
+        assert_eq!(s.min(), 600.0);
+        assert_eq!(s.max(), 700.0);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`cloud`] — the encrypted blob store
 //! * [`obs`] — the observability layer: mergeable metrics, span/event
 //!   tracing, profiling hooks
+//! * [`faults`] — the deterministic fault plane: seeded fault plans,
+//!   injectors and the retry/timeout/hedge recovery policies
 //!
 //! See `examples/quickstart.rs` for a complete walk-through, and the
 //! `emerge-bench` crate for the binaries that regenerate every figure of
@@ -27,6 +29,7 @@ pub use emerge_contract as contract;
 pub use emerge_core as core;
 pub use emerge_crypto as crypto;
 pub use emerge_dht as dht;
+pub use emerge_faults as faults;
 pub use emerge_obs as obs;
 pub use emerge_sim as sim;
 

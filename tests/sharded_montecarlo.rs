@@ -13,12 +13,14 @@ use emerge_bench::mc::{run_protocol_trials_parallel, run_protocol_trials_threade
 use emerge_bench::parallel::mc_threads;
 use proptest::prelude::*;
 use self_emerging_data::core::config::{SchemeKind, SchemeParams};
+use self_emerging_data::core::faults::{run_faulted_trials, run_faulted_trials_sharded};
 use self_emerging_data::core::montecarlo::{
     run_protocol_trials, run_protocol_trials_sharded, ProtocolMcResults, ProtocolTrialSpec,
 };
 use self_emerging_data::core::protocol::AttackMode;
 use self_emerging_data::core::substrate::{AnalyticSubstrate, Overlay, OverlayConfig};
-use self_emerging_data::sim::time::SimDuration;
+use self_emerging_data::faults::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
+use self_emerging_data::sim::time::{SimDuration, SimTime};
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
 
@@ -149,6 +151,76 @@ fn threaded_driver_matches_serial_for_all_schemes() {
     }
 }
 
+/// A non-trivial schedule mixing four fault kinds over the protocol's
+/// active window (emerging period 6k ticks, so faults run [500, 5500)).
+fn storm_plan(seed: u64) -> FaultPlan {
+    let window = |kind| FaultEvent {
+        from: SimTime::from_ticks(500),
+        to: SimTime::from_ticks(5_500),
+        kind,
+    };
+    FaultPlan::new(
+        seed,
+        vec![
+            window(FaultKind::LossBurst { loss_ppm: 200_000 }),
+            window(FaultKind::CrashRestart { crash_ppm: 150_000 }),
+            window(FaultKind::ChurnStorm { churn_ppm: 100_000 }),
+            window(FaultKind::SlowNodes {
+                slow_ppm: 250_000,
+                extra_ticks: 50,
+            }),
+        ],
+    )
+}
+
+#[test]
+fn faulted_sharded_matches_serial_on_both_substrates() {
+    let plan = storm_plan(41);
+    let policy = RecoveryPolicy::default();
+    for kind in [SchemeKind::Joint, SchemeKind::Share] {
+        let spec = spec_for(kind, AttackMode::ReleaseAhead);
+        let cfg = world(150, 0.3);
+        let serial = run_faulted_trials(&spec, &plan, policy, 12, 9, |s| {
+            AnalyticSubstrate::build(cfg, s)
+        })
+        .unwrap();
+        let full =
+            run_faulted_trials(&spec, &plan, policy, 12, 9, |s| Overlay::build(cfg, s)).unwrap();
+        assert_eq!(
+            serial.base.fingerprint, full.base.fingerprint,
+            "{kind}: substrate parity must survive fault injection"
+        );
+        assert_eq!(
+            serial.fault_fingerprint, full.fault_fingerprint,
+            "{kind}: the fault schedule is substrate-independent"
+        );
+        for shards in SHARD_COUNTS {
+            let sharded = run_faulted_trials_sharded(&spec, &plan, policy, 12, 9, shards, |s| {
+                AnalyticSubstrate::build(cfg, s)
+            })
+            .unwrap();
+            assert_identical(
+                &format!("{kind}/faulted/{shards} shards"),
+                &serial.base,
+                &sharded.base,
+            );
+            assert_eq!(
+                serial.fault_fingerprint, sharded.fault_fingerprint,
+                "{kind}/faulted/{shards} shards: fault fingerprint"
+            );
+            assert_eq!(serial.degraded, sharded.degraded);
+            assert_eq!(serial.clean_of_faults, sharded.clean_of_faults);
+            assert_eq!(serial.disrupted, sharded.disrupted);
+            assert_eq!(serial.disruptions.count(), sharded.disruptions.count());
+            assert_eq!(serial.retries.count(), sharded.retries.count());
+        }
+        assert!(
+            serial.disrupted.successes() > 0,
+            "{kind}: the storm must actually disrupt"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -181,6 +253,38 @@ proptest! {
                 prop_assert_eq!(serial.clean, sharded.clean);
                 prop_assert_eq!(serial.reconstructed_early, sharded.reconstructed_early);
             }
+        }
+    }
+
+    /// Property form under injected faults: for any plan seed and trial
+    /// count, sharded faulted runs merge to the serial faulted run on
+    /// both fingerprints and the degraded/clean partition.
+    #[test]
+    fn faulted_sharded_equals_serial_property(
+        plan_seed in 0u64..10_000,
+        mc_seed in 0u64..10_000,
+        trials in 1usize..16,
+    ) {
+        let spec = spec_for(SchemeKind::Share, AttackMode::ReleaseAhead);
+        let cfg = world(120, 0.2);
+        let plan = storm_plan(plan_seed);
+        let policy = RecoveryPolicy::default();
+        let serial = run_faulted_trials(&spec, &plan, policy, trials, mc_seed, |s| {
+            AnalyticSubstrate::build(cfg, s)
+        })
+        .unwrap();
+        for shards in SHARD_COUNTS {
+            let sharded = run_faulted_trials_sharded(
+                &spec, &plan, policy, trials, mc_seed, shards,
+                |s| AnalyticSubstrate::build(cfg, s),
+            )
+            .unwrap();
+            prop_assert_eq!(serial.base.fingerprint, sharded.base.fingerprint,
+                "plan seed {} with {} shards, {} trials", plan_seed, shards, trials);
+            prop_assert_eq!(serial.fault_fingerprint, sharded.fault_fingerprint);
+            prop_assert_eq!(serial.degraded, sharded.degraded);
+            prop_assert_eq!(serial.clean_of_faults, sharded.clean_of_faults);
+            prop_assert_eq!(serial.disrupted, sharded.disrupted);
         }
     }
 }
