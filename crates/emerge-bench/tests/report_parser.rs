@@ -1,0 +1,157 @@
+//! Property tests for the report JSON reader: whatever bytes arrive —
+//! random soup, mutated real documents, pathological nesting — the
+//! parser must return `Ok` or `Err`, never panic, and everything it
+//! accepts must satisfy the reader's structural guarantees.
+
+use emerge_bench::report::{parse_json, JsonValue};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Renders a `JsonValue` back to text, the inverse of `parse_json` for
+/// documents the reader itself produced.
+fn render(value: &JsonValue) -> String {
+    match value {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Number(x) => {
+            if x.fract() == 0.0 && x.abs() < 9e15 {
+                format!("{}", *x as i64)
+            } else {
+                format!("{x:?}")
+            }
+        }
+        JsonValue::String(s) => {
+            let mut out = String::from("\"");
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        JsonValue::Array(items) => {
+            let body: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", body.join(", "))
+        }
+        JsonValue::Object(members) => {
+            let body: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{}: {}", render(&JsonValue::String(k.clone())), render(v)))
+                .collect();
+            format!("{{{}}}", body.join(", "))
+        }
+    }
+}
+
+/// Builds a bounded-depth random document from a byte budget.
+fn build_doc(bytes: &[u8], depth: usize) -> JsonValue {
+    let Some((&tag, rest)) = bytes.split_first() else {
+        return JsonValue::Null;
+    };
+    match tag % if depth == 0 { 4 } else { 6 } {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(tag % 2 == 0),
+        2 => JsonValue::Number(f64::from(i32::from_le_bytes([
+            tag,
+            rest.first().copied().unwrap_or(0),
+            rest.get(1).copied().unwrap_or(0),
+            rest.get(2).copied().unwrap_or(0),
+        ]))),
+        3 => JsonValue::String(String::from_utf8_lossy(&rest[..rest.len().min(8)]).into_owned()),
+        4 => {
+            let n = usize::from(tag % 3);
+            JsonValue::Array(
+                (0..n)
+                    .map(|i| build_doc(&rest[rest.len().min(i * 3)..], depth - 1))
+                    .collect(),
+            )
+        }
+        _ => {
+            let n = usize::from(tag % 3);
+            JsonValue::Object(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("k{i}"),
+                            build_doc(&rest[rest.len().min(i * 5)..], depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn values_equal(a: &JsonValue, b: &JsonValue) -> bool {
+    match (a, b) {
+        (JsonValue::Null, JsonValue::Null) => true,
+        (JsonValue::Bool(x), JsonValue::Bool(y)) => x == y,
+        (JsonValue::Number(x), JsonValue::Number(y)) => x.to_bits() == y.to_bits(),
+        (JsonValue::String(x), JsonValue::String(y)) => x == y,
+        (JsonValue::Array(x), JsonValue::Array(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| values_equal(a, b))
+        }
+        (JsonValue::Object(x), JsonValue::Object(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && values_equal(va, vb))
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup (lossily decoded) never panics the parser.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in pvec(any::<u8>(), 0..200)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_json(&text);
+    }
+
+    /// Mutating one byte of a valid document never panics, and error
+    /// positions stay within the text.
+    #[test]
+    fn parser_never_panics_on_mutated_documents(
+        bytes in pvec(any::<u8>(), 1..40),
+        pos in any::<usize>(),
+        replacement in any::<u8>(),
+    ) {
+        let doc = build_doc(&bytes, 3);
+        let mut text = render(&doc).into_bytes();
+        let at = pos % text.len().max(1);
+        if at < text.len() {
+            text[at] = replacement;
+        }
+        let mutated = String::from_utf8_lossy(&text).into_owned();
+        if let Err((offset, _)) = parse_json(&mutated) {
+            prop_assert!(offset <= mutated.len());
+        }
+    }
+
+    /// Documents the renderer produced round-trip structurally intact —
+    /// duplicate keys, ordering and number bits included.
+    #[test]
+    fn rendered_documents_round_trip(bytes in pvec(any::<u8>(), 1..60)) {
+        let doc = build_doc(&bytes, 3);
+        let text = render(&doc);
+        let back = parse_json(&text).expect("rendered document must parse");
+        prop_assert!(values_equal(&doc, &back), "round trip changed {text}");
+    }
+
+    /// Exact integers up to 2^53 survive the f64 channel bit-for-bit.
+    #[test]
+    fn exact_integers_round_trip(n in 0u64..(1u64 << 53)) {
+        let doc = parse_json(&n.to_string()).expect("integer must parse");
+        prop_assert_eq!(doc.as_u64(), Some(n));
+    }
+}

@@ -1063,7 +1063,7 @@ mod tests {
     fn shard_ranges_partition_contiguously() {
         for (trials, shards) in [(10, 3), (7, 7), (5, 9), (1, 1), (0, 4), (1000, 16)] {
             let ranges = shard_ranges(trials, shards);
-            assert!(ranges.len() <= shards.max(1));
+            assert_eq!(ranges.len(), shards.max(1), "one range per shard");
             let mut next = 0;
             for &(start, count) in &ranges {
                 assert_eq!(start, next, "ranges must be contiguous");
@@ -1075,7 +1075,66 @@ mod tests {
             assert!(max - min <= 1, "near-equal split: {sizes:?}");
         }
         assert_eq!(shard_ranges(5, 0), vec![(0, 5)], "0 shards clamps to 1");
-        assert_eq!(shard_ranges(3, 8).len(), 3, "shards clamp to trial count");
+    }
+
+    #[test]
+    fn merge_identity_and_associativity_with_empty_shards() {
+        // More shards than trials: the surplus ranges are empty and their
+        // results must merge as the identity, so a fixed worker fleet can
+        // split any batch without perturbing the outcome.
+        let spec = protocol_spec(SchemeParams::Joint { k: 2, l: 3 }, AttackMode::ReleaseAhead);
+        let factory = |s| AnalyticSubstrate::build(world_config(120, 0.3), s);
+        let serial = run_protocol_trials(&spec, 5, 21, factory).unwrap();
+
+        let ranges = shard_ranges(5, 9);
+        assert_eq!(ranges.len(), 9, "empty tail ranges are emitted");
+        let parts: Vec<ProtocolMcResults> = ranges
+            .iter()
+            .map(|&(first, count)| {
+                run_protocol_trial_range(&spec, first, count, 21, factory).unwrap()
+            })
+            .collect();
+        let mut merged = ProtocolMcResults::default();
+        for part in &parts {
+            merged.merge(part);
+        }
+        assert_results_identical(&serial, &merged);
+
+        // Identity on both sides: empty ⊕ a == a ⊕ empty == a, bit for
+        // bit (Rate/Summary merges short-circuit on a zero count).
+        let a = &parts[0];
+        let mut left = ProtocolMcResults::default();
+        left.merge(a);
+        let mut right = a.clone();
+        right.merge(&ProtocolMcResults::default());
+        for merged in [&left, &right] {
+            assert_eq!(merged.fingerprint, a.fingerprint);
+            assert_eq!(merged.released, a.released);
+            assert_eq!(merged.clean, a.clean);
+            assert_eq!(merged.reconstructed_early, a.reconstructed_early);
+            assert_eq!(merged.messages.count(), a.messages.count());
+            assert_eq!(
+                merged.messages.mean().to_bits(),
+                a.messages.mean().to_bits()
+            );
+            assert_eq!(
+                merged.messages.variance().to_bits(),
+                a.messages.variance().to_bits()
+            );
+        }
+
+        // Associativity including empty middles: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        // exactly on every counter-valued field.
+        let (b, c) = (&parts[6], &parts[1]);
+        let mut ab_c = a.clone();
+        ab_c.merge(b);
+        ab_c.merge(c);
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_results_identical(&ab_c, &a_bc);
+        assert_eq!(ab_c.messages.count(), a_bc.messages.count());
     }
 
     #[test]

@@ -107,6 +107,33 @@ impl Summary {
         }
     }
 
+    /// Decomposes the summary into its raw internal state
+    /// `(count, mean, m2, min, max)`, *without* the empty-summary
+    /// accessor guards: an empty summary reports `min = +inf`,
+    /// `max = -inf` here (where [`Summary::min`] would report NaN).
+    ///
+    /// Intended for exact serialization: ship the five fields (floats as
+    /// [`f64::to_bits`] patterns) and rebuild with
+    /// [`Summary::from_raw_parts`] for a bit-identical round trip — the
+    /// property the distributed sweep wire format relies on.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds a summary from [`Summary::raw_parts`] output. The fields
+    /// are trusted verbatim; feeding values that never came from a real
+    /// summary yields a well-formed but statistically meaningless value,
+    /// never unsafety.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Summary {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another summary into this one.
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
@@ -159,6 +186,18 @@ impl Rate {
     /// Number of successes.
     pub fn successes(&self) -> u64 {
         self.successes
+    }
+
+    /// Rebuilds an estimator from recorded counts, for exact
+    /// deserialization of a shipped [`Rate`]. Returns `None` when
+    /// `successes > trials`, which no sequence of [`Rate::record`] calls
+    /// can produce.
+    pub fn from_counts(successes: u64, trials: u64) -> Option<Self> {
+        if successes > trials {
+            None
+        } else {
+            Some(Rate { successes, trials })
+        }
     }
 
     /// The estimated probability (NaN with zero trials).
@@ -342,6 +381,40 @@ mod tests {
         s.record(700.0);
         assert_eq!(s.min(), 600.0);
         assert_eq!(s.max(), 700.0);
+    }
+
+    #[test]
+    fn summary_raw_parts_round_trip_is_bit_exact() {
+        let mut s = Summary::new();
+        for x in [2.5, -17.0, 0.3333333333333333, 1e300] {
+            s.record(x);
+        }
+        let (count, mean, m2, min, max) = s.raw_parts();
+        let back = Summary::from_raw_parts(count, mean, m2, min, max);
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), s.variance().to_bits());
+        assert_eq!(back.min().to_bits(), s.min().to_bits());
+        assert_eq!(back.max().to_bits(), s.max().to_bits());
+        // Empty summaries keep their sentinels through the round trip, so
+        // a rebuilt empty summary still merges as the identity.
+        let (count, mean, m2, min, max) = Summary::new().raw_parts();
+        assert_eq!(min, f64::INFINITY);
+        assert_eq!(max, f64::NEG_INFINITY);
+        let empty = Summary::from_raw_parts(count, mean, m2, min, max);
+        let mut merged = empty;
+        merged.merge(&s);
+        assert_eq!(merged.min().to_bits(), s.min().to_bits());
+        assert_eq!(merged.mean().to_bits(), s.mean().to_bits());
+    }
+
+    #[test]
+    fn rate_from_counts_validates() {
+        let r = Rate::from_counts(3, 4).unwrap();
+        assert_eq!(r.successes(), 3);
+        assert_eq!(r.trials(), 4);
+        assert!(Rate::from_counts(5, 4).is_none());
+        assert_eq!(Rate::from_counts(0, 0), Some(Rate::new()));
     }
 
     #[test]

@@ -16,12 +16,17 @@
 
 use emerge_obs::MetricsSnapshot;
 
-/// Partitions `trials` into `shards` contiguous `(first_trial, count)`
-/// ranges whose sizes differ by at most one. `shards` is clamped to
-/// `[1, max(trials, 1)]` so no range is empty (except the single range of
-/// an empty batch).
+/// Partitions `trials` into exactly `max(shards, 1)` contiguous
+/// `(first_trial, count)` ranges whose sizes differ by at most one.
+///
+/// When `trials < shards` the trailing ranges are empty `(trials, 0)`:
+/// a worker handed one runs zero trials and produces the default result,
+/// which merges as the identity. Emitting exactly one range per requested
+/// shard (instead of silently clamping the shard count to the trial
+/// count, as this function once did) lets a fixed worker fleet be handed
+/// one range each regardless of how small the batch is.
 pub fn shard_ranges(trials: usize, shards: usize) -> Vec<(usize, usize)> {
-    let shards = shards.clamp(1, trials.max(1));
+    let shards = shards.max(1);
     let base = trials / shards;
     let extra = trials % shards;
     let mut ranges = Vec::with_capacity(shards);
@@ -109,7 +114,7 @@ mod tests {
     fn shard_ranges_partition_contiguously() {
         for (trials, shards) in [(10, 3), (7, 7), (5, 9), (1, 1), (0, 4), (1000, 16)] {
             let ranges = shard_ranges(trials, shards);
-            assert!(ranges.len() <= shards.max(1));
+            assert_eq!(ranges.len(), shards.max(1), "one range per shard");
             let mut next = 0;
             for &(start, count) in &ranges {
                 assert_eq!(start, next, "ranges must be contiguous");
@@ -121,7 +126,26 @@ mod tests {
             assert!(max - min <= 1, "near-equal split: {sizes:?}");
         }
         assert_eq!(shard_ranges(5, 0), vec![(0, 5)], "0 shards clamps to 1");
-        assert_eq!(shard_ranges(3, 8).len(), 3, "shards clamp to trial count");
+    }
+
+    #[test]
+    fn more_shards_than_trials_yields_empty_tail_ranges() {
+        // A fixed worker fleet gets one range each; the surplus workers
+        // receive empty `(trials, 0)` ranges that merge as the identity.
+        assert_eq!(
+            shard_ranges(3, 8),
+            vec![
+                (0, 1),
+                (1, 1),
+                (2, 1),
+                (3, 0),
+                (3, 0),
+                (3, 0),
+                (3, 0),
+                (3, 0)
+            ]
+        );
+        assert_eq!(shard_ranges(0, 3), vec![(0, 0), (0, 0), (0, 0)]);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! The sweep worker process: reads unit requests line by line on stdin,
+//! writes result lines on stdout, until EOF. With `--chaos <seed>` the
+//! worker runs the seeded self-chaos plan — deterministically killing
+//! itself, stalling, or corrupting its output on the attempts the plan
+//! selects — which is how the coordinator's robustness machinery is
+//! exercised end to end in CI.
+
+use std::io::{BufReader, Write};
+
+use emerge_sweep::chaos::ChaosPlan;
+use emerge_sweep::worker::{serve, ServeOutcome};
+
+/// Exit code for a chaos kill: distinguishable from clean EOF (0) and
+/// transport errors (1) in worker logs.
+const CHAOS_EXIT: i32 = 17;
+
+fn parse_args() -> Result<Option<ChaosPlan>, String> {
+    let mut seed: Option<u64> = None;
+    let mut stall_ms: u64 = 300;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--chaos" => {
+                let value = args.next().ok_or("--chaos needs a seed")?;
+                seed = Some(parse_u64(&value)?);
+            }
+            "--stall-ms" => {
+                let value = args.next().ok_or("--stall-ms needs a value")?;
+                stall_ms = parse_u64(&value)?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    // --stall-ms without --chaos still means "no chaos".
+    Ok(seed.map(|seed| ChaosPlan { seed, stall_ms }))
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse::<u64>(),
+    };
+    parsed.map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+fn real_main() -> i32 {
+    let chaos = match parse_args() {
+        Ok(chaos) => chaos,
+        Err(e) => {
+            eprintln!("sweep_worker: {e}");
+            return 2;
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut reader = BufReader::new(stdin.lock());
+    let mut writer = stdout.lock();
+    match serve(&mut reader, &mut writer, chaos.as_ref()) {
+        Ok(ServeOutcome::Eof) => {
+            let _ = writer.flush();
+            0
+        }
+        // Exit abruptly, mid-protocol, without replying: that is the
+        // point of a chaos kill.
+        Ok(ServeOutcome::ChaosKilled) => CHAOS_EXIT,
+        Err(e) => {
+            eprintln!("sweep_worker: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    std::process::exit(real_main());
+}

@@ -1,0 +1,123 @@
+//! Seeded self-chaos: deterministic worker kills, stalls and output
+//! corruption.
+//!
+//! Every disruption is a pure hash of `(chaos seed, unit digest,
+//! attempt)` — the same discipline as `emerge-faults`' per-decision
+//! hashing — so a chaos run is exactly reproducible and entirely
+//! worker-independent: *which* worker picks a unit up does not change
+//! whether the attempt is disrupted. Disruption stops after attempt 1,
+//! so any retry budget of three or more attempts converges; combined
+//! with first-result-wins dedup this is what lets the e2e suite assert
+//! `chaos == clean == serial` bit for bit.
+
+use emerge_sim::shard::mix64;
+
+/// What chaos does to one dispatch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Serve normally.
+    None,
+    /// Exit without replying (a crashed worker).
+    Kill,
+    /// Sleep past the hedge threshold before replying (a straggler; the
+    /// late reply exercises first-result-wins dedup).
+    Stall,
+    /// Emit a non-JSON line instead of the result.
+    Garbage,
+    /// Emit a truncated prefix of the result line.
+    Truncate,
+    /// Emit the (valid) result line twice.
+    Duplicate,
+}
+
+/// A compiled chaos plan: the seed plus the stall length workers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The chaos seed (`--chaos <seed>`).
+    pub seed: u64,
+    /// How long a stalled attempt sleeps, in milliseconds. The
+    /// coordinator passes a value beyond its hedge threshold so stalls
+    /// actually trigger hedging.
+    pub stall_ms: u64,
+}
+
+/// Attempts at or beyond this number are never disrupted, bounding the
+/// damage per unit below any sane retry budget.
+pub const CHAOS_MAX_DISRUPTED_ATTEMPTS: u32 = 2;
+
+impl ChaosPlan {
+    /// A plan from a seed with the default stall length.
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            stall_ms: 300,
+        }
+    }
+
+    /// The (deterministic) action for one dispatch attempt of one unit.
+    ///
+    /// Attempt 0 is disrupted with probability ~5/8 and attempt 1 with
+    /// ~5/16 (the decision hash also keys on the attempt number, so the
+    /// draws are independent); later attempts always run clean.
+    pub fn decide(&self, unit_digest: u64, attempt: u32) -> ChaosAction {
+        if attempt >= CHAOS_MAX_DISRUPTED_ATTEMPTS {
+            return ChaosAction::None;
+        }
+        let h = mix64(self.seed ^ mix64(unit_digest) ^ mix64(0x5EED_CA05 ^ u64::from(attempt)));
+        // Attempt 1 disrupts half as often as attempt 0.
+        let lane = if attempt == 0 { h % 8 } else { h % 16 };
+        match lane {
+            0 => ChaosAction::Kill,
+            1 => ChaosAction::Stall,
+            2 => ChaosAction::Garbage,
+            3 => ChaosAction::Truncate,
+            4 => ChaosAction::Duplicate,
+            _ => ChaosAction::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_attempt_keyed() {
+        let plan = ChaosPlan::new(0xC405);
+        for unit in [1u64, 0xABCDEF, u64::MAX] {
+            assert_eq!(plan.decide(unit, 0), plan.decide(unit, 0));
+        }
+        // Across many units, attempt 0 must exercise every action kind.
+        let mut seen = [false; 6];
+        for unit in 0..512u64 {
+            let idx = match plan.decide(mix64(unit), 0) {
+                ChaosAction::None => 0,
+                ChaosAction::Kill => 1,
+                ChaosAction::Stall => 2,
+                ChaosAction::Garbage => 3,
+                ChaosAction::Truncate => 4,
+                ChaosAction::Duplicate => 5,
+            };
+            seen[idx] = true;
+        }
+        assert_eq!(seen, [true; 6], "all actions reachable on attempt 0");
+    }
+
+    #[test]
+    fn attempts_beyond_the_bound_always_run_clean() {
+        let plan = ChaosPlan::new(7);
+        for unit in 0..256u64 {
+            for attempt in CHAOS_MAX_DISRUPTED_ATTEMPTS..6 {
+                assert_eq!(plan.decide(mix64(unit), attempt), ChaosAction::None);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = ChaosPlan::new(1);
+        let b = ChaosPlan::new(2);
+        let differs = (0..256u64).any(|u| a.decide(mix64(u), 0) != b.decide(mix64(u), 0));
+        assert!(differs);
+    }
+}

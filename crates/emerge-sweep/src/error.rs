@@ -1,0 +1,81 @@
+//! The sweep error type. Everything the coordinator and worker can hit —
+//! malformed wire lines, exhausted retry budgets, dead workers, journal
+//! I/O — surfaces as a [`SweepError`]; nothing in this crate panics on
+//! input.
+
+use std::fmt;
+use std::io;
+
+/// Any failure surfaced by the sweep layer.
+#[derive(Debug)]
+pub enum SweepError {
+    /// An I/O failure (journal, worker pipes, report files), with the
+    /// operation that failed.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A wire line failed to decode. Recorded as a finding when it comes
+    /// from a worker; fatal when it comes from a trusted source (a
+    /// request line on the worker side of a healthy pipe).
+    Wire(String),
+    /// A work unit exhausted its retry budget without a valid result.
+    UnitExhausted {
+        /// Label of the cell the unit belongs to.
+        cell: String,
+        /// First global trial index of the unit.
+        first_trial: usize,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// A worker reported a unit execution error (e.g. a spec that does
+    /// not fit its world). Deterministic, so retrying cannot help.
+    Unit(String),
+    /// The sweep configuration itself is unusable (unknown grid name,
+    /// zero workers, ...).
+    Config(String),
+    /// A verification pass found a mismatch between two runs that must
+    /// be bit-identical.
+    Mismatch(String),
+}
+
+impl SweepError {
+    /// Wraps an I/O error with the operation that failed.
+    pub fn io(context: &str, source: io::Error) -> Self {
+        SweepError::Io {
+            context: context.to_string(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Io { context, source } => write!(f, "{context}: {source}"),
+            SweepError::Wire(msg) => write!(f, "wire decode failed: {msg}"),
+            SweepError::UnitExhausted {
+                cell,
+                first_trial,
+                attempts,
+            } => write!(
+                f,
+                "unit {cell}[{first_trial}..] exhausted its retry budget after {attempts} attempts"
+            ),
+            SweepError::Unit(msg) => write!(f, "unit execution failed: {msg}"),
+            SweepError::Config(msg) => write!(f, "invalid sweep configuration: {msg}"),
+            SweepError::Mismatch(msg) => write!(f, "verification mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

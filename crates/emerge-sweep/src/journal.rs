@@ -1,0 +1,177 @@
+//! The append-only completion journal: crash-safe resume for the
+//! coordinator.
+//!
+//! Each completed unit's *result line* (the exact wire encoding, which
+//! embeds the unit digest) is appended and flushed before the unit
+//! counts as done. On resume the journal is replayed through the same
+//! wire decoder: the first valid occurrence of each unit digest wins,
+//! later duplicates are counted (a coordinator killed between append and
+//! ack can legitimately re-append), and a truncated final line — the
+//! usual signature of dying mid-write — is tolerated and counted, never
+//! fatal. Replay therefore can neither re-run a finished unit nor
+//! double-merge one.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::SweepError;
+use crate::wire::{decode_worker_line, UnitResult, WorkerReply};
+
+/// An open append-only journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+/// What a journal replay recovered.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Recovered unit results, first occurrence of each digest, in
+    /// journal order.
+    pub results: Vec<UnitResult>,
+    /// Lines that failed to decode (truncated tail writes, corruption).
+    pub corrupt_lines: u64,
+    /// Valid result lines whose unit digest had already been recovered.
+    pub duplicate_lines: u64,
+}
+
+impl Journal {
+    /// Opens (creating if missing) the journal at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] when the file cannot be opened.
+    pub fn open(path: &Path) -> Result<Journal, SweepError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| SweepError::io(&format!("open journal {}", path.display()), e))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Appends one completed unit's wire line and syncs it to disk. Only
+    /// after this returns may the coordinator treat the unit as done —
+    /// the journal entry must hit the disk before the merge does.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] when the write or sync fails.
+    pub fn append(&mut self, line: &str) -> Result<(), SweepError> {
+        let ctx = || format!("append to journal {}", self.path.display());
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| SweepError::io(&ctx(), e))
+    }
+
+    /// Replays the journal at `path`. A missing file is an empty replay
+    /// (a fresh sweep); malformed lines and duplicates are counted, not
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] only when an *existing* journal cannot be read.
+    pub fn replay(path: &Path) -> Result<Replay, SweepError> {
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut file) => {
+                file.read_to_string(&mut text)
+                    .map_err(|e| SweepError::io(&format!("read journal {}", path.display()), e))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Replay::default()),
+            Err(e) => {
+                return Err(SweepError::io(
+                    &format!("open journal {}", path.display()),
+                    e,
+                ))
+            }
+        }
+        let mut replay = Replay::default();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            match decode_worker_line(line) {
+                Ok(WorkerReply::Result(unit)) => {
+                    if seen.insert(unit.unit) {
+                        replay.results.push(unit);
+                    } else {
+                        replay.duplicate_lines += 1;
+                    }
+                }
+                Ok(WorkerReply::Error { .. }) | Err(_) => replay.corrupt_lines += 1,
+            }
+        }
+        Ok(replay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::encode_result;
+    use emerge_core::montecarlo::ProtocolMcResults;
+    use emerge_obs::MetricsSnapshot;
+    use emerge_sim::metrics::Rate;
+
+    fn result_line(unit: u64, trials: u64) -> String {
+        let results = ProtocolMcResults {
+            released: Rate::from_counts(trials, trials).unwrap(),
+            fingerprint: unit.wrapping_mul(0x9E37),
+            ..ProtocolMcResults::default()
+        };
+        encode_result(unit, &results, &MetricsSnapshot::default())
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("emerge-sweep-journal-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn replay_recovers_first_occurrences_and_counts_damage() {
+        let path = temp_path("replay");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut journal = Journal::open(&path).unwrap();
+            journal.append(&result_line(1, 10)).unwrap();
+            journal.append(&result_line(2, 10)).unwrap();
+            // A re-appended unit (coordinator died between append and ack).
+            journal.append(&result_line(1, 10)).unwrap();
+        }
+        // A torn final write: no trailing newline, half a line.
+        let torn = result_line(3, 10);
+        let mut raw = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        raw.write_all(&torn.as_bytes()[..torn.len() / 2]).unwrap();
+        drop(raw);
+
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(
+            replay.results.iter().map(|r| r.unit).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(replay.duplicate_lines, 1);
+        assert_eq!(replay.corrupt_lines, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_a_fresh_sweep() {
+        let replay = Journal::replay(Path::new("/nonexistent/emerge-sweep.journal")).unwrap();
+        assert!(replay.results.is_empty());
+        assert_eq!(replay.corrupt_lines, 0);
+    }
+}

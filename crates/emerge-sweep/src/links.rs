@@ -1,0 +1,292 @@
+//! Worker transports: the coordinator talks to workers through the
+//! [`WorkerLink`] trait, with two implementations — real child processes
+//! over stdio pipes, and in-process threads for the seeded test harness.
+//! Both speak the same wire lines and share the worker's reply
+//! composition, so chaos behaves identically over either transport.
+
+use std::io::Write;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+use crate::chaos::ChaosPlan;
+use crate::error::SweepError;
+use crate::worker::{respond, ReplyPlan};
+
+/// One poll of a worker link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// A complete line from the worker.
+    Line(String),
+    /// Nothing arrived within the wait budget.
+    Idle,
+    /// The worker is gone (process exited, thread returned, pipe
+    /// closed). The link must be restarted before reuse.
+    Dead,
+}
+
+/// A bidirectional line channel to one worker.
+pub trait WorkerLink {
+    /// Sends one request line. `false` means the link is dead.
+    fn send(&mut self, line: &str) -> bool;
+    /// Waits up to `wait` for one reply line.
+    fn recv(&mut self, wait: Duration) -> LinkEvent;
+    /// Tears the worker down (if anything is left) and starts a fresh
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError`] when a replacement worker cannot be started.
+    fn restart(&mut self) -> Result<(), SweepError>;
+}
+
+/// A worker thread inside the coordinator process: the deterministic
+/// harness the e2e tests use. Each request is served by
+/// [`respond`] on a dedicated thread, chaos included — a chaos kill
+/// drops the thread (and its channels), which the coordinator observes
+/// as [`LinkEvent::Dead`] exactly like a crashed process.
+pub struct ThreadWorkerLink {
+    chaos: Option<ChaosPlan>,
+    tx: Option<Sender<String>>,
+    rx: Option<Receiver<String>>,
+}
+
+impl ThreadWorkerLink {
+    /// Starts the worker thread.
+    pub fn start(chaos: Option<ChaosPlan>) -> Self {
+        let mut link = ThreadWorkerLink {
+            chaos,
+            tx: None,
+            rx: None,
+        };
+        link.spawn();
+        link
+    }
+
+    fn spawn(&mut self) {
+        let (req_tx, req_rx) = mpsc::channel::<String>();
+        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+        let chaos = self.chaos;
+        std::thread::spawn(move || {
+            while let Ok(line) = req_rx.recv() {
+                match respond(&line, chaos.as_ref()) {
+                    ReplyPlan::Kill => return,
+                    ReplyPlan::Respond { stall_ms, lines } => {
+                        if stall_ms > 0 {
+                            std::thread::sleep(Duration::from_millis(stall_ms));
+                        }
+                        for reply in lines {
+                            if reply_tx.send(reply).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        self.tx = Some(req_tx);
+        self.rx = Some(reply_rx);
+    }
+}
+
+impl WorkerLink for ThreadWorkerLink {
+    fn send(&mut self, line: &str) -> bool {
+        self.tx
+            .as_ref()
+            .is_some_and(|tx| tx.send(line.to_string()).is_ok())
+    }
+
+    fn recv(&mut self, wait: Duration) -> LinkEvent {
+        match self.rx.as_ref().map(|rx| rx.recv_timeout(wait)) {
+            Some(Ok(line)) => LinkEvent::Line(line),
+            Some(Err(RecvTimeoutError::Timeout)) => LinkEvent::Idle,
+            Some(Err(RecvTimeoutError::Disconnected)) | None => LinkEvent::Dead,
+        }
+    }
+
+    fn restart(&mut self) -> Result<(), SweepError> {
+        self.tx = None;
+        self.rx = None;
+        self.spawn();
+        Ok(())
+    }
+}
+
+/// A real worker child process (the `sweep_worker` binary) over stdio
+/// pipes. A reader thread pumps the child's stdout into a channel so
+/// `recv` can wait with a timeout.
+pub struct ProcessWorkerLink {
+    command: Vec<String>,
+    child: Option<Child>,
+    stdin: Option<ChildStdin>,
+    rx: Option<Receiver<String>>,
+}
+
+impl ProcessWorkerLink {
+    /// Spawns a worker from `command` (program plus arguments).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError`] when the command is empty or the process cannot be
+    /// spawned.
+    pub fn start(command: &[String]) -> Result<Self, SweepError> {
+        let mut link = ProcessWorkerLink {
+            command: command.to_vec(),
+            child: None,
+            stdin: None,
+            rx: None,
+        };
+        link.spawn()?;
+        Ok(link)
+    }
+
+    fn spawn(&mut self) -> Result<(), SweepError> {
+        let program = self
+            .command
+            .first()
+            .ok_or_else(|| SweepError::Config("empty worker command".to_string()))?;
+        let mut child = Command::new(program)
+            .args(&self.command[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| SweepError::io(&format!("spawn worker {program:?}"), e))?;
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| SweepError::Config("worker stdin not piped".to_string()))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| SweepError::Config("worker stdout not piped".to_string()))?;
+        let (tx, rx) = mpsc::channel::<String>();
+        std::thread::spawn(move || {
+            use std::io::BufRead;
+            let reader = std::io::BufReader::new(stdout);
+            for line in reader.lines() {
+                match line {
+                    Ok(line) => {
+                        if tx.send(line).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+        self.child = Some(child);
+        self.stdin = Some(stdin);
+        self.rx = Some(rx);
+        Ok(())
+    }
+
+    fn teardown(&mut self) {
+        self.stdin = None; // closes the pipe; a healthy worker exits on EOF
+        self.rx = None;
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait(); // reap, never leave zombies
+        }
+    }
+}
+
+impl WorkerLink for ProcessWorkerLink {
+    fn send(&mut self, line: &str) -> bool {
+        match self.stdin.as_mut() {
+            Some(stdin) => stdin
+                .write_all(line.as_bytes())
+                .and_then(|()| stdin.write_all(b"\n"))
+                .and_then(|()| stdin.flush())
+                .is_ok(),
+            None => false,
+        }
+    }
+
+    fn recv(&mut self, wait: Duration) -> LinkEvent {
+        match self.rx.as_ref().map(|rx| rx.recv_timeout(wait)) {
+            Some(Ok(line)) => LinkEvent::Line(line),
+            Some(Err(RecvTimeoutError::Timeout)) => LinkEvent::Idle,
+            Some(Err(RecvTimeoutError::Disconnected)) | None => LinkEvent::Dead,
+        }
+    }
+
+    fn restart(&mut self) -> Result<(), SweepError> {
+        self.teardown();
+        self.spawn()
+    }
+}
+
+impl Drop for ProcessWorkerLink {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::SweepGrid;
+    use crate::wire::{decode_worker_line, encode_request, WorkerReply};
+
+    #[test]
+    fn thread_link_serves_and_survives_restart() {
+        let unit = SweepGrid::builtin("share_8x3")
+            .unwrap()
+            .with_trials_per_cell(2)
+            .units(2)[0]
+            .clone();
+        let mut link = ThreadWorkerLink::start(None);
+        assert!(link.send(&encode_request(&unit, 0)));
+        let line = loop {
+            match link.recv(Duration::from_millis(200)) {
+                LinkEvent::Line(line) => break line,
+                LinkEvent::Idle => {}
+                LinkEvent::Dead => panic!("worker died"),
+            }
+        };
+        assert!(matches!(
+            decode_worker_line(&line).unwrap(),
+            WorkerReply::Result(r) if r.unit == unit.digest()
+        ));
+        link.restart().unwrap();
+        assert!(link.send(&encode_request(&unit, 2)));
+        let relined = loop {
+            match link.recv(Duration::from_millis(200)) {
+                LinkEvent::Line(line) => break line,
+                LinkEvent::Idle => {}
+                LinkEvent::Dead => panic!("restarted worker died"),
+            }
+        };
+        assert!(decode_worker_line(&relined).is_ok());
+    }
+
+    #[test]
+    fn dead_thread_link_reports_dead() {
+        // A chaos plan whose kill decision we can force by brute search:
+        // find an attempt 0 unit the plan kills, then observe Dead.
+        let grid = SweepGrid::builtin("share_8x3")
+            .unwrap()
+            .with_trials_per_cell(64);
+        let units = grid.units(1);
+        let plan = ChaosPlan::new(0xDEAD);
+        let victim = units
+            .iter()
+            .find(|u| plan.decide(u.digest(), 0) == crate::chaos::ChaosAction::Kill)
+            .expect("some unit draws a kill");
+        let mut link = ThreadWorkerLink::start(Some(plan));
+        assert!(link.send(&encode_request(victim, 0)));
+        let mut saw_dead = false;
+        for _ in 0..50 {
+            match link.recv(Duration::from_millis(20)) {
+                LinkEvent::Dead => {
+                    saw_dead = true;
+                    break;
+                }
+                LinkEvent::Idle => {}
+                LinkEvent::Line(line) => panic!("killed worker replied: {line}"),
+            }
+        }
+        assert!(saw_dead, "kill must surface as a dead link");
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end sweep robustness: a chaos-ridden distributed run, a clean
+//! distributed run and the serial reference must land on bit-identical
+//! outcome *and* telemetry fingerprints; and a coordinator killed
+//! mid-sweep must resume from its journal without re-running or
+//! double-merging anything.
+//!
+//! The harness drives the real coordinator loop over in-process
+//! [`ThreadWorkerLink`] workers, so every robustness path — kills,
+//! stalls, garbage, truncation, duplication, hedging, dedup, journal
+//! replay — runs inside one seeded, deterministic test process.
+
+use std::path::PathBuf;
+
+use emerge_faults::{HedgePolicy, RecoveryPolicy, RetryPolicy, TimeoutPolicy};
+use emerge_sweep::chaos::{ChaosAction, ChaosPlan};
+use emerge_sweep::coordinator::{
+    assert_outcomes_identical, run_serial, Coordinator, SweepConfig, SweepOutcome,
+};
+use emerge_sweep::grid::SweepGrid;
+use emerge_sweep::links::{ThreadWorkerLink, WorkerLink};
+
+const CHAOS_SEED: u64 = 0xC405_5EED;
+
+fn grid() -> SweepGrid {
+    SweepGrid::builtin("share_8x3")
+        .unwrap()
+        .with_trials_per_cell(12)
+}
+
+fn workers(n: usize, chaos: Option<ChaosPlan>) -> Vec<Box<dyn WorkerLink>> {
+    (0..n)
+        .map(|_| Box::new(ThreadWorkerLink::start(chaos)) as Box<dyn WorkerLink>)
+        .collect()
+}
+
+fn config() -> SweepConfig {
+    SweepConfig {
+        unit_trials: 3,
+        policy: RecoveryPolicy {
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_backoff_ticks: 4,
+                multiplier: 2,
+            },
+            timeout: TimeoutPolicy {
+                per_attempt_ticks: 10_000,
+            },
+            hedge: HedgePolicy { fanout: 3 },
+        },
+        hedge_after_ms: 100,
+        max_units: None,
+        journal_path: None,
+        prom_path: None,
+        progress: false,
+    }
+}
+
+fn run_with(chaos: Option<ChaosPlan>, config: SweepConfig) -> SweepOutcome {
+    let mut pool = workers(3, chaos);
+    Coordinator::new(grid(), config).run(&mut pool).unwrap()
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "emerge-sweep-e2e-{tag}-{}.journal",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn chaos_clean_and_serial_agree_bit_for_bit() {
+    let serial = run_serial(&grid()).unwrap();
+    let clean = run_with(None, config());
+    let chaos = run_with(Some(ChaosPlan::new(CHAOS_SEED)), config());
+
+    assert_outcomes_identical("clean vs serial", &clean, &serial).unwrap();
+    assert_outcomes_identical("chaos vs serial", &chaos, &serial).unwrap();
+    assert!(clean.complete() && chaos.complete());
+
+    // The chaos plan must actually have disrupted something, or this
+    // test proves nothing. The seed is chosen over 8 units, so some
+    // attempt draws a disruption.
+    let plan = ChaosPlan::new(CHAOS_SEED);
+    let disrupted = grid()
+        .units(3)
+        .iter()
+        .any(|u| plan.decide(u.digest(), 0) != ChaosAction::None);
+    assert!(disrupted, "chaos seed must disrupt at least one unit");
+    assert!(
+        chaos.stats.retries > 0
+            || chaos.stats.corrupt_findings > 0
+            || chaos.stats.dedup_dropped > 0
+            || chaos.stats.worker_restarts > 0,
+        "chaos left no trace in the stats: {:?}",
+        chaos.stats
+    );
+    // Clean runs must not pay any robustness cost.
+    assert_eq!(clean.stats.retries, 0);
+    assert_eq!(clean.stats.corrupt_findings, 0);
+    assert_eq!(clean.stats.worker_restarts, 0);
+}
+
+#[test]
+fn killed_coordinator_resumes_from_journal_without_rerunning() {
+    let serial = run_serial(&grid()).unwrap();
+    let journal = temp_journal("resume");
+    let _ = std::fs::remove_file(&journal);
+
+    let total = grid().units(3).len();
+    let pause_at = total / 2;
+    assert!(pause_at >= 1, "grid too small for a meaningful pause");
+
+    // Pass 1: the coordinator "dies" after pause_at units (max_units
+    // models the kill: the process stops mid-sweep with a half-full
+    // journal and its in-memory state lost).
+    let mut cfg = config();
+    cfg.journal_path = Some(journal.clone());
+    cfg.max_units = Some(pause_at);
+    let paused = run_with(Some(ChaosPlan::new(CHAOS_SEED)), cfg);
+    assert!(!paused.complete());
+    assert_eq!(paused.done_units, pause_at);
+
+    // Pass 2: a fresh coordinator resumes from the journal alone.
+    let mut cfg = config();
+    cfg.journal_path = Some(journal.clone());
+    let resumed = run_with(Some(ChaosPlan::new(CHAOS_SEED)), cfg);
+
+    assert!(resumed.complete());
+    assert_eq!(resumed.stats.journal_replayed, pause_at as u64);
+    assert_outcomes_identical("resumed vs serial", &resumed, &serial).unwrap();
+
+    // An uninterrupted chaotic run agrees too — the pause/resume cycle
+    // changed nothing about the merged bits.
+    let uninterrupted = run_with(Some(ChaosPlan::new(CHAOS_SEED)), config());
+    assert_outcomes_identical("resumed vs uninterrupted", &resumed, &uninterrupted).unwrap();
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn resume_is_idempotent_when_journal_is_already_complete() {
+    let journal = temp_journal("idempotent");
+    let _ = std::fs::remove_file(&journal);
+
+    let mut cfg = config();
+    cfg.journal_path = Some(journal.clone());
+    let first = run_with(None, cfg.clone());
+    assert!(first.complete());
+
+    // Re-running over a complete journal replays everything and runs
+    // nothing fresh.
+    let second = run_with(None, cfg);
+    assert!(second.complete());
+    assert_eq!(second.stats.journal_replayed, second.total_units as u64);
+    assert_outcomes_identical("second vs first", &second, &first).unwrap();
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn different_worker_counts_do_not_change_a_single_bit() {
+    let serial = run_serial(&grid()).unwrap();
+    for n in [1, 2, 5] {
+        let mut pool = workers(n, None);
+        let outcome = Coordinator::new(grid(), config()).run(&mut pool).unwrap();
+        assert_outcomes_identical(&format!("{n} workers vs serial"), &outcome, &serial).unwrap();
+    }
+}
